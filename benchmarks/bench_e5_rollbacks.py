@@ -1,0 +1,96 @@
+"""E5 — Rollback rate for read-write transactions (section 5.2.2).
+
+Paper: "for transactions involving both reads and writes and one party
+updating once per second on the average, an update rate by a second party
+of once per three seconds or more produced rollback rates below 2 percent;
+at higher update rates, rollbacks were frequent enough to produce
+significant rates of update inconsistencies.  This suggests that it may be
+desirable to suppress optimism when conflict rates exceed a certain
+threshold."
+
+Reproduction: party A issues read-modify-write transactions at 1/s; party
+B's interval sweeps from 0.5 s to 10 s.  Rollback rate = conflict aborts /
+transaction attempts.  The shape: under ~2% at B >= 3 s intervals, sharply
+higher as B's rate approaches A's.
+"""
+
+import pytest
+
+from repro.bench import two_party_scenario
+from repro.bench.report import Table, emit, format_table
+from repro.workloads import (
+    PoissonArrivals,
+    ReadModifyWriteWorkload,
+    WorkloadParty,
+    run_workload,
+)
+
+LATENCY_MS = 25.0
+TXNS_A = 120
+SEEDS = (3, 4, 5)
+
+
+def run_point(b_interval_s, seed=3):
+    scenario = two_party_scenario(latency_ms=LATENCY_MS, seed=seed)
+    duration_scale = TXNS_A  # A runs ~TXNS_A seconds of workload
+    b_count = max(3, int(duration_scale / b_interval_s))
+    parties = [
+        WorkloadParty(
+            site=scenario.alice,
+            workload=ReadModifyWriteWorkload(scenario.a),
+            arrivals=PoissonArrivals(1000.0),  # 1/s
+            count=TXNS_A,
+        ),
+        WorkloadParty(
+            site=scenario.bob,
+            workload=ReadModifyWriteWorkload(scenario.b),
+            arrivals=PoissonArrivals(b_interval_s * 1000.0),
+            count=b_count,
+        ),
+    ]
+    summary = run_workload(scenario.session, parties, seed=seed)
+    issued = TXNS_A + b_count
+    rollbacks = summary["counters"]["retries"]
+    rate = 100.0 * rollbacks / summary["attempts"]
+    # Sanity: all increments serialized exactly once.
+    expected = summary["committed"]
+    final = scenario.a.get()
+    return rate, rollbacks, issued, final == expected
+
+
+def run_experiment():
+    table = Table(
+        title=f"E5: read-write rollback rate (A at 1 txn/s, t = {LATENCY_MS:.0f} ms)",
+        headers=["B interval (s)", "rollback rate (%)", "rollbacks", "serialized ok"],
+    )
+    intervals = [0.5, 1.0, 2.0, 3.0, 5.0, 10.0]
+    measured = {}
+    for interval in intervals:
+        rates, total_rollbacks, all_ok = [], 0, True
+        for seed in SEEDS:
+            rate, rollbacks, _issued, ok = run_point(interval, seed=seed)
+            rates.append(rate)
+            total_rollbacks += rollbacks
+            all_ok = all_ok and ok
+        mean_rate = sum(rates) / len(rates)
+        measured[interval] = (mean_rate, all_ok)
+        table.add(interval, mean_rate, total_rollbacks, all_ok)
+    table.note("paper: B interval >= 3 s  =>  rollback rate below 2%")
+    table.note("paper: higher B rates => frequent rollbacks (suppress optimism)")
+    return table, measured
+
+
+def test_e5_rollbacks(benchmark):
+    table, measured = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit("E5_rollbacks", format_table(table))
+
+    # Shape 1: the paper's threshold — slow second party keeps rollbacks <2%.
+    assert measured[3.0][0] < 2.0
+    assert measured[5.0][0] < 2.0
+    assert measured[10.0][0] < 2.0
+    # Shape 2: rollback rate increases as B speeds up, crossing the paper's
+    # 2% threshold at fast rates.
+    assert measured[0.5][0] > measured[3.0][0]
+    assert measured[0.5][0] > 2.0
+    # Shape 3: serialization stays correct at every contention level.
+    assert all(ok for _rate, ok in measured.values())

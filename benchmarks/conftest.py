@@ -1,0 +1,10 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark runs a deterministic discrete-event simulation, so latency
+numbers are exact (noise-free); pytest-benchmark's timing then reports the
+*harness* cost of regenerating each result, while the experiment's actual
+measurements (simulated-time latencies, rates) are printed as paper-style
+tables and persisted under ``benchmarks/results/``.
+"""
+
+import pytest

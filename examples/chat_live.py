@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Live multi-user chat over the asyncio transport (real wall-clock time).
+
+The other examples run on the deterministic discrete-event simulator; this
+one drives the same DECAF stack over :class:`AsyncioTransport` with a real
+60 ms injected delay, demonstrating that the framework is transport-
+agnostic.  Three users exchange messages; optimistic views render
+transcripts immediately, and replicas converge.
+
+Run:  python examples/chat_live.py
+"""
+
+import asyncio
+import time
+
+from repro import Session
+from repro.apps import ChatRoom
+from repro.transport import AsyncioTransport
+
+
+async def main():
+    print("== DECAF live chat (asyncio transport, 60 ms real delay) ==\n")
+    transport = AsyncioTransport(delay_ms=60.0)
+    session = Session(transport=transport)
+    alice, bob, carol = session.add_sites(3, prefix="user")
+    await transport.start()
+
+    # Establish the shared log with the real join protocol.
+    log_a = alice.create_list("chatlog")
+    assoc = alice.create_association("chat.assoc")
+    alice.transact(lambda: assoc.create_relationship("chat.rel"))
+    await transport.quiesce()
+    alice.join(assoc, "chat.rel", log_a)
+    await transport.quiesce()
+    invitation = assoc.make_invitation(note="team chat")
+    rooms = [ChatRoom(alice, log_a, author="alice")]
+    for site, author in ((bob, "bob"), (carol, "carol")):
+        local_assoc = site.import_invitation(invitation, "chat.assoc")
+        await transport.quiesce()
+        local_log = site.create_list("chatlog")
+        site.join(local_assoc, "chat.rel", local_log)
+        await transport.quiesce()
+        rooms.append(ChatRoom(site, local_log, author=author))
+
+    script = [
+        (0, "hello everyone!"),
+        (1, "hi alice"),
+        (2, "working on the DECAF reproduction"),
+        (0, "optimistic views feel instant"),
+        (1, "and the transcripts converge"),
+    ]
+    t0 = time.monotonic()
+    for sender, text in script:
+        rooms[sender].send(text)
+        await asyncio.sleep(0.02)  # users type fast, sometimes overlapping
+    await transport.quiesce(settle_ms=200)
+    elapsed = (time.monotonic() - t0) * 1000
+
+    print(f"-- transcripts after {elapsed:.0f} ms of real time --")
+    for room in rooms:
+        print(f"   {room.author}'s view ({room.view.notifications} notifications):")
+        for line in room.transcript():
+            print(f"      {line}")
+    assert rooms[0].transcript() == rooms[1].transcript() == rooms[2].transcript()
+    assert len(rooms[0].transcript()) == len(script)
+    await transport.stop()
+    print("\nOK: identical transcripts on every site over a live transport.")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Protocol trace: watch the paper's Fig. 5 message pattern live.
+
+Recreates the worked example of section 3.1 — transaction T at site 2
+reads W and X (replicated at sites 0,1,2; primary 0), blind-writes Y and
+read-modify-writes Z (replicated at sites 1,2,3; primary 1) — and prints
+every message the protocol sends, annotated with its role.
+
+Run:  python examples/protocol_trace.py
+"""
+
+from repro import Session
+from repro.sim.trace import MessageTrace
+
+
+def main():
+    print("== DECAF protocol trace: the paper's Fig. 4/5 example ==\n")
+    session = Session.simulated(latency_ms=50.0, delegation_enabled=False)
+    trace = MessageTrace(session.network)
+    s0, s1, s2, s3 = session.add_sites(4)
+
+    w = session.replicate("int", "W", [s0, s1, s2], initial=4)
+    x = session.replicate("int", "X", [s0, s1, s2], initial=2)
+    y = session.replicate("int", "Y", [s1, s2, s3], initial=3)
+    z = session.replicate("int", "Z", [s1, s2, s3], initial=6)
+    session.settle()
+    trace.clear()  # drop the establishment traffic
+
+    print("Transaction T at site 2:")
+    print("   if W + X > 5 then { Y := X;  Z := Z + 3 }\n")
+
+    def T():
+        if w[2].get() + x[2].get() > 5:
+            y[1].set(x[2].get())          # blind write of Y
+            z[1].set(z[1].get() + 3)      # read-modify-write of Z
+
+    out = s2.transact(T)
+    session.settle()
+
+    role = {
+        "TxnPropagateMsg": "WRITE / CONFIRM-READ batch",
+        "ConfirmMsg": "primary confirms RL/NC guesses",
+        "CommitMsg": "summary commit from the origin",
+        "AbortMsg": "summary abort",
+    }
+    print("-- every message of transaction T --")
+    for entry in trace.transaction_story(out.vt):
+        print(f"   {entry.render():60s} | {role.get(entry.msg_type, '')}")
+
+    print("\n-- counts --")
+    for msg_type, count in sorted(trace.counts_by_type().items()):
+        print(f"   {msg_type:20s} {count}")
+
+    print(f"\ncommitted: {out.committed}   commit latency: {out.commit_latency_ms:.0f} ms (= 2t)")
+    print(f"final values: Y = {[o.get() for o in y]}, Z = {[o.get() for o in z]}")
+    assert out.committed and out.commit_latency_ms == 100.0
+    assert all(o.get() == 2 for o in y) and all(o.get() == 9 for o in z)
+    print("\nOK: the message pattern matches the paper's Fig. 5.")
+
+
+if __name__ == "__main__":
+    main()

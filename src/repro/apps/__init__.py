@@ -1,0 +1,23 @@
+"""Headless collaborative application components built on the public API.
+
+These are the kinds of applications the paper reports building with DECAF
+(section 5.2.1): account/portfolio tools for an insurance agent helping
+clients, a multi-user chat program, and whiteboard-style shared surfaces.
+The classes here contain only model/controller logic — no GUI — so the
+same code runs in examples, tests, and benchmarks.
+"""
+
+from repro.apps.accounts import AccountBook, TransferTransaction
+from repro.apps.chat import ChatRoom
+from repro.apps.whiteboard import Whiteboard
+from repro.apps.form import FormDocument
+from repro.apps.tictactoe import TicTacToe
+
+__all__ = [
+    "AccountBook",
+    "TransferTransaction",
+    "ChatRoom",
+    "Whiteboard",
+    "FormDocument",
+    "TicTacToe",
+]

@@ -1,0 +1,76 @@
+"""Account transfers: the paper's running example (Figs. 2 and 3).
+
+``TransferTransaction`` is a faithful port of the paper's ``XferTrans``:
+an atomic two-account transfer that aborts (without retry) when the source
+balance is insufficient.  ``AccountBook`` wraps a site's accounts and
+provides the controller-level operations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.scalars import DFloat
+from repro.core.site import SiteRuntime
+from repro.core.transaction import Transaction, TransactionOutcome
+
+
+class TransferTransaction(Transaction):
+    """The paper's XferTrans (Fig. 2): move ``amount`` from ``src`` to ``dst``.
+
+    "if (Ap - xferAmt >= 0) { Ap.setValueTo(...); Bp.setValueTo(...); }
+    else throw new RuntimeException('Can't transfer more than balance')"
+    """
+
+    def __init__(self, src: DFloat, dst: DFloat, amount: float) -> None:
+        self.src = src
+        self.dst = dst
+        self.amount = float(amount)
+        self.abort_reason: Optional[str] = None
+
+    def execute(self) -> None:
+        balance = self.src.get()
+        if balance - self.amount >= 0:
+            self.src.set(balance - self.amount)
+            self.dst.set(self.dst.get() + self.amount)
+        else:
+            raise RuntimeError("Can't transfer more than balance")
+
+    def handle_abort(self, exc: Exception) -> None:
+        self.abort_reason = str(exc)
+
+
+class AccountBook:
+    """A site's set of named accounts with transfer/deposit controllers."""
+
+    def __init__(self, site: SiteRuntime, prefix: str = "acct") -> None:
+        self.site = site
+        self.prefix = prefix
+        self.accounts: Dict[str, DFloat] = {}
+
+    def open(self, name: str, initial: float = 0.0) -> DFloat:
+        """Create a local account model object."""
+        account = self.site.create_float(f"{self.prefix}.{name}", initial)
+        self.accounts[name] = account
+        return account
+
+    def adopt(self, name: str, account: DFloat) -> None:
+        """Track an account object created or joined elsewhere."""
+        self.accounts[name] = account
+
+    def balance(self, name: str) -> float:
+        return float(self.accounts[name].get())
+
+    def deposit(self, name: str, amount: float) -> TransactionOutcome:
+        account = self.accounts[name]
+        return self.site.transact(lambda: account.set(account.get() + float(amount)))
+
+    def transfer(self, src: str, dst: str, amount: float) -> TransferTransaction:
+        """Run a :class:`TransferTransaction`; returns it (with outcome info)."""
+        txn = TransferTransaction(self.accounts[src], self.accounts[dst], amount)
+        txn.outcome = self.site.run(txn)  # type: ignore[attr-defined]
+        return txn
+
+    def total(self) -> float:
+        """Sum of all balances (reads current optimistic values)."""
+        return sum(float(a.get()) for a in self.accounts.values())

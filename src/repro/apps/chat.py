@@ -1,0 +1,67 @@
+"""A multi-user chat room: an append-only replicated list of messages.
+
+One of the applications built on the original DECAF prototype
+(section 5.2.1: "a multi-user chat program").  Each message is a map
+``{author, text}`` appended to a shared list; an attached view renders the
+transcript.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.composites import DList
+from repro.core.site import SiteRuntime
+from repro.core.transaction import TransactionOutcome
+from repro.core.views import Snapshot, View
+
+
+class TranscriptView(View):
+    """Keeps the latest rendered transcript plus a notification count."""
+
+    def __init__(self, log: DList) -> None:
+        self.log = log
+        self.transcript: List[str] = []
+        self.notifications = 0
+        self.committed_notifications = 0
+
+    def update(self, changed, snapshot: Snapshot) -> None:
+        self.notifications += 1
+        rendered = []
+        for message in snapshot.read(self.log):
+            rendered.append(f"<{message.get('author', '?')}> {message.get('text', '')}")
+        self.transcript = rendered
+
+    def commit(self) -> None:
+        self.committed_notifications += 1
+
+
+class ChatRoom:
+    """A site's handle on a chat: the shared log plus send/render controllers."""
+
+    def __init__(self, site: SiteRuntime, log: DList, author: Optional[str] = None) -> None:
+        self.site = site
+        self.log = log
+        self.author = author or site.name
+        self.view = TranscriptView(log)
+        log.attach(self.view, "optimistic")
+
+    @staticmethod
+    def create(site: SiteRuntime, name: str = "chatlog", author: Optional[str] = None) -> "ChatRoom":
+        return ChatRoom(site, site.create_list(name), author=author)
+
+    def send(self, text: str) -> TransactionOutcome:
+        """Append a message atomically."""
+
+        def body() -> None:
+            self.log.append(
+                "map", {"author": ("string", self.author), "text": ("string", text)}
+            )
+
+        return self.site.transact(body)
+
+    def transcript(self) -> List[str]:
+        return list(self.view.transcript)
+
+    def message_count(self) -> int:
+        return len(self.log.value_at(self.log.current_value_vt()))

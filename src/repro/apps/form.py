@@ -1,0 +1,76 @@
+"""Collaborative form filling: the paper's insurance scenario.
+
+Section 5.2.1: "several groupware applications that allow an insurance
+agent to help clients understand insurance products via data visualization
+and to fill out insurance forms".  A form is a replicated map of named
+fields; sensitive fields can be protected with authorization monitors, and
+a pessimistic *audit view* sees only committed, monotonic field states —
+what you would write to the record of an advice session.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.auth import AuthorizationMonitor
+from repro.core.composites import DMap
+from repro.core.site import SiteRuntime
+from repro.core.transaction import TransactionOutcome
+from repro.core.views import Snapshot, View
+
+
+class AuditView(View):
+    """A pessimistic view recording every committed form state in order."""
+
+    def __init__(self, form: DMap) -> None:
+        self.form = form
+        self.audit_log: List[Dict[str, Any]] = []
+
+    def update(self, changed, snapshot: Snapshot) -> None:
+        self.audit_log.append(snapshot.read(self.form))
+
+
+class FormDocument:
+    """A site's handle on a shared form."""
+
+    def __init__(self, site: SiteRuntime, form: DMap) -> None:
+        self.site = site
+        self.form = form
+        self.audit = AuditView(form)
+        form.attach(self.audit, "pessimistic")
+
+    @staticmethod
+    def create(site: SiteRuntime, name: str = "form") -> "FormDocument":
+        return FormDocument(site, site.create_map(name))
+
+    def fill(self, **fields: Any) -> TransactionOutcome:
+        """Atomically fill several fields (one transaction)."""
+
+        def body() -> None:
+            for key, value in fields.items():
+                if isinstance(value, bool):
+                    raise TypeError("use 0/1 integers for booleans")
+                if isinstance(value, int):
+                    self.form.put(key, "int", value)
+                elif isinstance(value, float):
+                    self.form.put(key, "float", value)
+                else:
+                    self.form.put(key, "string", str(value))
+
+        return self.site.transact(body)
+
+    def clear(self, field: str) -> TransactionOutcome:
+        return self.site.transact(lambda: self.form.delete(field))
+
+    def fields(self) -> Dict[str, Any]:
+        return self.form.value_at(self.form.current_value_vt())
+
+    def committed_fields(self) -> Dict[str, Any]:
+        return self.form.value_at(self.form.current_value_vt(), committed_only=True)
+
+    def protect(self, monitor: AuthorizationMonitor) -> None:
+        """Restrict access to the whole form with an authorization monitor."""
+        self.form.set_authorization(monitor)
+
+    def audit_trail(self) -> List[Dict[str, Any]]:
+        return list(self.audit.audit_log)

@@ -1,0 +1,100 @@
+"""A simple game: replicated tic-tac-toe (paper section 5.2.1, "simple games").
+
+The board is a replicated map of cells plus a whose-turn scalar.  A move is
+a read-modify-write transaction: it *reads* the turn and the target cell
+and writes both — so two players racing for the same turn, or the same
+cell, conflict at the primary and exactly one wins; the loser's transaction
+re-executes, re-checks the rules against the new state, and aborts cleanly
+with a rule violation (no retry) if the move is no longer legal.  This is
+the transactional-integrity story the optimistic protocol buys over plain
+last-writer-wins replication.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.composites import DMap
+from repro.core.scalars import DString
+from repro.core.site import SiteRuntime
+from repro.core.transaction import Transaction, TransactionOutcome
+
+WIN_LINES = [
+    (0, 1, 2), (3, 4, 5), (6, 7, 8),  # rows
+    (0, 3, 6), (1, 4, 7), (2, 5, 8),  # columns
+    (0, 4, 8), (2, 4, 6),             # diagonals
+]
+
+
+class IllegalMove(RuntimeError):
+    """A rule violation: not your turn, cell taken, or game over."""
+
+
+class MoveTransaction(Transaction):
+    """One move: validates the rules and flips the turn, atomically."""
+
+    def __init__(self, game: "TicTacToe", cell: int) -> None:
+        self.game = game
+        self.cell = cell
+        self.rejection: Optional[str] = None
+
+    def execute(self) -> None:
+        game = self.game
+        if not 0 <= self.cell <= 8:
+            raise IllegalMove(f"cell {self.cell} out of range")
+        turn = game.turn.get()
+        if turn != game.mark:
+            raise IllegalMove(f"not {game.mark}'s turn (turn is {turn})")
+        if game.winner_of(game.cells()) is not None:
+            raise IllegalMove("game is over")
+        if game.board.has(str(self.cell)):
+            raise IllegalMove(f"cell {self.cell} already taken")
+        game.board.put(str(self.cell), "string", game.mark)
+        game.turn.set("O" if game.mark == "X" else "X")
+
+    def handle_abort(self, exc: Exception) -> None:
+        self.rejection = str(exc)
+
+
+class TicTacToe:
+    """A player's handle on a shared game (one per site)."""
+
+    def __init__(self, site: SiteRuntime, board: DMap, turn: DString, mark: str) -> None:
+        if mark not in ("X", "O"):
+            raise ValueError("mark must be 'X' or 'O'")
+        self.site = site
+        self.board = board
+        self.turn = turn
+        self.mark = mark
+
+    def move(self, cell: int) -> MoveTransaction:
+        """Attempt a move; returns the transaction (with outcome/rejection)."""
+        txn = MoveTransaction(self, cell)
+        txn.outcome = self.site.run(txn)  # type: ignore[attr-defined]
+        return txn
+
+    def cells(self) -> Dict[int, str]:
+        """Current board as {cell index: mark}."""
+        raw = self.board.value_at(self.board.current_value_vt())
+        return {int(k): v for k, v in raw.items()}
+
+    @staticmethod
+    def winner_of(cells: Dict[int, str]) -> Optional[str]:
+        for a, b, c in WIN_LINES:
+            mark = cells.get(a)
+            if mark and cells.get(b) == mark and cells.get(c) == mark:
+                return mark
+        return None
+
+    def winner(self) -> Optional[str]:
+        return self.winner_of(self.cells())
+
+    def is_draw(self) -> bool:
+        return len(self.cells()) == 9 and self.winner() is None
+
+    def render(self) -> str:
+        cells = self.cells()
+        rows = []
+        for r in range(3):
+            rows.append("|".join(cells.get(3 * r + c, " ") for c in range(3)))
+        return "\n-+-+-\n".join(rows)

@@ -1,0 +1,102 @@
+"""A shared whiteboard: keyed shapes, blind-write semantics.
+
+The paper's canonical blind-write application (section 5.1.2: "an
+application in which all operations are blind writes (e.g., a whiteboard
+...) there are no update inconsistencies, because concurrency control
+tests never fail").  Shapes live in a replicated map keyed by shape id;
+placing or moving a shape is a blind put, erasing is a blind delete, so
+two users drawing simultaneously never conflict — the later virtual time
+wins per shape.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.composites import DMap
+from repro.core.site import SiteRuntime
+from repro.core.transaction import TransactionOutcome
+from repro.core.views import Snapshot, View
+
+
+class CanvasView(View):
+    """Tracks the rendered shape dictionary and deviation-relevant counts."""
+
+    def __init__(self, board: DMap) -> None:
+        self.board = board
+        self.shapes: Dict[str, Dict[str, Any]] = {}
+        self.renders = 0
+
+    def update(self, changed, snapshot: Snapshot) -> None:
+        self.renders += 1
+        self.shapes = snapshot.read(self.board)
+
+
+class Whiteboard:
+    """A site's whiteboard: draw/move/erase controllers over a shared map."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, site: SiteRuntime, board: DMap) -> None:
+        self.site = site
+        self.board = board
+        self.view = CanvasView(board)
+        board.attach(self.view, "optimistic")
+
+    @staticmethod
+    def create(site: SiteRuntime, name: str = "board") -> "Whiteboard":
+        return Whiteboard(site, site.create_map(name))
+
+    def draw(
+        self,
+        kind: str,
+        x: float,
+        y: float,
+        color: str = "black",
+        shape_id: Optional[str] = None,
+    ) -> Tuple[str, TransactionOutcome]:
+        """Place a shape (blind write); returns (shape id, outcome)."""
+        sid = shape_id or f"{self.site.name}-{next(self._ids)}"
+
+        def body() -> None:
+            self.board.put(
+                sid,
+                "map",
+                {
+                    "kind": ("string", kind),
+                    "x": ("float", float(x)),
+                    "y": ("float", float(y)),
+                    "color": ("string", color),
+                },
+            )
+
+        return sid, self.site.transact(body)
+
+    def move(self, shape_id: str, x: float, y: float) -> TransactionOutcome:
+        """Re-place a shape at new coordinates (blind put of the whole shape)."""
+        current = self.shapes().get(shape_id, {})
+
+        def body() -> None:
+            self.board.put(
+                shape_id,
+                "map",
+                {
+                    "kind": ("string", current.get("kind", "dot")),
+                    "x": ("float", float(x)),
+                    "y": ("float", float(y)),
+                    "color": ("string", current.get("color", "black")),
+                },
+            )
+
+        return self.site.transact(body)
+
+    def erase(self, shape_id: str) -> TransactionOutcome:
+        return self.site.transact(lambda: self.board.delete(shape_id))
+
+    def shapes(self) -> Dict[str, Dict[str, Any]]:
+        return self.board.value_at(self.board.current_value_vt())
+
+    def rendered(self) -> Dict[str, Dict[str, Any]]:
+        """What the attached optimistic view last drew."""
+        return dict(self.view.shapes)

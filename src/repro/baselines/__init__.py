@@ -1,0 +1,29 @@
+"""Baseline/comparator systems the paper discusses (sections 5.1.3 and 6).
+
+Implemented for measured, head-to-head comparison with DECAF:
+
+* :mod:`repro.baselines.gvt` — optimistic replication whose commit point is
+  a Jefferson-style **Global Virtual Time sweep** (a token circulating all
+  sites, as in ORESTE/COAST-era groupware).  Local echo is immediate, but
+  commit latency grows with the size of the network — the scalability
+  contrast of section 5.1.3.
+* :mod:`repro.baselines.locking` — **pessimistic primary-copy two-phase
+  locking** (the database-style alternative of section 6): correct and
+  simple, but the user's own GUI echo waits a lock round trip.
+* :mod:`repro.baselines.oreste` — the **ORESTE operation-history
+  algorithm** (section 6): commutativity/masking relations with undo/redo
+  reordering; correct only at quiescence, no multi-object transactions.
+* :mod:`repro.baselines.centralized` — the **non-replicated architecture**
+  of section 1 (shared-X style): one server owns the state; every client
+  interaction is a round trip.
+
+All three run on the same discrete-event network as DECAF, so latency
+comparisons are apples-to-apples.
+"""
+
+from repro.baselines.gvt import GvtSystem
+from repro.baselines.locking import LockingSystem
+from repro.baselines.centralized import CentralizedSystem
+from repro.baselines.oreste import OresteSystem
+
+__all__ = ["GvtSystem", "LockingSystem", "CentralizedSystem", "OresteSystem"]

@@ -1,0 +1,83 @@
+"""Non-replicated (centralized) architecture baseline.
+
+The shared-application-server architecture of the paper's introduction:
+"only one instance of the application executes and GUI events are multicast
+to all the clients" (shared X servers).  Site 0 is the server and owns the
+only copy of the state; every user gesture is shipped to the server, which
+applies it and multicasts the refreshed state to all clients — so even the
+*initiating* user's display updates only after a full round trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List
+
+from repro.baselines.common import BaselineSystem, UpdateProbe
+
+
+@dataclass(frozen=True)
+class ClientOp:
+    probe_index: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class StateRefresh:
+    probe_index: int
+    value: Any
+
+
+class CentralizedSystem(BaselineSystem):
+    """Server at site 0; sites 1..N-1 are thin clients."""
+
+    name = "centralized"
+
+    def __init__(self, n_sites: int, latency_ms: float = 50.0, seed: int = 0) -> None:
+        super().__init__(n_sites, latency_ms=latency_ms, seed=seed)
+        self._server_value: Any = 0
+        self._displays: List[Any] = [0] * n_sites
+        self.server = 0
+
+    def issue_update(self, site: int, value: Any) -> UpdateProbe:
+        probe = UpdateProbe(origin=site, value=value, issue_time_ms=self.scheduler.now)
+        self.probes.append(probe)
+        index = len(self.probes) - 1
+        op = ClientOp(probe_index=index, value=value)
+        if site == self.server:
+            self._apply_at_server(op)
+        else:
+            self.network.send(site, self.server, op)
+        return probe
+
+    def _apply_at_server(self, op: ClientOp) -> None:
+        self._server_value = op.value
+        refresh = StateRefresh(probe_index=op.probe_index, value=op.value)
+        self._show(self.server, refresh)
+        for dst in range(self.n_sites):
+            if dst != self.server:
+                self.network.send(self.server, dst, refresh)
+
+    def _show(self, site: int, refresh: StateRefresh) -> None:
+        self._displays[site] = refresh.value
+        probe = self.probes[refresh.probe_index]
+        now = self.scheduler.now
+        probe.visible_ms.setdefault(site, now)
+        probe.committed_ms.setdefault(site, now)
+        if site == probe.origin and probe.local_echo_ms is None:
+            probe.local_echo_ms = now
+
+    def value_at(self, site: int) -> Any:
+        return self._displays[site]
+
+    def committed_value_at(self, site: int) -> Any:
+        return self._displays[site]
+
+    def on_message(self, site: int, src: int, payload: Any) -> None:
+        if isinstance(payload, ClientOp):
+            assert site == self.server
+            self._apply_at_server(payload)
+        elif isinstance(payload, StateRefresh):
+            self._show(site, payload)
+        else:
+            raise TypeError(f"unexpected payload {payload!r}")

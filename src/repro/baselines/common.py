@@ -1,0 +1,83 @@
+"""Shared scaffolding for baseline systems.
+
+Each baseline exposes the same micro-interface the benchmark harness
+drives:
+
+* ``issue_update(site_index, value)`` — a user gesture at one site,
+  returning an :class:`UpdateProbe` whose fields fill in as the update
+  echoes locally, propagates, and commits.
+* ``value_at(site_index)`` — the site's current (optimistic) value.
+* ``committed_value_at(site_index)`` — what a pessimistic view would show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.sim.network import Network
+from repro.sim.scheduler import Scheduler
+
+
+@dataclass
+class UpdateProbe:
+    """Timing probe for one update issued at ``origin``."""
+
+    origin: int
+    value: Any
+    issue_time_ms: float
+    #: When the ORIGIN site's own display could show the new value.
+    local_echo_ms: Optional[float] = None
+    #: When each site's display could show the new value (optimistically).
+    visible_ms: Dict[int, float] = field(default_factory=dict)
+    #: When each site knew the update was committed/stable.
+    committed_ms: Dict[int, float] = field(default_factory=dict)
+
+    def local_echo_latency(self) -> Optional[float]:
+        if self.local_echo_ms is None:
+            return None
+        return self.local_echo_ms - self.issue_time_ms
+
+    def commit_latency_at(self, site: int) -> Optional[float]:
+        t = self.committed_ms.get(site)
+        return None if t is None else t - self.issue_time_ms
+
+
+class BaselineSystem:
+    """Base class: owns the scheduler/network pair and the probes list."""
+
+    name = "baseline"
+
+    def __init__(self, n_sites: int, latency_ms: float = 50.0, seed: int = 0) -> None:
+        from repro.sim.network import FixedLatency
+
+        self.n_sites = n_sites
+        self.scheduler = Scheduler()
+        self.network = Network(self.scheduler, latency=FixedLatency(latency_ms), seed=seed)
+        self.probes: List[UpdateProbe] = []
+        for site in range(n_sites):
+            self.network.register(site, self._make_handler(site))
+
+    def _make_handler(self, site: int):
+        def handler(src: int, payload: Any) -> None:
+            self.on_message(site, src, payload)
+
+        return handler
+
+    def on_message(self, site: int, src: int, payload: Any) -> None:
+        raise NotImplementedError
+
+    def issue_update(self, site: int, value: Any) -> UpdateProbe:
+        raise NotImplementedError
+
+    def value_at(self, site: int) -> Any:
+        raise NotImplementedError
+
+    def committed_value_at(self, site: int) -> Any:
+        raise NotImplementedError
+
+    def settle(self) -> None:
+        self.scheduler.run_until_quiescent()
+
+    def run_for(self, ms: float) -> None:
+        self.scheduler.run(until=self.scheduler.now + ms)

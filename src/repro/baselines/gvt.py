@@ -1,0 +1,172 @@
+"""Global-Virtual-Time sweep baseline (Jefferson-style commit point).
+
+Optimistic replication identical in spirit to DECAF's update propagation —
+updates apply locally with zero latency and broadcast to all replicas — but
+the *commit point* is a network-wide GVT sweep: a token circulates all N
+sites in a ring, collecting the minimum Lamport clock; after a full round,
+the minimum bounds every future (and in-flight) update's VT, so state below
+it is stable/committed.  The token carries the previous completed round's
+GVT, so sites learn commitment as the token passes.
+
+This is the commit discipline of the systems the paper contrasts itself
+with (ORESTE, COAST — section 5.1.3 and 6): "commit speed depends upon the
+frequency of global sweeps", and the sweep is proportional to the size of
+the network.  DECAF's per-collaboration-set primaries need a constant
+number of confirmations instead.
+
+Implementation notes: values converge by last-writer-wins on VT (blind
+writes), matching the DECAF configuration used in the scalability
+experiment; the commit rule "counter < previous round minimum" is safe
+because clocks are monotone and any in-flight update's counter is at most
+its sender's stamped clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.baselines.common import BaselineSystem, UpdateProbe
+from repro.vtime import VirtualTime
+
+
+@dataclass(frozen=True)
+class GvtUpdate:
+    vt: VirtualTime
+    value: Any
+    probe_index: int
+    clock: int
+
+
+@dataclass(frozen=True)
+class GvtToken:
+    round_id: int
+    min_counter: int  # running minimum of this round's site stamps
+    gvt: int  # completed GVT from the previous round
+    clock: int
+
+
+class GvtSystem(BaselineSystem):
+    """N fully replicated sites; commit via a circulating GVT token."""
+
+    name = "gvt-sweep"
+
+    def __init__(
+        self,
+        n_sites: int,
+        latency_ms: float = 50.0,
+        seed: int = 0,
+        start_token: bool = True,
+    ) -> None:
+        super().__init__(n_sites, latency_ms=latency_ms, seed=seed)
+        self._clock = [0] * n_sites
+        # Per site: VT-sorted update list (the newest visible value wins).
+        self._entries: List[List[GvtUpdate]] = [[] for _ in range(n_sites)]
+        self._committed_counter = [0] * n_sites  # local knowledge of GVT
+        self._initial: Any = 0
+        self.rounds_completed = 0
+        if start_token and n_sites > 1:
+            self.scheduler.call_at(
+                0.0,
+                lambda: self.network.send(
+                    0, 1 % n_sites, GvtToken(round_id=0, min_counter=self._clock[0], gvt=0, clock=self._clock[0])
+                ),
+                label="gvt-token-start",
+            )
+
+    # ------------------------------------------------------------------
+    # Harness interface
+    # ------------------------------------------------------------------
+
+    def issue_update(self, site: int, value: Any) -> UpdateProbe:
+        self._clock[site] += 1
+        vt = VirtualTime(self._clock[site], site)
+        probe = UpdateProbe(origin=site, value=value, issue_time_ms=self.scheduler.now)
+        probe.local_echo_ms = self.scheduler.now  # optimistic: instant echo
+        probe.visible_ms[site] = self.scheduler.now
+        self.probes.append(probe)
+        index = len(self.probes) - 1
+        update = GvtUpdate(vt=vt, value=value, probe_index=index, clock=self._clock[site])
+        if self.n_sites == 1:
+            self._committed_counter[site] = self._clock[site] + 1
+        self._apply(site, update)
+        for dst in range(self.n_sites):
+            if dst != site:
+                self.network.send(site, dst, update)
+        return probe
+
+    def value_at(self, site: int) -> Any:
+        entries = self._entries[site]
+        return entries[-1].value if entries else self._initial
+
+    def committed_value_at(self, site: int) -> Any:
+        committed = [e for e in self._entries[site] if self._is_committed(site, e)]
+        return committed[-1].value if committed else self._initial
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _is_committed(self, site: int, entry: GvtUpdate) -> bool:
+        return entry.vt.counter < self._committed_counter[site]
+
+    def _apply(self, site: int, update: GvtUpdate) -> None:
+        entries = self._entries[site]
+        pos = len(entries)
+        while pos > 0 and update.vt < entries[pos - 1].vt:
+            pos -= 1
+        entries.insert(pos, update)
+        probe = self.probes[update.probe_index]
+        if site not in probe.visible_ms:
+            probe.visible_ms[site] = self.scheduler.now
+        if self._is_committed(site, update):
+            probe.committed_ms.setdefault(site, self.scheduler.now)
+
+    def _note_commit_progress(self, site: int) -> None:
+        """Record commit times for entries newly below the local GVT."""
+        for entry in self._entries[site]:
+            if self._is_committed(site, entry):
+                self.probes[entry.probe_index].committed_ms.setdefault(
+                    site, self.scheduler.now
+                )
+
+    def on_message(self, site: int, src: int, payload: Any) -> None:
+        if isinstance(payload, GvtUpdate):
+            self._clock[site] = max(self._clock[site], payload.clock) + 1
+            self._apply(site, payload)
+            self._note_commit_progress(site)
+            return
+        if isinstance(payload, GvtToken):
+            self._clock[site] = max(self._clock[site], payload.clock) + 1
+            # Learn the latest completed GVT carried by the token.
+            if payload.gvt > self._committed_counter[site]:
+                self._committed_counter[site] = payload.gvt
+                self._note_commit_progress(site)
+            nxt = (site + 1) % self.n_sites
+            if site == 0:
+                # The token returned home: the round's running minimum is
+                # the new GVT; start the next round.
+                self.rounds_completed += 1
+                new_gvt = max(self._committed_counter[site], payload.min_counter)
+                self._committed_counter[site] = new_gvt
+                self._note_commit_progress(site)
+                token = GvtToken(
+                    round_id=payload.round_id + 1,
+                    min_counter=self._clock[site],
+                    gvt=new_gvt,
+                    clock=self._clock[site],
+                )
+            else:
+                token = GvtToken(
+                    round_id=payload.round_id,
+                    min_counter=min(payload.min_counter, self._clock[site]),
+                    gvt=payload.gvt,
+                    clock=self._clock[site],
+                )
+            self.network.send(site, nxt, token)
+            return
+        raise TypeError(f"unexpected payload {payload!r}")
+
+    def run_with_token(self, ms: float) -> None:
+        """Advance the simulation (the token keeps circulating)."""
+        self.scheduler.run(until=self.scheduler.now + ms)

@@ -1,0 +1,142 @@
+"""Pessimistic primary-copy two-phase-locking baseline.
+
+The database-style alternative the paper contrasts with in section 6:
+"almost all databases use pessimistic concurrency control because it gives
+much better throughput ... In interactive groupware systems, pessimistic
+strategies are not always suitable because of impact on response times to
+user actions."
+
+Protocol: a site wanting to update the shared object requests the lock
+from the object's primary (site 0); the grant carries the current value;
+the holder applies its update locally (this is the first moment its own
+GUI can echo — a full round trip after the gesture), broadcasts the new
+value to all replicas, and releases the lock.  The primary queues
+conflicting requests FIFO.  Updates are committed the moment they apply
+(pessimism: nothing is ever rolled back).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional
+
+from collections import deque
+
+from repro.baselines.common import BaselineSystem, UpdateProbe
+
+
+@dataclass(frozen=True)
+class LockRequest:
+    requester: int
+    probe_index: int
+
+
+@dataclass(frozen=True)
+class LockGrant:
+    probe_index: int
+    current_value: Any
+
+
+@dataclass(frozen=True)
+class ValueUpdate:
+    probe_index: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class LockRelease:
+    holder: int
+
+
+class LockingSystem(BaselineSystem):
+    """One shared object; primary at site 0 serializes via a queued lock."""
+
+    name = "primary-locking"
+
+    def __init__(self, n_sites: int, latency_ms: float = 50.0, seed: int = 0) -> None:
+        super().__init__(n_sites, latency_ms=latency_ms, seed=seed)
+        self._values: List[Any] = [0] * n_sites
+        self._lock_free = True
+        self._queue: Deque[LockRequest] = deque()
+        self.primary = 0
+
+    # ------------------------------------------------------------------
+    # Harness interface
+    # ------------------------------------------------------------------
+
+    def issue_update(self, site: int, value: Any) -> UpdateProbe:
+        probe = UpdateProbe(origin=site, value=value, issue_time_ms=self.scheduler.now)
+        self.probes.append(probe)
+        index = len(self.probes) - 1
+        request = LockRequest(requester=site, probe_index=index)
+        if site == self.primary:
+            self._handle_lock_request(request)
+        else:
+            self.network.send(site, self.primary, request)
+        return probe
+
+    def value_at(self, site: int) -> Any:
+        return self._values[site]
+
+    def committed_value_at(self, site: int) -> Any:
+        return self._values[site]  # pessimistic: applied == committed
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+
+    def _handle_lock_request(self, request: LockRequest) -> None:
+        if self._lock_free:
+            self._lock_free = False
+            self._grant(request)
+        else:
+            self._queue.append(request)
+
+    def _grant(self, request: LockRequest) -> None:
+        grant = LockGrant(
+            probe_index=request.probe_index, current_value=self._values[self.primary]
+        )
+        if request.requester == self.primary:
+            self._on_grant(self.primary, grant)
+        else:
+            self.network.send(self.primary, request.requester, grant)
+
+    def _on_grant(self, site: int, grant: LockGrant) -> None:
+        probe = self.probes[grant.probe_index]
+        now = self.scheduler.now
+        # Holding the lock, the site applies its update: first local echo.
+        self._values[site] = probe.value
+        probe.local_echo_ms = now
+        probe.visible_ms[site] = now
+        probe.committed_ms[site] = now
+        update = ValueUpdate(probe_index=grant.probe_index, value=probe.value)
+        for dst in range(self.n_sites):
+            if dst != site:
+                self.network.send(site, dst, update)
+        if site == self.primary:
+            self._release()
+        else:
+            self.network.send(site, self.primary, LockRelease(holder=site))
+
+    def _release(self) -> None:
+        self._lock_free = True
+        if self._queue:
+            self._lock_free = False
+            self._grant(self._queue.popleft())
+
+    def on_message(self, site: int, src: int, payload: Any) -> None:
+        if isinstance(payload, LockRequest):
+            assert site == self.primary
+            self._handle_lock_request(payload)
+        elif isinstance(payload, LockGrant):
+            self._on_grant(site, payload)
+        elif isinstance(payload, ValueUpdate):
+            self._values[site] = payload.value
+            probe = self.probes[payload.probe_index]
+            probe.visible_ms.setdefault(site, self.scheduler.now)
+            probe.committed_ms.setdefault(site, self.scheduler.now)
+        elif isinstance(payload, LockRelease):
+            assert site == self.primary
+            self._release()
+        else:
+            raise TypeError(f"unexpected payload {payload!r}")

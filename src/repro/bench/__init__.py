@@ -1,0 +1,27 @@
+"""Benchmark harness: scenario builders, probe views, metrics, reporting.
+
+Each module in ``benchmarks/`` uses these helpers to regenerate one of the
+paper's evaluation results (see DESIGN.md's per-experiment index and
+EXPERIMENTS.md for paper-vs-measured numbers).
+"""
+
+from repro.bench.harness import (
+    LatencyProbeView,
+    ViewKind,
+    attach_probe,
+    two_party_scenario,
+    multi_party_scenario,
+)
+from repro.bench.report import Table, Series, format_table, print_table
+
+__all__ = [
+    "LatencyProbeView",
+    "ViewKind",
+    "attach_probe",
+    "two_party_scenario",
+    "multi_party_scenario",
+    "Table",
+    "Series",
+    "format_table",
+    "print_table",
+]

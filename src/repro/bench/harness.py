@@ -1,0 +1,119 @@
+"""Scenario builders and probe views for the benchmark suite."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.model import ModelObject
+from repro.core.session import Session
+from repro.core.site import SiteRuntime
+from repro.core.views import Snapshot, View
+
+ViewKind = str  # "optimistic" | "pessimistic"
+
+
+class LatencyProbeView(View):
+    """Records (time, value, changed) for every notification plus commits.
+
+    The workhorse of the view-latency experiments: benches look up when a
+    particular value first became visible to the view.
+    """
+
+    def __init__(self, site: SiteRuntime, objects: Sequence[ModelObject]) -> None:
+        self.site = site
+        self.objects = list(objects)
+        self.updates: List[Tuple[float, Dict[str, Any], List[str]]] = []
+        self.commits: List[float] = []
+
+    def update(self, changed: List[ModelObject], snapshot: Snapshot) -> None:
+        values = {obj.name: snapshot.read(obj) for obj in self.objects}
+        self.updates.append(
+            (self.site.transport.now(), values, sorted(o.name for o in changed))
+        )
+
+    def commit(self) -> None:
+        self.commits.append(self.site.transport.now())
+
+    def first_seen(self, name: str, value: Any) -> Optional[float]:
+        """The first time the view was shown ``name == value``."""
+        for t, values, _changed in self.updates:
+            if values.get(name) == value:
+                return t
+        return None
+
+    def first_commit_after(self, t0: float) -> Optional[float]:
+        for t in self.commits:
+            if t >= t0:
+                return t
+        return None
+
+    @property
+    def proxy(self):
+        """The infrastructure proxy (for deviation counters)."""
+        for proxy in self.site.views.proxies:
+            if proxy.view is self:
+                return proxy
+        return None
+
+
+def attach_probe(
+    site: SiteRuntime, objects: Sequence[ModelObject], kind: ViewKind
+) -> LatencyProbeView:
+    view = LatencyProbeView(site, objects)
+    site.views.attach(view, list(objects), kind)
+    return view
+
+
+@dataclass
+class TwoPartyScenario:
+    session: Session
+    alice: SiteRuntime
+    bob: SiteRuntime
+    objects: List[ModelObject]  # [alice's replica, bob's replica]
+
+    @property
+    def a(self) -> ModelObject:
+        return self.objects[0]
+
+    @property
+    def b(self) -> ModelObject:
+        return self.objects[1]
+
+
+def two_party_scenario(
+    latency_ms: float = 50.0,
+    kind: str = "int",
+    initial: Any = 0,
+    seed: int = 0,
+    **session_kwargs: Any,
+) -> TwoPartyScenario:
+    """The paper's two-party collaboration: one replicated object, 2 sites."""
+    session = Session.simulated(latency_ms=latency_ms, seed=seed, **session_kwargs)
+    alice, bob = session.add_sites(2)
+    objects = session.replicate(kind, "shared", [alice, bob], initial=initial)
+    session.settle()
+    return TwoPartyScenario(session=session, alice=alice, bob=bob, objects=objects)
+
+
+@dataclass
+class MultiPartyScenario:
+    session: Session
+    sites: List[SiteRuntime]
+    objects: List[ModelObject]
+
+
+def multi_party_scenario(
+    n_sites: int,
+    latency_ms: float = 50.0,
+    kind: str = "int",
+    initial: Any = 0,
+    seed: int = 0,
+    **session_kwargs: Any,
+) -> MultiPartyScenario:
+    """N sites fully replicating one object."""
+    session = Session.simulated(latency_ms=latency_ms, seed=seed, **session_kwargs)
+    sites = session.add_sites(n_sites)
+    objects = session.replicate(kind, "shared", sites, initial=initial)
+    session.settle()
+    return MultiPartyScenario(session=session, sites=sites, objects=objects)

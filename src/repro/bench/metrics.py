@@ -1,0 +1,109 @@
+"""Metric aggregation helpers for the benchmark harness.
+
+Collects the quantities the paper's evaluation reports: commit-latency
+statistics, conflict/rollback rates, and the optimistic-view deviation
+totals of section 5.1.2 (lost updates, update inconsistencies, read
+inconsistencies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.session import Session
+from repro.core.transaction import TransactionOutcome
+
+
+@dataclass
+class LatencyStats:
+    """Simple distribution summary over commit latencies (ms)."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+
+    @staticmethod
+    def from_outcomes(outcomes: Sequence[TransactionOutcome]) -> Optional["LatencyStats"]:
+        values = sorted(
+            o.commit_latency_ms for o in outcomes if o.commit_latency_ms is not None
+        )
+        if not values:
+            return None
+
+        def pct(q: float) -> float:
+            index = min(len(values) - 1, int(q * (len(values) - 1) + 0.5))
+            return values[index]
+
+        return LatencyStats(
+            count=len(values),
+            mean=sum(values) / len(values),
+            minimum=values[0],
+            maximum=values[-1],
+            p50=pct(0.50),
+            p95=pct(0.95),
+        )
+
+
+@dataclass
+class DeviationTotals:
+    """The section 5.1.2 deviation taxonomy, aggregated across proxies."""
+
+    lost_updates: int = 0
+    update_inconsistencies: int = 0
+    read_inconsistencies: int = 0
+    notifications: int = 0
+    commit_notifications: int = 0
+
+    @staticmethod
+    def from_session(session: Session) -> "DeviationTotals":
+        totals = DeviationTotals()
+        for site in session.sites:
+            for proxy in site.views.proxies:
+                totals.lost_updates += proxy.lost_updates
+                totals.update_inconsistencies += proxy.update_inconsistencies
+                totals.read_inconsistencies += proxy.read_inconsistencies
+                totals.notifications += proxy.notifications
+                totals.commit_notifications += proxy.commit_notifications
+        return totals
+
+    def rate_per_notification(self) -> Dict[str, float]:
+        denominator = max(self.notifications, 1)
+        return {
+            "lost_updates": self.lost_updates / denominator,
+            "update_inconsistencies": self.update_inconsistencies / denominator,
+            "read_inconsistencies": self.read_inconsistencies / denominator,
+        }
+
+
+@dataclass
+class ConflictStats:
+    """Conflict/rollback accounting over a workload run."""
+
+    transactions: int
+    attempts: int
+    commits: int
+    conflict_retries: int
+
+    @property
+    def rollback_rate(self) -> float:
+        """Fraction of execution attempts that were rolled back."""
+        if self.attempts == 0:
+            return 0.0
+        return self.conflict_retries / self.attempts
+
+    @staticmethod
+    def from_outcomes(
+        outcomes: Sequence[TransactionOutcome],
+    ) -> "ConflictStats":
+        attempts = sum(o.attempts for o in outcomes)
+        commits = sum(1 for o in outcomes if o.committed)
+        return ConflictStats(
+            transactions=len(outcomes),
+            attempts=attempts,
+            commits=commits,
+            conflict_retries=attempts - len(outcomes),
+        )

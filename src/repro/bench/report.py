@@ -1,0 +1,115 @@
+"""Plain-text table/series rendering for benchmark output.
+
+The benchmark suite prints the same rows/series the paper reports, so a
+reader can diff "paper says / we measured" at a glance (EXPERIMENTS.md
+records the comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+
+@dataclass
+class Table:
+    """A titled table with a header row and formatted body rows."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, *values: Any) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row width {len(values)} != header width {len(self.headers)}"
+            )
+        self.rows.append(list(values))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+
+@dataclass
+class Series:
+    """A named (x, y) series for figure-style results."""
+
+    name: str
+    points: List[tuple] = field(default_factory=list)
+
+    def add(self, x: Any, y: Any) -> None:
+        self.points.append((x, y))
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def format_table(table: Table) -> str:
+    """Render a table as aligned monospace text."""
+    str_rows = [[_fmt(v) for v in row] for row in table.rows]
+    widths = [len(h) for h in table.headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "  "
+    lines = [table.title, "=" * len(table.title)]
+    lines.append(sep.join(h.ljust(w) for h, w in zip(table.headers, widths)))
+    lines.append(sep.join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(sep.join(c.ljust(w) for c, w in zip(row, widths)))
+    for note in table.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)
+
+
+def print_table(table: Table) -> None:
+    print()
+    print(format_table(table))
+    print()
+
+
+def emit(experiment_id: str, text: str, results_dir: Optional[str] = None) -> None:
+    """Print an experiment's result block and persist it under results/.
+
+    ``results_dir`` defaults to ``benchmarks/results`` relative to the
+    current working directory; benches call this so EXPERIMENTS.md numbers
+    can be re-derived from the saved artifacts.
+    """
+    import os
+
+    print()
+    print(text)
+    print()
+    directory = results_dir or os.path.join("benchmarks", "results")
+    try:
+        os.makedirs(directory, exist_ok=True)
+        with open(os.path.join(directory, f"{experiment_id}.txt"), "w") as fh:
+            fh.write(text + "\n")
+    except OSError:
+        pass  # persisting results is best-effort
+
+
+def format_series(series_list: Sequence[Series], x_label: str = "x") -> str:
+    """Render several series as one combined table keyed by x."""
+    xs: List[Any] = []
+    for series in series_list:
+        for x, _ in series.points:
+            if x not in xs:
+                xs.append(x)
+    table = Table(
+        title="series",
+        headers=[x_label] + [s.name for s in series_list],
+    )
+    for x in xs:
+        row: List[Any] = [x]
+        for series in series_list:
+            match = next((y for sx, y in series.points if sx == x), None)
+            row.append(match)
+        table.add(*row)
+    return format_table(table)

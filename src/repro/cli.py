@@ -1,0 +1,127 @@
+"""Command-line interface: regenerate the paper's experiments without pytest.
+
+Usage::
+
+    python -m repro.cli list                 # show available experiments
+    python -m repro.cli bench E1 E6          # run selected experiments
+    python -m repro.cli bench --all          # run the whole evaluation
+    python -m repro.cli examples             # list runnable example scripts
+
+Each benchmark module under ``benchmarks/`` exposes ``run_experiment()``;
+the CLI imports and runs it, printing the paper-style table (results are
+also persisted under ``benchmarks/results/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import os
+import sys
+from typing import Dict, List, Optional
+
+from repro.bench.report import emit, format_table
+
+
+def _benchmarks_dir() -> str:
+    candidates = [
+        os.path.join(os.getcwd(), "benchmarks"),
+        os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(__file__))), "benchmarks"),
+    ]
+    for candidate in candidates:
+        if os.path.isdir(candidate):
+            return candidate
+    raise SystemExit("cannot locate the benchmarks/ directory; run from the repo root")
+
+
+def discover_experiments() -> Dict[str, str]:
+    """Map experiment id (e.g. 'E6') to its bench module path."""
+    directory = _benchmarks_dir()
+    experiments: Dict[str, str] = {}
+    for name in sorted(os.listdir(directory)):
+        if not (name.startswith("bench_e") and name.endswith(".py")):
+            continue
+        exp_id = name.split("_")[1].upper()  # bench_e6_... -> E6
+        experiments[exp_id] = os.path.join(directory, name)
+    return experiments
+
+
+def _load_module(path: str):
+    name = os.path.splitext(os.path.basename(path))[0]
+    spec = importlib.util.spec_from_file_location(name, path)
+    if spec is None or spec.loader is None:
+        raise SystemExit(f"cannot import {path}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_experiment(exp_id: str, path: str) -> None:
+    module = _load_module(path)
+    runner = getattr(module, "run_experiment", None)
+    if runner is None:
+        raise SystemExit(f"{path} has no run_experiment()")
+    print(f"\n### {exp_id}: {module.__doc__.strip().splitlines()[0]}")
+    result = runner()
+    table = result[0] if isinstance(result, tuple) else result
+    emit(exp_id, format_table(table))
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    for exp_id, path in discover_experiments().items():
+        module_doc = _load_module(path).__doc__ or ""
+        headline = module_doc.strip().splitlines()[0] if module_doc else ""
+        print(f"  {exp_id:5s} {headline}")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    experiments = discover_experiments()
+    if args.all:
+        selected = list(experiments)
+    else:
+        selected = [e.upper() for e in args.ids]
+        unknown = [e for e in selected if e not in experiments]
+        if unknown:
+            raise SystemExit(f"unknown experiment ids: {unknown}; try 'list'")
+    if not selected:
+        raise SystemExit("no experiments selected; pass ids or --all")
+    for exp_id in selected:
+        run_experiment(exp_id, experiments[exp_id])
+    return 0
+
+
+def cmd_examples(_args: argparse.Namespace) -> int:
+    directory = os.path.join(os.path.dirname(_benchmarks_dir()), "examples")
+    for name in sorted(os.listdir(directory)):
+        if name.endswith(".py"):
+            with open(os.path.join(directory, name)) as fh:
+                fh.readline()  # shebang
+                headline = fh.readline().strip().strip('"""').strip()
+            print(f"  python examples/{name:22s} {headline}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DECAF reproduction: experiment runner"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(func=cmd_list)
+
+    bench = sub.add_parser("bench", help="run experiments and print their tables")
+    bench.add_argument("ids", nargs="*", help="experiment ids, e.g. E1 E6")
+    bench.add_argument("--all", action="store_true", help="run every experiment")
+    bench.set_defaults(func=cmd_bench)
+
+    sub.add_parser("examples", help="list runnable example scripts").set_defaults(
+        func=cmd_examples
+    )
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

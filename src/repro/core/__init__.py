@@ -1,0 +1,41 @@
+"""The DECAF framework: the paper's primary contribution.
+
+Public surface (re-exported at :mod:`repro`):
+
+* :class:`~repro.core.session.Session` — wires sites to a transport.
+* :class:`~repro.core.site.SiteRuntime` — one collaborating application.
+* Model objects — :class:`~repro.core.scalars.DInt`,
+  :class:`~repro.core.scalars.DFloat`, :class:`~repro.core.scalars.DString`,
+  :class:`~repro.core.composites.DList`, :class:`~repro.core.composites.DMap`,
+  :class:`~repro.core.association.Association`.
+* :class:`~repro.core.transaction.Transaction` — atomic multi-object update.
+* :class:`~repro.core.views.View` / ``OptimisticView`` / ``PessimisticView``.
+"""
+
+from repro.core.session import Session
+from repro.core.site import SiteRuntime
+from repro.core.scalars import DInt, DFloat, DString
+from repro.core.composites import DList, DMap
+from repro.core.association import Association, Invitation
+from repro.core.transaction import Transaction, TransactionOutcome
+from repro.core.views import View, OptimisticView, PessimisticView, Snapshot
+from repro.core.auth import AuthorizationMonitor
+
+__all__ = [
+    "Session",
+    "SiteRuntime",
+    "DInt",
+    "DFloat",
+    "DString",
+    "DList",
+    "DMap",
+    "Association",
+    "Invitation",
+    "Transaction",
+    "TransactionOutcome",
+    "View",
+    "OptimisticView",
+    "PessimisticView",
+    "Snapshot",
+    "AuthorizationMonitor",
+]

@@ -1,0 +1,154 @@
+"""Adaptive optimism suppression (paper section 5.2.2's suggestion).
+
+"This suggests that it may be desirable to suppress optimism when conflict
+rates exceed a certain threshold."
+
+:class:`AdaptiveOptimismController` implements that idea at one site.  It
+tracks the conflict (retry) rate over a sliding window of recent
+transactions.  While the rate is below the threshold, transactions are
+submitted optimistically as usual (instant local echo).  When the rate
+crosses the threshold, the controller *suppresses optimism*: it serializes
+this site's transactions, holding each new transaction until the previous
+one has resolved (committed or finally aborted), which collapses the
+optimistic conflict window at the cost of responsiveness.  Hysteresis
+(exit at half the entry threshold) prevents flapping.
+
+This is a faithful, minimal realization of the paper's proposal: optimism
+becomes a mode, degraded under contention and restored when conflicts
+subside.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, List, Optional, Tuple
+
+from repro.core.site import SiteRuntime
+from repro.core.transaction import TransactionOutcome
+
+
+class AdaptiveOptimismController:
+    """Per-site transaction gate that suppresses optimism under contention.
+
+    Parameters
+    ----------
+    site:
+        The site whose transactions this controller submits.
+    window:
+        Number of recent transactions over which the conflict rate is
+        estimated.
+    enter_threshold:
+        Conflict rate (extra attempts / attempts) above which suppression
+        engages.
+    exit_threshold:
+        Rate below which suppression disengages (default: half of enter).
+    poll_ms:
+        How often the pump re-checks a pending transaction's resolution
+        while suppressed.
+    """
+
+    def __init__(
+        self,
+        site: SiteRuntime,
+        window: int = 20,
+        enter_threshold: float = 0.2,
+        exit_threshold: Optional[float] = None,
+        poll_ms: float = 5.0,
+    ) -> None:
+        if not 0.0 < enter_threshold <= 1.0:
+            raise ValueError("enter_threshold must be in (0, 1]")
+        self.site = site
+        self.window = window
+        self.enter_threshold = enter_threshold
+        self.exit_threshold = (
+            exit_threshold if exit_threshold is not None else enter_threshold / 2.0
+        )
+        self.poll_ms = poll_ms
+        self.suppressed = False
+        #: (attempts, committed) samples of recent transactions.
+        self._samples: Deque[Tuple[int, bool]] = deque(maxlen=window)
+        self._queue: Deque[Tuple[Callable[[], Any], TransactionOutcome]] = deque()
+        self._inflight: Optional[TransactionOutcome] = None
+        self._pumping = False
+        # Metrics.
+        self.suppression_entries = 0
+        self.submitted = 0
+        self.queued_peak = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def transact(self, fn: Callable[[], Any]) -> TransactionOutcome:
+        """Submit a transaction; optimistically, or queued while suppressed.
+
+        Always returns a live :class:`TransactionOutcome` immediately (the
+        transaction may execute later if suppression queued it).
+        """
+        self.submitted += 1
+        if not self.suppressed and self._inflight is None and not self._queue:
+            return self._launch(fn, None)
+        if not self.suppressed:
+            # Not suppressed: run immediately even if others are in flight.
+            return self._launch(fn, None)
+        outcome = TransactionOutcome(start_time_ms=self.site.transport.now())
+        self._queue.append((fn, outcome))
+        self.queued_peak = max(self.queued_peak, len(self._queue))
+        self._pump()
+        return outcome
+
+    def conflict_rate(self) -> float:
+        """Extra attempts per attempt over the sample window."""
+        attempts = sum(a for a, _ in self._samples)
+        txns = len(self._samples)
+        if attempts == 0 or txns == 0:
+            return 0.0
+        return (attempts - txns) / attempts
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _launch(
+        self, fn: Callable[[], Any], outcome: Optional[TransactionOutcome]
+    ) -> TransactionOutcome:
+        from repro.core.transaction import FunctionTransaction
+
+        result = self.site.engine.run(FunctionTransaction(fn), outcome)
+        self._track(result)
+        return result
+
+    def _track(self, outcome: TransactionOutcome) -> None:
+        self._inflight = outcome
+
+        def settle_check() -> None:
+            if outcome.committed or outcome.aborted_no_retry:
+                self._samples.append((outcome.attempts, outcome.committed))
+                if self._inflight is outcome:
+                    self._inflight = None
+                self._update_mode()
+                self._pump()
+            else:
+                self.site.defer(settle_check, delay_ms=self.poll_ms)
+
+        self.site.defer(settle_check, delay_ms=self.poll_ms)
+
+    def _update_mode(self) -> None:
+        rate = self.conflict_rate()
+        if not self.suppressed and rate > self.enter_threshold:
+            self.suppressed = True
+            self.suppression_entries += 1
+        elif self.suppressed and rate < self.exit_threshold:
+            self.suppressed = False
+
+    def _pump(self) -> None:
+        """Launch the next queued transaction once the previous resolved."""
+        if self._pumping:
+            return
+        self._pumping = True
+        try:
+            if self._inflight is None and self._queue:
+                fn, outcome = self._queue.popleft()
+                self._launch(fn, outcome)
+        finally:
+            self._pumping = False

@@ -1,0 +1,87 @@
+"""Authorization monitors: restricting access to sensitive objects.
+
+The paper's framework lets users "code authorization monitors to restrict
+access to sensitive objects" (section 1).  A monitor is attached to a model
+object with :meth:`~repro.core.model.ModelObject.set_authorization`; the
+transaction context consults it on every read and write, and the join
+protocol consults :meth:`can_join` before revealing replica relationships.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+
+class AuthorizationMonitor:
+    """Base monitor: permits everything.  Subclass and override as needed."""
+
+    def can_read(self, principal: str, obj: Any) -> bool:
+        return True
+
+    def can_write(self, principal: str, obj: Any) -> bool:
+        return True
+
+    def can_join(self, principal: str, obj: Any) -> bool:
+        return True
+
+
+class AllowListMonitor(AuthorizationMonitor):
+    """Grants access only to an explicit set of principals.
+
+    ``writers`` defaults to ``readers``; ``joiners`` defaults to ``writers``.
+    """
+
+    def __init__(
+        self,
+        readers: Iterable[str],
+        writers: Optional[Iterable[str]] = None,
+        joiners: Optional[Iterable[str]] = None,
+    ) -> None:
+        self.readers = set(readers)
+        self.writers = set(writers) if writers is not None else set(self.readers)
+        self.joiners = set(joiners) if joiners is not None else set(self.writers)
+
+    def can_read(self, principal: str, obj: Any) -> bool:
+        return principal in self.readers
+
+    def can_write(self, principal: str, obj: Any) -> bool:
+        return principal in self.writers
+
+    def can_join(self, principal: str, obj: Any) -> bool:
+        return principal in self.joiners
+
+
+class ReadOnlyMonitor(AuthorizationMonitor):
+    """Everyone may read; only the owner may write or join."""
+
+    def __init__(self, owner: str) -> None:
+        self.owner = owner
+
+    def can_write(self, principal: str, obj: Any) -> bool:
+        return principal == self.owner
+
+    def can_join(self, principal: str, obj: Any) -> bool:
+        return principal == self.owner
+
+
+class PredicateMonitor(AuthorizationMonitor):
+    """Delegates each decision to user-supplied callables."""
+
+    def __init__(
+        self,
+        read: Optional[Callable[[str, Any], bool]] = None,
+        write: Optional[Callable[[str, Any], bool]] = None,
+        join: Optional[Callable[[str, Any], bool]] = None,
+    ) -> None:
+        self._read = read
+        self._write = write
+        self._join = join
+
+    def can_read(self, principal: str, obj: Any) -> bool:
+        return self._read(principal, obj) if self._read else True
+
+    def can_write(self, principal: str, obj: Any) -> bool:
+        return self._write(principal, obj) if self._write else True
+
+    def can_join(self, principal: str, obj: Any) -> bool:
+        return self._join(principal, obj) if self._join else True

@@ -1,0 +1,689 @@
+"""The transaction engine: optimistic execution, guess checking, fast commit.
+
+This module implements the concurrency-control algorithm of paper
+section 3:
+
+1. A transaction executes immediately at its originating site at a fresh
+   virtual time, recording read times and applying writes optimistically.
+2. The origin batches WRITEs (to every replica site of each touched
+   propagation root) and CONFIRM-READ checks (to primary sites) into one
+   ``TxnPropagateMsg`` per destination.
+3. Primary copies validate RL guesses (no write in the open interval
+   between read time and transaction time — and no graph change in the
+   graph interval) and NC guesses (no other transaction's write-free
+   reservation contains the write VT), reserving confirmed intervals, and
+   confirm or deny to the origin only.
+4. The origin waits for all confirmations plus its RC dependencies, then
+   broadcasts a summary COMMIT; any denial triggers a summary ABORT,
+   rollback at every site, and automatic re-execution at the origin.
+5. The *delegated commit* optimization: with a single remote primary site
+   and no RC guesses, the origin delegates the decision, saving one hop.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple
+
+from repro.core import propagation
+from repro.core.guesses import DependencyIndex
+from repro.core.messages import (
+    AbortMsg,
+    CommitMsg,
+    ConfirmMsg,
+    DelegateGrant,
+    ReadCheck,
+    TxnPropagateMsg,
+    WriteOp,
+)
+from repro.core.transaction import (
+    Transaction,
+    TransactionContext,
+    TransactionOutcome,
+    TxnRecord,
+    TxnState,
+)
+from repro.errors import (
+    ConcurrencyConflict,
+    InvalidPath,
+    ProtocolError,
+    RetryLimitExceeded,
+    TransactionAborted,
+)
+from repro.vtime import VirtualTime
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.model import ModelObject
+    from repro.core.site import SiteRuntime
+
+
+COMMITTED = "committed"
+ABORTED = "aborted"
+
+
+class PendingPropagate:
+    """A propagate message blocked on a not-yet-arrived structural update."""
+
+    def __init__(self, src: int, msg: TxnPropagateMsg, remaining: List[WriteOp]) -> None:
+        self.src = src
+        self.msg = msg
+        self.remaining = remaining
+
+
+class TransactionEngine:
+    """Per-site driver of the optimistic concurrency-control protocol."""
+
+    def __init__(
+        self,
+        site: "SiteRuntime",
+        max_retries: int = 50,
+        delegation_enabled: bool = True,
+        retry_backoff_ms: float = 5.0,
+        eager_view_confirms: bool = False,
+    ) -> None:
+        self.site = site
+        self.max_retries = max_retries
+        self.delegation_enabled = delegation_enabled
+        #: Section 5.3 "faster commit of snapshots": primaries broadcast
+        #: confirmed write intervals so remote views resolve RL guesses
+        #: without their own CONFIRM-READ round trip.
+        self.eager_view_confirms = eager_view_confirms
+        #: Base delay before automatic re-execution.  Retrying immediately
+        #: (in the same simulated instant) livelocks under contention: the
+        #: in-flight state that caused the conflict has not changed yet.
+        #: A short, linearly growing delay lets confirmations and commits
+        #: arrive before the retry re-reads.
+        self.retry_backoff_ms = retry_backoff_ms
+        #: Origin-side records for transactions this site initiated.
+        self.records: Dict[VirtualTime, TxnRecord] = {}
+        #: Site-wide transaction status log ("the site retains the fact
+        #: that the transaction has committed/aborted" — section 3.1).
+        self.status: Dict[VirtualTime, str] = {}
+        #: Ops applied locally per transaction (for rollback/commit).
+        self.applied: Dict[VirtualTime, List[Tuple["ModelObject", Any]]] = {}
+        #: Objects on which this site (as primary) reserved intervals per txn.
+        self.reserved: Dict[VirtualTime, List["ModelObject"]] = {}
+        #: RC / snapshot dependency index.
+        self.deps = DependencyIndex()
+        #: Propagate messages blocked on missing structural predecessors.
+        self.pending_propagates: List[PendingPropagate] = []
+        # Metrics counters (read by the bench harness).
+        self.commits = 0
+        self.aborts_conflict = 0
+        self.aborts_user = 0
+        self.retries = 0
+
+    # ==================================================================
+    # Origin side: running a transaction
+    # ==================================================================
+
+    def run(
+        self,
+        txn: Transaction,
+        outcome: Optional[TransactionOutcome] = None,
+        post_execute=None,
+    ) -> TransactionOutcome:
+        """Execute ``txn`` optimistically and drive it to commit or abort.
+
+        Returns the (live) :class:`TransactionOutcome`; with an asynchronous
+        transport the commit typically happens later — poll ``committed`` or
+        register ``on_commit``.
+        """
+        if outcome is None:
+            outcome = TransactionOutcome(start_time_ms=self.site.transport.now())
+        outcome.attempts += 1
+        vt = self.site.clock.tick()
+        outcome.vt = vt
+        ctx = TransactionContext(self.site, vt)
+        record = TxnRecord(vt=vt, txn=txn, ctx=ctx, outcome=outcome)
+        record.post_execute = post_execute
+        self.records[vt] = record
+
+        self.site.views.begin_batch()
+        try:
+            with self.site.install_txn(ctx):
+                txn.execute()
+        except Exception as exc:  # noqa: BLE001 - the paper catches everything
+            # "Any uncaught exceptions are turned into transaction aborts,
+            # so faulty applications will not be able to create inconsistent
+            # states" (section 2.4).  No retry; handleAbort is called.
+            self._rollback_local(record)
+            self.status[vt] = ABORTED
+            record.state = TxnState.ABORTED
+            outcome.aborted_no_retry = True
+            outcome.abort_reason = f"{type(exc).__name__}: {exc}"
+            self.aborts_user += 1
+            self.site.views.end_batch()
+            self.deps.resolve_abort(vt)
+            txn.handle_abort(exc)
+            return outcome
+        outcome.local_apply_time_ms = self.site.transport.now()
+        self.site.views.end_batch()
+
+        if post_execute is not None:
+            # Protocol extensions (the join protocol) may mark the record
+            # pending_join and schedule remote calls before fan-out.
+            post_execute(record)
+            if record.state == TxnState.ABORTED:
+                return outcome
+        self._initiate_protocol(record)
+        return outcome
+
+    def _initiate_protocol(self, record: TxnRecord) -> None:
+        """Local primary checks, message fan-out, and commit bookkeeping."""
+        vt = record.vt
+        origin = self.site.site_id
+
+        # RC guesses: reads of uncommitted values.
+        for dep_vt in record.ctx.rc_deps:
+            state = self.status.get(dep_vt)
+            if state == COMMITTED:
+                continue
+            if state == ABORTED:
+                self._abort_origin(record, f"RC dependency {dep_vt} already aborted")
+                return
+            record.pending_rc.add(dep_vt)
+
+        # Local primary checks (objects whose primary copy lives here).
+        ok, reason = self._check_local_primaries(record)
+        if not ok:
+            self._abort_origin(record, reason)
+            return
+
+        batches, primary_sites = propagation.build_batches(record, self.site)
+        # Union (not assign): protocol extensions (join/leave) may already
+        # have recorded involved sites and pending confirmations.
+        record.involved_sites |= set(batches)
+        remote_primaries = {s for s in primary_sites if s != origin}
+        record.pending_confirm_sites |= remote_primaries
+
+        delegate_to: Optional[int] = None
+        if (
+            self.delegation_enabled
+            and len(record.pending_confirm_sites) == 1
+            and not record.pending_rc
+            and not record.pending_join
+        ):
+            # Delegated commit (section 3.1): the single remote primary
+            # decides and broadcasts the summary message itself.
+            delegate_to = next(iter(record.pending_confirm_sites))
+
+        for dst, (writes, checks) in sorted(batches.items()):
+            grant = None
+            if delegate_to == dst:
+                all_sites = tuple(sorted((record.involved_sites | {origin}) - {dst}))
+                grant = DelegateGrant(all_sites=all_sites)
+            self.site.send(
+                dst,
+                TxnPropagateMsg(
+                    txn_vt=vt,
+                    origin=origin,
+                    writes=tuple(writes),
+                    read_checks=tuple(checks),
+                    clock=self.site.clock.counter,
+                    delegate=grant,
+                ),
+            )
+
+        # Register RC waits after fan-out so resolution order is stable.
+        for dep_vt in list(record.pending_rc):
+            self.deps.wait_for(
+                dep_vt,
+                on_commit=lambda d=dep_vt, r=record: self._rc_resolved(r, d),
+                on_abort=lambda d=dep_vt, r=record: self._rc_aborted(r, d),
+            )
+
+        if delegate_to is not None:
+            record.state = TxnState.DELEGATED
+            return
+        record.state = TxnState.AWAITING
+        if record.all_confirmed():
+            self._commit_origin(record)
+
+    # ------------------------------------------------------------------
+    # Local primary checks at the originating site
+    # ------------------------------------------------------------------
+
+    def _check_local_primaries(self, record: TxnRecord) -> Tuple[bool, str]:
+        origin = self.site.site_id
+        for access in record.ctx.writes:
+            root = access.target.propagation_root()
+            if self.site.primary_site_of(root.graph()) != origin:
+                continue
+            ok, reason = self._check_and_reserve(
+                access.target, root, record.vt, access.read_vt, access.graph_vt, is_write=True
+            )
+            if not ok:
+                return False, reason
+        for access in record.ctx.read_only_accesses():
+            root = access.target.propagation_root()
+            if self.site.primary_site_of(root.graph()) != origin:
+                continue
+            ok, reason = self._check_and_reserve(
+                access.target, root, record.vt, access.read_vt, access.graph_vt, is_write=False
+            )
+            if not ok:
+                return False, reason
+        return True, ""
+
+    def _check_and_reserve(
+        self,
+        target: "ModelObject",
+        root: "ModelObject",
+        vt: VirtualTime,
+        read_vt: VirtualTime,
+        graph_vt: VirtualTime,
+        is_write: bool,
+    ) -> Tuple[bool, str]:
+        """RL + NC checks at the primary, reserving confirmed intervals.
+
+        For writes the entry at ``vt`` itself (this transaction's own write,
+        already applied) is not a conflict; any *other* entry in the open
+        interval denies the RL guess.
+        """
+        # RL guess on the value (or structure) history.
+        conflicting = [
+            e for e in target.history.entries_in_open_interval(read_vt, vt)
+        ]
+        if conflicting:
+            return False, f"RL denied on {target.uid}: write at {conflicting[0].vt} in ({read_vt}, {vt})"
+        # RL guess on the replication graph ("a primary copy always confirms
+        # the RL guess that the graph hasn't changed" — section 3.3).
+        graph_conflicts = root.graph_history().entries_in_open_interval(graph_vt, vt)
+        if graph_conflicts:
+            return False, f"graph RL denied on {root.uid}: change at {graph_conflicts[0].vt}"
+        if is_write:
+            # NC guess: no other transaction reserved a write-free region
+            # containing our VT.
+            blocking = target.value_reservations.blocking_reservation(vt, exclude_owner=vt)
+            if blocking is not None:
+                return False, f"NC denied on {target.uid}: reserved by {blocking.owner}"
+            # Pessimistic-snapshot reservations protect whole subtrees:
+            # consult the target and every ancestor (section 4.2).
+            from repro.core.views import blocking_subtree_reservation
+
+            snap_block = blocking_subtree_reservation(target, vt)
+            if snap_block is not None:
+                return False, f"NC denied on {target.uid}: snapshot reservation {snap_block.owner}"
+            graph_blocking = root.graph_reservations.blocking_reservation(vt, exclude_owner=vt)
+            # A value write does not change the graph, so graph reservations
+            # do not block it; only graph *updates* check graph NC.
+            if target is root and self._is_graph_write(target, vt):
+                if graph_blocking is not None:
+                    return False, f"graph NC denied on {root.uid}"
+        target.value_reservations.reserve(read_vt, vt, owner=vt)
+        root.graph_reservations.reserve(graph_vt, vt, owner=vt)
+        self.reserved.setdefault(vt, []).append(target)
+        if root is not target:
+            self.reserved.setdefault(vt, []).append(root)
+        if is_write and self.eager_view_confirms and target is root:
+            self._broadcast_write_confirmed(root, read_vt, vt)
+        return True, ""
+
+    def _broadcast_write_confirmed(
+        self, root: "ModelObject", read_vt: VirtualTime, vt: VirtualTime
+    ) -> None:
+        """Eagerly distribute the confirmed write-free interval (section 5.3).
+
+        Only root scalars are broadcast: a composite check covers a whole
+        subtree, which a single node's confirmation cannot vouch for.
+        """
+        from repro.core.messages import WriteConfirmedMsg
+
+        if root.kind not in ("int", "float", "string", "association"):
+            return
+        if not read_vt < vt:
+            return  # blind write: nothing new confirmed
+        graph = root.graph()
+        me = self.site.site_id
+        for dst in graph.sites():
+            if dst == me:
+                continue
+            dst_uid = graph.uid_at_site(dst)
+            if dst_uid is None:
+                continue
+            self.site.send(
+                dst,
+                WriteConfirmedMsg(
+                    object_uid=dst_uid,
+                    txn_vt=vt,
+                    lo_vt=read_vt,
+                    hi_vt=vt,
+                    clock=self.site.clock.counter,
+                ),
+            )
+
+    def _is_graph_write(self, target: "ModelObject", vt: VirtualTime) -> bool:
+        entry = target.graph_history().entry_at(vt)
+        return entry is not None
+
+    # ------------------------------------------------------------------
+    # Origin-side resolution
+    # ------------------------------------------------------------------
+
+    def _rc_resolved(self, record: TxnRecord, dep_vt: VirtualTime) -> None:
+        record.pending_rc.discard(dep_vt)
+        if record.state == TxnState.AWAITING and record.all_confirmed():
+            self._commit_origin(record)
+
+    def _rc_aborted(self, record: TxnRecord, dep_vt: VirtualTime) -> None:
+        if record.state in (TxnState.COMMITTED, TxnState.ABORTED):
+            return
+        self._abort_origin(record, f"RC dependency {dep_vt} aborted")
+
+    def _commit_origin(self, record: TxnRecord) -> None:
+        vt = record.vt
+        if self.status.get(vt) == ABORTED or record.state in (TxnState.COMMITTED, TxnState.ABORTED):
+            return
+        record.state = TxnState.COMMITTED
+        for dst in sorted(record.involved_sites):
+            self.site.send(dst, CommitMsg(txn_vt=vt, clock=self.site.clock.counter))
+        self._apply_commit_locally(vt)
+        record.outcome.committed = True
+        record.outcome.commit_time_ms = self.site.transport.now()
+        self.commits += 1
+        record.outcome._fire_commit()
+
+    def _abort_origin(self, record: TxnRecord, reason: str, retry: bool = True) -> None:
+        """Abort an origin transaction (conflict path) and re-execute it."""
+        vt = record.vt
+        if record.state in (TxnState.COMMITTED, TxnState.ABORTED):
+            return
+        record.state = TxnState.ABORTED
+        record.denied_reason = reason
+        for dst in sorted(record.involved_sites):
+            self.site.send(dst, AbortMsg(txn_vt=vt, clock=self.site.clock.counter, reason=reason))
+        self.site.views.begin_batch()
+        self._apply_abort_locally(vt)
+        self.site.views.end_batch()
+        self.aborts_conflict += 1
+        outcome = record.outcome
+        self.records.pop(vt, None)
+        if not retry:
+            outcome.aborted_no_retry = True
+            outcome.abort_reason = reason
+            return
+        if outcome.attempts > self.max_retries:
+            outcome.aborted_no_retry = True
+            outcome.abort_reason = f"retry limit exceeded after {outcome.attempts} attempts: {reason}"
+            self.records.pop(vt, None)
+            return
+        # "Transactions aborted due to concurrency control conflicts are
+        # automatically reexecuted at the originating site" (section 2.4).
+        self.retries += 1
+        # Quadratic backoff, capped: sustained contention needs delays that
+        # grow past the network round trip or retry chains livelock.
+        delay = min(
+            self.retry_backoff_ms * outcome.attempts * outcome.attempts,
+            self.retry_backoff_ms * 200,
+        )
+        self.site.defer(
+            lambda: self.run(record.txn, outcome, post_execute=record.post_execute),
+            delay_ms=delay,
+        )
+
+    # ==================================================================
+    # Remote side: message handlers
+    # ==================================================================
+
+    def on_propagate(self, src: int, msg: TxnPropagateMsg) -> None:
+        vt = msg.txn_vt
+        state = self.status.get(vt)
+        if state == ABORTED:
+            # "If any future update messages arrive, the updates are
+            # ignored" (section 3.1).
+            return
+        committed = state == COMMITTED
+        self.site.views.begin_batch()
+        try:
+            remaining = self._apply_writes(msg.writes, vt, committed)
+        finally:
+            self.site.views.end_batch()
+        if remaining:
+            self.pending_propagates.append(PendingPropagate(src, msg, remaining))
+            return
+        self._finish_propagate(msg)
+
+    def _apply_writes(
+        self, writes: Tuple[WriteOp, ...], vt: VirtualTime, committed: bool
+    ) -> List[WriteOp]:
+        """Apply ops in order; returns the suffix blocked on missing paths."""
+        pending: List[WriteOp] = []
+        for i, write in enumerate(writes):
+            if pending:
+                # Preserve op order within the transaction once blocked.
+                pending.append(write)
+                continue
+            root = self.site.objects.get(write.object_uid)
+            if root is None:
+                pending.append(write)
+                continue
+            try:
+                target = propagation.resolve_path(root, write.path)
+                propagation.apply_op(target, write.op, vt, committed)
+            except InvalidPath:
+                pending.append(write)
+        return pending
+
+    def retry_pending_propagates(self) -> None:
+        """Re-attempt blocked propagates after new structure has arrived."""
+        if not self.pending_propagates:
+            return
+        progressed = True
+        while progressed:
+            progressed = False
+            for pending in list(self.pending_propagates):
+                vt = pending.msg.txn_vt
+                state = self.status.get(vt)
+                if state == ABORTED:
+                    self.pending_propagates.remove(pending)
+                    continue
+                self.site.views.begin_batch()
+                try:
+                    remaining = self._apply_writes(
+                        tuple(pending.remaining), vt, state == COMMITTED
+                    )
+                finally:
+                    self.site.views.end_batch()
+                if len(remaining) < len(pending.remaining):
+                    progressed = True
+                pending.remaining = remaining
+                if not remaining:
+                    self.pending_propagates.remove(pending)
+                    self._finish_propagate(pending.msg)
+
+    def _finish_propagate(self, msg: TxnPropagateMsg) -> None:
+        """Run primary checks for a fully applied propagate and respond."""
+        vt = msg.txn_vt
+        ok, reason = self._run_remote_checks(msg)
+        if msg.delegate is not None:
+            self._decide_as_delegate(msg, ok, reason)
+            return
+        if msg.force_confirm or self._any_checks_addressed_here(msg):
+            self.site.send(
+                msg.origin,
+                ConfirmMsg(
+                    txn_vt=vt, site=self.site.site_id, ok=ok,
+                    clock=self.site.clock.counter, reason=reason,
+                ),
+            )
+
+    def _any_checks_addressed_here(self, msg: TxnPropagateMsg) -> bool:
+        if msg.read_checks:
+            return True
+        me = self.site.site_id
+        for write in msg.writes:
+            root = self.site.objects.get(write.object_uid)
+            if root is not None and self.site.primary_site_of(root.graph()) == me:
+                return True
+        return False
+
+    def _run_remote_checks(self, msg: TxnPropagateMsg) -> Tuple[bool, str]:
+        """RL/NC validation for every op this site is primary for."""
+        me = self.site.site_id
+        vt = msg.txn_vt
+        for write in msg.writes:
+            root = self.site.objects.get(write.object_uid)
+            if root is None:
+                return False, f"unknown object {write.object_uid}"
+            if not msg.force_confirm and self.site.primary_site_of(root.graph()) != me:
+                continue
+            try:
+                target = propagation.resolve_path(root, write.path)
+            except InvalidPath as exc:
+                return False, str(exc)
+            ok, reason = self._check_and_reserve(
+                target, root, vt, write.read_vt, write.graph_vt, is_write=True
+            )
+            if not ok:
+                return False, reason
+        for check in msg.read_checks:
+            root = self.site.objects.get(check.object_uid)
+            if root is None:
+                return False, f"unknown object {check.object_uid}"
+            try:
+                target = propagation.resolve_path(root, check.path)
+            except InvalidPath as exc:
+                return False, str(exc)
+            ok, reason = self._check_and_reserve(
+                target, root, vt, check.read_vt, check.graph_vt, is_write=False
+            )
+            if not ok:
+                return False, reason
+        return True, ""
+
+    def _decide_as_delegate(self, msg: TxnPropagateMsg, ok: bool, reason: str) -> None:
+        """Delegated commit: this site broadcasts the summary decision."""
+        assert msg.delegate is not None
+        vt = msg.txn_vt
+        if ok:
+            for dst in msg.delegate.all_sites:
+                self.site.send(dst, CommitMsg(txn_vt=vt, clock=self.site.clock.counter))
+            self._apply_commit_locally(vt)
+        else:
+            for dst in msg.delegate.all_sites:
+                self.site.send(
+                    dst, AbortMsg(txn_vt=vt, clock=self.site.clock.counter, reason=reason)
+                )
+            self.site.views.begin_batch()
+            self._apply_abort_locally(vt)
+            self.site.views.end_batch()
+
+    # ------------------------------------------------------------------
+    # Confirm / commit / abort handlers
+    # ------------------------------------------------------------------
+
+    def on_confirm(self, src: int, msg: ConfirmMsg) -> None:
+        record = self.records.get(msg.txn_vt)
+        if record is None or record.state not in (TxnState.AWAITING,):
+            return
+        if not msg.ok:
+            self._abort_origin(record, f"denied by site {msg.site}: {msg.reason}")
+            return
+        record.pending_confirm_sites.discard(msg.site)
+        if record.all_confirmed():
+            self._commit_origin(record)
+
+    def on_commit(self, src: int, msg: CommitMsg) -> None:
+        vt = msg.txn_vt
+        record = self.records.get(vt)
+        if record is not None and record.state == TxnState.DELEGATED:
+            # Our delegate committed the transaction for us.
+            record.state = TxnState.COMMITTED
+            self._apply_commit_locally(vt)
+            record.outcome.committed = True
+            record.outcome.commit_time_ms = self.site.transport.now()
+            self.commits += 1
+            record.outcome._fire_commit()
+            return
+        self._apply_commit_locally(vt)
+
+    def on_abort(self, src: int, msg: AbortMsg) -> None:
+        vt = msg.txn_vt
+        record = self.records.get(vt)
+        if record is not None and record.state == TxnState.DELEGATED:
+            record.state = TxnState.AWAITING  # reopen so _abort_origin can run
+            record.involved_sites = set()  # delegate already told everyone
+            self._abort_origin(record, f"delegate denied: {msg.reason}")
+            return
+        self.site.views.begin_batch()
+        self._apply_abort_locally(vt)
+        self.site.views.end_batch()
+
+    # ------------------------------------------------------------------
+    # Site-local commit/abort application (shared origin/remote)
+    # ------------------------------------------------------------------
+
+    def _apply_commit_locally(self, vt: VirtualTime) -> None:
+        if self.status.get(vt) == COMMITTED:
+            return
+        if self.status.get(vt) == ABORTED:
+            raise ProtocolError(f"commit arrived for aborted transaction {vt}")
+        self.status[vt] = COMMITTED
+        self.site.views.begin_batch()
+        for obj, op in self.applied.get(vt, []):
+            propagation.commit_op(obj, op, vt)
+        self.site.views.end_batch()
+        self.deps.resolve_commit(vt)
+        self.site.views.on_txn_resolved(vt, committed=True)
+        self._garbage_collect(vt)
+
+    def _apply_abort_locally(self, vt: VirtualTime) -> None:
+        if self.status.get(vt) in (COMMITTED, ABORTED):
+            return
+        self.status[vt] = ABORTED
+        self._rollback_applied(vt)
+        for obj in self.reserved.pop(vt, []):
+            obj.value_reservations.release_owner(vt)
+            obj.graph_reservations.release_owner(vt)
+        self.deps.resolve_abort(vt)
+        self.site.views.on_txn_resolved(vt, committed=False)
+
+    def _rollback_applied(self, vt: VirtualTime) -> None:
+        ops = self.applied.pop(vt, [])
+        for obj, op in reversed(ops):
+            propagation.undo_op(obj, op, vt)
+
+    def _rollback_local(self, record: TxnRecord) -> None:
+        """Rollback after a user exception during execute (nothing sent yet)."""
+        self._rollback_applied(record.vt)
+        for obj in self.reserved.pop(record.vt, []):
+            obj.value_reservations.release_owner(record.vt)
+            obj.graph_reservations.release_owner(record.vt)
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+
+    def _garbage_collect(self, vt: VirtualTime) -> None:
+        """Commit-driven history GC and reservation pruning (section 3).
+
+        Committal alone does not make old versions or reservations
+        collectable: a site with a stale Lamport clock may still submit a
+        transaction whose VT lands *below* already committed state, and the
+        primary must still be able to check its RL/NC guesses against that
+        past.  The safe floor is the site's ``stability_bound`` — the
+        minimum clock heard from every replica site — additionally capped
+        by the local views' snapshot retention floor.
+        """
+        for obj, _op in self.applied.get(vt, []):
+            try:
+                floor = self.site.stability_bound(obj.replica_sites())
+            except ProtocolError:
+                continue
+            view_floor = self.site.views.retention_floor(obj)
+            if view_floor is not None and view_floor < floor:
+                floor = view_floor
+            try:
+                obj.history.gc(floor)
+            except ProtocolError:
+                pass
+            obj.value_reservations.prune_before(floor)
+            obj.graph_reservations.prune_before(floor)
+            obj.subtree_reservations.prune_before(floor)
+        # Applied-op records for committed transactions are no longer
+        # needed for rollback; keep the status entry, drop the op list.
+        self.applied.pop(vt, None)
+        self.reserved.pop(vt, None)
+        record = self.records.get(vt)
+        if record is not None and record.state in (TxnState.COMMITTED, TxnState.ABORTED):
+            self.records.pop(vt, None)

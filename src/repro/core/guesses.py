@@ -1,0 +1,99 @@
+"""Guess bookkeeping: access records and the RC dependency index.
+
+The validity of an optimistic transaction rests on three guess families
+(paper section 3.1):
+
+* **RC (Read Committed)** — each value (or graph) read was written by a
+  transaction that will commit.  Tracked *locally at the originating site*:
+  "the originating site simply records the VT of the transaction that wrote
+  the uncommitted value ... and will not commit its transaction until the
+  transaction at the recorded VT commits."
+* **RL (Read Latest)** — no write occurred at the primary copy between the
+  read time and the transaction's VT.  Checked remotely at primaries.
+* **NC (No Conflict)** — no other transaction reserved a write-free region
+  containing the write's VT.  Checked remotely at primaries.
+
+This module holds the originating-site data structures: per-transaction
+access records (converted into WRITE/CONFIRM-READ messages by
+:mod:`repro.core.propagation`) and the :class:`DependencyIndex` mapping each
+uncommitted transaction to the local transactions and snapshots that have
+guessed it will commit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.messages import OpPayload, PathStep
+from repro.vtime import VirtualTime
+
+
+@dataclass
+class ReadAccess:
+    """A transaction's read of one model object (for CONFIRM-READ)."""
+
+    target: Any  # the local ModelObject read
+    read_vt: VirtualTime
+    graph_vt: VirtualTime
+
+
+@dataclass
+class WriteAccess:
+    """A transaction's write of one model object (for WRITE propagation).
+
+    ``read_vt`` is the VT at which the transaction last read the object
+    before writing, or the transaction's own VT for blind writes (which
+    makes the RL interval empty — "for blind writes, the RL guess check is
+    trivially satisfied").
+    """
+
+    target: Any  # the local ModelObject written
+    op: OpPayload
+    read_vt: VirtualTime
+    graph_vt: VirtualTime
+
+
+class DependencyIndex:
+    """Tracks which local work units depend on which uncommitted transactions.
+
+    "For each uncommitted transaction T at a site, a list of other
+    transactions at the site which have guessed that T will commit is
+    maintained" (section 3.1).  We generalize the dependents to arbitrary
+    callbacks so both transactions (RC guesses) and view snapshots use the
+    same index.
+    """
+
+    def __init__(self) -> None:
+        # txn VT -> list of (on_commit, on_abort) callbacks
+        self._waiters: Dict[VirtualTime, List[Tuple[Callable[[], None], Callable[[], None]]]] = {}
+
+    def wait_for(
+        self,
+        vt: VirtualTime,
+        on_commit: Callable[[], None],
+        on_abort: Callable[[], None],
+    ) -> None:
+        """Register callbacks fired when the transaction at ``vt`` resolves."""
+        self._waiters.setdefault(vt, []).append((on_commit, on_abort))
+
+    def resolve_commit(self, vt: VirtualTime) -> int:
+        """Fire commit callbacks for ``vt``; returns how many fired."""
+        waiters = self._waiters.pop(vt, [])
+        for on_commit, _ in waiters:
+            on_commit()
+        return len(waiters)
+
+    def resolve_abort(self, vt: VirtualTime) -> int:
+        """Fire abort callbacks for ``vt``; returns how many fired."""
+        waiters = self._waiters.pop(vt, [])
+        for _, on_abort in waiters:
+            on_abort()
+        return len(waiters)
+
+    def pending_vts(self) -> Set[VirtualTime]:
+        """Transactions still being waited on (diagnostics/tests)."""
+        return set(self._waiters)
+
+    def __len__(self) -> int:
+        return len(self._waiters)

@@ -1,0 +1,192 @@
+"""Value histories: the per-object multi-version store.
+
+Each model object holds a *value history* — "a set of pairs of values and
+VTs, sorted by VT" (paper section 3) — plus a similarly indexed
+*replication graph history*.  The value with the latest VT is the *current*
+value.  Histories support:
+
+* optimistic insertion of uncommitted values at a transaction's VT,
+* reads "as of" a snapshot VT (pessimistic views read past versions),
+* purging on abort (rollback),
+* commit marking and commit-driven garbage collection.
+
+The same structure stores scalar values, association values, and
+replication graphs; composites use one history per embedded leaf plus
+VT-tagged child slots (see :mod:`repro.core.composites`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, Iterator, List, Optional, TypeVar
+
+from repro.errors import ProtocolError
+from repro.vtime import VT_ZERO, VirtualTime
+
+V = TypeVar("V")
+
+
+@dataclass
+class HistoryEntry(Generic[V]):
+    """One version: the value written at ``vt`` by the transaction at ``vt``."""
+
+    vt: VirtualTime
+    value: V
+    committed: bool = False
+
+    def __repr__(self) -> str:
+        flag = "c" if self.committed else "u"
+        return f"<{self.vt}={self.value!r}:{flag}>"
+
+
+class ValueHistory(Generic[V]):
+    """A VT-sorted multi-version history for one model object.
+
+    The history always contains at least one entry (the initial value at
+    ``VT_ZERO``, committed), so ``current()`` and ``read_at()`` are total.
+    """
+
+    def __init__(self, initial: V, initial_vt: VirtualTime = VT_ZERO) -> None:
+        self._entries: List[HistoryEntry[V]] = [
+            HistoryEntry(vt=initial_vt, value=initial, committed=True)
+        ]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[HistoryEntry[V]]:
+        return iter(self._entries)
+
+    def current(self) -> HistoryEntry[V]:
+        """The entry with the latest VT (the paper's *current value*)."""
+        return self._entries[-1]
+
+    def committed_current(self) -> HistoryEntry[V]:
+        """The latest committed entry."""
+        for entry in reversed(self._entries):
+            if entry.committed:
+                return entry
+        raise ProtocolError("history lost its committed base entry")
+
+    def read_at(self, vt: VirtualTime) -> HistoryEntry[V]:
+        """The entry in effect at ``vt``: latest entry with ``entry.vt <= vt``."""
+        result: Optional[HistoryEntry[V]] = None
+        for entry in self._entries:
+            if entry.vt <= vt:
+                result = entry
+            else:
+                break
+        if result is None:
+            raise ProtocolError(
+                f"no value at or before {vt}; history begins at {self._entries[0].vt}"
+            )
+        return result
+
+    def committed_read_at(self, vt: VirtualTime) -> HistoryEntry[V]:
+        """The latest *committed* entry with ``entry.vt <= vt``."""
+        result: Optional[HistoryEntry[V]] = None
+        for entry in self._entries:
+            if entry.vt <= vt and entry.committed:
+                result = entry
+            if entry.vt > vt:
+                break
+        if result is None:
+            raise ProtocolError(f"no committed value at or before {vt}")
+        return result
+
+    def entry_at(self, vt: VirtualTime) -> Optional[HistoryEntry[V]]:
+        """The exact entry written at ``vt``, if present."""
+        for entry in self._entries:
+            if entry.vt == vt:
+                return entry
+            if entry.vt > vt:
+                return None
+        return None
+
+    def entries_in_open_interval(
+        self, lo: VirtualTime, hi: VirtualTime, committed_only: bool = False
+    ) -> List[HistoryEntry[V]]:
+        """Entries with ``lo < vt < hi`` — the RL guess check's evidence."""
+        found = []
+        for entry in self._entries:
+            if lo < entry.vt < hi and (entry.committed or not committed_only):
+                found.append(entry)
+        return found
+
+    def has_uncommitted_in_open_interval(self, lo: VirtualTime, hi: VirtualTime) -> bool:
+        """True if an unresolved value sits inside ``(lo, hi)``."""
+        return any(lo < e.vt < hi and not e.committed for e in self._entries)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def insert(self, vt: VirtualTime, value: V, committed: bool = False) -> HistoryEntry[V]:
+        """Insert a version at ``vt`` keeping the history sorted.
+
+        Duplicate VTs are a protocol violation (VTs are globally unique and
+        each transaction's write reaches a site exactly once).
+        """
+        entry = HistoryEntry(vt=vt, value=value, committed=committed)
+        for i in range(len(self._entries) - 1, -1, -1):
+            existing = self._entries[i]
+            if existing.vt == vt:
+                raise ProtocolError(f"duplicate history entry at {vt}")
+            if existing.vt < vt:
+                self._entries.insert(i + 1, entry)
+                return entry
+        self._entries.insert(0, entry)
+        return entry
+
+    def set_value_at(self, vt: VirtualTime, value: V) -> None:
+        """Replace the value stored at an existing entry (same-txn overwrite)."""
+        entry = self.entry_at(vt)
+        if entry is None:
+            raise ProtocolError(f"no entry at {vt} to overwrite")
+        entry.value = value
+
+    def commit(self, vt: VirtualTime) -> bool:
+        """Mark the entry at ``vt`` committed; returns False if absent."""
+        entry = self.entry_at(vt)
+        if entry is None:
+            return False
+        entry.committed = True
+        return True
+
+    def purge(self, vt: VirtualTime) -> bool:
+        """Remove the (aborted) entry at ``vt``; returns False if absent."""
+        for i, entry in enumerate(self._entries):
+            if entry.vt == vt:
+                if len(self._entries) == 1:
+                    raise ProtocolError("cannot purge the last remaining history entry")
+                del self._entries[i]
+                return True
+        return False
+
+    def gc(self, floor: Optional[VirtualTime] = None) -> int:
+        """Garbage-collect versions older than the retention ``floor``.
+
+        Keeps the latest committed entry at or before ``floor`` (still
+        readable by snapshots pinned at ``floor``) and everything after it.
+        With no floor, collects up to the latest committed entry — the
+        paper's "committal makes old values no longer needed".
+        Returns the number of entries dropped.
+        """
+        if floor is None:
+            floor = self.committed_current().vt
+        base_index = None
+        for i, entry in enumerate(self._entries):
+            if entry.committed and entry.vt <= floor:
+                base_index = i
+        if base_index is None or base_index == 0:
+            return 0
+        dropped = base_index
+        self._entries = self._entries[base_index:]
+        return dropped
+
+    def __repr__(self) -> str:
+        return f"ValueHistory({self._entries!r})"

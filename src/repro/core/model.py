@@ -1,0 +1,237 @@
+"""The model-object base class.
+
+Model objects hold application state (paper section 2.1).  Every model
+object — scalar, composite, or association — carries:
+
+* a **value history** (VT-sorted versions; for composites the history
+  records structure versions and children carry their own histories),
+* a **replication graph history** (roots and direct-propagation nodes only;
+  embedded objects inherit the root's graph by default — section 3.2),
+* **reservation tables** used when the local site is the object's primary
+  copy (write-free value intervals and change-free graph intervals),
+* the set of attached **view proxies** notified on updates and commits.
+
+Reads and writes inside a transaction route through the site's current
+transaction context, which records read times and propagates writes; reads
+outside a transaction return the current (optimistic) value directly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, List, Optional, Tuple
+
+from repro.core.history import ValueHistory
+from repro.core.messages import PathStep
+from repro.core.repgraph import GraphNode, ReplicationGraph
+from repro.errors import NotAuthorized, ProtocolError
+from repro.vtime import IntervalSet, VT_ZERO, VirtualTime
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guards
+    from repro.core.auth import AuthorizationMonitor
+    from repro.core.site import SiteRuntime
+    from repro.core.views import View, ViewProxy
+
+
+def embed_tag(embed: Any) -> str:
+    """A stable textual tag for an embed identity (SlotId or VirtualTime)."""
+    vt = getattr(embed, "vt", embed)
+    seq = getattr(embed, "seq", None)
+    base = f"{vt.counter}@{vt.site}"
+    return f"{base}.{seq}" if seq is not None else base
+
+
+class ModelObject:
+    """Base class for all DECAF model objects.
+
+    Subclasses define the value representation and the user-facing
+    operations; this base owns identity, replication-graph plumbing,
+    reservations, and view attachment.
+    """
+
+    kind: str = "abstract"
+
+    def __init__(
+        self,
+        site: "SiteRuntime",
+        name: str,
+        parent: Optional["ModelObject"] = None,
+        embed_vt: Optional[VirtualTime] = None,
+        key: Any = None,
+    ) -> None:
+        self.site = site
+        self.name = name
+        self.parent = parent
+        #: VT of the transaction that embedded this object in its parent
+        #: (None for root objects).  This is the paper's fragile-path tag.
+        self.embed_vt = embed_vt
+        #: The key under which this object sits in its parent (list slot
+        #: identity is the embed VT itself; map children carry their key).
+        self.key = key
+        if parent is None:
+            self.uid = f"s{site.site_id}:{name}"
+        else:
+            tag = embed_tag(embed_vt) if embed_vt is not None else "?"
+            self.uid = f"{parent.uid}[{key if key is not None else ''}#{tag}]"
+        # Replication graph history: roots always have one (initially a
+        # singleton graph); embedded objects have None until they switch to
+        # direct propagation by joining their own collaboration.
+        self._graph_history: Optional[ValueHistory[ReplicationGraph]] = None
+        if parent is None:
+            self._graph_history = ValueHistory(ReplicationGraph.singleton(self.uid, site.site_id))
+        #: Write-free reservations, consulted when this site is primary.
+        self.value_reservations = IntervalSet()
+        #: Change-free graph reservations, consulted when this site is primary.
+        self.graph_reservations = IntervalSet()
+        #: Subtree-wide write-free reservations made by *pessimistic view
+        #: snapshots* at the primary: they block writes anywhere in this
+        #: object's subtree (monotonicity protection, section 4.2).
+        self.subtree_reservations = IntervalSet()
+        #: Attached view proxies (always local — section 4).
+        self.proxies: List["ViewProxy"] = []
+        #: Primary-side deferred snapshot checks awaiting commit/abort.
+        self.pending_snapshot_checks: List[Any] = []
+        #: Optional authorization monitor gating access (section 1).
+        self.auth: Optional["AuthorizationMonitor"] = None
+        site.register_object(self)
+
+    # ------------------------------------------------------------------
+    # Replication graph plumbing
+    # ------------------------------------------------------------------
+
+    def has_own_graph(self) -> bool:
+        """True for roots and embedded nodes switched to direct propagation."""
+        return self._graph_history is not None
+
+    def propagation_root(self) -> "ModelObject":
+        """The nearest ancestor (or self) that owns a replication graph.
+
+        Updates to this object propagate indirectly through that root
+        unless the object itself has switched to direct propagation
+        (paper section 3.2).
+        """
+        node: ModelObject = self
+        while not node.has_own_graph():
+            if node.parent is None:
+                raise ProtocolError(f"object {self.uid} has no propagation root")
+            node = node.parent
+        return node
+
+    def graph_history(self) -> ValueHistory:
+        """The replication graph history of this object's propagation root."""
+        root = self.propagation_root()
+        assert root._graph_history is not None
+        return root._graph_history
+
+    def graph(self) -> ReplicationGraph:
+        """The current replication graph (possibly uncommitted)."""
+        return self.graph_history().current().value
+
+    def graph_vt(self) -> VirtualTime:
+        """The VT at which the replication graph was last changed."""
+        return self.graph_history().current().vt
+
+    def enable_direct_propagation(self) -> None:
+        """Give this embedded object its own graph (the Fig. 7 switch).
+
+        Called when an embedded node joins a collaboration of its own, so
+        its replicas can differ from its root's.  The node starts with a
+        singleton graph; the join protocol then merges in the peer's graph.
+        """
+        if self._graph_history is None:
+            self._graph_history = ValueHistory(
+                ReplicationGraph.singleton(self.uid, self.site.site_id)
+            )
+
+    def replica_sites(self) -> List[int]:
+        """All sites holding replicas of this object's propagation root."""
+        return self.graph().sites()
+
+    def primary_site(self) -> int:
+        """The site of this object's primary copy under the session selector."""
+        return self.site.primary_site_of(self.graph())
+
+    def is_primary_here(self) -> bool:
+        return self.primary_site() == self.site.site_id
+
+    # ------------------------------------------------------------------
+    # Paths (indirect propagation addressing)
+    # ------------------------------------------------------------------
+
+    def path_from_root(self) -> Tuple[PathStep, ...]:
+        """The VT-tagged path from this object's propagation root to itself."""
+        steps: List[PathStep] = []
+        node: ModelObject = self
+        root = self.propagation_root()
+        while node is not root:
+            if node.embed_vt is None:
+                raise ProtocolError(f"embedded object {node.uid} lacks an embed VT tag")
+            steps.append(PathStep(key=node.key, embed_vt=node.embed_vt))
+            assert node.parent is not None
+            node = node.parent
+        steps.reverse()
+        return tuple(steps)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def attach(self, view: "View", mode: str = "optimistic") -> "ViewProxy":
+        """Attach a view to this object (and, for composites, its subtree).
+
+        ``mode`` is ``"optimistic"`` or ``"pessimistic"`` (section 2.5.1).
+        Returns the proxy managing the view's notifications.
+        """
+        return self.site.views.attach(view, [self], mode)
+
+    def notify_proxies(self, event: str, vt: VirtualTime) -> None:
+        """Inform attached proxies (and ancestors' proxies) of an event at ``vt``.
+
+        ``event`` is ``"apply"`` (a value arrived, possibly uncommitted),
+        ``"undo"`` (an abort rolled a value back), or ``"commit"``.
+        Proxies attached to any ancestor also observe the event, because a
+        view attached to a composite tracks "changes to the composite as
+        well as to any of its children" (section 2.5).
+        """
+        node: Optional[ModelObject] = self
+        seen = set()
+        while node is not None:
+            for proxy in node.proxies:
+                if id(proxy) not in seen:
+                    seen.add(id(proxy))
+                    proxy.on_object_event(self, event, vt)
+            node = node.parent
+
+    # ------------------------------------------------------------------
+    # Authorization
+    # ------------------------------------------------------------------
+
+    def set_authorization(self, monitor: Optional["AuthorizationMonitor"]) -> None:
+        """Install (or clear) an authorization monitor for this object."""
+        self.auth = monitor
+
+    def check_read(self, principal: str) -> None:
+        if self.auth is not None and not self.auth.can_read(principal, self):
+            raise NotAuthorized(f"{principal} may not read {self.uid}")
+
+    def check_write(self, principal: str) -> None:
+        if self.auth is not None and not self.auth.can_write(principal, self):
+            raise NotAuthorized(f"{principal} may not write {self.uid}")
+
+    def check_join(self, principal: str) -> None:
+        if self.auth is not None and not self.auth.can_join(principal, self):
+            raise NotAuthorized(f"{principal} may not join {self.uid}")
+
+    # ------------------------------------------------------------------
+    # Subclass interface
+    # ------------------------------------------------------------------
+
+    def value_at(self, vt: VirtualTime, committed_only: bool = False) -> Any:
+        """Materialize this object's value as of ``vt`` (snapshot read)."""
+        raise NotImplementedError
+
+    def current_value_vt(self) -> VirtualTime:
+        """The VT of the latest update affecting this object's value."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.uid})"

@@ -1,0 +1,146 @@
+"""Replication graphs and the primary-copy selection function.
+
+A *replication graph* is "a connected multigraph whose nodes are references
+to model objects, and whose multi-edges are the replication relations built
+by the users" (paper section 3).  The graph determines:
+
+* the set of sites an update must be propagated to, and
+* the *primary copy* — a deterministically selected node whose site checks
+  RL/NC guesses.  The paper emphasizes that there is no election: "each
+  node is able to map a given multigraph to the identity of the primary
+  site" (section 3.3).  Our selection function is the minimum
+  ``(site, uid)`` node; sessions may override it.
+
+Graphs are immutable; graph changes are writes to the graph history,
+concurrency-controlled exactly like value writes (with their own RL
+reservations at the primary).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.errors import ProtocolError
+
+
+@dataclass(frozen=True, order=True)
+class GraphNode:
+    """A reference to one replica: the hosting site and the object's uid."""
+
+    site: int
+    uid: str
+
+
+@dataclass(frozen=True)
+class ReplicationGraph:
+    """An immutable replication multigraph.
+
+    ``edges`` are unordered uid pairs recording user-built join relations;
+    they are retained so that leaves can split a graph along its remaining
+    connectivity, and so the multigraph structure of the paper is
+    faithfully represented.
+    """
+
+    nodes: FrozenSet[GraphNode]
+    edges: FrozenSet[FrozenSet[str]] = frozenset()
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ProtocolError("a replication graph must contain at least one node")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def singleton(uid: str, site: int) -> "ReplicationGraph":
+        """The initial graph of a standalone (unreplicated) object."""
+        return ReplicationGraph(nodes=frozenset({GraphNode(site=site, uid=uid)}))
+
+    def merge(
+        self, other: "ReplicationGraph", join_edge: Tuple[str, str]
+    ) -> "ReplicationGraph":
+        """Union two graphs, adding the user-built edge that joins them."""
+        a, b = join_edge
+        uids = {n.uid for n in self.nodes} | {n.uid for n in other.nodes}
+        if a not in uids or b not in uids:
+            raise ProtocolError(f"join edge ({a}, {b}) references unknown nodes")
+        return ReplicationGraph(
+            nodes=self.nodes | other.nodes,
+            edges=self.edges | other.edges | {frozenset({a, b})},
+        )
+
+    def without_site(self, site: int) -> Optional["ReplicationGraph"]:
+        """The graph with a failed site's nodes removed, or None if empty."""
+        remaining = frozenset(n for n in self.nodes if n.site != site)
+        if not remaining:
+            return None
+        keep_uids = {n.uid for n in remaining}
+        edges = frozenset(e for e in self.edges if all(u in keep_uids for u in e))
+        return ReplicationGraph(nodes=remaining, edges=edges)
+
+    def without_node(self, uid: str) -> Optional["ReplicationGraph"]:
+        """The graph with one replica removed (a ``leave``), or None if empty."""
+        remaining = frozenset(n for n in self.nodes if n.uid != uid)
+        if not remaining:
+            return None
+        edges = frozenset(e for e in self.edges if uid not in e)
+        return ReplicationGraph(nodes=remaining, edges=edges)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def sites(self) -> List[int]:
+        """All hosting sites, sorted ascending."""
+        return sorted({n.site for n in self.nodes})
+
+    def uids(self) -> List[str]:
+        """All member uids, sorted."""
+        return sorted(n.uid for n in self.nodes)
+
+    def uid_at_site(self, site: int) -> Optional[str]:
+        """The uid of this relationship's replica at ``site`` (None if absent).
+
+        DECAF applications host at most one replica of a relationship per
+        site runtime; the join protocol enforces this.
+        """
+        matches = [n.uid for n in self.nodes if n.site == site]
+        if len(matches) > 1:
+            raise ProtocolError(f"multiple replicas of one relationship at site {site}")
+        return matches[0] if matches else None
+
+    def site_of(self, uid: str) -> int:
+        for node in self.nodes:
+            if node.uid == uid:
+                return node.site
+        raise ProtocolError(f"uid {uid} is not in this replication graph")
+
+    def contains_uid(self, uid: str) -> bool:
+        return any(n.uid == uid for n in self.nodes)
+
+    def is_singleton(self) -> bool:
+        return len(self.nodes) == 1
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+PrimarySelector = Callable[[ReplicationGraph], GraphNode]
+
+
+def default_primary_selector(graph: ReplicationGraph) -> GraphNode:
+    """The default constant primary-selection function: min ``(site, uid)``.
+
+    Any pure function of the graph works (the paper only requires that
+    every site computes the same answer); minimum site gives benchmarks a
+    predictable primary placement.
+    """
+    return min(graph.nodes)
+
+
+def primary_site(graph: ReplicationGraph, selector: Optional[PrimarySelector] = None) -> int:
+    """The site hosting the primary copy under ``selector``."""
+    chosen = (selector or default_primary_selector)(graph)
+    return chosen.site

@@ -1,0 +1,181 @@
+"""Sessions: wiring site runtimes, transports, and convenience helpers.
+
+A :class:`Session` owns the transport and the roster of sites.  It also
+provides the common setup helpers used by tests, examples, and benchmarks —
+notably :meth:`replicate`, which builds a fully joined replica relationship
+across sites using the real association/invitation/join protocol of
+sections 2.6 and 3.3 (no back-door state copying).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.association import Association
+from repro.core.model import ModelObject
+from repro.core.repgraph import PrimarySelector
+from repro.core.site import SiteRuntime
+from repro.errors import ReproError
+from repro.sim.network import Network
+from repro.sim.scheduler import Scheduler
+from repro.transport.base import Transport
+from repro.transport.memory import MemoryTransport
+from repro.transport.simnet import SimTransport
+
+
+class Session:
+    """A collaboration session: a transport plus its participating sites."""
+
+    def __init__(
+        self,
+        transport: Optional[Transport] = None,
+        primary_selector: Optional[PrimarySelector] = None,
+        max_retries: int = 50,
+        delegation_enabled: bool = True,
+        eager_view_confirms: bool = False,
+    ) -> None:
+        self.transport = transport if transport is not None else MemoryTransport()
+        self.primary_selector = primary_selector
+        self.max_retries = max_retries
+        self.delegation_enabled = delegation_enabled
+        #: The "faster commit of snapshots" optimization (section 5.3):
+        #: primaries eagerly broadcast confirmed write intervals so remote
+        #: pessimistic views resolve RL guesses without their own round trip.
+        self.eager_view_confirms = eager_view_confirms
+        self.sites: List[SiteRuntime] = []
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def simulated(
+        latency_ms: float = 50.0, seed: int = 0, **kwargs: Any
+    ) -> "Session":
+        """A session over a discrete-event network with fixed latency."""
+        from repro.sim.network import FixedLatency
+
+        scheduler = Scheduler()
+        network = Network(scheduler, latency=FixedLatency(latency_ms), seed=seed)
+        return Session(transport=SimTransport(network), **kwargs)
+
+    @property
+    def scheduler(self) -> Optional[Scheduler]:
+        if isinstance(self.transport, SimTransport):
+            return self.transport.network.scheduler
+        return None
+
+    @property
+    def network(self) -> Optional[Network]:
+        if isinstance(self.transport, SimTransport):
+            return self.transport.network
+        return None
+
+    def add_site(self, name: str = "", principal: str = "") -> SiteRuntime:
+        """Create the next site runtime and update every roster."""
+        site_id = len(self.sites)
+        site = SiteRuntime(
+            site_id,
+            self.transport,
+            name=name,
+            principal=principal,
+            session=self,
+            max_retries=self.max_retries,
+            delegation_enabled=self.delegation_enabled,
+            eager_view_confirms=self.eager_view_confirms,
+        )
+        self.sites.append(site)
+        roster = {s.site_id for s in self.sites}
+        for s in self.sites:
+            s.roster = set(roster)
+        return site
+
+    def add_sites(self, count: int, prefix: str = "site") -> List[SiteRuntime]:
+        base = len(self.sites)
+        return [self.add_site(f"{prefix}{base + i}") for i in range(count)]
+
+    # ------------------------------------------------------------------
+    # Progress helpers
+    # ------------------------------------------------------------------
+
+    def settle(self, max_events: int = 10_000_000) -> None:
+        """Deliver all in-flight messages (quiesce the system)."""
+        if isinstance(self.transport, SimTransport):
+            self.transport.network.scheduler.run_until_quiescent(max_events=max_events)
+        elif isinstance(self.transport, MemoryTransport):
+            self.transport.drain()
+        # Asyncio transports settle through their own quiesce() coroutine.
+
+    def run_for(self, ms: float) -> None:
+        """Advance a simulated session by ``ms`` milliseconds."""
+        scheduler = self.scheduler
+        if scheduler is None:
+            raise ReproError("run_for requires a simulated transport")
+        scheduler.run(until=scheduler.now + ms)
+
+    # ------------------------------------------------------------------
+    # Replication setup (uses the real join protocol)
+    # ------------------------------------------------------------------
+
+    def replicate(
+        self,
+        kind: str,
+        name: str,
+        sites: Sequence[SiteRuntime],
+        initial: Any = None,
+    ) -> List[ModelObject]:
+        """Create one object per site and join them all into one relationship.
+
+        The first site creates the object, an association, and a
+        relationship; every other site imports an invitation and joins its
+        own local object.  Returns the objects in site order.  The session
+        is settled between steps, so on return the relationship is
+        established and committed.
+        """
+        if not sites:
+            raise ReproError("replicate requires at least one site")
+        factories: Dict[str, Callable[[SiteRuntime], ModelObject]] = {
+            "int": lambda s: s.create_int(name, initial if initial is not None else 0),
+            "float": lambda s: s.create_float(name, initial if initial is not None else 0.0),
+            "string": lambda s: s.create_string(name, initial if initial is not None else ""),
+            "list": lambda s: s.create_list(name),
+            "map": lambda s: s.create_map(name),
+        }
+        if kind not in factories:
+            raise ReproError(f"cannot replicate objects of kind {kind!r}")
+        owner = sites[0]
+        objects = [factories[kind](owner)]
+        assoc = owner.create_association(f"{name}.assoc")
+        rel_id = f"{name}.rel"
+
+        def create_rel() -> None:
+            assoc.create_relationship(rel_id)
+
+        owner.transact(create_rel)
+        self.settle()
+        owner.join(assoc, rel_id, objects[0])
+        self.settle()
+        invitation = assoc.make_invitation()
+        for site in sites[1:]:
+            local_assoc = site.import_invitation(invitation, f"{name}.assoc")
+            self.settle()
+            obj = factories[kind](site)
+            objects.append(obj)
+            site.join(local_assoc, rel_id, obj)
+            self.settle()
+        return objects
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    def counters(self) -> Dict[str, int]:
+        """Aggregated protocol counters across all sites."""
+        totals: Dict[str, int] = {}
+        for site in self.sites:
+            for key, value in site.counters().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def __repr__(self) -> str:
+        return f"Session(sites={[s.name for s in self.sites]})"

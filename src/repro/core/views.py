@@ -1,0 +1,888 @@
+"""View notification: optimistic and pessimistic views (paper section 4).
+
+A *view object* is user code attached to one or more model objects; it is
+notified of changes through its ``update`` method and reads state through a
+consistent :class:`Snapshot`.  The infrastructure manages, per attached
+view, a *view proxy* and per notification a *snapshot object* stamped with
+a virtual time ``t_S``; a snapshot's validity rests on the same RC/RL guess
+machinery as transactions (section 4):
+
+* **Optimistic views** are notified as soon as a transaction executes
+  locally — possibly of uncommitted state.  The proxy keeps at most one
+  uncommitted snapshot (the latest); when its RC guesses (writers commit)
+  and RL guesses (no straggler hides in the read intervals, confirmed by
+  the primaries) all hold, the view's ``commit`` method is called.  Aborts
+  and stragglers simply trigger superseding update notifications.
+* **Pessimistic views** are notified only of committed state, losslessly,
+  in monotonic VT order.  The proxy creates one snapshot per VT at which an
+  attached object receives an update, eagerly requests RL confirmations
+  (concurrently with the transaction's own commit protocol — this is what
+  makes pessimistic notification latency 2t at the origin and 3t elsewhere,
+  section 5.1.2), and delivers snapshots in VT order once the writing
+  transaction has committed and every guess is confirmed.  Confirmed
+  pessimistic intervals are *reserved* at the primary so no straggler can
+  later commit inside them (monotonicity protection).
+
+The module also implements the primary-copy side of snapshot CONFIRM-READ:
+immediate verdicts for optimistic checks, and deferred verdicts for
+pessimistic checks that must wait for in-interval uncommitted values to
+resolve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple
+
+from repro.core.messages import SnapshotCheck, SnapshotConfirmMsg, SnapshotReplyMsg
+from repro.errors import InvalidPath, ProtocolError
+from repro.vtime import VT_ZERO, VirtualTime
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.model import ModelObject
+    from repro.core.site import SiteRuntime
+
+
+# ---------------------------------------------------------------------------
+# User-facing classes
+# ---------------------------------------------------------------------------
+
+
+class View:
+    """Base class for user view objects (paper Fig. 3).
+
+    Implement :meth:`update`; optimistic views may also implement
+    :meth:`commit`, called when the most recent update notification is
+    known to have shown committed state.
+    """
+
+    def update(self, changed: List["ModelObject"], snapshot: "Snapshot") -> None:
+        """Notification of a change.  ``changed`` lists exactly the attached
+        objects whose value changed since the last notification; read state
+        through ``snapshot`` for a consistent picture."""
+        raise NotImplementedError
+
+    def commit(self) -> None:
+        """The most recent update notification is now known committed."""
+
+
+class OptimisticView(View):
+    """Marker base class for views intended to be attached optimistically."""
+
+
+class PessimisticView(View):
+    """Marker base class for views intended to be attached pessimistically."""
+
+
+@dataclass
+class Snapshot:
+    """A consistent read of model state at virtual time ``ts``.
+
+    Reads behave as if instantaneous at ``ts`` with respect to all update
+    transactions (section 2.5).  Pessimistic snapshots read committed state
+    only.
+    """
+
+    ts: VirtualTime
+    committed_only: bool
+
+    def read(self, obj: "ModelObject") -> Any:
+        """The value of ``obj`` as of this snapshot's virtual time."""
+        return obj.value_at(self.ts, self.committed_only)
+
+
+# ---------------------------------------------------------------------------
+# Subtree helpers (a view of a composite tracks the whole subtree)
+# ---------------------------------------------------------------------------
+
+
+def subtree_has_entry_in_interval(
+    obj: "ModelObject", lo: VirtualTime, hi: VirtualTime, committed_only: bool
+) -> bool:
+    """Any value/structure entry with ``lo < vt < hi`` anywhere in the subtree?"""
+    for entry in obj.history.entries_in_open_interval(lo, hi, committed_only):
+        return True
+    for child in _children_of(obj):
+        if subtree_has_entry_in_interval(child, lo, hi, committed_only):
+            return True
+    return False
+
+
+def subtree_uncommitted_in_interval(
+    obj: "ModelObject", lo: VirtualTime, hi: VirtualTime
+) -> List[VirtualTime]:
+    """Uncommitted entry VTs with ``lo < vt < hi`` anywhere in the subtree."""
+    found = [
+        e.vt
+        for e in obj.history.entries_in_open_interval(lo, hi)
+        if not e.committed
+    ]
+    for child in _children_of(obj):
+        found.extend(subtree_uncommitted_in_interval(child, lo, hi))
+    return found
+
+
+def subtree_uncommitted_upto(obj: "ModelObject", ts: VirtualTime) -> List[VirtualTime]:
+    """Uncommitted entry VTs with ``vt <= ts`` anywhere in the subtree."""
+    found = [e.vt for e in obj.history if not e.committed and e.vt <= ts]
+    for child in _children_of(obj):
+        found.extend(subtree_uncommitted_upto(child, ts))
+    return found
+
+
+def _children_of(obj: "ModelObject") -> List["ModelObject"]:
+    from repro.core.composites import DList, DMap
+
+    if isinstance(obj, DList):
+        return [slot.child for slot in obj._slots]
+    if isinstance(obj, DMap):
+        return [
+            slot.child
+            for slots in obj._keys.values()
+            for slot in slots
+            if slot.child is not None
+        ]
+    return []
+
+
+def blocking_subtree_reservation(target: "ModelObject", vt: VirtualTime) -> Optional[Any]:
+    """NC helper: a pessimistic-snapshot reservation covering ``vt`` on the
+    target or any ancestor (snapshot reservations protect whole subtrees)."""
+    node: Optional["ModelObject"] = target
+    while node is not None:
+        blocking = node.subtree_reservations.blocking_reservation(vt)
+        if blocking is not None:
+            return blocking
+        node = node.parent
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Snapshot records (requester side)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SnapshotRecord:
+    """Internal guess-tracking for one view notification's snapshot."""
+
+    snap_id: Tuple[int, int]
+    proxy: "ViewProxy"
+    ts: VirtualTime
+    committed_only: bool
+    pending_sites: Set[int] = field(default_factory=set)
+    pending_rc: Set[VirtualTime] = field(default_factory=set)
+    denied: bool = False
+    dead: bool = False
+    changed: List["ModelObject"] = field(default_factory=list)
+    delivered: bool = False  # pessimistic: update() already called
+    #: Remote checks still awaiting a verdict: (primary site, check, local
+    #: object).  Eager write confirmations resolve entries early.
+    outstanding: List[Tuple[int, SnapshotCheck, Any]] = field(default_factory=list)
+
+    def ready(self) -> bool:
+        return not self.denied and not self.pending_sites and not self.pending_rc
+
+
+@dataclass
+class DeferredCheck:
+    """Primary-side pessimistic check waiting for in-interval values to resolve."""
+
+    snap_id: Tuple[int, int]
+    origin: int
+    check: SnapshotCheck
+    target: "ModelObject"
+
+
+@dataclass
+class OutstandingReply:
+    """Primary-side aggregation: one reply per (snapshot, this site)."""
+
+    snap_id: Tuple[int, int]
+    origin: int
+    unresolved: int
+    ok: bool = True
+    denials: List[str] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# Proxies
+# ---------------------------------------------------------------------------
+
+
+class ViewProxy:
+    """Base proxy: event buffering shared by both notification disciplines."""
+
+    mode = "abstract"
+
+    def __init__(self, manager: "ViewManager", view: View, objects: List["ModelObject"]) -> None:
+        self.manager = manager
+        self.view = view
+        self.objects = list(objects)
+        self.site = manager.site
+        # Metrics (read by the bench harness).
+        self.notifications = 0
+        self.commit_notifications = 0
+        self.lost_updates = 0
+        self.update_inconsistencies = 0
+        self.read_inconsistencies = 0
+        self._events: List[Tuple["ModelObject", str, VirtualTime]] = []
+
+    def on_object_event(self, obj: "ModelObject", event: str, vt: VirtualTime) -> None:
+        """Buffer an event; the manager flushes at the end of the batch."""
+        self._events.append((obj, event, vt))
+        self.manager.mark_dirty(self)
+
+    def flush(self) -> None:
+        events, self._events = self._events, []
+        self.process_events(events)
+
+    def process_events(self, events: List[Tuple["ModelObject", str, VirtualTime]]) -> None:
+        raise NotImplementedError
+
+    def on_snapshot_reply(self, record: SnapshotRecord, ok: bool) -> None:
+        raise NotImplementedError
+
+    def attached_root_of(self, obj: "ModelObject") -> "ModelObject":
+        """Map an event's (possibly embedded) object to the attached ancestor."""
+        node: Optional["ModelObject"] = obj
+        while node is not None:
+            if any(node is attached for attached in self.objects):
+                return node
+            node = node.parent
+        raise ProtocolError(f"event object {obj.uid} not under any attached object")
+
+    # -- guess plumbing shared by subclasses ----------------------------
+
+    def _register_rc(self, record: SnapshotRecord, dep_vt: VirtualTime) -> None:
+        engine = self.site.engine
+        state = engine.status.get(dep_vt)
+        if state == "committed":
+            return
+        if state == "aborted":
+            record.dead = True
+            return
+        record.pending_rc.add(dep_vt)
+        engine.deps.wait_for(
+            dep_vt,
+            on_commit=lambda: self._rc_done(record, dep_vt),
+            on_abort=lambda: self._rc_abort(record, dep_vt),
+        )
+
+    def _rc_done(self, record: SnapshotRecord, dep_vt: VirtualTime) -> None:
+        record.pending_rc.discard(dep_vt)
+        if not record.dead and record.ready():
+            self.on_snapshot_ready(record)
+
+    def _rc_abort(self, record: SnapshotRecord, dep_vt: VirtualTime) -> None:
+        record.dead = True
+        self.on_snapshot_dead(record, dep_vt)
+
+    def on_snapshot_ready(self, record: SnapshotRecord) -> None:
+        raise NotImplementedError
+
+    def on_snapshot_dead(self, record: SnapshotRecord, dep_vt: VirtualTime) -> None:
+        """Default: the undo event rolls state back and re-notifies."""
+
+
+class OptimisticProxy(ViewProxy):
+    """Proxy implementing the optimistic discipline of section 4.1."""
+
+    mode = "optimistic"
+
+    def __init__(self, manager: "ViewManager", view: View, objects: List["ModelObject"]) -> None:
+        super().__init__(manager, view, objects)
+        self.latest: Optional[SnapshotRecord] = None
+        self.last_ts: VirtualTime = VT_ZERO
+
+    def bootstrap(self) -> None:
+        """Initial notification at attach time."""
+        self._notify(changed=list(self.objects))
+
+    def process_events(self, events: List[Tuple["ModelObject", str, VirtualTime]]) -> None:
+        changed: List["ModelObject"] = []
+        superseding = False
+        for obj, event, vt in events:
+            if event == "commit":
+                continue  # RC resolution is handled through the dep index
+            attached = self.attached_root_of(obj)
+            if event == "undo":
+                # A previously shown value was rolled back: an *update
+                # inconsistency* (section 5.1.2); re-notify with the
+                # restored state.
+                if vt <= self.last_ts:
+                    self.update_inconsistencies += 1
+                superseding = True
+                if all(attached is not c for c in changed):
+                    changed.append(attached)
+                continue
+            # event == "apply"
+            if vt < obj.current_value_vt():
+                # A straggler hidden behind a later update of the same
+                # object: "the message with the earlier virtual time does
+                # not yield a notification" — a *lost update*.
+                self.lost_updates += 1
+                continue
+            if vt < self.last_ts:
+                # Visible straggler for a different attached object: the
+                # earlier snapshot was inconsistent; supersede it.
+                self.read_inconsistencies += 1
+            superseding = True
+            if all(attached is not c for c in changed):
+                changed.append(attached)
+        if superseding:
+            self._notify(changed)
+
+    def _notify(self, changed: List["ModelObject"]) -> None:
+        """Create the (single) latest snapshot and call ``view.update``."""
+        ts = max(obj.current_value_vt() for obj in self.objects)
+        if self.latest is not None:
+            # "An optimistic view proxy maintains at most one uncommitted
+            # snapshot — the one with the latest t_S" (section 4.1).
+            self.manager.discard_record(self.latest)
+            self.latest = None
+        record = self.manager.new_record(self, ts, committed_only=False, changed=changed)
+        self.latest = record
+        self.last_ts = ts
+        # RC guesses: every uncommitted contributor at or before ts.
+        for obj in self.objects:
+            for dep_vt in set(subtree_uncommitted_upto(obj, ts)):
+                self._register_rc(record, dep_vt)
+        # RL guesses: per attached object, interval (current value VT, ts).
+        checks: List[Tuple[int, SnapshotCheck, Any]] = []
+        for obj in self.objects:
+            lo = obj.current_value_vt()
+            if not lo < ts:
+                continue
+            root = obj.propagation_root()
+            primary = self.site.primary_site_of(root.graph())
+            dst_uid = root.graph().uid_at_site(primary)
+            checks.append(
+                (
+                    primary,
+                    SnapshotCheck(
+                        object_uid=dst_uid if dst_uid else root.uid,
+                        lo_vt=lo,
+                        hi_vt=ts,
+                        committed_only=False,
+                        path=obj.path_from_root(),
+                    ),
+                    obj,
+                )
+            )
+        self.notifications += 1
+        self.view.update(changed, Snapshot(ts=ts, committed_only=False))
+        self.manager.dispatch_checks(record, checks)
+        if record.ready() and not record.dead:
+            self.on_snapshot_ready(record)
+
+    def on_snapshot_ready(self, record: SnapshotRecord) -> None:
+        if record is not self.latest or record.dead:
+            return
+        # "An optimistic view will receive a commit notification whenever
+        # its most recent update notification is known to have been from a
+        # committed state."
+        self.latest = None
+        self.manager.discard_record(record)
+        self.commit_notifications += 1
+        self.view.commit()
+
+    def on_snapshot_reply(self, record: SnapshotRecord, ok: bool) -> None:
+        if record is not self.latest:
+            return
+        if not ok:
+            # A straggler is on its way; it will supersede this snapshot.
+            record.denied = True
+            return
+        if record.ready() and not record.dead:
+            self.on_snapshot_ready(record)
+
+
+class PessimisticProxy(ViewProxy):
+    """Proxy implementing the pessimistic discipline of section 4.2."""
+
+    mode = "pessimistic"
+
+    def __init__(self, manager: "ViewManager", view: View, objects: List["ModelObject"]) -> None:
+        super().__init__(manager, view, objects)
+        #: VT of the last delivered update notification.
+        self.last_notified_vt: VirtualTime = VT_ZERO
+        #: Pending snapshots keyed by ts, kept in sorted order for delivery.
+        self.pending: Dict[VirtualTime, SnapshotRecord] = {}
+        self.monotonicity_skips = 0
+
+    def bootstrap(self) -> None:
+        """Deliver the initial committed state and track in-flight updates."""
+        ts0 = max(
+            (obj.history.committed_current().vt for obj in self.objects), default=VT_ZERO
+        )
+        for obj in self.objects:
+            committed_vt = obj.history.committed_current().vt
+            if committed_vt > ts0:
+                ts0 = committed_vt
+        self.last_notified_vt = ts0
+        self.notifications += 1
+        self.view.update(list(self.objects), Snapshot(ts=ts0, committed_only=True))
+        # Uncommitted values already applied locally become pending snapshots.
+        seen: Set[VirtualTime] = set()
+        for obj in self.objects:
+            for vt in subtree_uncommitted_upto(obj, VirtualTime(2**62, 2**30)):
+                if vt > ts0 and vt not in seen:
+                    seen.add(vt)
+                    self._create_snapshot(vt, [obj])
+
+    def process_events(self, events: List[Tuple["ModelObject", str, VirtualTime]]) -> None:
+        for obj, event, vt in events:
+            attached = self.attached_root_of(obj)
+            if event == "apply":
+                if vt <= self.last_notified_vt:
+                    # A committed straggler below the delivered frontier is
+                    # prevented by snapshot reservations; an *uncommitted*
+                    # one will be denied at the primary and abort.  Either
+                    # way it can never be shown monotonically.
+                    self.monotonicity_skips += 1
+                    continue
+                existing = self.pending.get(vt)
+                if existing is not None:
+                    if all(attached is not c for c in existing.changed):
+                        existing.changed.append(attached)
+                    continue
+                self._create_snapshot(vt, [attached])
+            elif event == "undo":
+                record = self.pending.pop(vt, None)
+                if record is not None:
+                    self.manager.discard_record(record)
+                    self._revise_successor_of(vt)
+            elif event == "commit":
+                # RC resolution flows through the dep index; nothing here.
+                pass
+        self._deliver_ready()
+
+    # -- snapshot lifecycle ---------------------------------------------
+
+    def _sorted_pending(self) -> List[SnapshotRecord]:
+        return [self.pending[vt] for vt in sorted(self.pending)]
+
+    def _predecessor_ts(self, ts: VirtualTime) -> VirtualTime:
+        prior = [vt for vt in self.pending if vt < ts]
+        return max(prior) if prior else self.last_notified_vt
+
+    def _successor(self, ts: VirtualTime) -> Optional[SnapshotRecord]:
+        later = [vt for vt in self.pending if vt > ts]
+        return self.pending[min(later)] if later else None
+
+    def _create_snapshot(self, ts: VirtualTime, changed: List["ModelObject"]) -> None:
+        record = self.manager.new_record(self, ts, committed_only=True, changed=list(changed))
+        self.pending[ts] = record
+        # RC guess: the updating transaction must commit.
+        self._register_rc(record, ts)
+        self._send_checks(record)
+        # A snapshot inserted between existing ones narrows its successor's
+        # interval; revise the successor ("the RL guess made by the
+        # succeeding snapshot ... is revised" — section 4.2).
+        successor = self._successor(ts)
+        if successor is not None:
+            self._revise(successor)
+
+    def _send_checks(self, record: SnapshotRecord) -> None:
+        lo_default = self._predecessor_ts(record.ts)
+        checks: List[Tuple[int, SnapshotCheck, Any]] = []
+        for obj in self.objects:
+            lo = lo_default
+            if not lo < record.ts:
+                continue
+            root = obj.propagation_root()
+            primary = self.site.primary_site_of(root.graph())
+            dst_uid = root.graph().uid_at_site(primary)
+            checks.append(
+                (
+                    primary,
+                    SnapshotCheck(
+                        object_uid=dst_uid if dst_uid else root.uid,
+                        lo_vt=lo,
+                        hi_vt=record.ts,
+                        committed_only=True,
+                        path=obj.path_from_root(),
+                    ),
+                    obj,
+                )
+            )
+        self.manager.dispatch_checks(record, checks)
+
+    def _revise(self, record: SnapshotRecord) -> None:
+        """Recompute and resend a snapshot's RL checks with a narrower lo."""
+        if record.delivered:
+            return
+        fresh = self.manager.new_record(
+            self, record.ts, committed_only=True, changed=list(record.changed)
+        )
+        fresh.pending_rc = record.pending_rc  # RC waits carry over by ts
+        self.manager.discard_record(record)
+        self.pending[record.ts] = fresh
+        # Re-register RC in case the old record's callbacks were tied to it.
+        state = self.site.engine.status.get(record.ts)
+        if state != "committed":
+            self._register_rc(fresh, record.ts)
+        self._send_checks(fresh)
+
+    def _revise_successor_of(self, ts: VirtualTime) -> None:
+        successor = self._successor(ts)
+        if successor is not None:
+            self._revise(successor)
+
+    # -- delivery ----------------------------------------------------------
+
+    def _deliver_ready(self) -> None:
+        """Deliver pending snapshots in VT order while they are ready."""
+        while self.pending:
+            first_ts = min(self.pending)
+            record = self.pending[first_ts]
+            if record.dead:
+                self.pending.pop(first_ts)
+                self.manager.discard_record(record)
+                self._revise_successor_of(first_ts)
+                continue
+            if not record.ready():
+                return
+            if self.site.engine.status.get(first_ts) != "committed":
+                return
+            self.pending.pop(first_ts)
+            self.manager.discard_record(record)
+            self.last_notified_vt = first_ts
+            record.delivered = True
+            self.notifications += 1
+            self.view.update(record.changed, Snapshot(ts=first_ts, committed_only=True))
+
+    def on_snapshot_ready(self, record: SnapshotRecord) -> None:
+        self._deliver_ready()
+
+    def on_snapshot_dead(self, record: SnapshotRecord, dep_vt: VirtualTime) -> None:
+        # The undo event (same batch) removes the pending snapshot; if the
+        # abort resolved through the dep index first, clean up here.
+        existing = self.pending.get(record.ts)
+        if existing is record:
+            self.pending.pop(record.ts, None)
+            self.manager.discard_record(record)
+            self._revise_successor_of(record.ts)
+        self._deliver_ready()
+
+    def on_snapshot_reply(self, record: SnapshotRecord, ok: bool) -> None:
+        if self.pending.get(record.ts) is not record:
+            return
+        if not ok:
+            # A committed straggler hides inside our interval; its local
+            # arrival will insert an earlier snapshot and revise this one.
+            record.denied = True
+            return
+        self._deliver_ready()
+
+
+# ---------------------------------------------------------------------------
+# The per-site view manager
+# ---------------------------------------------------------------------------
+
+
+class ViewManager:
+    """Owns proxies, snapshot bookkeeping, and the CONFIRM-READ protocol."""
+
+    def __init__(self, site: "SiteRuntime") -> None:
+        self.site = site
+        self.proxies: List[ViewProxy] = []
+        self._batch_depth = 0
+        self._dirty: List[ViewProxy] = []
+        self._snap_seq = 0
+        #: Requester-side snapshot records by id.
+        self.records: Dict[Tuple[int, int], SnapshotRecord] = {}
+        #: Primary-side reply aggregation by (snap_id).
+        self.outstanding: Dict[Tuple[int, int], OutstandingReply] = {}
+        #: Primary-side deferred pessimistic checks.
+        self.deferred: List[DeferredCheck] = []
+
+    # -- attachment ------------------------------------------------------
+
+    def attach(self, view: View, objects: List["ModelObject"], mode: str) -> ViewProxy:
+        if mode == "optimistic":
+            proxy: ViewProxy = OptimisticProxy(self, view, objects)
+        elif mode == "pessimistic":
+            proxy = PessimisticProxy(self, view, objects)
+        else:
+            raise ValueError(f"unknown view mode {mode!r}")
+        self.proxies.append(proxy)
+        for obj in objects:
+            obj.proxies.append(proxy)
+        proxy.bootstrap()
+        return proxy
+
+    def detach(self, proxy: ViewProxy) -> None:
+        if proxy in self.proxies:
+            self.proxies.remove(proxy)
+        for obj in proxy.objects:
+            if proxy in obj.proxies:
+                obj.proxies.remove(proxy)
+        for snap_id, record in list(self.records.items()):
+            if record.proxy is proxy:
+                del self.records[snap_id]
+
+    # -- batching ----------------------------------------------------------
+
+    def begin_batch(self) -> None:
+        self._batch_depth += 1
+
+    def end_batch(self) -> None:
+        if self._batch_depth <= 0:
+            raise ProtocolError("unbalanced view batch")
+        self._batch_depth -= 1
+        if self._batch_depth == 0:
+            while self._dirty:
+                proxy = self._dirty.pop(0)
+                proxy.flush()
+
+    def mark_dirty(self, proxy: ViewProxy) -> None:
+        if self._batch_depth == 0:
+            proxy.flush()
+        elif proxy not in self._dirty:
+            self._dirty.append(proxy)
+
+    # -- snapshot records (requester side) ---------------------------------
+
+    def new_record(
+        self,
+        proxy: ViewProxy,
+        ts: VirtualTime,
+        committed_only: bool,
+        changed: List["ModelObject"],
+    ) -> SnapshotRecord:
+        self._snap_seq += 1
+        snap_id = (self.site.site_id, self._snap_seq)
+        record = SnapshotRecord(
+            snap_id=snap_id,
+            proxy=proxy,
+            ts=ts,
+            committed_only=committed_only,
+            changed=changed,
+        )
+        self.records[snap_id] = record
+        return record
+
+    def discard_record(self, record: SnapshotRecord) -> None:
+        self.records.pop(record.snap_id, None)
+
+    def dispatch_checks(
+        self, record: SnapshotRecord, checks: List[Tuple[int, SnapshotCheck, Any]]
+    ) -> None:
+        """Evaluate local checks and send one CONFIRM-READ per remote primary."""
+        by_site: Dict[int, List[Tuple[SnapshotCheck, Any]]] = {}
+        for primary, check, obj in checks:
+            by_site.setdefault(primary, []).append((check, obj))
+        me = self.site.site_id
+        for primary, site_checks in sorted(by_site.items()):
+            record.pending_sites.add(primary)
+            msg = SnapshotConfirmMsg(
+                snap_id=record.snap_id,
+                origin=me,
+                checks=tuple(check for check, _obj in site_checks),
+                clock=self.site.clock.counter,
+            )
+            if primary == me:
+                # Local-primary fast path: same aggregation logic, no
+                # network round trip.
+                self.on_confirm_request(me, msg)
+            else:
+                for check, obj in site_checks:
+                    record.outstanding.append((primary, check, obj))
+                self.site.send(primary, msg)
+
+    # -- primary side --------------------------------------------------------
+
+    def on_confirm_request(self, src: int, msg: SnapshotConfirmMsg) -> None:
+        reply = OutstandingReply(
+            snap_id=msg.snap_id, origin=msg.origin, unresolved=len(msg.checks)
+        )
+        self.outstanding[msg.snap_id] = reply
+        for check in msg.checks:
+            verdict = self._evaluate_remote_check(msg.snap_id, msg.origin, check)
+            if verdict is not None:
+                reply.unresolved -= 1
+                if not verdict:
+                    reply.ok = False
+                    reply.denials.append(check.object_uid)
+        self._maybe_reply(reply)
+
+    def _resolve_target(self, check: SnapshotCheck) -> Optional["ModelObject"]:
+        from repro.core import propagation
+
+        root = self.site.objects.get(check.object_uid)
+        if root is None:
+            return None
+        try:
+            return propagation.resolve_path(root, check.path)
+        except InvalidPath:
+            return None
+
+    def _evaluate_remote_check(
+        self, snap_id: Tuple[int, int], origin: int, check: SnapshotCheck
+    ) -> Optional[bool]:
+        """True/False verdict, or None if deferred (pessimistic only)."""
+        target = self._resolve_target(check)
+        if target is None:
+            return False
+        if not check.committed_only:
+            # Optimistic: any in-interval entry denies immediately; no
+            # reservation is made (a straggler simply supersedes the view).
+            return not subtree_has_entry_in_interval(
+                target, check.lo_vt, check.hi_vt, committed_only=False
+            )
+        return self._evaluate_pessimistic(snap_id, origin, check, target)
+
+    def _evaluate_pessimistic(
+        self,
+        snap_id: Tuple[int, int],
+        origin: int,
+        check: SnapshotCheck,
+        target: "ModelObject",
+    ) -> Optional[bool]:
+        if subtree_has_entry_in_interval(target, check.lo_vt, check.hi_vt, committed_only=True):
+            return False
+        unresolved = subtree_uncommitted_in_interval(target, check.lo_vt, check.hi_vt)
+        if unresolved:
+            # Defer: the answer depends on whether those transactions commit.
+            self.deferred.append(
+                DeferredCheck(snap_id=snap_id, origin=origin, check=check, target=target)
+            )
+            return None
+        # Confirmed: reserve the interval so no straggler can ever commit
+        # inside it (monotonicity protection for delivered snapshots).
+        target.subtree_reservations.reserve(check.lo_vt, check.hi_vt, owner=("snap",) + snap_id)
+        return True
+
+    def _maybe_reply(self, reply: OutstandingReply) -> None:
+        if reply.unresolved > 0:
+            return
+        self.outstanding.pop(reply.snap_id, None)
+        if reply.origin == self.site.site_id:
+            record = self.records.get(reply.snap_id)
+            if record is not None:
+                record.pending_sites.discard(self.site.site_id)
+                if not reply.ok:
+                    record.denied = True
+                record.proxy.on_snapshot_reply(record, ok=reply.ok)
+            return
+        self.site.send(
+            reply.origin,
+            SnapshotReplyMsg(
+                snap_id=reply.snap_id,
+                ok=reply.ok,
+                denials=tuple(reply.denials),
+                clock=self.site.clock.counter,
+            ),
+        )
+
+    def on_txn_resolved(self, vt: VirtualTime, committed: bool) -> None:
+        """Re-evaluate deferred pessimistic checks after a commit/abort."""
+        still_deferred: List[DeferredCheck] = []
+        resolved: List[Tuple[DeferredCheck, bool]] = []
+        for deferred in self.deferred:
+            check = deferred.check
+            if subtree_has_entry_in_interval(
+                deferred.target, check.lo_vt, check.hi_vt, committed_only=True
+            ):
+                resolved.append((deferred, False))
+                continue
+            if subtree_uncommitted_in_interval(deferred.target, check.lo_vt, check.hi_vt):
+                still_deferred.append(deferred)
+                continue
+            deferred.target.subtree_reservations.reserve(
+                check.lo_vt, check.hi_vt, owner=("snap",) + deferred.snap_id
+            )
+            resolved.append((deferred, True))
+        self.deferred = still_deferred
+        for deferred, ok in resolved:
+            reply = self.outstanding.get(deferred.snap_id)
+            if reply is None:
+                continue
+            reply.unresolved -= 1
+            if not ok:
+                reply.ok = False
+                reply.denials.append(deferred.check.object_uid)
+            self._maybe_reply(reply)
+
+    # -- requester side: replies -------------------------------------------
+
+    def on_confirm_reply(self, src: int, msg: SnapshotReplyMsg) -> None:
+        record = self.records.get(msg.snap_id)
+        if record is None:
+            return  # superseded snapshot; stale reply
+        record.pending_sites.discard(src)
+        record.outstanding = [e for e in record.outstanding if e[0] != src]
+        if not msg.ok:
+            record.denied = True
+        record.proxy.on_snapshot_reply(record, ok=msg.ok)
+
+    def on_write_confirmed(self, src: int, msg) -> None:
+        """Eager write confirmation (section 5.3 "faster commit of snapshots").
+
+        The primary vouches that ``(lo_vt, hi_vt)`` is write-free for the
+        named object; any outstanding snapshot check whose interval lies
+        inside it is resolved locally, without waiting for its own reply.
+        (The CONFIRM-READ already in flight still installs the monotonicity
+        reservation at the primary; its late reply is ignored.)
+        """
+        obj = self.site.objects.get(msg.object_uid)
+        if obj is None:
+            return
+        for record in list(self.records.values()):
+            if not record.outstanding:
+                continue
+            satisfied = [
+                entry
+                for entry in record.outstanding
+                if entry[2] is obj
+                and msg.lo_vt <= entry[1].lo_vt
+                and entry[1].hi_vt <= msg.hi_vt
+            ]
+            if not satisfied:
+                continue
+            record.outstanding = [e for e in record.outstanding if e not in satisfied]
+            resolved_sites = {site for site, _c, _o in satisfied}
+            for site_id in resolved_sites:
+                if all(e[0] != site_id for e in record.outstanding):
+                    record.pending_sites.discard(site_id)
+            if not record.dead:
+                record.proxy.on_snapshot_reply(record, ok=True)
+
+    # -- GC support -----------------------------------------------------------
+
+    def retention_floor(self, obj: "ModelObject") -> Optional[VirtualTime]:
+        """The oldest VT any local pending snapshot may still read for ``obj``."""
+        floor: Optional[VirtualTime] = None
+        node: Optional["ModelObject"] = obj
+        while node is not None:
+            for proxy in node.proxies:
+                if isinstance(proxy, PessimisticProxy):
+                    candidate = proxy.last_notified_vt
+                    if proxy.pending:
+                        pending_min = min(proxy.pending)
+                        if pending_min < candidate:
+                            candidate = pending_min
+                    if floor is None or candidate < floor:
+                        floor = candidate
+            node = node.parent
+        return floor
+
+    # -- aggregate metrics ------------------------------------------------
+
+    def total_counters(self) -> Dict[str, int]:
+        totals = {
+            "notifications": 0,
+            "commit_notifications": 0,
+            "lost_updates": 0,
+            "update_inconsistencies": 0,
+            "read_inconsistencies": 0,
+        }
+        for proxy in self.proxies:
+            totals["notifications"] += proxy.notifications
+            totals["commit_notifications"] += proxy.commit_notifications
+            totals["lost_updates"] += proxy.lost_updates
+            totals["update_inconsistencies"] += proxy.update_inconsistencies
+            totals["read_inconsistencies"] += proxy.read_inconsistencies
+        return totals

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the DECAF reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch framework failures with a single ``except`` clause while still letting
+programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TransactionAborted(ReproError):
+    """Raised inside ``Transaction.execute`` to abort without retry.
+
+    The paper (section 2.4) specifies that a transaction may be explicitly
+    programmed to abort without retry by throwing an exception; DECAF's
+    transaction thread catches it and calls ``handleAbort``.
+    """
+
+
+class ConcurrencyConflict(ReproError):
+    """A concurrency-control guess (RL or NC) was denied at a primary copy.
+
+    Transactions aborted with this cause are automatically re-executed at
+    the originating site (paper section 2.4).
+    """
+
+
+class ObjectNotFound(ReproError):
+    """A referenced model object does not exist at the local site."""
+
+
+class InvalidPath(ReproError):
+    """A composite path does not resolve to an embedded object."""
+
+
+class NotAuthorized(ReproError):
+    """An authorization monitor denied access to a model object."""
+
+
+class SiteFailed(ReproError):
+    """An operation targeted a site known to have failed (fail-stop)."""
+
+
+class ProtocolError(ReproError):
+    """An internal protocol invariant was violated (a bug, not user error)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation kernel detected an inconsistency."""
+
+
+class TransportError(ReproError):
+    """A transport failed to deliver a message."""
+
+
+class RetryLimitExceeded(ReproError):
+    """A transaction exceeded its automatic re-execution budget.
+
+    The paper retries aborted transactions indefinitely; tests and
+    benchmarks bound the retry count so that pathological contention
+    surfaces as an error instead of a livelock.
+    """

@@ -1,0 +1,255 @@
+"""A simulated point-to-point network with latency, partitions, and failures.
+
+Sites register a delivery handler; :meth:`Network.send` samples a one-way
+latency from the configured :class:`LatencyModel` and schedules delivery on
+the shared :class:`~repro.sim.scheduler.Scheduler`.  Channels are FIFO per
+ordered site pair by default (like TCP); messages between *different* pairs
+may interleave arbitrarily, which is exactly the reordering ("stragglers")
+the paper's algorithms must tolerate.
+
+Fail-stop failures follow the paper's section 3.4 assumption: "the
+underlying communication infrastructure provides notification of such
+failures and ... presents them to the application as fail-stop failures —
+further communication with failed or disconnected clients is prevented by
+the communication layer."
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.errors import SimulationError, TransportError
+from repro.sim.scheduler import Scheduler
+
+DeliveryHandler = Callable[[int, Any], None]
+FailureHandler = Callable[[int], None]
+
+
+class LatencyModel:
+    """Samples a one-way message latency in milliseconds for a site pair."""
+
+    def sample(self, rng: random.Random, src: int, dst: int) -> float:
+        raise NotImplementedError
+
+
+class FixedLatency(LatencyModel):
+    """A constant one-way latency ``t`` — the paper's analytic model."""
+
+    def __init__(self, latency_ms: float) -> None:
+        if latency_ms < 0:
+            raise ValueError("latency must be non-negative")
+        self.latency_ms = latency_ms
+
+    def sample(self, rng: random.Random, src: int, dst: int) -> float:
+        return self.latency_ms
+
+    def __repr__(self) -> str:
+        return f"FixedLatency({self.latency_ms}ms)"
+
+
+class UniformLatency(LatencyModel):
+    """Latency uniform in ``[low, high]`` — bounded jitter."""
+
+    def __init__(self, low_ms: float, high_ms: float) -> None:
+        if not 0 <= low_ms <= high_ms:
+            raise ValueError("require 0 <= low <= high")
+        self.low_ms = low_ms
+        self.high_ms = high_ms
+
+    def sample(self, rng: random.Random, src: int, dst: int) -> float:
+        return rng.uniform(self.low_ms, self.high_ms)
+
+    def __repr__(self) -> str:
+        return f"UniformLatency([{self.low_ms}, {self.high_ms}]ms)"
+
+
+class NormalLatency(LatencyModel):
+    """Gaussian latency truncated at a floor — realistic WAN jitter."""
+
+    def __init__(self, mean_ms: float, stddev_ms: float, floor_ms: float = 0.1) -> None:
+        if mean_ms < 0 or stddev_ms < 0 or floor_ms < 0:
+            raise ValueError("latency parameters must be non-negative")
+        self.mean_ms = mean_ms
+        self.stddev_ms = stddev_ms
+        self.floor_ms = floor_ms
+
+    def sample(self, rng: random.Random, src: int, dst: int) -> float:
+        return max(self.floor_ms, rng.gauss(self.mean_ms, self.stddev_ms))
+
+    def __repr__(self) -> str:
+        return f"NormalLatency(mean={self.mean_ms}ms, sd={self.stddev_ms}ms)"
+
+
+@dataclass
+class NetworkStats:
+    """Counters used by the benchmark harness to report message complexity."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    per_type_sent: Dict[str, int] = field(default_factory=dict)
+
+    def record_send(self, payload: Any) -> None:
+        self.messages_sent += 1
+        name = type(payload).__name__
+        self.per_type_sent[name] = self.per_type_sent.get(name, 0) + 1
+
+    def snapshot(self) -> "NetworkStats":
+        copy = NetworkStats(
+            messages_sent=self.messages_sent,
+            messages_delivered=self.messages_delivered,
+            messages_dropped=self.messages_dropped,
+        )
+        copy.per_type_sent = dict(self.per_type_sent)
+        return copy
+
+
+class Network:
+    """The simulated network connecting DECAF sites.
+
+    Parameters
+    ----------
+    scheduler:
+        The shared discrete-event scheduler.
+    latency:
+        One-way latency model applied to every ordered site pair unless
+        overridden per pair with :meth:`set_link_latency`.
+    seed:
+        Seed for the network's private RNG (latency sampling).
+    fifo:
+        When True (default), deliveries on each ordered ``(src, dst)`` pair
+        never overtake earlier sends on the same pair.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        latency: Optional[LatencyModel] = None,
+        seed: int = 0,
+        fifo: bool = True,
+    ) -> None:
+        self.scheduler = scheduler
+        self.default_latency = latency if latency is not None else FixedLatency(50.0)
+        self.fifo = fifo
+        self.stats = NetworkStats()
+        self._rng = random.Random(seed)
+        self._handlers: Dict[int, DeliveryHandler] = {}
+        self._failure_handlers: List[FailureHandler] = []
+        self._link_latency: Dict[Tuple[int, int], LatencyModel] = {}
+        self._last_delivery: Dict[Tuple[int, int], float] = {}
+        self._failed: Set[int] = set()
+        self._partitioned: Set[Tuple[int, int]] = set()
+
+    # ------------------------------------------------------------------
+    # Registration / topology
+    # ------------------------------------------------------------------
+
+    def register(self, site: int, handler: DeliveryHandler) -> None:
+        """Attach ``site``'s message handler; replaces any previous handler."""
+        self._handlers[site] = handler
+
+    def add_failure_listener(self, handler: FailureHandler) -> None:
+        """Register a callback invoked (once per surviving site's view) on failures."""
+        self._failure_handlers.append(handler)
+
+    def set_link_latency(self, src: int, dst: int, model: LatencyModel) -> None:
+        """Override the latency model for the ordered pair ``(src, dst)``."""
+        self._link_latency[(src, dst)] = model
+
+    def sites(self) -> List[int]:
+        """All registered site identifiers, sorted."""
+        return sorted(self._handlers)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def send(self, src: int, dst: int, payload: Any) -> None:
+        """Queue ``payload`` from ``src`` to ``dst`` after a sampled latency.
+
+        Messages to or from failed sites, and messages across a partition,
+        are silently dropped (fail-stop / partition semantics); the drop is
+        counted in :attr:`stats`.
+        """
+        if dst not in self._handlers:
+            raise TransportError(f"destination site {dst} is not registered")
+        self.stats.record_send(payload)
+        if src in self._failed or dst in self._failed or self._is_partitioned(src, dst):
+            self.stats.messages_dropped += 1
+            return
+        if src == dst:
+            # Local loopback delivers on the next scheduler step with zero
+            # latency; it still goes through the queue so handler re-entrancy
+            # is never required.
+            delivery_time = self.scheduler.now
+        else:
+            model = self._link_latency.get((src, dst), self.default_latency)
+            delivery_time = self.scheduler.now + model.sample(self._rng, src, dst)
+        if self.fifo:
+            key = (src, dst)
+            floor = self._last_delivery.get(key, 0.0)
+            delivery_time = max(delivery_time, floor)
+            self._last_delivery[key] = delivery_time
+
+        def deliver() -> None:
+            if dst in self._failed or src in self._failed:
+                self.stats.messages_dropped += 1
+                return
+            if self._is_partitioned(src, dst):
+                self.stats.messages_dropped += 1
+                return
+            self.stats.messages_delivered += 1
+            self._handlers[dst](src, payload)
+
+        self.scheduler.call_at(delivery_time, deliver, label=f"deliver {src}->{dst}")
+
+    def broadcast(self, src: int, dsts: List[int], payload: Any) -> None:
+        """Send ``payload`` from ``src`` to each destination independently."""
+        for dst in dsts:
+            self.send(src, dst, payload)
+
+    # ------------------------------------------------------------------
+    # Failures and partitions
+    # ------------------------------------------------------------------
+
+    def fail_site(self, site: int, notify_after_ms: float = 0.0) -> None:
+        """Crash ``site`` fail-stop; notify survivors after ``notify_after_ms``.
+
+        In-flight messages to/from the failed site are dropped at delivery
+        time; survivors receive a failure notification through the failure
+        listeners (the ISIS-style assumption of paper section 3.4).
+        """
+        if site in self._failed:
+            return
+        self._failed.add(site)
+
+        def notify() -> None:
+            for handler in list(self._failure_handlers):
+                handler(site)
+
+        self.scheduler.call_later(notify_after_ms, notify, label=f"fail-notify {site}")
+
+    def is_failed(self, site: int) -> bool:
+        return site in self._failed
+
+    def partition(self, group_a: List[int], group_b: List[int]) -> None:
+        """Sever communication between every pair across the two groups."""
+        for a in group_a:
+            for b in group_b:
+                self._partitioned.add((a, b))
+                self._partitioned.add((b, a))
+
+    def heal_partition(self) -> None:
+        """Restore full connectivity (failed sites stay failed)."""
+        self._partitioned.clear()
+
+    def _is_partitioned(self, src: int, dst: int) -> bool:
+        return (src, dst) in self._partitioned
+
+    def __repr__(self) -> str:
+        return (
+            f"Network(sites={self.sites()}, failed={sorted(self._failed)}, "
+            f"latency={self.default_latency!r})"
+        )

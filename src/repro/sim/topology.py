@@ -1,0 +1,79 @@
+"""Network topology builders for simulations and benchmarks.
+
+The default :class:`~repro.sim.network.Network` applies one latency model
+to every ordered pair.  These helpers configure structured topologies:
+
+* :func:`star` — clients around a hub (the centralized-server shape),
+* :func:`ring` — neighbours are fast, distant pairs pay per-hop cost
+  (the GVT token's world),
+* :func:`clusters` — LAN clusters joined by WAN links (the paper's widely
+  distributed collaborations: "one with a financial planner, another with
+  an accountant"),
+* :func:`chain_sets` — the section 5.1.3 overlapping replica-set chain.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.sim.network import FixedLatency, Network
+
+
+def star(network: Network, hub: int, spokes: Sequence[int], spoke_ms: float) -> None:
+    """Hub-and-spoke: every spoke is ``spoke_ms`` from the hub; spoke-to-
+    spoke traffic is routed conceptually via the hub (2x the latency)."""
+    for spoke in spokes:
+        network.set_link_latency(hub, spoke, FixedLatency(spoke_ms))
+        network.set_link_latency(spoke, hub, FixedLatency(spoke_ms))
+        for other in spokes:
+            if other != spoke:
+                network.set_link_latency(spoke, other, FixedLatency(2 * spoke_ms))
+
+
+def ring(network: Network, sites: Sequence[int], hop_ms: float) -> None:
+    """Ring distances: latency proportional to the hop count between sites."""
+    n = len(sites)
+    for i, a in enumerate(sites):
+        for j, b in enumerate(sites):
+            if a == b:
+                continue
+            hops = min((j - i) % n, (i - j) % n)
+            network.set_link_latency(a, b, FixedLatency(hops * hop_ms))
+
+
+def clusters(
+    network: Network,
+    groups: Sequence[Sequence[int]],
+    lan_ms: float,
+    wan_ms: float,
+) -> None:
+    """LAN latency within each group; WAN latency across groups."""
+    membership: Dict[int, int] = {}
+    for index, group in enumerate(groups):
+        for site in group:
+            membership[site] = index
+    sites = list(membership)
+    for a in sites:
+        for b in sites:
+            if a == b:
+                continue
+            latency = lan_ms if membership[a] == membership[b] else wan_ms
+            network.set_link_latency(a, b, FixedLatency(latency))
+
+
+def chain_sets(n_sites: int, set_size: int = 3, overlap: int = 1) -> List[List[int]]:
+    """The section 5.1.3 replica-set chain: (0,1,2), (2,3,4), (4,5,6), …
+
+    Returns the site-id groups; callers replicate one object per group.
+    """
+    if set_size <= overlap:
+        raise ValueError("set_size must exceed overlap")
+    groups: List[List[int]] = []
+    start = 0
+    step = set_size - overlap
+    while start + set_size <= n_sites:
+        groups.append(list(range(start, start + set_size)))
+        start += step
+    if not groups:
+        groups = [list(range(n_sites))]
+    return groups

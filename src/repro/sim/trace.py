@@ -1,0 +1,113 @@
+"""Message tracing for the simulated network.
+
+A :class:`MessageTrace` subscribes to a :class:`~repro.sim.network.Network`
+and records every send with its simulated timestamp, endpoints, message
+type, and (when present) transaction VT.  Traces support filtering and a
+compact textual rendering — the primary debugging tool for protocol work,
+and the source of the message-count numbers quoted in the ablation
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.sim.network import Network
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded send."""
+
+    time_ms: float
+    src: int
+    dst: int
+    msg_type: str
+    txn_vt: Optional[Any]
+    payload: Any
+
+    def render(self) -> str:
+        vt = f" vt={self.txn_vt}" if self.txn_vt is not None else ""
+        return f"{self.time_ms:9.1f}ms  {self.src}->{self.dst}  {self.msg_type}{vt}"
+
+
+class MessageTrace:
+    """Records sends on a network; supports filtering and summaries."""
+
+    def __init__(self, network: Network, capture_payloads: bool = True) -> None:
+        self.network = network
+        self.capture_payloads = capture_payloads
+        self.entries: List[TraceEntry] = []
+        self._original_send = network.send
+        network.send = self._traced_send  # type: ignore[method-assign]
+        self._installed = True
+
+    def _traced_send(self, src: int, dst: int, payload: Any) -> None:
+        self.entries.append(
+            TraceEntry(
+                time_ms=self.network.scheduler.now,
+                src=src,
+                dst=dst,
+                msg_type=type(payload).__name__,
+                txn_vt=getattr(payload, "txn_vt", None),
+                payload=payload if self.capture_payloads else None,
+            )
+        )
+        self._original_send(src, dst, payload)
+
+    def uninstall(self) -> None:
+        """Stop tracing (existing entries are kept)."""
+        if self._installed:
+            self.network.send = self._original_send  # type: ignore[method-assign]
+            self._installed = False
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def filter(
+        self,
+        msg_type: Optional[str] = None,
+        src: Optional[int] = None,
+        dst: Optional[int] = None,
+        txn_vt: Optional[Any] = None,
+        predicate: Optional[Callable[[TraceEntry], bool]] = None,
+    ) -> List[TraceEntry]:
+        """Entries matching every given criterion."""
+        out = []
+        for entry in self.entries:
+            if msg_type is not None and entry.msg_type != msg_type:
+                continue
+            if src is not None and entry.src != src:
+                continue
+            if dst is not None and entry.dst != dst:
+                continue
+            if txn_vt is not None and entry.txn_vt != txn_vt:
+                continue
+            if predicate is not None and not predicate(entry):
+                continue
+            out.append(entry)
+        return out
+
+    def counts_by_type(self) -> Dict[str, int]:
+        """Message counts per type — the ablation benchmarks' metric."""
+        counts: Dict[str, int] = {}
+        for entry in self.entries:
+            counts[entry.msg_type] = counts.get(entry.msg_type, 0) + 1
+        return counts
+
+    def transaction_story(self, txn_vt: Any) -> List[TraceEntry]:
+        """Every message belonging to one transaction, in send order."""
+        return self.filter(txn_vt=txn_vt)
+
+    def render(self, limit: Optional[int] = None) -> str:
+        """A compact textual log (last ``limit`` entries if given)."""
+        entries = self.entries[-limit:] if limit else self.entries
+        return "\n".join(entry.render() for entry in entries)
+
+    def clear(self) -> None:
+        self.entries.clear()

@@ -1,0 +1,21 @@
+"""Transport abstraction binding DECAF sites to a message fabric.
+
+Three interchangeable implementations:
+
+* :class:`~repro.transport.memory.MemoryTransport` — synchronous in-process
+  queue with zero latency; used by unit tests that exercise protocol logic
+  without timing.
+* :class:`~repro.transport.simnet.SimTransport` — adapter over the
+  discrete-event :class:`~repro.sim.network.Network`; used by integration
+  tests and every benchmark.
+* :class:`~repro.transport.asyncio_transport.AsyncioTransport` — wall-clock
+  asyncio delivery with optional injected delay; used by the runnable
+  examples to demonstrate live behaviour.
+"""
+
+from repro.transport.base import Transport
+from repro.transport.memory import MemoryTransport
+from repro.transport.simnet import SimTransport
+from repro.transport.asyncio_transport import AsyncioTransport
+
+__all__ = ["Transport", "MemoryTransport", "SimTransport", "AsyncioTransport"]

@@ -1,0 +1,114 @@
+"""A wall-clock asyncio transport for live, interactive examples.
+
+Each destination site owns an ``asyncio.Queue`` drained by a consumer task.
+An optional fixed delay emulates network latency in real time.  This
+transport exists so the runnable examples can demonstrate DECAF behaviour
+outside the discrete-event simulator; benchmarks use
+:class:`~repro.transport.simnet.SimTransport` for determinism.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import TransportError
+from repro.transport.base import DeliveryHandler, FailureHandler, Transport
+
+
+class AsyncioTransport(Transport):
+    """Delivers messages through per-site asyncio queues with optional delay."""
+
+    def __init__(self, delay_ms: float = 0.0) -> None:
+        self.delay_ms = delay_ms
+        self._handlers: Dict[int, DeliveryHandler] = {}
+        self._queues: Dict[int, "asyncio.Queue[Tuple[int, Any]]"] = {}
+        self._tasks: List["asyncio.Task"] = []
+        self._started = False
+        self._start_time = time.monotonic()
+        self._failed: set = set()
+        self._failure_handlers: List[FailureHandler] = []
+        self._in_flight = 0
+
+    def register(self, site: int, handler: DeliveryHandler) -> None:
+        self._handlers[site] = handler
+        self._queues.setdefault(site, asyncio.Queue())
+
+    def add_failure_listener(self, handler: FailureHandler) -> None:
+        self._failure_handlers.append(handler)
+
+    def now(self) -> float:
+        return (time.monotonic() - self._start_time) * 1000.0
+
+    async def start(self) -> None:
+        """Spawn the per-site consumer tasks; call once inside a running loop."""
+        if self._started:
+            return
+        self._started = True
+        for site, queue in self._queues.items():
+            self._tasks.append(asyncio.create_task(self._consume(site, queue)))
+
+    async def _consume(self, site: int, queue: "asyncio.Queue[Tuple[int, Any]]") -> None:
+        while True:
+            src, payload = await queue.get()
+            self._in_flight += 1
+            try:
+                if self.delay_ms > 0:
+                    await asyncio.sleep(self.delay_ms / 1000.0)
+                if site in self._failed or src in self._failed:
+                    continue
+                self._handlers[site](src, payload)
+            finally:
+                self._in_flight -= 1
+
+    def send(self, src: int, dst: int, payload: Any) -> None:
+        if dst not in self._queues:
+            raise TransportError(f"destination site {dst} is not registered")
+        if src in self._failed or dst in self._failed:
+            return
+        self._queues[dst].put_nowait((src, payload))
+
+    async def quiesce(self, settle_ms: float = 50.0) -> None:
+        """Wait until all queues drain, deliveries finish, and a settle period passes."""
+
+        def idle() -> bool:
+            return self._in_flight == 0 and all(q.empty() for q in self._queues.values())
+
+        while True:
+            if idle():
+                await asyncio.sleep(settle_ms / 1000.0)
+                if idle():
+                    return
+            else:
+                await asyncio.sleep(0.005)
+
+    async def stop(self) -> None:
+        """Cancel consumer tasks; the transport cannot be restarted."""
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._tasks.clear()
+
+    def defer(self, action, delay_ms: float = 0.0) -> None:
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            action()
+            return
+        if delay_ms > 0:
+            loop.call_later(delay_ms / 1000.0, action)
+        else:
+            loop.call_soon(action)
+
+    def fail_site(self, site: int) -> None:
+        """Crash ``site`` fail-stop and notify listeners."""
+        if site in self._failed:
+            return
+        self._failed.add(site)
+        for handler in list(self._failure_handlers):
+            handler(site)

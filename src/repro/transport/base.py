@@ -1,0 +1,50 @@
+"""The abstract transport interface used by DECAF site runtimes."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, List
+
+DeliveryHandler = Callable[[int, Any], None]
+FailureHandler = Callable[[int], None]
+
+
+class Transport(ABC):
+    """Delivers opaque payloads between numbered sites.
+
+    Implementations must deliver each payload exactly once to the
+    registered handler of the destination site (unless the destination has
+    failed), and should preserve FIFO order per ordered site pair.  The
+    DECAF protocol tolerates cross-pair reordering (stragglers) but site
+    runtimes assume per-pair FIFO, matching the TCP channels of the
+    original Java prototype.
+    """
+
+    @abstractmethod
+    def register(self, site: int, handler: DeliveryHandler) -> None:
+        """Attach the delivery handler for ``site``."""
+
+    @abstractmethod
+    def send(self, src: int, dst: int, payload: Any) -> None:
+        """Queue ``payload`` for delivery from ``src`` to ``dst``."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Current transport time in milliseconds (simulated or wall-clock)."""
+
+    def add_failure_listener(self, handler: FailureHandler) -> None:
+        """Subscribe to fail-stop notifications; default transport never fails."""
+
+    def broadcast(self, src: int, dsts: List[int], payload: Any) -> None:
+        """Send ``payload`` to each destination independently."""
+        for dst in dsts:
+            self.send(src, dst, payload)
+
+    def defer(self, action: Callable[[], None], delay_ms: float = 0.0) -> None:
+        """Run ``action`` asynchronously after ``delay_ms`` (transaction retries).
+
+        The default executes immediately (zero-latency transports have no
+        meaningful delay); scheduler-backed transports queue it so retries
+        never recurse on the current call stack.
+        """
+        action()

@@ -1,0 +1,81 @@
+"""A synchronous in-process transport with zero latency.
+
+Messages are appended to a FIFO queue and drained iteratively (never
+recursively), so handler code can freely send further messages without
+unbounded stack growth.  Draining is triggered automatically after each
+``send`` unless a drain is already in progress, which gives tests simple
+"everything delivered by the time send returns" semantics while still
+exercising the asynchronous structure of the protocol.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Tuple
+
+from repro.errors import TransportError
+from repro.transport.base import DeliveryHandler, FailureHandler, Transport
+
+
+class MemoryTransport(Transport):
+    """Zero-latency FIFO transport for protocol-logic unit tests."""
+
+    def __init__(self, auto_drain: bool = True) -> None:
+        self._handlers: Dict[int, DeliveryHandler] = {}
+        self._queue: Deque[Tuple[int, int, Any]] = deque()
+        self._failure_handlers: List[FailureHandler] = []
+        self._failed: set = set()
+        self._draining = False
+        self._auto_drain = auto_drain
+        self._clock_ms = 0.0
+        self.messages_sent = 0
+
+    def register(self, site: int, handler: DeliveryHandler) -> None:
+        self._handlers[site] = handler
+
+    def add_failure_listener(self, handler: FailureHandler) -> None:
+        self._failure_handlers.append(handler)
+
+    def now(self) -> float:
+        return self._clock_ms
+
+    def advance(self, ms: float) -> None:
+        """Move the fake clock forward (latency is still zero)."""
+        self._clock_ms += ms
+
+    def send(self, src: int, dst: int, payload: Any) -> None:
+        if dst not in self._handlers:
+            raise TransportError(f"destination site {dst} is not registered")
+        self.messages_sent += 1
+        if src in self._failed or dst in self._failed:
+            return
+        self._queue.append((src, dst, payload))
+        if self._auto_drain:
+            self.drain()
+
+    def drain(self) -> int:
+        """Deliver all queued messages; returns the number delivered."""
+        if self._draining:
+            return 0
+        self._draining = True
+        delivered = 0
+        try:
+            while self._queue:
+                src, dst, payload = self._queue.popleft()
+                if src in self._failed or dst in self._failed:
+                    continue
+                self._handlers[dst](src, payload)
+                delivered += 1
+        finally:
+            self._draining = False
+        return delivered
+
+    def fail_site(self, site: int) -> None:
+        """Crash ``site`` fail-stop and notify failure listeners synchronously."""
+        if site in self._failed:
+            return
+        self._failed.add(site)
+        for handler in list(self._failure_handlers):
+            handler(site)
+        if self._auto_drain:
+            self.drain()

@@ -1,0 +1,35 @@
+"""Adapter presenting a simulated :class:`~repro.sim.network.Network` as a Transport."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sim.network import Network
+from repro.transport.base import DeliveryHandler, FailureHandler, Transport
+
+
+class SimTransport(Transport):
+    """Routes site messages over a discrete-event simulated network.
+
+    This is the transport used by all benchmarks: latency, jitter, and
+    failures are controlled by the wrapped network, and time is the
+    scheduler's simulated clock.
+    """
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+
+    def register(self, site: int, handler: DeliveryHandler) -> None:
+        self.network.register(site, handler)
+
+    def add_failure_listener(self, handler: FailureHandler) -> None:
+        self.network.add_failure_listener(handler)
+
+    def send(self, src: int, dst: int, payload: Any) -> None:
+        self.network.send(src, dst, payload)
+
+    def now(self) -> float:
+        return self.network.scheduler.now
+
+    def defer(self, action, delay_ms: float = 0.0) -> None:
+        self.network.scheduler.call_later(delay_ms, action, label="deferred")

@@ -1,0 +1,126 @@
+"""Write-free reservation intervals kept at primary copies.
+
+When a primary copy confirms a *Read Latest* (RL) guess for a transaction
+that read an object at VT ``t_read`` and runs at VT ``t_txn``, it reserves
+the open interval ``(t_read, t_txn)`` as *write-free* (paper section 3.1).
+A later transaction attempting to write at a VT strictly inside a reserved
+interval fails its *No Conflict* (NC) guess: confirming that write would
+retroactively invalidate the already confirmed read.
+
+Intervals are open on both ends: the value read was written *at* ``t_read``
+(so a write exactly at ``t_read`` is the read value itself), and the
+reserving transaction itself acts *at* ``t_txn`` (VT uniqueness means no
+other transaction shares that VT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.vtime.lamport import VirtualTime
+
+
+@dataclass(frozen=True)
+class Interval:
+    """An open write-free interval ``(lo, hi)`` reserved by transaction ``owner``."""
+
+    lo: VirtualTime
+    hi: VirtualTime
+    owner: VirtualTime
+
+    def __post_init__(self) -> None:
+        if self.hi < self.lo:
+            raise ValueError(f"interval upper bound {self.hi} precedes lower bound {self.lo}")
+
+    def contains_strictly(self, vt: VirtualTime) -> bool:
+        """True if ``vt`` lies strictly inside the open interval."""
+        return self.lo < vt < self.hi
+
+    def is_empty(self) -> bool:
+        """True for degenerate intervals (blind writes reserve nothing)."""
+        return not self.lo < self.hi
+
+
+class IntervalSet:
+    """The set of write-free reservations for one object at its primary copy.
+
+    The structure supports the two primary-side checks of the concurrency
+    control algorithm plus commit-driven pruning:
+
+    * :meth:`blocking_reservation` — the NC guess check,
+    * :meth:`reserve` — recording a confirmed RL guess,
+    * :meth:`prune_before` — garbage collection once commits make old
+      reservations unreachable by any future straggler.
+    """
+
+    def __init__(self) -> None:
+        self._intervals: List[Interval] = []
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._intervals)
+
+    def reserve(self, lo: VirtualTime, hi: VirtualTime, owner: VirtualTime) -> Interval:
+        """Record the open interval ``(lo, hi)`` as write-free for ``owner``.
+
+        Empty intervals (``lo >= hi``, e.g. blind writes where the read time
+        equals the transaction time) are accepted but not stored, since they
+        can never block anything.
+        """
+        interval = Interval(lo, hi, owner)
+        if not interval.is_empty():
+            self._intervals.append(interval)
+        return interval
+
+    def blocking_reservation(
+        self, vt: VirtualTime, exclude_owner: Optional[VirtualTime] = None
+    ) -> Optional[Interval]:
+        """Return a reservation by another transaction strictly containing ``vt``.
+
+        This is the NC guess check: a write at ``vt`` conflicts if some other
+        transaction has reserved a write-free region containing ``vt``.  The
+        writer's own reservations (``exclude_owner``) never block it.
+        Returns the first blocking interval, or ``None`` if the write is
+        conflict-free.
+        """
+        for interval in self._intervals:
+            if interval.owner == exclude_owner:
+                continue
+            if interval.contains_strictly(vt):
+                return interval
+        return None
+
+    def release_owner(self, owner: VirtualTime) -> int:
+        """Drop all reservations held by ``owner`` (on abort); returns count dropped."""
+        before = len(self._intervals)
+        self._intervals = [i for i in self._intervals if i.owner != owner]
+        return before - len(self._intervals)
+
+    def prune_before(self, vt: VirtualTime) -> int:
+        """Drop reservations wholly before ``vt``; returns the count dropped.
+
+        Once every site has applied a committed write at ``vt``, no future
+        transaction can be assigned a VT below ``vt`` that would need to be
+        checked against those reservations, so they are garbage.
+        """
+        before = len(self._intervals)
+        self._intervals = [i for i in self._intervals if not i.hi < vt and i.hi != vt]
+        return before - len(self._intervals)
+
+    def covering_intervals(self, vt: VirtualTime) -> List[Interval]:
+        """All reservations strictly containing ``vt`` (diagnostics/tests)."""
+        return [i for i in self._intervals if i.contains_strictly(vt)]
+
+    def owners(self) -> List[VirtualTime]:
+        """The distinct reservation owners, in insertion order."""
+        seen: List[VirtualTime] = []
+        for interval in self._intervals:
+            if interval.owner not in seen:
+                seen.append(interval.owner)
+        return seen
+
+    def __repr__(self) -> str:
+        return f"IntervalSet({self._intervals!r})"

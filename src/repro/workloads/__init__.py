@@ -1,0 +1,29 @@
+"""Synthetic workload generators reproducing the paper's benchmark setups.
+
+Section 5.2.2 parameterizes its benchmarks by per-party update rates and
+operation type (blind writes vs read+write transactions).  These generators
+drive DECAF sites on the simulated network with seeded, reproducible
+schedules.
+"""
+
+from repro.workloads.generators import (
+    ArrivalProcess,
+    PoissonArrivals,
+    UniformArrivals,
+    BlindWriteWorkload,
+    ReadModifyWriteWorkload,
+    TransferWorkload,
+    WorkloadParty,
+    run_workload,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "UniformArrivals",
+    "BlindWriteWorkload",
+    "ReadModifyWriteWorkload",
+    "TransferWorkload",
+    "WorkloadParty",
+    "run_workload",
+]

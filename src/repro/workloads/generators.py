@@ -1,0 +1,176 @@
+"""Workload generators: parties issuing transactions on a schedule.
+
+A *party* is one site issuing transactions at scheduled (simulated) times.
+Arrival processes are seeded and deterministic.  Workloads are factories of
+transaction bodies; :func:`run_workload` schedules every party's
+transactions on the session's discrete-event scheduler, runs to quiescence,
+and returns the collected outcomes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.model import ModelObject
+from repro.core.session import Session
+from repro.core.site import SiteRuntime
+from repro.core.transaction import TransactionOutcome
+from repro.errors import ReproError
+
+# ---------------------------------------------------------------------------
+# Arrival processes
+# ---------------------------------------------------------------------------
+
+
+class ArrivalProcess:
+    """Generates a deterministic schedule of event times (in ms)."""
+
+    def times(self, count: int, rng: random.Random) -> List[float]:
+        raise NotImplementedError
+
+
+class UniformArrivals(ArrivalProcess):
+    """Evenly spaced arrivals: one event every ``interval_ms``."""
+
+    def __init__(self, interval_ms: float, start_ms: float = 0.0) -> None:
+        if interval_ms <= 0:
+            raise ValueError("interval must be positive")
+        self.interval_ms = interval_ms
+        self.start_ms = start_ms
+
+    def times(self, count: int, rng: random.Random) -> List[float]:
+        return [self.start_ms + (i + 1) * self.interval_ms for i in range(count)]
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Poisson arrivals with mean inter-arrival ``mean_interval_ms``."""
+
+    def __init__(self, mean_interval_ms: float, start_ms: float = 0.0) -> None:
+        if mean_interval_ms <= 0:
+            raise ValueError("mean interval must be positive")
+        self.mean_interval_ms = mean_interval_ms
+        self.start_ms = start_ms
+
+    def times(self, count: int, rng: random.Random) -> List[float]:
+        out, t = [], self.start_ms
+        for _ in range(count):
+            t += rng.expovariate(1.0 / self.mean_interval_ms)
+            out.append(t)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Workload bodies
+# ---------------------------------------------------------------------------
+
+
+class BlindWriteWorkload:
+    """Pure blind writes — "e.g., a whiteboard or a collaborative form"
+    (section 5.1.2): no reads, so concurrency tests never fail."""
+
+    def __init__(self, obj: ModelObject, party_tag: int) -> None:
+        self.obj = obj
+        self.party_tag = party_tag
+        self._counter = 0
+
+    def __call__(self) -> Callable[[], None]:
+        self._counter += 1
+        value = self.party_tag * 1_000_000 + self._counter
+
+        def body() -> None:
+            self.obj.set(value)
+
+        return body
+
+
+class ReadModifyWriteWorkload:
+    """Read-then-write transactions — the rollback-prone workload of
+    section 5.2.2's third benchmark."""
+
+    def __init__(self, obj: ModelObject, increment: int = 1) -> None:
+        self.obj = obj
+        self.increment = increment
+
+    def __call__(self) -> Callable[[], None]:
+        def body() -> None:
+            self.obj.set(self.obj.get() + self.increment)
+
+        return body
+
+
+class TransferWorkload:
+    """Multi-object read-write transactions (the paper's XferTrans, Fig. 2)."""
+
+    def __init__(self, src: ModelObject, dst: ModelObject, amount: int = 1) -> None:
+        self.src = src
+        self.dst = dst
+        self.amount = amount
+
+    def __call__(self) -> Callable[[], None]:
+        def body() -> None:
+            self.src.set(self.src.get() - self.amount)
+            self.dst.set(self.dst.get() + self.amount)
+
+        return body
+
+
+# ---------------------------------------------------------------------------
+# Party + runner
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WorkloadParty:
+    """One site issuing ``count`` transactions per the arrival process."""
+
+    site: SiteRuntime
+    workload: Callable[[], Callable[[], None]]
+    arrivals: ArrivalProcess
+    count: int
+    outcomes: List[TransactionOutcome] = field(default_factory=list)
+
+
+def run_workload(
+    session: Session,
+    parties: Sequence[WorkloadParty],
+    seed: int = 0,
+    settle: bool = True,
+) -> Dict[str, Any]:
+    """Schedule every party's transactions; run the simulation to quiescence.
+
+    Returns summary statistics: per-party outcomes plus aggregate commit
+    latency and conflict counters (deltas over the run).
+    """
+    scheduler = session.scheduler
+    if scheduler is None:
+        raise ReproError("run_workload requires a simulated session")
+    rng = random.Random(seed)
+    counters_before = session.counters()
+
+    for party in parties:
+        times = party.arrivals.times(party.count, rng)
+        for t in times:
+            def fire(p=party):
+                body = p.workload()
+                p.outcomes.append(p.site.transact(body))
+
+            scheduler.call_at(scheduler.now + t, fire, label=f"txn@{party.site.name}")
+    if settle:
+        session.settle()
+
+    counters_after = session.counters()
+    deltas = {k: counters_after[k] - counters_before.get(k, 0) for k in counters_after}
+    all_outcomes = [o for p in parties for o in p.outcomes]
+    latencies = [o.commit_latency_ms for o in all_outcomes if o.commit_latency_ms is not None]
+    return {
+        "outcomes": all_outcomes,
+        "per_party": [list(p.outcomes) for p in parties],
+        "committed": sum(1 for o in all_outcomes if o.committed),
+        "aborted": sum(1 for o in all_outcomes if o.aborted_no_retry),
+        "attempts": sum(o.attempts for o in all_outcomes),
+        "mean_commit_latency_ms": sum(latencies) / len(latencies) if latencies else None,
+        "max_commit_latency_ms": max(latencies) if latencies else None,
+        "counters": deltas,
+    }

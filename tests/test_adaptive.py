@@ -1,0 +1,111 @@
+"""Tests for adaptive optimism suppression (section 5.2.2's proposal)."""
+
+import pytest
+
+from repro import Session
+from repro.core.adaptive import AdaptiveOptimismController
+
+
+def contended_pair(latency=60.0, seed=0):
+    session = Session.simulated(latency_ms=latency, seed=seed)
+    alice, bob = session.add_sites(2)
+    objs = session.replicate("int", "x", [alice, bob], initial=0)
+    session.settle()
+    return session, alice, bob, objs
+
+
+class TestController:
+    def test_validates_threshold(self):
+        session, alice, _, _ = contended_pair()
+        with pytest.raises(ValueError):
+            AdaptiveOptimismController(alice, enter_threshold=0.0)
+
+    def test_unsuppressed_is_transparent(self):
+        session, alice, bob, objs = contended_pair()
+        controller = AdaptiveOptimismController(alice)
+        out = controller.transact(lambda: objs[0].set(1))
+        session.settle()
+        assert out.committed
+        assert not controller.suppressed
+        assert objs[1].get() == 1
+
+    def test_conflict_rate_zero_initially(self):
+        session, alice, _, _ = contended_pair()
+        controller = AdaptiveOptimismController(alice)
+        assert controller.conflict_rate() == 0.0
+
+    def test_conflict_rate_reflects_retries(self):
+        session, alice, bob, objs = contended_pair()
+        controller = AdaptiveOptimismController(bob, enter_threshold=0.9)
+        # Generate conflicts: alice and bob read-modify-write concurrently.
+        for _ in range(6):
+            alice.transact(lambda: objs[0].set(objs[0].get() + 1))
+            controller.transact(lambda: objs[1].set(objs[1].get() + 1))
+        session.settle()
+        assert controller.conflict_rate() > 0.0
+
+    def test_suppression_engages_under_contention(self):
+        session, alice, bob, objs = contended_pair()
+        controller = AdaptiveOptimismController(bob, window=6, enter_threshold=0.1)
+        for _ in range(10):
+            alice.transact(lambda: objs[0].set(objs[0].get() + 1))
+            controller.transact(lambda: objs[1].set(objs[1].get() + 1))
+        session.settle()
+        assert controller.suppression_entries >= 1
+
+    def test_suppressed_transactions_all_apply(self):
+        session, alice, bob, objs = contended_pair()
+        controller = AdaptiveOptimismController(bob, window=4, enter_threshold=0.05)
+        outcomes = []
+        for _ in range(12):
+            alice.transact(lambda: objs[0].set(objs[0].get() + 1))
+            outcomes.append(
+                controller.transact(lambda: objs[1].set(objs[1].get() + 1))
+            )
+        session.settle()
+        assert all(o.committed for o in outcomes)
+        # Every increment from both sides took effect exactly once.
+        assert objs[0].get() == objs[1].get() == 24
+
+    def test_suppression_recovers(self):
+        session, alice, bob, objs = contended_pair()
+        controller = AdaptiveOptimismController(bob, window=4, enter_threshold=0.1)
+        # Phase 1: contention drives suppression on.
+        for _ in range(8):
+            alice.transact(lambda: objs[0].set(objs[0].get() + 1))
+            controller.transact(lambda: objs[1].set(objs[1].get() + 1))
+        session.settle()
+        engaged = controller.suppression_entries
+        # Phase 2: calm, conflict-free blind writes restore optimism.
+        for i in range(10):
+            controller.transact(lambda v=i: objs[1].set(1000 + v))
+            session.settle()
+        assert not controller.suppressed
+        assert engaged >= 1
+
+    def test_suppression_reduces_retries(self):
+        """The point of the mechanism: serialized submission under
+        contention produces fewer conflict retries than raw optimism."""
+
+        def run(with_controller):
+            session, alice, bob, objs = contended_pair(seed=9)
+            submit = None
+            if with_controller:
+                controller = AdaptiveOptimismController(
+                    bob, window=4, enter_threshold=0.05
+                )
+                submit = controller.transact
+            else:
+                submit = bob.transact
+            before = session.counters()["retries"]
+            for _ in range(15):
+                alice.transact(lambda: objs[0].set(objs[0].get() + 1))
+                submit(lambda: objs[1].set(objs[1].get() + 1))
+                session.run_for(30)
+            session.settle()
+            assert objs[0].get() == 30
+            return session.counters()["retries"] - before
+
+        raw = run(False)
+        governed = run(True)
+        assert governed <= raw

@@ -1,0 +1,191 @@
+"""Tests for the headless example applications (repro.apps)."""
+
+import pytest
+
+from repro import Session
+from repro.apps import AccountBook, ChatRoom, FormDocument, TransferTransaction, Whiteboard
+
+
+def pair_session(latency=20.0):
+    session = Session.simulated(latency_ms=latency)
+    alice, bob = session.add_sites(2)
+    return session, alice, bob
+
+
+class TestAccountBook:
+    def test_open_and_deposit(self):
+        session, alice, _ = pair_session()
+        book = AccountBook(alice)
+        book.open("checking", 100.0)
+        out = book.deposit("checking", 50.0)
+        session.settle()
+        assert out.committed
+        assert book.balance("checking") == 150.0
+
+    def test_transfer_success(self):
+        session, alice, _ = pair_session()
+        book = AccountBook(alice)
+        book.open("a", 100.0)
+        book.open("b", 0.0)
+        txn = book.transfer("a", "b", 40.0)
+        session.settle()
+        assert txn.outcome.committed
+        assert book.balance("a") == 60.0 and book.balance("b") == 40.0
+        assert book.total() == 100.0
+
+    def test_overdraft_aborts_without_retry(self):
+        session, alice, _ = pair_session()
+        book = AccountBook(alice)
+        book.open("a", 10.0)
+        book.open("b", 0.0)
+        txn = book.transfer("a", "b", 99.0)
+        session.settle()
+        assert not txn.outcome.committed
+        assert txn.outcome.attempts == 1
+        assert txn.abort_reason == "Can't transfer more than balance"
+        assert book.balance("a") == 10.0
+
+    def test_replicated_transfer_conserves_total(self):
+        session, alice, bob = pair_session()
+        a_accts = session.replicate("float", "checking", [alice, bob], initial=500.0)
+        b_accts = session.replicate("float", "savings", [alice, bob], initial=0.0)
+        alice_book = AccountBook(alice)
+        alice_book.adopt("checking", a_accts[0])
+        alice_book.adopt("savings", b_accts[0])
+        bob_book = AccountBook(bob)
+        bob_book.adopt("checking", a_accts[1])
+        bob_book.adopt("savings", b_accts[1])
+        alice_book.transfer("checking", "savings", 200.0)
+        bob_book.transfer("checking", "savings", 100.0)  # concurrent
+        session.settle()
+        assert alice_book.total() == bob_book.total() == 500.0
+        assert alice_book.balance("savings") == 300.0
+
+
+class TestChatRoom:
+    def test_messages_propagate(self):
+        session, alice, bob = pair_session()
+        logs = session.replicate("list", "chat", [alice, bob])
+        room_a = ChatRoom(alice, logs[0], author="alice")
+        room_b = ChatRoom(bob, logs[1], author="bob")
+        room_a.send("hello")
+        session.settle()
+        room_b.send("hi back")
+        session.settle()
+        assert room_a.transcript() == room_b.transcript()
+        assert room_a.transcript() == ["<alice> hello", "<bob> hi back"]
+
+    def test_concurrent_sends_converge(self):
+        session, alice, bob = pair_session(latency=60.0)
+        logs = session.replicate("list", "chat", [alice, bob])
+        room_a = ChatRoom(alice, logs[0], author="alice")
+        room_b = ChatRoom(bob, logs[1], author="bob")
+        room_a.send("first?")
+        room_b.send("no, me first")
+        session.settle()
+        assert room_a.transcript() == room_b.transcript()
+        assert room_a.message_count() == 2
+
+    def test_view_gets_commit_notifications(self):
+        session, alice, bob = pair_session()
+        logs = session.replicate("list", "chat", [alice, bob])
+        room_b = ChatRoom(bob, logs[1], author="bob")
+        room_b.send("msg")
+        session.settle()
+        assert room_b.view.committed_notifications >= 1
+
+
+class TestWhiteboard:
+    def test_draw_and_render(self):
+        session, alice, bob = pair_session()
+        boards = session.replicate("map", "board", [alice, bob])
+        wb_a, wb_b = Whiteboard(alice, boards[0]), Whiteboard(bob, boards[1])
+        sid, out = wb_a.draw("circle", 1, 2, color="red")
+        session.settle()
+        assert out.committed
+        assert wb_b.shapes()[sid] == {"kind": "circle", "x": 1.0, "y": 2.0, "color": "red"}
+        assert wb_b.rendered() == wb_b.shapes()
+
+    def test_move_preserves_kind_and_color(self):
+        session, alice, bob = pair_session()
+        boards = session.replicate("map", "board", [alice, bob])
+        wb = Whiteboard(alice, boards[0])
+        sid, _ = wb.draw("rect", 0, 0, color="blue")
+        session.settle()
+        wb.move(sid, 5, 6)
+        session.settle()
+        shape = wb.shapes()[sid]
+        assert (shape["x"], shape["y"]) == (5.0, 6.0)
+        assert shape["kind"] == "rect" and shape["color"] == "blue"
+
+    def test_erase(self):
+        session, alice, bob = pair_session()
+        boards = session.replicate("map", "board", [alice, bob])
+        wb_a, wb_b = Whiteboard(alice, boards[0]), Whiteboard(bob, boards[1])
+        sid, _ = wb_a.draw("dot", 0, 0)
+        session.settle()
+        wb_b.erase(sid)
+        session.settle()
+        assert wb_a.shapes() == {} and wb_b.shapes() == {}
+
+    def test_concurrent_draws_never_conflict(self):
+        session, alice, bob = pair_session(latency=80.0)
+        boards = session.replicate("map", "board", [alice, bob])
+        wb_a, wb_b = Whiteboard(alice, boards[0]), Whiteboard(bob, boards[1])
+        before = session.counters()["aborts_conflict"]
+        for i in range(5):
+            wb_a.draw("dot", i, 0, shape_id=f"a{i}")
+            wb_b.draw("dot", 0, i, shape_id=f"b{i}")
+        session.settle()
+        assert session.counters()["aborts_conflict"] == before
+        assert wb_a.shapes() == wb_b.shapes()
+        assert len(wb_a.shapes()) == 10
+
+
+class TestFormDocument:
+    def test_fill_and_audit(self):
+        session, alice, bob = pair_session()
+        forms = session.replicate("map", "form", [alice, bob])
+        doc_a, doc_b = FormDocument(alice, forms[0]), FormDocument(bob, forms[1])
+        doc_a.fill(name="X", age=30)
+        session.settle()
+        assert doc_b.fields() == {"name": "X", "age": 30}
+        # The audit trail contains only committed states.
+        assert doc_b.audit_trail()[-1] == {"name": "X", "age": 30}
+
+    def test_clear_field(self):
+        session, alice, bob = pair_session()
+        forms = session.replicate("map", "form", [alice, bob])
+        doc = FormDocument(alice, forms[0])
+        doc.fill(note="temp")
+        session.settle()
+        doc.clear("note")
+        session.settle()
+        assert doc.fields() == {}
+
+    def test_audit_never_sees_uncommitted(self):
+        session, alice, bob = pair_session(latency=100.0)
+        forms = session.replicate("map", "form", [alice, bob])
+        doc_a = FormDocument(alice, forms[0])
+        doc_b = FormDocument(bob, forms[1])
+        doc_b.fill(field="optimistic")
+        # Before commit, bob's audit trail must not include the new state.
+        assert all("field" not in state for state in doc_b.audit_trail())
+        session.settle()
+        assert doc_b.audit_trail()[-1] == {"field": "optimistic"}
+
+    def test_protection(self):
+        from repro.core.auth import ReadOnlyMonitor
+
+        session, alice, bob = pair_session()
+        forms = session.replicate("map", "form", [alice, bob])
+        doc = FormDocument(bob, forms[1])
+        doc.protect(ReadOnlyMonitor(owner="somebody-else"))
+        out = doc.fill(hack=1)
+        assert out.aborted_no_retry
+
+    def test_bool_rejected(self):
+        session, alice, _ = pair_session()
+        doc = FormDocument.create(alice)
+        out = doc.fill(flag=True)
+        assert out.aborted_no_retry

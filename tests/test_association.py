@@ -1,0 +1,93 @@
+"""Tests for association model objects (paper sections 2.1 / 2.6)."""
+
+import pytest
+
+from repro import Session, View
+
+
+@pytest.fixture()
+def site():
+    return Session().add_site("app")
+
+
+class TestAssociationValue:
+    def test_create_relationship(self, site):
+        assoc = site.create_association("a")
+        site.transact(lambda: assoc.create_relationship("r1"))
+        assert assoc.relationships() == ["r1"]
+        assert assoc.members("r1") == []
+
+    def test_record_join_and_leave(self, site):
+        assoc = site.create_association("a")
+
+        def body():
+            assoc.create_relationship("r1")
+            assoc.record_join("r1", "s0:x", 0)
+            assoc.record_join("r1", "s1:x", 1)
+
+        site.transact(body)
+        assert assoc.members("r1") == [("s0:x", 0), ("s1:x", 1)]
+        site.transact(lambda: assoc.record_leave("r1", "s0:x"))
+        assert assoc.members("r1") == [("s1:x", 1)]
+
+    def test_multiple_relationships(self, site):
+        assoc = site.create_association("a")
+
+        def body():
+            assoc.create_relationship("accounts")
+            assoc.create_relationship("documents")
+            assoc.record_join("accounts", "s0:bal", 0)
+
+        site.transact(body)
+        assert assoc.relationships() == ["accounts", "documents"]
+        assert assoc.members("documents") == []
+
+    def test_abort_rolls_back_membership(self, site):
+        assoc = site.create_association("a")
+        site.transact(lambda: assoc.create_relationship("r"))
+
+        def body():
+            assoc.record_join("r", "s0:x", 0)
+            raise RuntimeError("cancel")
+
+        site.transact(body)
+        assert assoc.members("r") == []
+
+    def test_invitation_fields(self, site):
+        assoc = site.create_association("a")
+        inv = assoc.make_invitation(note="hello")
+        assert inv.inviter_site == site.site_id
+        assert inv.assoc_uid == assoc.uid
+        assert inv.note == "hello"
+
+
+class TestAssociationViews:
+    def test_membership_changes_notify_views(self):
+        """Section 2.6: membership changes are signaled exactly like value
+        updates."""
+        session = Session.simulated(latency_ms=20)
+        alice, bob = session.add_sites(2)
+
+        class MembershipView(View):
+            def __init__(self):
+                self.seen = []
+
+            def update(self, changed, snapshot):
+                self.seen.append(snapshot.read(changed[0]))
+
+        a_obj = alice.create_int("x", 0)
+        assoc = alice.create_association("a")
+        alice.transact(lambda: assoc.create_relationship("r"))
+        session.settle()
+        alice.join(assoc, "r", a_obj)
+        session.settle()
+        view = MembershipView()
+        assoc.attach(view, "optimistic")
+        assoc_b = bob.import_invitation(assoc.make_invitation(), "a")
+        session.settle()
+        b_obj = bob.create_int("x", 0)
+        bob.join(assoc_b, "r", b_obj)
+        session.settle()
+        # The view observed the membership grow to two members.
+        final = dict(view.seen[-1])
+        assert len(final["r"]) == 2

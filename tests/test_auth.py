@@ -1,0 +1,82 @@
+"""Tests for authorization monitors."""
+
+import pytest
+
+from repro import Session
+from repro.core.auth import (
+    AllowListMonitor,
+    AuthorizationMonitor,
+    PredicateMonitor,
+    ReadOnlyMonitor,
+)
+from repro.errors import NotAuthorized
+
+
+@pytest.fixture()
+def site():
+    return Session().add_site("app", principal="alice")
+
+
+class TestMonitors:
+    def test_default_allows_everything(self, site):
+        x = site.create_int("x")
+        x.set_authorization(AuthorizationMonitor())
+        outcome = site.transact(lambda: x.set(1))
+        assert outcome.committed
+
+    def test_allow_list_denies_outsiders(self, site):
+        x = site.create_int("x")
+        x.set_authorization(AllowListMonitor(readers={"bob"}))
+        outcome = site.transact(lambda: x.get())
+        assert outcome.aborted_no_retry
+        assert "NotAuthorized" in outcome.abort_reason
+
+    def test_allow_list_writers_default_to_readers(self):
+        monitor = AllowListMonitor(readers={"alice"})
+        assert monitor.can_write("alice", None)
+        assert not monitor.can_write("bob", None)
+
+    def test_allow_list_separate_writers(self, site):
+        x = site.create_int("x")
+        x.set_authorization(AllowListMonitor(readers={"alice"}, writers={"bob"}))
+        assert site.transact(lambda: x.get()).committed
+        assert site.transact(lambda: x.set(1)).aborted_no_retry
+
+    def test_read_only_monitor(self, site):
+        x = site.create_int("x")
+        x.set_authorization(ReadOnlyMonitor(owner="bob"))
+        assert site.transact(lambda: x.get()).committed
+        assert site.transact(lambda: x.set(1)).aborted_no_retry
+
+    def test_predicate_monitor(self, site):
+        x = site.create_int("x", 5)
+        x.set_authorization(
+            PredicateMonitor(write=lambda principal, obj: obj.get() < 10)
+        )
+        assert site.transact(lambda: x.set(9)).committed
+
+    def test_write_denied_rolls_back_partial_transaction(self, site):
+        a = site.create_int("a")
+        b = site.create_int("b")
+        b.set_authorization(AllowListMonitor(readers=set()))
+
+        def body():
+            a.set(1)  # allowed
+            b.set(2)  # denied -> whole transaction aborts
+
+        outcome = site.transact(body)
+        assert outcome.aborted_no_retry
+        assert a.get() == 0 and b.get() == 0
+
+    def test_clearing_monitor(self, site):
+        x = site.create_int("x")
+        x.set_authorization(AllowListMonitor(readers=set()))
+        assert site.transact(lambda: x.set(1)).aborted_no_retry
+        x.set_authorization(None)
+        assert site.transact(lambda: x.set(1)).committed
+
+    def test_monitor_on_composite_gates_children_ops(self, site):
+        lst = site.create_list("l")
+        lst.set_authorization(AllowListMonitor(readers=set()))
+        outcome = site.transact(lambda: lst.append("int", 1))
+        assert outcome.aborted_no_retry

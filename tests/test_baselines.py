@@ -1,0 +1,135 @@
+"""Tests for the baseline comparator systems."""
+
+import pytest
+
+from repro.baselines import CentralizedSystem, GvtSystem, LockingSystem
+
+
+class TestGvtSystem:
+    def test_instant_local_echo(self):
+        system = GvtSystem(n_sites=4, latency_ms=50.0)
+        probe = system.issue_update(1, "v")
+        assert probe.local_echo_latency() == 0.0
+
+    def test_values_propagate(self):
+        system = GvtSystem(n_sites=3, latency_ms=50.0)
+        system.issue_update(0, 42)
+        system.run_for(60)
+        assert all(system.value_at(s) == 42 for s in range(3))
+
+    def test_commit_requires_token_rounds(self):
+        system = GvtSystem(n_sites=4, latency_ms=50.0)
+        system.run_for(500)  # let the token circulate a while
+        probe = system.issue_update(1, "x")
+        system.run_for(5000)
+        latency = probe.commit_latency_at(1)
+        assert latency is not None
+        # One ring round is N*t = 200ms; commit takes at least one round.
+        assert latency >= 200.0
+
+    def test_commit_latency_grows_with_network_size(self):
+        latencies = {}
+        for n in (3, 6, 12):
+            system = GvtSystem(n_sites=n, latency_ms=20.0)
+            system.run_for(1000)
+            probe = system.issue_update(1, "x")
+            system.run_for(20.0 * n * 6 + 2000)
+            latencies[n] = probe.commit_latency_at(1)
+        assert latencies[3] < latencies[6] < latencies[12]
+
+    def test_lww_convergence(self):
+        system = GvtSystem(n_sites=3, latency_ms=30.0)
+        system.issue_update(0, "a")
+        system.issue_update(2, "b")
+        system.run_for(5000)
+        values = {system.value_at(s) for s in range(3)}
+        assert len(values) == 1
+
+    def test_single_site_commits_instantly(self):
+        system = GvtSystem(n_sites=1, latency_ms=50.0)
+        probe = system.issue_update(0, 1)
+        assert probe.commit_latency_at(0) == 0.0
+
+
+class TestLockingSystem:
+    def test_local_echo_costs_round_trip_for_remote_site(self):
+        system = LockingSystem(n_sites=3, latency_ms=50.0)
+        probe = system.issue_update(1, "v")
+        system.settle()
+        assert probe.local_echo_latency() == 100.0  # 2t to get the lock
+
+    def test_primary_site_echoes_instantly(self):
+        system = LockingSystem(n_sites=3, latency_ms=50.0)
+        probe = system.issue_update(0, "v")
+        system.settle()
+        assert probe.local_echo_latency() == 0.0
+
+    def test_conflicting_requests_serialize(self):
+        system = LockingSystem(n_sites=3, latency_ms=50.0)
+        p1 = system.issue_update(1, "one")
+        p2 = system.issue_update(2, "two")
+        system.settle()
+        assert all(system.value_at(s) == system.value_at(0) for s in range(3))
+        # Both eventually applied; the second waited for the first's release.
+        assert p1.local_echo_ms is not None and p2.local_echo_ms is not None
+        assert abs(p2.local_echo_ms - p1.local_echo_ms) >= 100.0
+
+    def test_no_rollbacks_committed_equals_value(self):
+        system = LockingSystem(n_sites=2, latency_ms=10.0)
+        system.issue_update(1, 5)
+        system.settle()
+        assert system.committed_value_at(0) == system.value_at(0) == 5
+
+
+class TestCentralizedSystem:
+    def test_client_echo_costs_round_trip(self):
+        system = CentralizedSystem(n_sites=3, latency_ms=50.0)
+        probe = system.issue_update(2, "v")
+        system.settle()
+        assert probe.local_echo_latency() == 100.0
+
+    def test_server_echoes_instantly(self):
+        system = CentralizedSystem(n_sites=3, latency_ms=50.0)
+        probe = system.issue_update(0, "v")
+        system.settle()
+        assert probe.local_echo_latency() == 0.0
+
+    def test_all_clients_see_state(self):
+        system = CentralizedSystem(n_sites=4, latency_ms=25.0)
+        system.issue_update(3, 7)
+        system.settle()
+        assert all(system.value_at(s) == 7 for s in range(4))
+
+    def test_server_serializes_everything(self):
+        system = CentralizedSystem(n_sites=3, latency_ms=50.0)
+        system.issue_update(1, "one")
+        system.issue_update(2, "two")
+        system.settle()
+        values = {system.value_at(s) for s in range(3)}
+        assert len(values) == 1
+
+
+class TestHeadToHead:
+    def test_decaf_beats_baselines_on_local_echo(self):
+        """The paper's core responsiveness claim: replicated optimistic
+        execution echoes instantly; locking and centralized pay 2t."""
+        from repro import Session
+
+        session = Session.simulated(latency_ms=50.0)
+        alice, bob = session.add_sites(2)
+        a, b = session.replicate("int", "x", [alice, bob], initial=0)
+        session.settle()
+        out = bob.transact(lambda: b.set(1))
+        decaf_echo = out.local_apply_time_ms - out.start_time_ms
+
+        locking = LockingSystem(n_sites=2, latency_ms=50.0)
+        lock_probe = locking.issue_update(1, 1)
+        locking.settle()
+
+        central = CentralizedSystem(n_sites=2, latency_ms=50.0)
+        central_probe = central.issue_update(1, 1)
+        central.settle()
+
+        assert decaf_echo == 0.0
+        assert lock_probe.local_echo_latency() == 100.0
+        assert central_probe.local_echo_latency() == 100.0

@@ -1,0 +1,72 @@
+"""Contract tests for the benchmark suite itself.
+
+The CLI (`repro.cli`) and EXPERIMENTS.md both rely on structural
+conventions across `benchmarks/bench_e*.py`; these tests pin them so a new
+experiment cannot silently break the tooling.
+"""
+
+import importlib.util
+import os
+
+import pytest
+
+from repro.bench.report import Table
+
+
+def bench_modules():
+    directory = os.path.join(os.path.dirname(os.path.dirname(__file__)), "benchmarks")
+    out = []
+    for name in sorted(os.listdir(directory)):
+        if name.startswith("bench_e") and name.endswith(".py"):
+            out.append(os.path.join(directory, name))
+    return out
+
+
+def load(path):
+    name = "contract_" + os.path.splitext(os.path.basename(path))[0]
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestBenchConventions:
+    def test_all_thirteen_experiments_present(self):
+        ids = {os.path.basename(p).split("_")[1] for p in bench_modules()}
+        assert ids == {f"e{i}" for i in range(1, 14)}
+
+    def test_every_bench_has_run_experiment_and_doc(self):
+        for path in bench_modules():
+            module = load(path)
+            assert hasattr(module, "run_experiment"), path
+            assert (module.__doc__ or "").strip(), path
+            # The docstring names the paper section it reproduces.
+            assert "section" in module.__doc__ or "§" in module.__doc__, path
+
+    def test_every_bench_has_one_pytest_entry(self):
+        for path in bench_modules():
+            module = load(path)
+            tests = [n for n in dir(module) if n.startswith("test_")]
+            assert len(tests) == 1, path
+
+    @pytest.mark.parametrize(
+        "exp", ["bench_e1_commit_latency.py", "bench_e8_indirect.py"]
+    )
+    def test_run_experiment_returns_table_first(self, exp):
+        path = next(p for p in bench_modules() if p.endswith(exp))
+        result = load(path).run_experiment()
+        table = result[0] if isinstance(result, tuple) else result
+        assert isinstance(table, Table)
+        assert table.rows
+
+
+class TestResultsArtifacts:
+    def test_results_written_by_suite(self):
+        directory = os.path.join(
+            os.path.dirname(os.path.dirname(__file__)), "benchmarks", "results"
+        )
+        if not os.path.isdir(directory):
+            pytest.skip("benchmarks not yet run")
+        names = os.listdir(directory)
+        assert any(name.startswith("E1") for name in names)
+        assert any(name.startswith("E6") for name in names)

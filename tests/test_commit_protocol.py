@@ -1,0 +1,370 @@
+"""Integration tests for the distributed concurrency-control protocol.
+
+These exercise paper section 3 end-to-end on the simulated network:
+optimistic execution, RL/NC/RC guess validation at primary copies, summary
+commit/abort, automatic re-execution, blind-write semantics, delegated
+commit, and the paper's Fig. 4/5 worked example.
+"""
+
+import pytest
+
+from repro import Session
+
+
+def two_party(latency=50.0, **kwargs):
+    session = Session.simulated(latency_ms=latency, **kwargs)
+    alice, bob = session.add_sites(2)
+    a, b = session.replicate("int", "x", [alice, bob], initial=0)
+    session.settle()
+    return session, alice, bob, a, b
+
+
+class TestBasicPropagation:
+    def test_update_reaches_replica(self):
+        session, alice, bob, a, b = two_party()
+        alice.transact(lambda: a.set(7))
+        session.settle()
+        assert b.get() == 7
+
+    def test_update_from_non_primary_site(self):
+        session, alice, bob, a, b = two_party()
+        bob.transact(lambda: b.set(9))
+        session.settle()
+        assert a.get() == 9
+
+    def test_alternating_updates(self):
+        session, alice, bob, a, b = two_party()
+        for i in range(5):
+            site, obj = (alice, a) if i % 2 == 0 else (bob, b)
+            site.transact(lambda o=obj, v=i: o.set(v))
+            session.settle()
+        assert a.get() == b.get() == 4
+
+    def test_three_party_propagation(self):
+        session = Session.simulated(latency_ms=20)
+        sites = session.add_sites(3)
+        objs = session.replicate("int", "n", sites, initial=0)
+        sites[2].transact(lambda: objs[2].set(5))
+        session.settle()
+        assert [o.get() for o in objs] == [5, 5, 5]
+
+    def test_replica_value_is_optimistic_before_commit(self):
+        # Delegation would let alice (the delegate) commit at t; disable it
+        # so the summary commit takes the full origin round trip.
+        session, alice, bob, a, b = two_party(latency=100.0, delegation_enabled=False)
+        bob.transact(lambda: b.set(3))
+        # After one hop the update is visible at alice but not yet committed.
+        session.run_for(101)
+        assert a.get() == 3
+        assert not a.history.current().committed
+        session.settle()
+        assert a.history.current().committed
+
+
+class TestCommitLatency:
+    """The analytic model of section 5.1.1."""
+
+    def test_local_primary_commits_immediately(self):
+        session, alice, bob, a, b = two_party(latency=50.0)
+        outcome = alice.transact(lambda: a.set(1))  # primary is alice
+        assert outcome.committed
+        assert outcome.commit_latency_ms == 0.0
+
+    def test_single_remote_primary_commits_in_2t(self):
+        session, alice, bob, a, b = two_party(latency=50.0)
+        outcome = bob.transact(lambda: b.set(1))
+        session.settle()
+        assert outcome.commit_latency_ms == 100.0
+
+    def test_single_remote_primary_without_delegation_also_2t(self):
+        session, alice, bob, a, b = two_party(latency=50.0, delegation_enabled=False)
+        outcome = bob.transact(lambda: b.set(1))
+        session.settle()
+        assert outcome.commit_latency_ms == 100.0
+
+    def test_two_remote_primaries_commit_in_2t(self):
+        session = Session.simulated(latency_ms=50)
+        sites = session.add_sites(4)
+        w = session.replicate("int", "w", [sites[0], sites[1], sites[2]], initial=4)
+        y = session.replicate("int", "y", [sites[3], sites[1], sites[2]], initial=3)
+        # Primary of w is site 0; y's members are sites 3,1,2 so its primary
+        # is the minimum site among them (site 1)... choose an origin that
+        # is remote from both primaries: site 2.
+        def body():
+            w[2].set(w[2].get() + 1)
+            y[2].set(y[2].get() + 1)
+
+        outcome = sites[2].transact(body)
+        session.settle()
+        assert outcome.committed
+        assert outcome.commit_latency_ms == 100.0
+
+    def test_remote_sites_commit_within_3t(self):
+        session, alice, bob, a, b = two_party(latency=50.0, delegation_enabled=False)
+        bob.transact(lambda: b.set(1))
+        session.run_for(149)
+        assert not a.history.current().committed
+        session.run_for(2)  # 151 > 3t = 150
+        assert a.history.current().committed
+
+
+class TestGuessChecks:
+    def test_rl_conflict_aborts_and_retries(self):
+        """Two read-modify-writes race; one must abort and re-execute."""
+        session, alice, bob, a, b = two_party(latency=50.0)
+        alice.transact(lambda: a.set(a.get() + 1))
+        bob.transact(lambda: b.set(b.get() + 1))  # concurrent: read stale 0
+        session.settle()
+        # Both increments must take effect exactly once (serialized).
+        assert a.get() == b.get() == 2
+        assert session.counters()["retries"] >= 1
+
+    def test_blind_writes_never_conflict(self):
+        """Section 5.1.2: with only blind writes, concurrency tests never fail."""
+        session, alice, bob, a, b = two_party(latency=50.0)
+        before = session.counters()["aborts_conflict"]  # setup joins may retry
+        for i in range(5):
+            alice.transact(lambda v=i: a.set(v))
+            bob.transact(lambda v=i: b.set(100 + v))
+        session.settle()
+        assert session.counters()["aborts_conflict"] == before
+        assert a.get() == b.get()  # converged (last writer by VT wins)
+
+    def test_concurrent_blind_writes_converge_to_later_vt(self):
+        session, alice, bob, a, b = two_party(latency=50.0)
+        alice.transact(lambda: a.set(111))
+        bob.transact(lambda: b.set(222))
+        session.settle()
+        assert a.get() == b.get()
+        assert a.get() in (111, 222)
+
+    def test_rc_dependency_delays_commit(self):
+        """A transaction reading an uncommitted value cannot commit first."""
+        session, alice, bob, a, b = two_party(latency=50.0)
+        bob.transact(lambda: b.set(10))  # needs 2t to commit
+        # Immediately read the uncommitted value at bob and write another
+        # replicated object.
+        c_alice, c_bob = session.replicate("int", "c", [alice, bob], initial=0)
+        out2 = bob.transact(lambda: c_bob.set(b.get() + 5))
+        session.settle()
+        assert out2.committed
+        assert c_alice.get() == 15
+
+    def test_rc_abort_cascades(self):
+        """If the read-from transaction aborts, the reader aborts and retries."""
+        session = Session.simulated(latency_ms=50)
+        s0, s1, s2 = session.add_sites(3)
+        xs = session.replicate("int", "x", [s0, s1, s2], initial=0)
+        ys = session.replicate("int", "y", [s1, s2], initial=0)
+        # Create a conflict: s0 and s1 both read-modify-write x.
+        s0.transact(lambda: xs[0].set(xs[0].get() + 100))
+        t1 = s1.transact(lambda: xs[1].set(xs[1].get() + 1))
+        # s1 immediately reads its own uncommitted x into y (RC guess on t1).
+        t2 = s1.transact(lambda: ys[0].set(xs[1].get()))
+        session.settle()
+        # Everything settles consistently: x saw both increments, and y holds
+        # a committed value derived from a committed x.
+        assert [o.get() for o in xs] == [101, 101, 101]
+        assert t1.committed and t2.committed
+        assert ys[0].get() == ys[1].get()
+
+    def test_write_write_is_not_a_conflict_for_blind_writes(self):
+        """NC guesses only protect reads: two blind writes at different VTs
+        both commit, ordered by VT."""
+        session, alice, bob, a, b = two_party(latency=50.0)
+        out1 = alice.transact(lambda: a.set(1))
+        out2 = bob.transact(lambda: b.set(2))
+        session.settle()
+        assert out1.committed and out2.committed
+
+
+class TestDelegatedCommit:
+    def test_delegation_saves_messages(self):
+        session1, alice1, bob1, a1, b1 = two_party(latency=50.0)
+        base = session1.network.stats.messages_sent
+        bob1.transact(lambda: b1.set(1))
+        session1.settle()
+        with_delegation = session1.network.stats.messages_sent - base
+
+        session2, alice2, bob2, a2, b2 = two_party(latency=50.0, delegation_enabled=False)
+        base = session2.network.stats.messages_sent
+        bob2.transact(lambda: b2.set(1))
+        session2.settle()
+        without_delegation = session2.network.stats.messages_sent - base
+
+        assert with_delegation < without_delegation
+
+    def test_delegate_denial_retries_at_origin(self):
+        session, alice, bob, a, b = two_party(latency=50.0)
+        # alice writes, creating an entry bob's read misses.
+        alice.transact(lambda: a.set(5))
+        outcome = bob.transact(lambda: b.set(b.get() + 1))
+        session.settle()
+        assert outcome.committed
+        assert a.get() == b.get() == 6
+
+    def test_delegation_disabled_for_multi_primary(self):
+        session = Session.simulated(latency_ms=50)
+        sites = session.add_sites(4)
+        w = session.replicate("int", "w", [sites[0], sites[2]], initial=0)
+        y = session.replicate("int", "y", [sites[1], sites[2]], initial=0)
+
+        def body():
+            w[1].set(1)
+            y[1].set(2)
+
+        outcome = sites[2].transact(body)
+        session.settle()
+        assert outcome.committed
+        assert w[0].get() == 1 and y[0].get() == 2
+
+
+class TestPaperFig45Example:
+    """The worked example of section 3.1: transaction T reads W and X,
+    blind-writes Y, and read-modify-writes Z, with W,X replicated at sites
+    1,2,3 (primary 1) and Y,Z replicated at sites 2,3,4 (primary 4); T
+    originates at site 2."""
+
+    def make(self):
+        session = Session.simulated(latency_ms=50)
+        s1, s2, s3, s4 = session.add_sites(4)
+        # Force primaries: default selector picks min site, so replicate
+        # W,X owned by site 1 and Y,Z owned by site 4... min site of
+        # {1,2,3} is 1 (=site index 0 in our list). We map paper sites 1-4
+        # to runtime sites 0-3; W,X at {0,1,2} primary 0; Y,Z at {1,2,3}:
+        # min is 1, but the paper wants primary 4 (=3).  Use a custom
+        # selector for Y/Z via a max-site session? Simpler: accept primary
+        # 1 for Y,Z — the protocol structure (CONFIRM-READ to W/X primary,
+        # WRITE to Y/Z replicas+primary) is identical.
+        w = session.replicate("int", "w", [s1, s2, s3], initial=4)
+        x = session.replicate("int", "x", [s1, s2, s3], initial=2)
+        y = session.replicate("int", "y", [s2, s3, s4], initial=3)
+        z = session.replicate("int", "z", [s2, s3, s4], initial=6)
+        session.settle()
+        return session, (s1, s2, s3, s4), w, x, y, z
+
+    def test_transaction_T(self):
+        session, sites, w, x, y, z = self.make()
+        s1, s2, s3, s4 = sites
+
+        def T():
+            # if W + X > 5 then { Y := X; Z := Z + 3 } (reads W,X; blind-
+            # writes Y; read-modify-writes Z)
+            if w[1].get() + x[1].get() > 5:
+                y[0].set(x[1].get())
+                z[0].set(z[0].get() + 3)
+
+        outcome = s2.transact(T)
+        session.settle()
+        assert outcome.committed
+        assert [o.get() for o in y] == [2, 2, 2]
+        assert [o.get() for o in z] == [9, 9, 9]
+        # W and X unchanged everywhere.
+        assert [o.get() for o in w] == [4, 4, 4]
+        assert [o.get() for o in x] == [2, 2, 2]
+
+    def test_conflicting_write_to_read_set_aborts_T(self):
+        session, sites, w, x, y, z = self.make()
+        s1, s2, s3, s4 = sites
+
+        # s4 writes X's relationship? X lives at sites 0,1,2; write W from
+        # s3 concurrently with T reading it at s2.
+        def T():
+            if w[1].get() + x[1].get() > 5:
+                z[0].set(z[0].get() + 3)
+
+        s3.transact(lambda: w[2].set(w[2].get() + 10))
+        outcome = s2.transact(T)
+        session.settle()
+        assert outcome.committed  # after automatic re-execution
+        assert [o.get() for o in w] == [14, 14, 14]
+        assert [o.get() for o in z] == [9, 9, 9]
+
+
+class TestStragglers:
+    def test_straggler_write_is_ordered_by_vt(self):
+        """A slow link delivers an older write after a newer one; history
+        ordering by VT keeps the newer value current."""
+        session = Session.simulated(latency_ms=10)
+        s0, s1, s2 = session.add_sites(3)
+        xs = session.replicate("int", "x", [s0, s1, s2], initial=0)
+        session.settle()
+        # Make s1 -> s2 very slow so s1's write arrives at s2 after s0's.
+        from repro.sim.network import FixedLatency
+
+        session.network.set_link_latency(1, 2, FixedLatency(500.0))
+        s1.transact(lambda: xs[1].set(1))  # older VT, slow to reach s2
+        session.run_for(50)
+        s0.transact(lambda: xs[0].set(2))  # newer VT, fast
+        session.settle()
+        assert [o.get() for o in xs] == [2, 2, 2]
+
+    def test_commit_arriving_before_write_is_remembered(self):
+        """Delegated commits can outrun the origin's WRITE on a third site."""
+        session = Session.simulated(latency_ms=10)
+        s0, s1, s2 = session.add_sites(3)
+        xs = session.replicate("int", "x", [s0, s1, s2], initial=0)
+        session.settle()
+        from repro.sim.network import FixedLatency
+
+        # origin s2's write to s1 is slow; commit comes from s2 as well
+        # (FIFO), so instead slow the origin->s1 link and use delegation
+        # where the delegate (primary s0) sends COMMIT to s1 quickly.
+        session.network.set_link_latency(2, 1, FixedLatency(500.0))
+        outcome = s2.transact(lambda: xs[2].set(42))
+        session.settle()
+        assert outcome.committed
+        assert [o.get() for o in xs] == [42, 42, 42]
+        assert xs[1].history.current().committed
+
+
+class TestRetriesAndLiveness:
+    def test_heavy_contention_converges(self):
+        session = Session.simulated(latency_ms=20)
+        sites = session.add_sites(3)
+        xs = session.replicate("int", "x", sites, initial=0)
+        session.settle()
+        for round_ in range(4):
+            for i, site in enumerate(sites):
+                site.transact(lambda o=xs[i]: o.set(o.get() + 1))
+            session.settle()
+        values = [o.get() for o in xs]
+        assert values == [12, 12, 12]
+
+    def test_retry_limit_surfaces(self):
+        session, alice, bob, a, b = two_party(latency=50.0)
+        session.max_retries  # default high; build a session with 0 retries
+        s2 = Session.simulated(latency_ms=50, max_retries=0)
+        alice2, bob2 = s2.add_sites(2)
+        a2, b2 = s2.replicate("int", "x", [alice2, bob2], initial=0)
+        s2.settle()
+        alice2.transact(lambda: a2.set(a2.get() + 1))
+        out = bob2.transact(lambda: b2.set(b2.get() + 1))
+        s2.settle()
+        if not out.committed:
+            assert out.aborted_no_retry
+            assert "retry limit" in out.abort_reason
+
+
+class TestUserAborts:
+    def test_exception_aborts_without_retry_and_calls_handle_abort(self):
+        from repro import Transaction
+
+        session, alice, bob, a, b = two_party()
+        log = []
+
+        class Overdraft(Transaction):
+            def execute(self):
+                if a.get() < 100:
+                    raise RuntimeError("Can't transfer more than balance")
+                a.set(a.get() - 100)
+
+            def handle_abort(self, exc):
+                log.append(str(exc))
+
+        outcome = alice.run(Overdraft())
+        session.settle()
+        assert outcome.aborted_no_retry
+        assert log == ["Can't transfer more than balance"]
+        assert a.get() == 0 and b.get() == 0
+        assert outcome.attempts == 1

@@ -1,0 +1,175 @@
+"""Unit-level convergence tests for composite apply ordering.
+
+These drive ``apply_insert``/``apply_remove``/``apply_put`` directly, in
+different arrival orders, to verify the placement rules (predecessor
+identity + RGA skip) are order-insensitive — the property the integration
+tests rely on when stragglers interleave.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Session
+from repro.core.messages import SlotId
+from repro.vtime import VirtualTime
+
+
+def vt(counter, site=0):
+    return VirtualTime(counter, site)
+
+
+def fresh_list(name="l"):
+    site = Session().add_site(name + "-site")
+    return site.create_list(name)
+
+
+def fresh_map(name="m"):
+    site = Session().add_site(name + "-site")
+    return site.create_map(name)
+
+
+def contents(lst):
+    return lst.value_at(lst.current_value_vt())
+
+
+class TestListPlacement:
+    def test_chain_appends(self):
+        lst = fresh_list()
+        s1 = SlotId(vt(1), 0)
+        s2 = SlotId(vt(2), 0)
+        lst.apply_insert(s1, None, ("int", 1))
+        lst.apply_insert(s2, s1, ("int", 2))
+        assert contents(lst) == [1, 2]
+
+    def test_same_predecessor_orders_by_slot_id_desc(self):
+        """RGA rule: siblings after the same predecessor sort by descending
+        SlotId, so later (concurrent) inserts come first."""
+        a = fresh_list("a")
+        b = fresh_list("b")
+        head = SlotId(vt(1), 0)
+        x = SlotId(vt(5), 1)
+        y = SlotId(vt(7), 2)
+        for lst, order in ((a, (x, y)), (b, (y, x))):
+            lst.apply_insert(head, None, ("int", 0))
+            for slot in order:
+                lst.apply_insert(slot, head, ("string", f"s{slot.vt.counter}"))
+        assert contents(a) == contents(b) == [0, "s7", "s5"]
+
+    def test_all_arrival_orders_converge(self):
+        """Three inserts with a dependency chain: every arrival order that
+        respects resolvability yields the same sequence."""
+        head = SlotId(vt(1), 0)
+        mid = SlotId(vt(3), 1)
+        tail = SlotId(vt(5), 2)
+        ops = [
+            (head, None, ("int", 1)),
+            (mid, head, ("int", 2)),
+            (tail, mid, ("int", 3)),
+        ]
+        results = set()
+        for perm in itertools.permutations(ops):
+            lst = fresh_list()
+            pending = list(perm)
+            # Apply with retry-on-missing-predecessor, like the engine does.
+            while pending:
+                progressed = False
+                for op in list(pending):
+                    try:
+                        lst.apply_insert(*op)
+                        pending.remove(op)
+                        progressed = True
+                    except Exception:
+                        continue
+                assert progressed, "deadlocked on missing predecessor"
+            results.add(tuple(contents(lst)))
+        assert results == {(1, 2, 3)}
+
+    def test_remove_then_insert_after_tombstone(self):
+        """Tombstones keep ordering stable: an insert after a removed slot
+        still lands in the right place."""
+        lst = fresh_list()
+        s1 = SlotId(vt(1), 0)
+        s2 = SlotId(vt(2), 0)
+        lst.apply_insert(s1, None, ("int", 1))
+        lst.apply_insert(s2, s1, ("int", 2))
+        lst.apply_remove(vt(3), s1)
+        # A concurrent site inserted after s1 before learning of the remove.
+        s3 = SlotId(vt(4), 1)
+        lst.apply_insert(s3, s1, ("int", 99))
+        assert contents(lst) == [99, 2]
+
+    def test_duplicate_insert_rejected(self):
+        from repro.errors import ProtocolError
+
+        lst = fresh_list()
+        s1 = SlotId(vt(1), 0)
+        lst.apply_insert(s1, None, ("int", 1))
+        with pytest.raises(ProtocolError):
+            lst.apply_insert(s1, None, ("int", 1))
+
+    def test_missing_predecessor_raises_invalid_path(self):
+        from repro.errors import InvalidPath
+
+        lst = fresh_list()
+        with pytest.raises(InvalidPath):
+            lst.apply_insert(SlotId(vt(2), 0), SlotId(vt(1), 0), ("int", 1))
+
+    def test_missing_remove_target_raises(self):
+        from repro.errors import InvalidPath
+
+        lst = fresh_list()
+        with pytest.raises(InvalidPath):
+            lst.apply_remove(vt(2), SlotId(vt(1), 0))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seqs=st.permutations(list(range(5))),
+    )
+    def test_append_chain_any_order(self, seqs):
+        """A five-element append chain applied in any resolvable order
+        converges to the same list."""
+        slots = [SlotId(vt(i + 1), 0) for i in range(5)]
+        ops = [
+            (slots[i], slots[i - 1] if i else None, ("int", i)) for i in range(5)
+        ]
+        lst = fresh_list()
+        pending = [ops[i] for i in seqs]
+        while pending:
+            for op in list(pending):
+                try:
+                    lst.apply_insert(*op)
+                    pending.remove(op)
+                except Exception:
+                    continue
+        assert contents(lst) == [0, 1, 2, 3, 4]
+
+
+class TestMapOrdering:
+    def test_lww_regardless_of_arrival(self):
+        a = fresh_map("a")
+        b = fresh_map("b")
+        early, late = vt(5, 0), vt(9, 1)
+        a.apply_put(early, "k", ("int", 1))
+        a.apply_put(late, "k", ("int", 2))
+        b.apply_put(late, "k", ("int", 2))
+        b.apply_put(early, "k", ("int", 1))
+        assert a.value_at(a.current_value_vt()) == b.value_at(b.current_value_vt()) == {"k": 2}
+
+    def test_delete_vs_put_by_vt(self):
+        m = fresh_map()
+        m.apply_put(vt(5), "k", ("int", 1))
+        m.apply_delete(vt(9), "k")
+        assert m.value_at(m.current_value_vt()) == {}
+        m2 = fresh_map("m2")
+        m2.apply_delete(vt(5), "k")
+        m2.apply_put(vt(9), "k", ("int", 1))
+        assert m2.value_at(m2.current_value_vt()) == {"k": 1}
+
+    def test_straggler_put_visible_at_its_vt(self):
+        m = fresh_map()
+        m.apply_put(vt(9), "k", ("int", 2))
+        m.apply_put(vt(5), "k", ("int", 1))  # straggler
+        assert m.value_at(vt(7)) == {"k": 1}
+        assert m.value_at(vt(9)) == {"k": 2}

@@ -1,0 +1,206 @@
+"""Multi-site tests for indirect propagation through composites (section 3.2)."""
+
+import pytest
+
+from repro import Session
+from repro.sim.network import FixedLatency
+
+
+def list_pair(latency=20.0, **kwargs):
+    session = Session.simulated(latency_ms=latency, **kwargs)
+    alice, bob = session.add_sites(2)
+    la, lb = session.replicate("list", "doc", [alice, bob])
+    session.settle()
+    return session, alice, bob, la, lb
+
+
+def map_pair(latency=20.0, **kwargs):
+    session = Session.simulated(latency_ms=latency, **kwargs)
+    alice, bob = session.add_sites(2)
+    ma, mb = session.replicate("map", "board", [alice, bob])
+    session.settle()
+    return session, alice, bob, ma, mb
+
+
+def value(obj):
+    return obj.value_at(obj.current_value_vt())
+
+
+class TestListPropagation:
+    def test_append_propagates(self):
+        session, alice, bob, la, lb = list_pair()
+        alice.transact(lambda: la.append("string", "hello"))
+        session.settle()
+        assert value(lb) == ["hello"]
+
+    def test_insert_remove_propagate(self):
+        session, alice, bob, la, lb = list_pair()
+        alice.transact(lambda: [la.append("int", i) for i in (1, 3)])
+        session.settle()
+        bob.transact(lambda: lb.insert(1, "int", 2))
+        session.settle()
+        assert value(la) == value(lb) == [1, 2, 3]
+        alice.transact(lambda: la.remove(0))
+        session.settle()
+        assert value(la) == value(lb) == [2, 3]
+
+    def test_child_update_propagates_via_path(self):
+        """Updates to embedded children travel root-relative (indirect
+        propagation) and resolve by VT-tagged path at the destination."""
+        session, alice, bob, la, lb = list_pair()
+        alice.transact(lambda: la.append("int", 10))
+        session.settle()
+        bob.transact(lambda: lb.child_at(0).set(11))
+        session.settle()
+        assert value(la) == value(lb) == [11]
+
+    def test_deep_nesting_propagates(self):
+        session, alice, bob, la, lb = list_pair()
+
+        def build():
+            inner = la.append("list", [("string", "x")])
+            inner.append("map", {"k": ("int", 1)})
+
+        alice.transact(build)
+        session.settle()
+        assert value(lb) == [["x", {"k": 1}]]
+
+        def edit():
+            inner_b = lb.child_at(0)
+            inner_b.child_at(1).put("k2", "int", 2)
+
+        bob.transact(edit)
+        session.settle()
+        assert value(la) == [["x", {"k": 1, "k2": 2}]]
+
+    def test_concurrent_inserts_serialize_via_conflict(self):
+        """Two concurrent inserts into the same list conflict (structure
+        read-write); retry serializes them and replicas converge."""
+        session, alice, bob, la, lb = list_pair(latency=50.0)
+        alice.transact(lambda: la.append("string", "from-alice"))
+        bob.transact(lambda: lb.append("string", "from-bob"))  # concurrent
+        session.settle()
+        va, vb = value(la), value(lb)
+        assert va == vb
+        assert sorted(va) == ["from-alice", "from-bob"]
+
+    def test_concurrent_child_updates_to_different_children_commute(self):
+        session, alice, bob, la, lb = list_pair(latency=50.0)
+        alice.transact(lambda: [la.append("int", 0) for _ in range(2)])
+        session.settle()
+        alice.transact(lambda: la.child_at(0).set(100))
+        bob.transact(lambda: lb.child_at(1).set(200))  # concurrent, disjoint
+        session.settle()
+        assert value(la) == value(lb) == [100, 200]
+
+
+class TestBlockingOnMissingStructure:
+    def test_child_write_blocks_until_insert_arrives(self):
+        """Paper 3.2.1: propagation down the tree blocks until the earlier
+        structural update is received."""
+        session = Session.simulated(latency_ms=10)
+        s0, s1, s2 = session.add_sites(3)
+        lists = session.replicate("list", "doc", [s0, s1, s2])
+        session.settle()
+        # Make s0's messages to s2 very slow: s2 learns about the insert
+        # late, but s1's child update (which depends on it) arrives early.
+        session.network.set_link_latency(0, 2, FixedLatency(500.0))
+        holder = []
+        s0.transact(lambda: holder.append(lists[0].append("int", 1)))
+        session.run_for(50)  # insert reached s1, not s2
+        assert value(lists[1]) == [1]
+        assert value(lists[2]) == []
+        s1.transact(lambda: lists[1].child_at(0).set(2))
+        session.run_for(100)
+        # s2 received the child write but buffered it (missing predecessor).
+        assert value(lists[2]) == []
+        assert len(s2.engine.pending_propagates) >= 1
+        session.settle()
+        assert value(lists[2]) == [2]
+        assert not s2.engine.pending_propagates
+
+    def test_remove_blocks_until_insert_arrives(self):
+        session = Session.simulated(latency_ms=10)
+        s0, s1, s2 = session.add_sites(3)
+        lists = session.replicate("list", "doc", [s0, s1, s2])
+        session.settle()
+        session.network.set_link_latency(0, 2, FixedLatency(500.0))
+        s0.transact(lambda: lists[0].append("int", 1))
+        session.run_for(50)
+        s1.transact(lambda: lists[1].remove(0))
+        session.run_for(100)
+        assert value(lists[2]) == []
+        session.settle()
+        assert value(lists[2]) == []
+        assert [value(l) for l in lists] == [[], [], []]
+
+
+class TestMapPropagation:
+    def test_put_delete_propagate(self):
+        session, alice, bob, ma, mb = map_pair()
+        alice.transact(lambda: ma.put("title", "string", "draft"))
+        session.settle()
+        assert value(mb) == {"title": "draft"}
+        bob.transact(lambda: mb.delete("title"))
+        session.settle()
+        assert value(ma) == {}
+
+    def test_concurrent_puts_different_keys_commute(self):
+        session, alice, bob, ma, mb = map_pair(latency=50.0)
+        alice.transact(lambda: ma.put("a", "int", 1))
+        bob.transact(lambda: mb.put("b", "int", 2))
+        session.settle()
+        assert value(ma) == value(mb) == {"a": 1, "b": 2}
+
+    def test_concurrent_puts_same_key_lww(self):
+        """Map puts are blind writes: both commit; the later VT wins."""
+        session, alice, bob, ma, mb = map_pair(latency=50.0)
+        before = session.counters()["aborts_conflict"]
+        alice.transact(lambda: ma.put("k", "int", 1))
+        bob.transact(lambda: mb.put("k", "int", 2))
+        session.settle()
+        assert session.counters()["aborts_conflict"] == before
+        assert value(ma) == value(mb)
+        assert value(ma)["k"] in (1, 2)
+
+    def test_child_update_in_map(self):
+        session, alice, bob, ma, mb = map_pair()
+        alice.transact(lambda: ma.put("cell", "int", 5))
+        session.settle()
+        bob.transact(lambda: mb.child("cell").set(6))
+        session.settle()
+        assert value(ma) == {"cell": 6}
+
+
+class TestRollbackAcrossSites:
+    def test_aborted_insert_rolled_back_everywhere(self):
+        """An insert that loses a structure conflict is undone at replicas."""
+        session, alice, bob, la, lb = list_pair(latency=50.0)
+        alice.transact(lambda: la.append("string", "A"))
+        bob.transact(lambda: lb.append("string", "B"))
+        session.settle()
+        # Both eventually committed (one after retry); contents identical,
+        # no duplicated or phantom entries.
+        va = value(la)
+        assert value(lb) == va
+        assert sorted(va) == ["A", "B"]
+        assert len(va) == 2
+
+
+class TestMixedScalarComposite:
+    def test_transaction_spanning_scalar_and_composite(self):
+        session = Session.simulated(latency_ms=20)
+        alice, bob = session.add_sites(2)
+        counters = session.replicate("int", "count", [alice, bob], initial=0)
+        docs = session.replicate("list", "doc", [alice, bob])
+        session.settle()
+
+        def body():
+            docs[0].append("string", "entry")
+            counters[0].set(counters[0].get() + 1)
+
+        outcome = alice.transact(body)
+        session.settle()
+        assert outcome.committed
+        assert value(docs[1]) == ["entry"]
+        assert counters[1].get() == 1

@@ -1,0 +1,204 @@
+"""Tests for composite model objects (lists and maps) on a single site."""
+
+import pytest
+
+from repro import Session
+from repro.errors import ReproError
+
+
+@pytest.fixture()
+def site():
+    return Session().add_site("solo")
+
+
+class TestDList:
+    def test_empty(self, site):
+        lst = site.create_list("l")
+        site.transact(lambda: None)
+        assert lst.value_at(lst.current_value_vt()) == []
+
+    def test_append_scalars(self, site):
+        lst = site.create_list("l")
+
+        def body():
+            lst.append("int", 1)
+            lst.append("string", "two")
+            lst.append("float", 3.0)
+
+        site.transact(body)
+        assert lst.value_at(lst.current_value_vt()) == [1, "two", 3.0]
+
+    def test_insert_positions(self, site):
+        lst = site.create_list("l")
+        site.transact(lambda: (lst.append("int", 1), lst.append("int", 3)))
+        site.transact(lambda: lst.insert(1, "int", 2))
+        assert lst.value_at(lst.current_value_vt()) == [1, 2, 3]
+
+    def test_insert_at_head(self, site):
+        lst = site.create_list("l")
+        site.transact(lambda: lst.append("int", 2))
+        site.transact(lambda: lst.insert(0, "int", 1))
+        assert lst.value_at(lst.current_value_vt()) == [1, 2]
+
+    def test_insert_out_of_range(self, site):
+        lst = site.create_list("l")
+
+        def body():
+            lst.insert(5, "int", 1)
+
+        outcome = site.transact(body)
+        assert outcome.aborted_no_retry  # IndexError aborts without retry
+
+    def test_remove(self, site):
+        lst = site.create_list("l")
+        site.transact(lambda: [lst.append("int", i) for i in range(3)])
+        site.transact(lambda: lst.remove(1))
+        assert lst.value_at(lst.current_value_vt()) == [0, 2]
+
+    def test_removed_slot_is_tombstoned_not_deleted(self, site):
+        lst = site.create_list("l")
+        site.transact(lambda: lst.append("int", 7))
+        before_vt = lst.current_value_vt()
+        site.transact(lambda: lst.remove(0))
+        # The old snapshot still sees the element (MVCC).
+        assert lst.value_at(before_vt) == [7]
+        assert lst.value_at(lst.current_value_vt()) == []
+
+    def test_child_handles_are_model_objects(self, site):
+        lst = site.create_list("l")
+        created = []
+        site.transact(lambda: created.append(lst.append("int", 5)))
+        child = created[0]
+        site.transact(lambda: child.set(6))
+        assert lst.value_at(lst.current_value_vt()) == [6]
+
+    def test_child_at_and_index_of(self, site):
+        lst = site.create_list("l")
+        site.transact(lambda: [lst.append("int", i * 10) for i in range(3)])
+
+        def body():
+            child = lst.child_at(2)
+            assert lst.index_of(child) == 2
+            assert child.get() == 20
+
+        site.transact(body)
+
+    def test_len_inside_txn(self, site):
+        lst = site.create_list("l")
+        lengths = []
+        site.transact(lambda: (lst.append("int", 1), lengths.append(len(lst))))
+        assert lengths == [1]
+
+    def test_nested_lists(self, site):
+        lst = site.create_list("l")
+        inner_holder = []
+
+        def body():
+            inner = lst.append("list", [("int", 1), ("int", 2)])
+            inner_holder.append(inner)
+
+        site.transact(body)
+        assert lst.value_at(lst.current_value_vt()) == [[1, 2]]
+        inner = inner_holder[0]
+        site.transact(lambda: inner.append("int", 3))
+        assert lst.value_at(lst.current_value_vt()) == [[1, 2, 3]]
+
+    def test_children_list(self, site):
+        lst = site.create_list("l")
+        site.transact(lambda: [lst.append("int", i) for i in range(2)])
+
+        def body():
+            kids = lst.children()
+            assert [k.get() for k in kids] == [0, 1]
+
+        site.transact(body)
+
+    def test_abort_rolls_back_insert(self, site):
+        lst = site.create_list("l")
+
+        def body():
+            lst.append("int", 1)
+            raise RuntimeError("user abort")
+
+        outcome = site.transact(body)
+        assert outcome.aborted_no_retry
+        assert lst.value_at(lst.current_value_vt()) == []
+
+    def test_path_from_root(self, site):
+        lst = site.create_list("l")
+        holder = []
+        site.transact(lambda: holder.append(lst.append("list", [("int", 9)])))
+        inner = holder[0]
+
+        def body():
+            grand = inner.child_at(0)
+            path = grand.path_from_root()
+            assert len(path) == 2
+            assert path[0].embed_vt == inner.embed_vt
+
+        site.transact(body)
+
+
+class TestDMap:
+    def test_put_and_read(self, site):
+        m = site.create_map("m")
+        site.transact(lambda: m.put("a", "int", 1))
+        assert m.value_at(m.current_value_vt()) == {"a": 1}
+
+    def test_put_replaces(self, site):
+        m = site.create_map("m")
+        site.transact(lambda: m.put("a", "int", 1))
+        site.transact(lambda: m.put("a", "int", 2))
+        assert m.value_at(m.current_value_vt()) == {"a": 2}
+
+    def test_delete(self, site):
+        m = site.create_map("m")
+        site.transact(lambda: (m.put("a", "int", 1), m.put("b", "int", 2)))
+        site.transact(lambda: m.delete("a"))
+        assert m.value_at(m.current_value_vt()) == {"b": 2}
+
+    def test_delete_is_mvcc(self, site):
+        m = site.create_map("m")
+        site.transact(lambda: m.put("a", "int", 1))
+        before = m.current_value_vt()
+        site.transact(lambda: m.delete("a"))
+        assert m.value_at(before) == {"a": 1}
+
+    def test_keys_has_child(self, site):
+        m = site.create_map("m")
+        site.transact(lambda: (m.put("x", "int", 1), m.put("y", "int", 2)))
+
+        def body():
+            assert m.keys() == ["x", "y"]
+            assert m.has("x") and not m.has("z")
+            assert m.child("y").get() == 2
+            with pytest.raises(KeyError):
+                m.child("z")
+
+        site.transact(body)
+
+    def test_nested_map_in_list(self, site):
+        lst = site.create_list("l")
+        holder = []
+        site.transact(
+            lambda: holder.append(lst.append("map", {"k": ("string", "v")}))
+        )
+        assert lst.value_at(lst.current_value_vt()) == [{"k": "v"}]
+        inner = holder[0]
+        site.transact(lambda: inner.put("k2", "int", 7))
+        assert lst.value_at(lst.current_value_vt()) == [{"k": "v", "k2": 7}]
+
+    def test_abort_rolls_back_put(self, site):
+        m = site.create_map("m")
+
+        def body():
+            m.put("a", "int", 1)
+            raise RuntimeError("no")
+
+        site.transact(body)
+        assert m.value_at(m.current_value_vt()) == {}
+
+    def test_writes_require_txn(self, site):
+        m = site.create_map("m")
+        with pytest.raises(ReproError):
+            m.put("a", "int", 1)

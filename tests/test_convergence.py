@@ -1,0 +1,163 @@
+"""Randomized convergence tests: replicas agree after quiescence.
+
+The central safety property of the paper's optimistic algorithm is that
+after the system quiesces, every replica holds the same committed value and
+every committed transaction took effect exactly once, in VT order.  These
+tests drive randomized workloads over the simulated network (with jitter,
+so stragglers and conflicts actually occur) and check convergence.
+"""
+
+import random
+
+import pytest
+
+from repro import Session
+from repro.sim.network import UniformLatency
+
+
+def value(obj):
+    return obj.value_at(obj.current_value_vt())
+
+
+def build_session(n_sites, seed, kind="int", jitter=(5.0, 80.0)):
+    session = Session.simulated(latency_ms=40, seed=seed)
+    session.network.default_latency = UniformLatency(*jitter)
+    sites = session.add_sites(n_sites)
+    objs = session.replicate(kind, "obj", sites, initial=0 if kind == "int" else None)
+    session.settle()
+    return session, sites, objs
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_blind_write_convergence(seed):
+    session, sites, objs = build_session(3, seed)
+    rng = random.Random(seed)
+    for step in range(30):
+        i = rng.randrange(len(sites))
+        sites[i].transact(lambda o=objs[i], v=step: o.set(v))
+        if rng.random() < 0.3:
+            session.run_for(rng.uniform(0, 120))
+    session.settle()
+    values = [value(o) for o in objs]
+    assert len(set(values)) == 1, f"divergence: {values}"
+    assert all(o.history.current().committed for o in objs)
+
+
+@pytest.mark.parametrize("seed", [10, 11, 12])
+def test_read_modify_write_serializes(seed):
+    """Every committed increment takes effect exactly once."""
+    session, sites, objs = build_session(3, seed)
+    rng = random.Random(seed)
+    outcomes = []
+    for step in range(20):
+        i = rng.randrange(len(sites))
+        outcomes.append(sites[i].transact(lambda o=objs[i]: o.set(o.get() + 1)))
+        if rng.random() < 0.4:
+            session.run_for(rng.uniform(0, 150))
+    session.settle()
+    committed = sum(1 for o in outcomes if o.committed)
+    values = [value(o) for o in objs]
+    assert len(set(values)) == 1
+    assert values[0] == committed
+    assert committed == 20  # all retried to success
+
+
+@pytest.mark.parametrize("seed", [20, 21])
+def test_list_convergence_under_concurrent_edits(seed):
+    session, sites, lists = build_session(3, seed, kind="list")
+    rng = random.Random(seed)
+    for step in range(12):
+        i = rng.randrange(len(sites))
+        site, lst = sites[i], lists[i]
+        action = rng.random()
+
+        def body(lst=lst, action=action, step=step, i=i):
+            n = len(lst)
+            if action < 0.6 or n == 0:
+                lst.insert(rng.randrange(n + 1), "string", f"s{i}.{step}")
+            elif action < 0.8:
+                lst.remove(rng.randrange(n))
+            else:
+                lst.child_at(rng.randrange(n)).set(f"edit{i}.{step}")
+
+        site.transact(body)
+        session.run_for(rng.uniform(0, 200))
+    session.settle()
+    finals = [value(l) for l in lists]
+    assert finals[0] == finals[1] == finals[2], f"divergence: {finals}"
+
+
+@pytest.mark.parametrize("seed", [30, 31])
+def test_map_convergence_with_lww(seed):
+    session, sites, maps = build_session(3, seed, kind="map")
+    rng = random.Random(seed)
+    keys = ["a", "b", "c"]
+    for step in range(25):
+        i = rng.randrange(len(sites))
+        key = rng.choice(keys)
+        if rng.random() < 0.8:
+            sites[i].transact(lambda m=maps[i], k=key, v=step: m.put(k, "int", v))
+        else:
+            sites[i].transact(lambda m=maps[i], k=key: m.delete(k))
+        session.run_for(rng.uniform(0, 100))
+    session.settle()
+    finals = [value(m) for m in maps]
+    assert finals[0] == finals[1] == finals[2], f"divergence: {finals}"
+
+
+def test_mixed_objects_and_views_converge():
+    session = Session.simulated(latency_ms=30, seed=42)
+    session.network.default_latency = UniformLatency(5.0, 60.0)
+    sites = session.add_sites(3)
+    ints = session.replicate("int", "n", sites, initial=0)
+    lists = session.replicate("list", "l", sites)
+    session.settle()
+
+    from repro import View
+
+    class Latest(View):
+        def __init__(self):
+            self.latest = None
+
+        def update(self, changed, snapshot):
+            self.latest = [snapshot.read(c) for c in changed]
+
+    views = []
+    for i, site in enumerate(sites):
+        v = Latest()
+        site.views.attach(v, [ints[i], lists[i]], "optimistic")
+        views.append(v)
+
+    rng = random.Random(7)
+    for step in range(15):
+        i = rng.randrange(3)
+
+        def body(i=i, step=step):
+            ints[i].set(ints[i].get() + 1)
+            lists[i].append("int", step)
+
+        sites[i].transact(body)
+        session.run_for(rng.uniform(0, 100))
+    session.settle()
+    assert len({value(o) for o in ints}) == 1
+    final_lists = [tuple(value(l)) for l in lists]
+    assert len(set(final_lists)) == 1
+    assert value(ints[0]) == 15
+    assert len(final_lists[0]) == 15
+
+
+def test_quiescence_commits_everything():
+    """After settle, no uncommitted state remains anywhere."""
+    session, sites, objs = build_session(4, seed=99)
+    rng = random.Random(99)
+    for step in range(20):
+        i = rng.randrange(4)
+        sites[i].transact(lambda o=objs[i], v=step: o.set(v + 1000))
+    session.settle()
+    for site in sites:
+        for obj in site.objects.values():
+            if hasattr(obj, "history"):
+                assert obj.history.current().committed, obj.uid
+    for site in sites:
+        assert not site.engine.pending_propagates
+        assert not site.engine.deps.pending_vts()

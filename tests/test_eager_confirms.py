@@ -1,0 +1,90 @@
+"""Tests for the eager write-confirmation optimization (section 5.3)."""
+
+import pytest
+
+from repro import Session, View
+
+
+class Probe(View):
+    def __init__(self, site):
+        self.site = site
+        self.updates = []
+
+    def update(self, changed, snapshot):
+        self.updates.append((self.site.transport.now(), [snapshot.read(c) for c in changed]))
+
+    def first_seen(self, value):
+        for t, values in self.updates:
+            if value in values:
+                return t
+        return None
+
+
+def third_party(eager, latency=50.0):
+    session = Session.simulated(latency_ms=latency, eager_view_confirms=eager)
+    sites = session.add_sites(3)
+    objs = session.replicate("int", "x", sites, initial=0)
+    session.settle()
+    return session, sites, objs
+
+
+class TestCorrectness:
+    def test_results_identical_with_and_without(self):
+        for eager in (False, True):
+            session, sites, objs = third_party(eager)
+            for i in range(4):
+                sites[i % 3].transact(lambda o=objs[i % 3]: o.set(o.get() + 1))
+                session.run_for(30)
+            session.settle()
+            assert [o.get() for o in objs] == [4, 4, 4], f"eager={eager}"
+            assert all(o.history.current().committed for o in objs)
+
+    def test_pessimistic_guarantees_hold_with_eager(self):
+        session, sites, objs = third_party(True)
+        probe = Probe(sites[1])
+        objs[1].attach(probe, "pessimistic")
+        for v in (1, 2, 3):
+            sites[2].transact(lambda o=objs[2], vv=v: o.set(o.get() + 1))
+            session.settle()
+        seen = [vals[0] for _, vals in probe.updates]
+        assert seen == [0, 1, 2, 3]  # lossless, monotonic, committed only
+
+
+class TestLatency:
+    def test_third_site_pessimistic_drops_to_2t(self):
+        """Without eager confirms a third site's pessimistic view needs its
+        own CONFIRM-READ round trip (3t); with them it resolves at 2t."""
+        latencies = {}
+        for eager in (False, True):
+            session, sites, objs = third_party(eager)
+            probe = Probe(sites[1])  # neither origin (2) nor primary (0)
+            objs[1].attach(probe, "pessimistic")
+            t0 = session.scheduler.now
+            # Read-modify-write: the primary confirms a non-trivial interval.
+            sites[2].transact(lambda: objs[2].set(objs[2].get() + 41))
+            session.settle()
+            latencies[eager] = probe.first_seen(41) - t0
+        assert latencies[False] == pytest.approx(150.0)  # 3t
+        assert latencies[True] == pytest.approx(100.0)  # 2t
+
+    def test_blind_writes_unaffected(self):
+        """A blind write confirms no interval, so there is nothing to
+        distribute eagerly; latency stays at 3t either way."""
+        for eager in (False, True):
+            session, sites, objs = third_party(eager)
+            probe = Probe(sites[1])
+            objs[1].attach(probe, "pessimistic")
+            t0 = session.scheduler.now
+            sites[2].transact(lambda: objs[2].set(77))
+            session.settle()
+            assert probe.first_seen(77) - t0 == pytest.approx(150.0)
+
+    def test_extra_messages_accounted(self):
+        counts = {}
+        for eager in (False, True):
+            session, sites, objs = third_party(eager)
+            base = session.network.stats.messages_sent
+            sites[2].transact(lambda: objs[2].set(objs[2].get() + 1))
+            session.settle()
+            counts[eager] = session.network.stats.messages_sent - base
+        assert counts[True] > counts[False]  # the optimization costs messages

@@ -1,0 +1,165 @@
+"""Edge-case tests for the failure protocols: cascading failures,
+coordinator loss, failures during joins, and stability-bound GC."""
+
+import pytest
+
+from repro import Session
+from repro.sim.network import FixedLatency
+from repro.vtime import VirtualTime
+
+
+def quad(latency=20.0, **kwargs):
+    session = Session.simulated(latency_ms=latency, **kwargs)
+    sites = session.add_sites(4)
+    objs = session.replicate("int", "x", sites, initial=0)
+    session.settle()
+    return session, sites, objs
+
+
+class TestCoordinatorFailure:
+    def test_coordinator_dies_after_peer(self):
+        """The minimum surviving site coordinates; if IT then fails, the
+        next minimum takes over on the second notification."""
+        session, sites, objs = quad()
+        session.network.fail_site(3)  # plain replica first
+        session.settle()
+        # Site 0 coordinated the resolution/repair.  Now site 0 dies too.
+        session.network.fail_site(0)
+        session.settle()
+        assert objs[1].graph().sites() == [1, 2]
+        out = sites[2].transact(lambda: objs[2].set(9))
+        session.settle()
+        assert out.committed
+        assert objs[1].get() == 9
+
+    def test_rapid_double_failure(self):
+        """Two failures in quick succession (second during the first's
+        protocol) still converge."""
+        session, sites, objs = quad()
+        session.network.fail_site(0, notify_after_ms=0.0)
+        session.network.fail_site(1, notify_after_ms=5.0)
+        session.settle()
+        assert objs[2].graph().sites() == [2, 3]
+        sites[3].transact(lambda: objs[3].set(4))
+        session.settle()
+        assert objs[2].get() == 4
+
+
+class TestFailureDuringJoin:
+    def test_join_target_fails_before_reply(self):
+        """B crashes after the join request is sent; the joiner's blocked
+        transaction must not commit a half-joined state."""
+        session = Session.simulated(latency_ms=50)
+        alice, bob = session.add_sites(2)
+        a_obj = alice.create_int("x", 5)
+        assoc = alice.create_association("x.assoc")
+        alice.transact(lambda: assoc.create_relationship("x.rel"))
+        session.settle()
+        alice.join(assoc, "x.rel", a_obj)
+        session.settle()
+        assoc_b = bob.import_invitation(assoc.make_invitation(), "x.assoc")
+        session.settle()
+        b_obj = bob.create_int("x", 0)
+        out = bob.join(assoc_b, "x.rel", b_obj)
+        # Crash alice before the reply can arrive.
+        session.network.fail_site(0)
+        session.settle()
+        # The join cannot have succeeded; bob's object stays standalone and
+        # usable.
+        assert not out.committed
+        assert b_obj.graph().is_singleton()
+        bob.transact(lambda: b_obj.set(1))
+        session.settle()
+        assert b_obj.get() == 1
+
+
+class TestStabilityBound:
+    def test_bound_is_min_over_sites(self):
+        session, sites, objs = quad()
+        site = sites[0]
+        bound = site.stability_bound([0, 1, 2, 3])
+        expected = min(
+            [site.clock.counter]
+            + [site.last_heard.get(s, 0) for s in (1, 2, 3)]
+        )
+        assert bound == VirtualTime(expected, -1)
+
+    def test_own_site_uses_clock(self):
+        session = Session.simulated(latency_ms=10)
+        site = session.add_site()
+        site.create_int("x")
+        site.transact(lambda: site.objects["s0:x"].set(1))
+        assert site.stability_bound([0]).counter == site.clock.counter
+
+    def test_unheard_site_pins_bound_at_zero(self):
+        session = Session.simulated(latency_ms=10)
+        a = session.add_site()
+        b = session.add_site()
+        assert a.stability_bound([0, 1]).counter == 0
+
+    def test_gc_respects_slow_silent_site(self):
+        """A replica site that has not spoken recently pins history: its
+        in-flight (stale-VT) transactions must stay checkable."""
+        session = Session.simulated(latency_ms=10)
+        s0, s1, s2 = session.add_sites(3)
+        objs = session.replicate("int", "x", [s0, s1, s2], initial=0)
+        session.settle()
+        # Cut s2 off (very slow outgoing links): it goes silent.
+        session.network.set_link_latency(2, 0, FixedLatency(100000.0))
+        session.network.set_link_latency(2, 1, FixedLatency(100000.0))
+        heard_before = dict(s0.last_heard)
+        for v in range(1, 6):
+            s0.transact(lambda vv=v: objs[0].set(vv))
+            session.run_for(50)
+        # History at the primary retains everything since s2 went silent.
+        silent_counter = heard_before.get(2, 0)
+        retained = [e.vt for e in objs[0].history]
+        assert retained[0].counter <= silent_counter + 1
+
+    def test_reservations_survive_until_stability(self):
+        """The regression scenario behind the stability-bound fix: a
+        read-modify-write from a stale-clocked site must still be caught."""
+        session = Session.simulated(latency_ms=10)
+        s0, s1, s2 = session.add_sites(3)
+        objs = session.replicate("int", "x", [s0, s1, s2], initial=0)
+        session.settle()
+        # s2 reads x=0 now, then is partitioned off while s0 churns.
+        session.network.set_link_latency(0, 2, FixedLatency(100000.0))
+        session.network.set_link_latency(1, 2, FixedLatency(100000.0))
+        for _ in range(3):
+            s0.transact(lambda: objs[0].set(objs[0].get() + 1))
+            session.run_for(50)
+        assert objs[0].get() == 3
+        # s2's clock is stale; it issues an increment against its old view.
+        out = s2.transact(lambda: objs[2].set(objs[2].get() + 1))
+        # Reconnect: the stale transaction reaches the primary.
+        session.network.set_link_latency(0, 2, FixedLatency(10.0))
+        session.network.set_link_latency(1, 2, FixedLatency(10.0))
+        session.network.set_link_latency(2, 0, FixedLatency(10.0))
+        session.network.set_link_latency(2, 1, FixedLatency(10.0))
+        session.settle()
+        # The increment must not be lost OR double-applied: final = 4.
+        assert out.committed
+        assert [o.get() for o in objs] == [4, 4, 4]
+
+
+class TestClockMerging:
+    def test_clocks_converge_through_traffic(self):
+        session = Session.simulated(latency_ms=10)
+        alice, bob = session.add_sites(2)
+        objs = session.replicate("int", "x", [alice, bob], initial=0)
+        session.settle()
+        alice.transact(lambda: objs[0].set(1))
+        session.settle()
+        assert abs(alice.clock.counter - bob.clock.counter) <= 2
+
+    def test_last_heard_monotone(self):
+        session = Session.simulated(latency_ms=10)
+        alice, bob = session.add_sites(2)
+        objs = session.replicate("int", "x", [alice, bob], initial=0)
+        session.settle()
+        h1 = bob.last_heard.get(0, 0)
+        alice.transact(lambda: objs[0].set(1))
+        session.settle()
+        h2 = bob.last_heard.get(0, 0)
+        assert h2 >= h1

@@ -1,0 +1,149 @@
+"""Tests for client failure handling (paper section 3.4)."""
+
+import pytest
+
+from repro import Session
+from repro.sim.network import FixedLatency
+
+
+def triple(latency=20.0, **kwargs):
+    session = Session.simulated(latency_ms=latency, **kwargs)
+    sites = session.add_sites(3)
+    objs = session.replicate("int", "x", sites, initial=0)
+    session.settle()
+    return session, sites, objs
+
+
+class TestGraphRepair:
+    def test_replica_site_failure_repairs_graphs(self):
+        session, sites, objs = triple()
+        s0, s1, s2 = sites
+        # s2 (a plain replica; primary is s0) fails.
+        session.network.fail_site(2)
+        session.settle()
+        assert 2 not in objs[0].graph().sites()
+        assert 2 not in objs[1].graph().sites()
+        # Updates continue among survivors.
+        s1.transact(lambda: objs[1].set(5))
+        session.settle()
+        assert objs[0].get() == 5
+
+    def test_primary_site_failure_uses_consensus(self):
+        """The circularity case: the failed site was the primary, so the
+        graph update cannot use the primary-based protocol."""
+        session, sites, objs = triple()
+        s0, s1, s2 = sites
+        assert objs[1].primary_site() == 0
+        session.network.fail_site(0)
+        session.settle()
+        # Survivors repaired the graph by consensus at a common VT.
+        assert objs[1].graph().sites() == [1, 2]
+        assert objs[2].graph().sites() == [1, 2]
+        assert objs[1].graph_history().current().committed
+        # A new primary is implied by the repaired graph.
+        assert objs[1].primary_site() == 1
+        total_repaired = sum(s.failures.graphs_repaired for s in (s1, s2))
+        assert total_repaired >= 2
+
+    def test_updates_work_after_primary_failover(self):
+        session, sites, objs = triple()
+        s0, s1, s2 = sites
+        session.network.fail_site(0)
+        session.settle()
+        out = s2.transact(lambda: objs[2].set(77))
+        session.settle()
+        assert out.committed
+        assert objs[1].get() == 77
+
+
+class TestInflightResolution:
+    def test_committed_inflight_transaction_is_committed_everywhere(self):
+        """If any survivor logged the COMMIT, all survivors commit."""
+        session, sites, objs = triple(latency=20.0)
+        s0, s1, s2 = sites
+        # s1 originates a txn; primary is s0 (delegate), which will commit
+        # and broadcast.  Make the commit to s2 slow so at failure time s2
+        # has the WRITE but not the COMMIT, while s1 has the COMMIT.
+        session.network.set_link_latency(0, 2, FixedLatency(500.0))
+        out = s1.transact(lambda: objs[1].set(9))
+        session.run_for(60)  # commit reached s1 (via delegate) but not s2
+        assert out.committed
+        assert not objs[2].history.current().committed
+        session.network.fail_site(1)  # the ORIGIN fails
+        session.settle()
+        # Resolution: s0 logged the commit, so s2 commits too.
+        assert objs[2].history.current().committed
+        assert objs[2].get() == 9
+
+    def test_unknown_inflight_transaction_is_aborted(self):
+        """If no survivor saw a COMMIT, the failed origin's txn aborts."""
+        session, sites, objs = triple(latency=20.0, delegation_enabled=False)
+        s0, s1, s2 = sites
+        # Slow down everything from s1's confirms so that the txn cannot
+        # commit before the failure: block s0 -> s1 (confirm channel).
+        session.network.set_link_latency(0, 1, FixedLatency(10_000.0))
+        out = s1.transact(lambda: objs[1].set(9))
+        session.run_for(100)  # writes delivered; confirm still in flight
+        assert not out.committed
+        assert objs[0].get() == 9  # applied optimistically at survivors
+        session.network.fail_site(1)
+        session.settle()
+        # No survivor logged a commit: rolled back everywhere.
+        assert objs[0].get() == 0
+        assert objs[2].get() == 0
+
+    def test_blocked_local_transaction_retries_after_repair(self):
+        """A transaction waiting on a failed primary aborts and re-executes
+        once the graph update commits and a new primary is implied."""
+        session, sites, objs = triple(latency=20.0, delegation_enabled=False)
+        s0, s1, s2 = sites
+        # Block confirms from the primary s0 to origin s2, then fail s0.
+        session.network.set_link_latency(0, 2, FixedLatency(10_000.0))
+        out = s2.transact(lambda: objs[2].set(33))
+        session.run_for(100)
+        assert not out.committed
+        session.network.fail_site(0)
+        session.settle()
+        assert out.committed  # re-executed under the new primary
+        assert objs[1].get() == 33
+        assert out.attempts >= 2
+
+
+class TestFailureEdgeCases:
+    def test_two_party_peer_failure(self):
+        session = Session.simulated(latency_ms=20)
+        alice, bob = session.add_sites(2)
+        a, b = session.replicate("int", "x", [alice, bob], initial=0)
+        session.settle()
+        session.network.fail_site(1)
+        session.settle()
+        assert a.graph().is_singleton()
+        out = alice.transact(lambda: a.set(5))
+        session.settle()
+        assert out.committed
+        assert out.commit_latency_ms == 0.0  # local primary now
+
+    def test_failure_of_uninvolved_site_is_harmless(self):
+        session = Session.simulated(latency_ms=20)
+        sites = session.add_sites(4)
+        objs = session.replicate("int", "x", sites[:2], initial=0)
+        session.settle()
+        session.network.fail_site(3)  # not in any relationship
+        session.settle()
+        sites[0].transact(lambda: objs[0].set(1))
+        session.settle()
+        assert objs[1].get() == 1
+
+    def test_sequential_failures(self):
+        session = Session.simulated(latency_ms=20)
+        sites = session.add_sites(4)
+        objs = session.replicate("int", "x", sites, initial=0)
+        session.settle()
+        session.network.fail_site(0)
+        session.settle()
+        session.network.fail_site(1)
+        session.settle()
+        assert objs[2].graph().sites() == [2, 3]
+        sites[3].transact(lambda: objs[3].set(8))
+        session.settle()
+        assert objs[2].get() == 8

@@ -1,0 +1,59 @@
+"""Safety tests for the GVT baseline: commitment is stable.
+
+The token-sweep commit rule must be safe: once a site considers an update
+committed (its counter below the local GVT), no later-arriving straggler
+may carry a counter at or below that bound — clocks are monotone and the
+token's round minimum bounds all in-flight sends.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import GvtSystem
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    script=st.lists(
+        st.tuples(st.integers(0, 3), st.floats(0.0, 300.0)), min_size=1, max_size=25
+    ),
+    seed=st.integers(0, 9),
+)
+def test_committed_prefix_is_stable(script, seed):
+    system = GvtSystem(n_sites=4, latency_ms=25.0, seed=seed)
+    committed_history = {s: [] for s in range(4)}
+
+    def snapshot_committed():
+        for s in range(4):
+            committed_history[s].append(system.committed_value_at(s))
+
+    for i, (site, gap) in enumerate(script):
+        system.issue_update(site, f"v{i}")
+        system.run_for(gap)
+        snapshot_committed()
+    system.run_for(4 * 25.0 * 10 + 2000)
+    snapshot_committed()
+
+    # Every site's committed value converges to the same final value...
+    finals = {system.committed_value_at(s) for s in range(4)}
+    assert len(finals) == 1
+    # ...and at quiescence the committed value equals the optimistic one.
+    assert system.committed_value_at(0) == system.value_at(0)
+
+
+def test_gvt_rounds_progress():
+    system = GvtSystem(n_sites=5, latency_ms=10.0)
+    system.run_for(2000)
+    assert system.rounds_completed >= 2000 / (5 * 10.0) - 2
+
+
+def test_commit_monotone_per_probe():
+    """A probe's committed_ms at each site is at least its visible_ms."""
+    system = GvtSystem(n_sites=3, latency_ms=20.0)
+    system.run_for(500)
+    probe = system.issue_update(1, "x")
+    system.run_for(5000)
+    for site, committed_at in probe.committed_ms.items():
+        assert committed_at >= probe.visible_ms[site]

@@ -1,0 +1,129 @@
+"""Edge cases of the join protocol: uncommitted member state, conflicting
+association updates, rejoin after leave, and clock staleness."""
+
+import pytest
+
+from repro import Session
+from repro.sim.network import FixedLatency
+
+
+class TestUncommittedMemberState:
+    def test_joiner_waits_for_pending_commit(self):
+        """B's exported state includes an uncommitted value; the joiner must
+        not commit before that transaction does (B forwards the outcome)."""
+        session = Session.simulated(latency_ms=40, delegation_enabled=False)
+        alice, bob, carol = session.add_sites(3)
+        # alice & bob share x; alice is primary.
+        a_obj, b_obj = session.replicate("int", "x", [alice, bob], initial=1)
+        session.settle()
+        # bob writes; confirms from alice are slow, so bob's value stays
+        # uncommitted a while.
+        session.network.set_link_latency(0, 1, FixedLatency(400.0))
+        bob.transact(lambda: b_obj.set(99))
+        session.run_for(50)
+        assert not b_obj.history.current().committed
+
+        # carol joins via BOB (make bob the chosen member: bob's uid sorts
+        # via min(site,uid); alice is site 0 so alice would be chosen —
+        # instead invite through bob's association replica, which still
+        # selects the min member... so verify против alice's copy instead:
+        # alice's current value for x is ALSO uncommitted (propagate
+        # arrived, commit pending).
+        assoc_a = alice.objects["s0:x.assoc"]
+        assoc_c = carol.import_invitation(assoc_a.make_invitation(), "x.assoc")
+        session.settle()
+        c_obj = carol.create_int("x", 0)
+        out = carol.join(assoc_c, "x.rel", c_obj)
+        session.run_for(100)
+        # The join cannot commit while its RC dependency is outstanding.
+        session.settle()
+        assert out.committed
+        assert c_obj.get() == 99
+        assert c_obj.history.current().committed
+        # And future updates reach carol.
+        bob.transact(lambda: b_obj.set(100))
+        session.settle()
+        assert c_obj.get() == 100
+
+
+class TestAssociationConflicts:
+    def test_concurrent_assoc_updates_serialize(self):
+        """Two joiners update the same association value concurrently; the
+        assoc's primary serializes them via the normal RL machinery."""
+        session = Session.simulated(latency_ms=30)
+        alice, bob, carol = session.add_sites(3)
+        objs = session.replicate("int", "x", [alice], initial=3)
+        assoc = alice.objects["s0:x.assoc"]
+        inv = assoc.make_invitation()
+        assoc_b = bob.import_invitation(inv, "x.assoc")
+        assoc_c = carol.import_invitation(inv, "x.assoc")
+        session.settle()
+        b_obj = bob.create_int("x", 0)
+        c_obj = carol.create_int("x", 0)
+        out_b = bob.join(assoc_b, "x.rel", b_obj)
+        out_c = carol.join(assoc_c, "x.rel", c_obj)
+        session.settle()
+        assert out_b.committed and out_c.committed
+        members = {uid for uid, _ in assoc.members("x.rel")}
+        assert members == {objs[0].uid, b_obj.uid, c_obj.uid}
+        assert b_obj.get() == c_obj.get() == 3
+
+
+class TestLeaveRejoin:
+    def test_leave_then_rejoin_same_object(self):
+        session = Session.simulated(latency_ms=20)
+        alice, bob = session.add_sites(2)
+        a_obj, b_obj = session.replicate("int", "x", [alice, bob], initial=5)
+        assoc_b = bob.objects["s1:x.assoc"]
+        bob.leave(assoc_b, "x.rel", b_obj)
+        session.settle()
+        alice.transact(lambda: a_obj.set(6))
+        session.settle()
+        assert b_obj.get() == 5  # detached
+        out = bob.join(assoc_b, "x.rel", b_obj)
+        session.settle()
+        assert out.committed
+        assert b_obj.get() == 6  # resynced on rejoin
+        bob.transact(lambda: b_obj.set(7))
+        session.settle()
+        assert a_obj.get() == 7
+
+    def test_leave_is_visible_in_membership_everywhere(self):
+        session = Session.simulated(latency_ms=20)
+        sites = session.add_sites(3)
+        objs = session.replicate("int", "x", sites, initial=0)
+        assoc_2 = sites[2].objects["s2:x.assoc"]
+        sites[2].leave(assoc_2, "x.rel", objs[2])
+        session.settle()
+        for i in (0, 1):
+            assoc = sites[i].objects[f"s{i}:x.assoc"]
+            members = {uid for uid, _ in assoc.members("x.rel")}
+            assert objs[2].uid not in members
+        # Graphs agree with the membership.
+        assert objs[0].graph().sites() == [0, 1]
+
+
+class TestClockStaleness:
+    def test_stale_joiner_retries_transparently(self):
+        """A joiner whose Lamport clock lags the member's state is denied
+        once and transparently retries with a merged clock."""
+        session = Session.simulated(latency_ms=20)
+        alice = session.add_site()
+        obj = alice.create_int("x", 0)
+        assoc = alice.create_association("x.assoc")
+        alice.transact(lambda: assoc.create_relationship("x.rel"))
+        session.settle()
+        alice.join(assoc, "x.rel", obj)
+        # Busy alice: many transactions push her clock far ahead.
+        for v in range(30):
+            alice.transact(lambda vv=v: obj.set(vv))
+        session.settle()
+        bob = session.add_site()  # brand-new site, clock at zero
+        assoc_b = bob.import_invitation(assoc.make_invitation(), "x.assoc")
+        session.settle()
+        b_obj = bob.create_int("x", 0)
+        out = bob.join(assoc_b, "x.rel", b_obj)
+        session.settle()
+        assert out.committed
+        assert b_obj.get() == 29
+        assert out.attempts >= 1  # stale-VT denials retried internally

@@ -1,0 +1,110 @@
+"""Integration of bench metrics with real workload runs."""
+
+import pytest
+
+from repro import Session
+from repro.bench.metrics import ConflictStats, DeviationTotals, LatencyStats
+from repro.bench import attach_probe
+from repro.workloads import (
+    PoissonArrivals,
+    ReadModifyWriteWorkload,
+    UniformArrivals,
+    WorkloadParty,
+    run_workload,
+)
+
+
+def scenario():
+    session = Session.simulated(latency_ms=40, seed=11)
+    alice, bob = session.add_sites(2)
+    objs = session.replicate("int", "x", [alice, bob], initial=0)
+    session.settle()
+    return session, alice, bob, objs
+
+
+class TestLatencyStatsFromWorkload:
+    def test_stats_reflect_protocol_latencies(self):
+        session, alice, bob, objs = scenario()
+        parties = [
+            WorkloadParty(
+                site=bob,  # remote from the primary: commits cost 2t
+                workload=ReadModifyWriteWorkload(objs[1]),
+                arrivals=UniformArrivals(500.0),
+                count=10,
+            )
+        ]
+        summary = run_workload(session, parties, seed=1)
+        stats = LatencyStats.from_outcomes(summary["outcomes"])
+        assert stats.count == 10
+        assert stats.minimum == 80.0  # 2t with t = 40 ms
+        assert stats.p50 == 80.0
+        assert stats.maximum >= stats.p95 >= stats.p50
+
+
+class TestConflictStatsFromWorkload:
+    def test_contended_run_counts_retries(self):
+        session, alice, bob, objs = scenario()
+        parties = [
+            WorkloadParty(
+                site=alice,
+                workload=ReadModifyWriteWorkload(objs[0]),
+                arrivals=PoissonArrivals(120.0),
+                count=15,
+            ),
+            WorkloadParty(
+                site=bob,
+                workload=ReadModifyWriteWorkload(objs[1]),
+                arrivals=PoissonArrivals(120.0),
+                count=15,
+            ),
+        ]
+        summary = run_workload(session, parties, seed=2)
+        stats = ConflictStats.from_outcomes(summary["outcomes"])
+        assert stats.transactions == 30
+        assert stats.commits == 30
+        assert stats.attempts >= 30
+        assert stats.conflict_retries == stats.attempts - 30
+        assert 0.0 <= stats.rollback_rate < 1.0
+        # Both increments streams fully applied.
+        assert objs[0].get() == 30
+
+    def test_conflict_stats_match_session_counters(self):
+        session, alice, bob, objs = scenario()
+        parties = [
+            WorkloadParty(
+                site=bob,
+                workload=ReadModifyWriteWorkload(objs[1]),
+                arrivals=UniformArrivals(100.0),
+                count=5,
+            ),
+            WorkloadParty(
+                site=alice,
+                workload=ReadModifyWriteWorkload(objs[0]),
+                arrivals=UniformArrivals(100.0, start_ms=50.0),
+                count=5,
+            ),
+        ]
+        summary = run_workload(session, parties, seed=3)
+        stats = ConflictStats.from_outcomes(summary["outcomes"])
+        assert stats.conflict_retries == summary["counters"]["retries"]
+
+
+class TestDeviationTotalsFromWorkload:
+    def test_totals_collect_across_sites(self):
+        session, alice, bob, objs = scenario()
+        attach_probe(alice, [objs[0]], "optimistic")
+        attach_probe(bob, [objs[1]], "optimistic")
+        parties = [
+            WorkloadParty(
+                site=site,
+                workload=ReadModifyWriteWorkload(obj),
+                arrivals=PoissonArrivals(150.0),
+                count=10,
+            )
+            for site, obj in ((alice, objs[0]), (bob, objs[1]))
+        ]
+        run_workload(session, parties, seed=4)
+        totals = DeviationTotals.from_session(session)
+        assert totals.notifications > 0
+        rates = totals.rate_per_notification()
+        assert all(0.0 <= v <= 1.0 for v in rates.values())

@@ -1,0 +1,191 @@
+"""Tests for the simulated network: latency, FIFO, partitions, failures."""
+
+import random
+
+import pytest
+
+from repro.errors import TransportError
+from repro.sim import (
+    FixedLatency,
+    Network,
+    NormalLatency,
+    Scheduler,
+    UniformLatency,
+)
+
+
+def make_net(latency=None, fifo=True, seed=0):
+    sched = Scheduler()
+    net = Network(sched, latency=latency or FixedLatency(10.0), seed=seed, fifo=fifo)
+    inboxes = {}
+    for site in range(4):
+        inboxes[site] = []
+        net.register(site, lambda src, payload, s=site: inboxes[s].append((src, payload, sched.now)))
+    return sched, net, inboxes
+
+
+class TestLatencyModels:
+    def test_fixed(self):
+        rng = random.Random(0)
+        model = FixedLatency(25.0)
+        assert model.sample(rng, 0, 1) == 25.0
+
+    def test_fixed_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FixedLatency(-1)
+
+    def test_uniform_within_bounds(self):
+        rng = random.Random(0)
+        model = UniformLatency(10.0, 20.0)
+        samples = [model.sample(rng, 0, 1) for _ in range(100)]
+        assert all(10.0 <= s <= 20.0 for s in samples)
+        assert max(samples) - min(samples) > 1.0  # actually varies
+
+    def test_uniform_validates(self):
+        with pytest.raises(ValueError):
+            UniformLatency(20.0, 10.0)
+
+    def test_normal_floor(self):
+        rng = random.Random(0)
+        model = NormalLatency(1.0, 50.0, floor_ms=0.5)
+        assert all(model.sample(rng, 0, 1) >= 0.5 for _ in range(200))
+
+
+class TestDelivery:
+    def test_basic_latency(self):
+        sched, net, inboxes = make_net(FixedLatency(42.0))
+        net.send(0, 1, "hello")
+        sched.run_until_quiescent()
+        assert inboxes[1] == [(0, "hello", 42.0)]
+
+    def test_local_loopback_is_instant_but_queued(self):
+        sched, net, inboxes = make_net()
+        net.send(0, 0, "self")
+        assert inboxes[0] == []  # not delivered synchronously
+        sched.run_until_quiescent()
+        assert inboxes[0] == [(0, "self", 0.0)]
+
+    def test_fifo_per_channel(self):
+        sched, net, inboxes = make_net(UniformLatency(1.0, 100.0), fifo=True, seed=7)
+        for i in range(20):
+            net.send(0, 1, i)
+        sched.run_until_quiescent()
+        assert [payload for _, payload, _ in inboxes[1]] == list(range(20))
+
+    def test_non_fifo_can_reorder(self):
+        sched, net, inboxes = make_net(UniformLatency(1.0, 100.0), fifo=False, seed=7)
+        for i in range(20):
+            net.send(0, 1, i)
+        sched.run_until_quiescent()
+        order = [payload for _, payload, _ in inboxes[1]]
+        assert sorted(order) == list(range(20))
+        assert order != list(range(20))  # reordering actually happened
+
+    def test_cross_channel_interleaving(self):
+        # Messages from different senders are independent: a later send on
+        # a fast link overtakes an earlier send on a slow link (stragglers).
+        sched, net, inboxes = make_net(FixedLatency(10.0))
+        net.set_link_latency(0, 2, FixedLatency(100.0))
+        net.send(0, 2, "slow")
+        net.send(1, 2, "fast")
+        sched.run_until_quiescent()
+        assert [p for _, p, _ in inboxes[2]] == ["fast", "slow"]
+
+    def test_unknown_destination_raises(self):
+        sched, net, _ = make_net()
+        with pytest.raises(TransportError):
+            net.send(0, 99, "?")
+
+    def test_broadcast(self):
+        sched, net, inboxes = make_net()
+        net.broadcast(0, [1, 2, 3], "all")
+        sched.run_until_quiescent()
+        assert all(inboxes[i] for i in (1, 2, 3))
+
+    def test_stats(self):
+        sched, net, _ = make_net()
+        net.send(0, 1, "a")
+        net.send(0, 2, "b")
+        sched.run_until_quiescent()
+        assert net.stats.messages_sent == 2
+        assert net.stats.messages_delivered == 2
+        assert net.stats.per_type_sent == {"str": 2}
+
+
+class TestFailures:
+    def test_failed_site_stops_receiving(self):
+        sched, net, inboxes = make_net()
+        net.fail_site(1)
+        net.send(0, 1, "lost")
+        sched.run_until_quiescent()
+        assert inboxes[1] == []
+        assert net.stats.messages_dropped >= 1
+
+    def test_failed_site_stops_sending(self):
+        sched, net, inboxes = make_net()
+        net.fail_site(0)
+        net.send(0, 1, "lost")
+        sched.run_until_quiescent()
+        assert inboxes[1] == []
+
+    def test_inflight_messages_to_failed_site_dropped(self):
+        sched, net, inboxes = make_net(FixedLatency(50.0))
+        net.send(0, 1, "inflight")
+        sched.run(until=10)
+        net.fail_site(1)
+        sched.run_until_quiescent()
+        assert inboxes[1] == []
+
+    def test_failure_notification(self):
+        sched, net, _ = make_net()
+        notices = []
+        net.add_failure_listener(notices.append)
+        net.fail_site(2, notify_after_ms=15.0)
+        sched.run_until_quiescent()
+        assert notices == [2]
+        assert sched.now == 15.0
+
+    def test_double_failure_notifies_once(self):
+        sched, net, _ = make_net()
+        notices = []
+        net.add_failure_listener(notices.append)
+        net.fail_site(2)
+        net.fail_site(2)
+        sched.run_until_quiescent()
+        assert notices == [2]
+
+    def test_is_failed(self):
+        sched, net, _ = make_net()
+        assert not net.is_failed(1)
+        net.fail_site(1)
+        assert net.is_failed(1)
+
+
+class TestPartitions:
+    def test_partition_blocks_both_directions(self):
+        sched, net, inboxes = make_net()
+        net.partition([0, 1], [2, 3])
+        net.send(0, 2, "x")
+        net.send(2, 0, "y")
+        net.send(0, 1, "ok")
+        sched.run_until_quiescent()
+        assert inboxes[2] == []
+        assert [p for _, p, _ in inboxes[1]] == ["ok"]
+
+    def test_heal_partition(self):
+        sched, net, inboxes = make_net()
+        net.partition([0], [1])
+        net.send(0, 1, "dropped")
+        sched.run_until_quiescent()
+        net.heal_partition()
+        net.send(0, 1, "delivered")
+        sched.run_until_quiescent()
+        assert [p for _, p, _ in inboxes[1]] == ["delivered"]
+
+    def test_inflight_message_dropped_at_partition_time(self):
+        sched, net, inboxes = make_net(FixedLatency(50.0))
+        net.send(0, 1, "inflight")
+        sched.run(until=10)
+        net.partition([0], [1])
+        sched.run_until_quiescent()
+        assert inboxes[1] == []

@@ -1,0 +1,153 @@
+"""Tests for the ORESTE-style baseline, reproducing the paper's section 6
+analysis of its strengths and weaknesses."""
+
+import pytest
+
+from repro.baselines.oreste import Operation, OresteSystem, default_commutes
+from repro.sim.network import FixedLatency
+from repro.vtime import VirtualTime
+
+
+def vt(counter, site=0):
+    return VirtualTime(counter, site)
+
+
+def op(counter, site, obj="obj", op_type="set", value=0):
+    return Operation(
+        vt=vt(counter, site), object_id=obj, op_type=op_type, value=value,
+        probe_index=0, clock=counter,
+    )
+
+
+class TestCommutativity:
+    def test_different_objects_commute(self):
+        assert default_commutes(op(1, 0, obj="a"), op(2, 1, obj="b"))
+
+    def test_same_attribute_masks(self):
+        assert not default_commutes(
+            op(1, 0, op_type="set_color"), op(2, 1, op_type="set_color")
+        )
+
+    def test_paper_example_color_vs_move_commute(self):
+        # "a transaction that changes an object's color can reasonably be
+        # said to commute with a transaction that moves an object".
+        assert default_commutes(
+            op(1, 0, op_type="set_color"), op(2, 1, op_type="move")
+        )
+
+
+class TestConvergence:
+    def test_instant_local_echo(self):
+        system = OresteSystem(n_sites=3)
+        probe = system.issue(1, "shape", "set_color", "red")
+        assert probe.local_echo_latency() == 0.0
+
+    def test_final_states_converge(self):
+        system = OresteSystem(n_sites=3, latency_ms=40.0)
+        system.issue(0, "shape", "set_color", "blue")
+        system.issue(1, "shape", "move", "B")
+        system.issue(2, "other", "set_color", "green")
+        system.settle()
+        states = [system.state_at(s) for s in range(3)]
+        assert states[0] == states[1] == states[2]
+        assert states[0]["shape"] == {"set_color": "blue", "move": "B"}
+
+    def test_masking_same_attribute_lww(self):
+        system = OresteSystem(n_sites=2, latency_ms=40.0)
+        system.issue(0, "obj", "set", 1)
+        system.issue(1, "obj", "set", 2)
+        system.settle()
+        assert system.value_at(0) == system.value_at(1)
+
+    def test_undo_redo_on_noncommuting_straggler(self):
+        system = OresteSystem(n_sites=3, latency_ms=10.0)
+        system.network.set_link_latency(1, 2, FixedLatency(500.0))
+        system.issue(1, "obj", "set", "early")  # slow to site 2
+        system.run_for(50)
+        system.issue(0, "obj", "set", "late")  # fast everywhere
+        system.settle()
+        # Site 2 got "late" first, then the non-commuting "early" straggler:
+        # undo/redo reorders, and the masking write wins everywhere.
+        assert system.undo_redo_events[2] >= 1
+        assert all(system.value_at(s) == "late" for s in range(3))
+
+
+class TestPaperSection6Criticism:
+    def test_nonquiescent_intermediate_states_diverge(self):
+        """The paper's exact example: start with a red object at A; apply
+        'paint blue' and 'move to B' concurrently.  Final states agree, but
+        one site passes through (blue@A) while another passes through
+        (red@B) — correctness holds only at quiescence."""
+        system = OresteSystem(n_sites=2, latency_ms=60.0)
+        system.issue(0, "shape", "set_color", "red")
+        system.issue(0, "shape", "move", "A")
+        system.settle()
+
+        # Concurrent, commuting operations from the two sites.
+        system.issue(0, "shape", "set_color", "blue")
+        system.issue(1, "shape", "move", "B")
+        system.settle()
+
+        final0, final1 = system.state_at(0)["shape"], system.state_at(1)["shape"]
+        assert final0 == final1 == {"set_color": "blue", "move": "A"} or (
+            final0 == final1 == {"set_color": "blue", "move": "B"}
+        )
+        transitions = system.transition_sets("shape")
+        blue_at_A = frozenset({("set_color", "blue"), ("move", "A")})
+        red_at_B = frozenset({("set_color", "red"), ("move", "B")})
+        # Site 0 observed the blue object still at A; site 1 observed the
+        # red object already at B: different observable histories.
+        assert blue_at_A in transitions[0]
+        assert red_at_B in transitions[1]
+        assert red_at_B not in transitions[0]
+        assert blue_at_A not in transitions[1]
+
+    def test_no_multi_object_transactions(self):
+        """ORESTE operations target one object; a two-object 'transfer' is
+        two independent operations, and remote sites can observe the
+        half-applied intermediate state — unlike DECAF transactions."""
+        system = OresteSystem(n_sites=2, latency_ms=50.0)
+        system.issue(0, "acct_a", "set", 100)
+        system.issue(0, "acct_b", "set", 0)
+        system.settle()
+        # "Transfer": two ops; make the second's delivery lag the first's.
+        system.network.set_link_latency(0, 1, FixedLatency(50.0))
+        system.issue(0, "acct_a", "set", 70)
+        system.network.set_link_latency(0, 1, FixedLatency(300.0))
+        system.issue(0, "acct_b", "set", 30)
+        system.run_for(100)
+        # Site 1 currently sees money destroyed (70 + 0): no atomicity.
+        assert system.state_at(1)["acct_a"]["set"] == 70
+        assert system.state_at(1)["acct_b"]["set"] == 0
+        system.settle()
+        assert system.state_at(1)["acct_b"]["set"] == 30
+
+    def test_decaf_transaction_never_shows_half_state(self):
+        """Contrast: the same transfer as one DECAF transaction is atomic —
+        no observer snapshot ever shows the half-applied state."""
+        from repro import Session, View
+
+        session = Session.simulated(latency_ms=50.0)
+        alice, bob = session.add_sites(2)
+        a1, b1 = session.replicate("int", "acct_a", [alice, bob], initial=100)
+        a2, b2 = session.replicate("int", "acct_b", [alice, bob], initial=0)
+        session.settle()
+
+        class PairView(View):
+            def __init__(self):
+                self.seen = []
+
+            def update(self, changed, snapshot):
+                self.seen.append((snapshot.read(b1), snapshot.read(b2)))
+
+        view = PairView()
+        bob.views.attach(view, [b1, b2], "optimistic")
+
+        def transfer():
+            a1.set(a1.get() - 30)
+            a2.set(a2.get() + 30)
+
+        alice.transact(transfer)
+        session.settle()
+        assert all(total == 100 for total in (a + b for a, b in view.seen))
+        assert view.seen[-1] == (70, 30)

@@ -1,0 +1,114 @@
+"""Tests for partial replication and multiple independent collaborations.
+
+The paper's introduction requires the framework to support applications
+where "the shared state may not be the entire application state" and where
+"an application may engage in several independent collaborations ... each
+collaboration may involve replication of a different subset of the
+application state" (e.g., one with a financial planner, another with an
+accountant).
+"""
+
+import pytest
+
+from repro import Session
+
+
+class TestPartialReplication:
+    def test_private_state_never_propagates(self):
+        session = Session.simulated(latency_ms=20)
+        alice, bob = session.add_sites(2)
+        shared = session.replicate("int", "shared", [alice, bob], initial=0)
+        private = alice.create_int("private", 42)
+
+        def body():
+            private.set(private.get() + 1)
+            shared[0].set(shared[0].get() + 1)
+
+        alice.transact(body)
+        session.settle()
+        assert shared[1].get() == 1
+        assert "s1:private" not in bob.objects  # never replicated
+        assert private.get() == 43
+
+    def test_independent_collaborations_per_application(self):
+        """One app (site 1) shares X with the planner and Y with the
+        accountant; planner never sees Y, accountant never sees X."""
+        session = Session.simulated(latency_ms=20)
+        app, planner, accountant = session.add_sites(3)
+        xs = session.replicate("int", "portfolio", [app, planner], initial=100)
+        ys = session.replicate("int", "taxes", [app, accountant], initial=50)
+
+        def update_both():
+            xs[0].set(110)
+            ys[0].set(60)
+
+        out = app.transact(update_both)
+        session.settle()
+        assert out.committed
+        assert xs[1].get() == 110
+        assert ys[1].get() == 60
+        # Strict isolation of the two collaborations.
+        assert not any("taxes" in uid for uid in planner.objects)
+        assert not any("portfolio" in uid for uid in accountant.objects)
+
+    def test_cross_collaboration_transaction_atomicity(self):
+        """A transaction spanning two collaborations commits atomically or
+        not at all — its primaries may live at different sites."""
+        session = Session.simulated(latency_ms=40)
+        app, planner, accountant = session.add_sites(3)
+        xs = session.replicate("int", "x", [planner, app], initial=0)  # primary: planner
+        ys = session.replicate("int", "y", [accountant, app], initial=0)  # primary: accountant
+        # Contention on x: planner writes concurrently to force one retry.
+        planner.transact(lambda: xs[0].set(xs[0].get() + 5))
+
+        def spanning():
+            xs[1].set(xs[1].get() + 1)
+            ys[1].set(ys[1].get() + 1)
+
+        out = app.transact(spanning)
+        session.settle()
+        assert out.committed
+        assert xs[0].get() == xs[1].get() == 6
+        assert ys[0].get() == ys[1].get() == 1
+
+    def test_overlapping_replica_sets(self):
+        """The section 5.1.3 topology: sets {0,1,2} and {2,3,4} overlap at
+        site 2, which participates in both."""
+        session = Session.simulated(latency_ms=20)
+        sites = session.add_sites(5)
+        left = session.replicate("int", "left", [sites[0], sites[1], sites[2]], initial=0)
+        right = session.replicate("int", "right", [sites[2], sites[3], sites[4]], initial=0)
+
+        def bridge():
+            # Site 2 reads from one collaboration and writes the other.
+            right[0].set(left[2].get() + 7)
+
+        sites[2].transact(lambda: left[2].set(3))
+        session.settle()
+        out = sites[2].transact(bridge)
+        session.settle()
+        assert out.committed
+        assert right[2].get() == 10
+        assert left[0].get() == 3
+
+    def test_different_functionality_per_application(self):
+        """Sites share state but run different 'applications': one treats
+        the object as a counter, the other as a high-water mark."""
+        session = Session.simulated(latency_ms=20)
+        a_site, b_site = session.add_sites(2)
+        objs = session.replicate("int", "metric", [a_site, b_site], initial=0)
+
+        def count_up():
+            objs[0].set(objs[0].get() + 1)
+
+        def record_peak(sample):
+            if sample > objs[1].get():
+                objs[1].set(sample)
+
+        a_site.transact(count_up)
+        session.settle()
+        b_site.transact(lambda: record_peak(10))
+        session.settle()
+        a_site.transact(count_up)  # reads 10, writes 11
+        session.settle()
+        assert objs[0].get() == objs[1].get() == 11

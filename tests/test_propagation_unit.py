@@ -1,0 +1,161 @@
+"""Unit tests for message batching and op application (core.propagation)."""
+
+import pytest
+
+from repro import Session
+from repro.core import propagation
+from repro.core.messages import OpPayload, SlotId
+from repro.core.transaction import TransactionContext, TxnRecord, TransactionOutcome
+from repro.errors import InvalidPath, ProtocolError
+from repro.vtime import VirtualTime
+
+
+def three_party():
+    session = Session.simulated(latency_ms=10)
+    sites = session.add_sites(3)
+    objs = session.replicate("int", "x", sites, initial=0)
+    session.settle()
+    return session, sites, objs
+
+
+def record_for(site, body):
+    """Execute a body under a real context and return its TxnRecord."""
+    vt = site.clock.tick()
+    ctx = TransactionContext(site, vt)
+    with site.install_txn(ctx):
+        body()
+    return TxnRecord(vt=vt, txn=None, ctx=ctx, outcome=TransactionOutcome())
+
+
+class TestBuildBatches:
+    def test_write_goes_to_every_replica_site(self):
+        session, sites, objs = three_party()
+        record = record_for(sites[0], lambda: objs[0].set(5))
+        batches, primaries = propagation.build_batches(record, sites[0])
+        assert set(batches) == {1, 2}
+        for dst, (writes, checks) in batches.items():
+            assert len(writes) == 1 and not checks
+            assert writes[0].op.kind == "set"
+
+    def test_read_check_goes_to_primary_only(self):
+        session, sites, objs = three_party()
+        # Origin is site 1; primary is site 0; read-only transaction.
+        record = record_for(sites[1], lambda: objs[1].get())
+        batches, primaries = propagation.build_batches(record, sites[1])
+        assert set(batches) == {0}
+        writes, checks = batches[0]
+        assert not writes and len(checks) == 1
+        assert 0 in primaries
+
+    def test_read_write_mix(self):
+        session, sites, objs = three_party()
+        ys = session.replicate("int", "y", sites, initial=0)
+        session.settle()
+
+        def body():
+            _ = objs[1].get()       # read-only
+            ys[1].set(7)            # write
+
+        record = record_for(sites[1], body)
+        batches, _ = propagation.build_batches(record, sites[1])
+        writes0, checks0 = batches[0]  # primary site gets both
+        assert len(writes0) == 1 and len(checks0) == 1
+        writes2, checks2 = batches[2]  # plain replica gets only the write
+        assert len(writes2) == 1 and not checks2
+
+    def test_local_only_object_produces_no_batches(self):
+        session, sites, objs = three_party()
+        private = sites[0].create_int("private", 0)
+        record = record_for(sites[0], lambda: private.set(1))
+        batches, primaries = propagation.build_batches(record, sites[0])
+        assert batches == {}
+        assert set(primaries) == {0}
+
+    def test_child_write_addressed_root_relative(self):
+        session, sites, _ = three_party()
+        lists = session.replicate("list", "doc", sites[:2])
+        session.settle()
+        holder = []
+        sites[0].transact(lambda: holder.append(lists[0].append("int", 1)))
+        session.settle()
+        child = holder[0]
+        record = record_for(sites[0], lambda: child.set(2))
+        batches, _ = propagation.build_batches(record, sites[0])
+        writes, _checks = batches[1]
+        assert writes[0].object_uid == lists[1].uid  # the REMOTE root uid
+        assert len(writes[0].path) == 1
+
+
+class TestApplyOp:
+    def test_unknown_kind_rejected(self):
+        session = Session()
+        site = session.add_site()
+        x = site.create_int("x")
+        with pytest.raises(ProtocolError):
+            propagation.apply_op(x, OpPayload(kind="warp", args=()), site.clock.tick(), False)
+
+    def test_type_mismatch_rejected(self):
+        session = Session()
+        site = session.add_site()
+        x = site.create_int("x")
+        with pytest.raises(ProtocolError):
+            propagation.apply_op(
+                x, OpPayload(kind="insert", args=(None, ("int", 1), 0)), site.clock.tick(), False
+            )
+
+    def test_committed_apply_marks_entry(self):
+        session = Session()
+        site = session.add_site()
+        x = site.create_int("x")
+        vt = site.clock.tick()
+        propagation.apply_op(x, OpPayload(kind="set", args=(9,)), vt, committed=True)
+        assert x.history.entry_at(vt).committed
+
+    def test_undo_then_commit_roundtrip(self):
+        session = Session()
+        site = session.add_site()
+        x = site.create_int("x", 1)
+        vt = site.clock.tick()
+        op = OpPayload(kind="set", args=(2,))
+        propagation.apply_op(x, op, vt, committed=False)
+        assert x.get() == 2
+        propagation.undo_op(x, op, vt)
+        assert x.get() == 1
+
+
+class TestResolvePath:
+    def test_resolves_nested(self):
+        session = Session()
+        site = session.add_site()
+        lst = site.create_list("l")
+        holder = []
+        site.transact(lambda: holder.append(lst.append("map", {"k": ("int", 1)})))
+        inner = holder[0]
+
+        def body():
+            holder.append(inner.child("k"))
+
+        site.transact(body)
+        leaf = holder[1]
+        resolved = propagation.resolve_path(lst, leaf.path_from_root())
+        assert resolved is leaf
+
+    def test_missing_step_raises_invalid_path(self):
+        session = Session()
+        site = session.add_site()
+        lst = site.create_list("l")
+        from repro.core.messages import PathStep
+
+        ghost = PathStep(key=None, embed_vt=SlotId(VirtualTime(99, 9), 0))
+        with pytest.raises(InvalidPath):
+            propagation.resolve_path(lst, (ghost,))
+
+    def test_descending_into_scalar_is_protocol_error(self):
+        session = Session()
+        site = session.add_site()
+        x = site.create_int("x")
+        from repro.core.messages import PathStep
+
+        step = PathStep(key=None, embed_vt=SlotId(VirtualTime(1, 0), 0))
+        with pytest.raises(ProtocolError):
+            propagation.resolve_path(x, (step,))

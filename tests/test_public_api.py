@@ -1,0 +1,100 @@
+"""Public-API surface tests: exports, error hierarchy, version."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_version(self):
+        assert repro.__version__
+        major = int(repro.__version__.split(".")[0])
+        assert major >= 1
+
+    def test_core_classes_exported(self):
+        for name in (
+            "Session",
+            "SiteRuntime",
+            "DInt",
+            "DFloat",
+            "DString",
+            "DList",
+            "DMap",
+            "Association",
+            "Transaction",
+            "View",
+            "Snapshot",
+            "VirtualTime",
+        ):
+            assert name in repro.__all__
+
+    def test_subpackages_importable(self):
+        import repro.apps
+        import repro.baselines
+        import repro.bench
+        import repro.cli
+        import repro.persist
+        import repro.sim
+        import repro.sim.topology
+        import repro.sim.trace
+        import repro.transport
+        import repro.vtime
+        import repro.workloads
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in (
+            "TransactionAborted",
+            "ConcurrencyConflict",
+            "ObjectNotFound",
+            "InvalidPath",
+            "NotAuthorized",
+            "SiteFailed",
+            "ProtocolError",
+            "SimulationError",
+            "TransportError",
+            "RetryLimitExceeded",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError), name
+
+    def test_single_except_clause_catches_everything(self):
+        caught = []
+        for cls in (errors.InvalidPath, errors.TransportError, errors.ProtocolError):
+            try:
+                raise cls("boom")
+            except errors.ReproError as exc:
+                caught.append(type(exc))
+        assert len(caught) == 3
+
+    def test_programming_errors_not_swallowed(self):
+        assert not issubclass(TypeError, errors.ReproError)
+        assert not issubclass(ValueError, errors.ReproError)
+
+
+class TestDocstrings:
+    def test_every_public_module_is_documented(self):
+        import importlib
+        import pkgutil
+
+        undocumented = []
+        for module_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            module = importlib.import_module(module_info.name)
+            if not (module.__doc__ or "").strip():
+                undocumented.append(module_info.name)
+        assert undocumented == []
+
+    def test_every_exported_class_is_documented(self):
+        undocumented = [
+            name
+            for name in repro.__all__
+            if isinstance(getattr(repro, name), type)
+            and not (getattr(repro, name).__doc__ or "").strip()
+        ]
+        assert undocumented == []

@@ -1,0 +1,124 @@
+"""Tests for replication graphs and primary-copy selection."""
+
+import pytest
+
+from repro.core.repgraph import (
+    GraphNode,
+    ReplicationGraph,
+    default_primary_selector,
+    primary_site,
+)
+from repro.errors import ProtocolError
+
+
+def singleton(uid="s0:x", site=0):
+    return ReplicationGraph.singleton(uid, site)
+
+
+class TestConstruction:
+    def test_singleton(self):
+        graph = singleton()
+        assert graph.sites() == [0]
+        assert graph.uids() == ["s0:x"]
+        assert graph.is_singleton()
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ProtocolError):
+            ReplicationGraph(nodes=frozenset())
+
+    def test_merge_two_singletons(self):
+        merged = singleton("s0:x", 0).merge(singleton("s1:x", 1), ("s0:x", "s1:x"))
+        assert merged.sites() == [0, 1]
+        assert frozenset({"s0:x", "s1:x"}) in merged.edges
+
+    def test_merge_requires_known_nodes(self):
+        with pytest.raises(ProtocolError):
+            singleton("s0:x", 0).merge(singleton("s1:x", 1), ("s0:x", "s9:zzz"))
+
+    def test_merge_is_commutative_on_nodes(self):
+        a, b = singleton("s0:x", 0), singleton("s1:x", 1)
+        ab = a.merge(b, ("s0:x", "s1:x"))
+        ba = b.merge(a, ("s1:x", "s0:x"))
+        assert ab.nodes == ba.nodes
+
+    def test_three_way_merge(self):
+        graph = singleton("s0:x", 0).merge(singleton("s1:x", 1), ("s0:x", "s1:x"))
+        graph = graph.merge(singleton("s2:x", 2), ("s1:x", "s2:x"))
+        assert graph.sites() == [0, 1, 2]
+        assert len(graph.edges) == 2
+
+
+class TestRemoval:
+    def _triple(self):
+        graph = singleton("s0:x", 0).merge(singleton("s1:x", 1), ("s0:x", "s1:x"))
+        return graph.merge(singleton("s2:x", 2), ("s1:x", "s2:x"))
+
+    def test_without_site(self):
+        remaining = self._triple().without_site(1)
+        assert remaining.sites() == [0, 2]
+        # Edges referencing the removed node are dropped.
+        assert all("s1:x" not in e for e in remaining.edges)
+
+    def test_without_site_all_gone(self):
+        assert singleton().without_site(0) is None
+
+    def test_without_node(self):
+        remaining = self._triple().without_node("s2:x")
+        assert remaining.uids() == ["s0:x", "s1:x"]
+
+    def test_without_node_last(self):
+        assert singleton().without_node("s0:x") is None
+
+
+class TestQueries:
+    def test_uid_at_site(self):
+        graph = singleton("s0:x", 0).merge(singleton("s1:y", 1), ("s0:x", "s1:y"))
+        assert graph.uid_at_site(0) == "s0:x"
+        assert graph.uid_at_site(1) == "s1:y"
+        assert graph.uid_at_site(5) is None
+
+    def test_multiple_replicas_per_site_rejected(self):
+        graph = ReplicationGraph(
+            nodes=frozenset({GraphNode(0, "s0:x"), GraphNode(0, "s0:y")})
+        )
+        with pytest.raises(ProtocolError):
+            graph.uid_at_site(0)
+
+    def test_site_of(self):
+        graph = singleton("s3:q", 3)
+        assert graph.site_of("s3:q") == 3
+        with pytest.raises(ProtocolError):
+            graph.site_of("nope")
+
+    def test_contains_uid(self):
+        graph = singleton("s3:q", 3)
+        assert graph.contains_uid("s3:q")
+        assert not graph.contains_uid("s3:r")
+
+    def test_len(self):
+        graph = singleton().merge(singleton("s1:x", 1), ("s0:x", "s1:x"))
+        assert len(graph) == 2
+
+
+class TestPrimarySelection:
+    def test_default_selector_min_site(self):
+        graph = singleton("s2:x", 2).merge(singleton("s1:x", 1), ("s2:x", "s1:x"))
+        assert default_primary_selector(graph) == GraphNode(1, "s1:x")
+        assert primary_site(graph) == 1
+
+    def test_selector_is_pure_function_of_graph(self):
+        # The paper requires every site to compute the same primary with no
+        # election: identical graphs must yield identical primaries.
+        g1 = singleton("s0:x", 0).merge(singleton("s1:x", 1), ("s0:x", "s1:x"))
+        g2 = singleton("s1:x", 1).merge(singleton("s0:x", 0), ("s1:x", "s0:x"))
+        assert default_primary_selector(g1) == default_primary_selector(g2)
+
+    def test_custom_selector(self):
+        graph = singleton("s0:x", 0).merge(singleton("s1:x", 1), ("s0:x", "s1:x"))
+        highest = lambda g: max(g.nodes)
+        assert primary_site(graph, highest) == 1
+
+    def test_primary_changes_after_site_removal(self):
+        graph = singleton("s0:x", 0).merge(singleton("s1:x", 1), ("s0:x", "s1:x"))
+        assert primary_site(graph) == 0
+        assert primary_site(graph.without_site(0)) == 1

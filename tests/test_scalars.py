@@ -1,0 +1,151 @@
+"""Tests for scalar model objects on a single site (local-primary fast path)."""
+
+import pytest
+
+from repro import Session
+from repro.errors import ReproError
+from repro.vtime import VT_ZERO
+
+
+@pytest.fixture()
+def site():
+    return Session().add_site("solo")
+
+
+class TestCreation:
+    def test_int_defaults(self, site):
+        x = site.create_int("x")
+        assert x.get() == 0
+        assert x.uid == "s0:x"
+
+    def test_typed_initials(self, site):
+        assert site.create_int("i", 7).get() == 7
+        assert site.create_float("f", 2.5).get() == 2.5
+        assert site.create_string("s", "hi").get() == "hi"
+
+    def test_duplicate_name_rejected(self, site):
+        site.create_int("x")
+        with pytest.raises(ReproError):
+            site.create_int("x")
+
+    def test_type_validation(self, site):
+        with pytest.raises(TypeError):
+            site.create_int("x", "not an int")
+        with pytest.raises(TypeError):
+            site.create_string("s", 5)
+
+    def test_bool_is_not_int(self, site):
+        with pytest.raises(TypeError):
+            site.create_int("b", True)
+
+    def test_float_accepts_int(self, site):
+        assert site.create_float("f", 3).get() == 3.0
+
+
+class TestReadsAndWrites:
+    def test_write_requires_transaction(self, site):
+        x = site.create_int("x")
+        with pytest.raises(ReproError):
+            x.set(5)
+
+    def test_read_outside_transaction_is_allowed(self, site):
+        x = site.create_int("x", 9)
+        assert x.get() == 9
+
+    def test_transactional_set(self, site):
+        x = site.create_int("x")
+        outcome = site.transact(lambda: x.set(5))
+        assert outcome.committed
+        assert x.get() == 5
+        assert x.committed_value() == 5
+
+    def test_read_own_write_within_txn(self, site):
+        x = site.create_int("x", 1)
+        seen = []
+
+        def body():
+            x.set(10)
+            seen.append(x.get())
+
+        site.transact(body)
+        assert seen == [10]
+
+    def test_multiple_writes_same_txn_last_wins(self, site):
+        x = site.create_int("x")
+        site.transact(lambda: (x.set(1), x.set(2), x.set(3)))
+        assert x.get() == 3
+        # One history entry at the transaction's VT; GC may retain a short
+        # committed tail bounded by the clock stability bound.
+        assert len(x.history) <= 2
+        assert x.history.current().value == 3
+
+    def test_add_helper(self, site):
+        x = site.create_int("x", 10)
+        site.transact(lambda: x.add(-3))
+        assert x.get() == 7
+
+    def test_float_add(self, site):
+        f = site.create_float("f", 1.0)
+        site.transact(lambda: f.add(0.5))
+        assert f.get() == 1.5
+
+    def test_string_append(self, site):
+        s = site.create_string("s", "ab")
+        site.transact(lambda: s.append("cd"))
+        assert s.get() == "abcd"
+
+    def test_set_validates_type_inside_txn(self, site):
+        x = site.create_int("x")
+        outcome = site.transact(lambda: x.set("bad"))
+        # The TypeError aborts the transaction without retry.
+        assert outcome.aborted_no_retry
+        assert x.get() == 0
+
+    def test_multi_object_atomicity(self, site):
+        a = site.create_int("a", 100)
+        b = site.create_int("b", 0)
+
+        def transfer():
+            a.set(a.get() - 30)
+            b.set(b.get() + 30)
+
+        site.transact(transfer)
+        assert (a.get(), b.get()) == (70, 30)
+
+
+class TestSnapshots:
+    def test_value_at_past_vt_before_gc(self, site):
+        x = site.create_int("x", 0)
+        site.transact(lambda: x.set(1))
+        vt1 = x.history.current().vt
+        # Within the retained window, past versions are readable; once a
+        # later transaction commits, GC discards versions no snapshot needs
+        # (paper section 3: "committal makes old values no longer needed").
+        assert x.value_at(vt1) == 1
+        site.transact(lambda: x.set(2))
+        site.transact(lambda: x.set(3))
+        assert x.value_at(x.current_value_vt()) == 3
+        # Versions below the stability bound were collected.
+        assert len(x.history) <= 2
+
+    def test_current_value_vt_advances(self, site):
+        x = site.create_int("x")
+        before = x.current_value_vt()
+        site.transact(lambda: x.set(1))
+        assert x.current_value_vt() > before
+
+
+class TestOutcome:
+    def test_immediate_commit_on_local_primary(self, site):
+        x = site.create_int("x")
+        outcome = site.transact(lambda: x.set(1))
+        assert outcome.committed
+        assert outcome.commit_latency_ms == 0.0
+        assert outcome.attempts == 1
+
+    def test_on_commit_callback_fires(self, site):
+        x = site.create_int("x")
+        fired = []
+        outcome = site.transact(lambda: x.set(1))
+        outcome.on_commit(lambda o: fired.append(o.vt))
+        assert fired == [outcome.vt]

@@ -1,0 +1,119 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Scheduler
+
+
+class TestScheduler:
+    def test_events_fire_in_time_order(self):
+        sched = Scheduler()
+        log = []
+        sched.call_later(30, lambda: log.append("c"))
+        sched.call_later(10, lambda: log.append("a"))
+        sched.call_later(20, lambda: log.append("b"))
+        sched.run_until_quiescent()
+        assert log == ["a", "b", "c"]
+        assert sched.now == 30
+
+    def test_ties_fire_in_insertion_order(self):
+        sched = Scheduler()
+        log = []
+        for i in range(5):
+            sched.call_later(10, lambda i=i: log.append(i))
+        sched.run_until_quiescent()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_run_until_respects_deadline(self):
+        sched = Scheduler()
+        log = []
+        sched.call_later(10, lambda: log.append("early"))
+        sched.call_later(100, lambda: log.append("late"))
+        sched.run(until=50)
+        assert log == ["early"]
+        assert sched.now == 50
+        sched.run_until_quiescent()
+        assert log == ["early", "late"]
+
+    def test_events_can_schedule_events(self):
+        sched = Scheduler()
+        log = []
+
+        def first():
+            log.append(("first", sched.now))
+            sched.call_later(5, lambda: log.append(("second", sched.now)))
+
+        sched.call_later(10, first)
+        sched.run_until_quiescent()
+        assert log == [("first", 10), ("second", 15)]
+
+    def test_cancelled_events_are_skipped(self):
+        sched = Scheduler()
+        log = []
+        event = sched.call_later(10, lambda: log.append("x"))
+        event.cancel()
+        sched.call_later(20, lambda: log.append("y"))
+        assert sched.pending() == 1
+        sched.run_until_quiescent()
+        assert log == ["y"]
+
+    def test_step_single_event(self):
+        sched = Scheduler()
+        log = []
+        sched.call_later(1, lambda: log.append(1))
+        sched.call_later(2, lambda: log.append(2))
+        assert sched.step() is True
+        assert log == [1]
+        assert sched.step() is True
+        assert sched.step() is False
+
+    def test_cannot_schedule_in_past(self):
+        sched = Scheduler()
+        sched.advance_to(100)
+        with pytest.raises(SimulationError):
+            sched.call_at(50, lambda: None)
+        with pytest.raises(SimulationError):
+            sched.call_later(-1, lambda: None)
+
+    def test_advance_to_cannot_go_backwards(self):
+        sched = Scheduler()
+        sched.advance_to(10)
+        with pytest.raises(SimulationError):
+            sched.advance_to(5)
+
+    def test_max_events_guard(self):
+        sched = Scheduler()
+
+        def loop():
+            sched.call_later(1, loop)
+
+        sched.call_later(0, loop)
+        with pytest.raises(SimulationError):
+            sched.run(max_events=100)
+
+    def test_run_until_advances_clock_even_when_idle(self):
+        sched = Scheduler()
+        sched.run(until=500)
+        assert sched.now == 500
+
+    def test_events_processed_counter(self):
+        sched = Scheduler()
+        for i in range(7):
+            sched.call_later(i, lambda: None)
+        sched.run_until_quiescent()
+        assert sched.events_processed == 7
+
+    def test_run_not_reentrant(self):
+        sched = Scheduler()
+        errors = []
+
+        def inner():
+            try:
+                sched.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sched.call_later(1, inner)
+        sched.run_until_quiescent()
+        assert len(errors) == 1

@@ -1,0 +1,128 @@
+"""Tests for the tic-tac-toe app: transactional game integrity."""
+
+import pytest
+
+from repro import Session
+from repro.apps.tictactoe import TicTacToe
+
+
+def new_game(latency=30.0):
+    session = Session.simulated(latency_ms=latency)
+    px, po = session.add_sites(2)
+    boards = session.replicate("map", "board", [px, po])
+    turns = session.replicate("string", "turn", [px, po], initial="X")
+    session.settle()
+    game_x = TicTacToe(px, boards[0], turns[0], "X")
+    game_o = TicTacToe(po, boards[1], turns[1], "O")
+    return session, game_x, game_o
+
+
+class TestRules:
+    def test_alternating_moves(self):
+        session, x, o = new_game()
+        tx = x.move(4)
+        session.settle()
+        assert tx.outcome.committed
+        to = o.move(0)
+        session.settle()
+        assert to.outcome.committed
+        assert x.cells() == o.cells() == {4: "X", 0: "O"}
+        assert x.turn.get() == "X"
+
+    def test_out_of_turn_rejected(self):
+        session, x, o = new_game()
+        txn = o.move(0)  # X moves first
+        session.settle()
+        assert not txn.outcome.committed
+        assert "not O's turn" in txn.rejection
+        assert o.cells() == {}
+
+    def test_occupied_cell_rejected(self):
+        session, x, o = new_game()
+        x.move(4)
+        session.settle()
+        txn = o.move(4)
+        session.settle()
+        assert not txn.outcome.committed
+        assert "already taken" in txn.rejection
+
+    def test_out_of_range_rejected(self):
+        session, x, o = new_game()
+        txn = x.move(9)
+        assert not txn.outcome.committed
+
+    def test_win_detection(self):
+        session, x, o = new_game()
+        for cell_x, cell_o in ((0, 3), (1, 4)):
+            x.move(cell_x); session.settle()
+            o.move(cell_o); session.settle()
+        x.move(2)
+        session.settle()
+        assert x.winner() == o.winner() == "X"
+
+    def test_no_moves_after_win(self):
+        session, x, o = new_game()
+        for cell_x, cell_o in ((0, 3), (1, 4)):
+            x.move(cell_x); session.settle()
+            o.move(cell_o); session.settle()
+        x.move(2); session.settle()
+        txn = o.move(5)
+        session.settle()
+        assert not txn.outcome.committed
+        assert "game is over" in txn.rejection
+
+    def test_draw(self):
+        session, x, o = new_game()
+        # X: 0,1,5,6,8 / O: 4,2,3,7 — a known draw sequence.
+        sequence = [(0, "x"), (4, "o"), (1, "x"), (2, "o"), (5, "x"), (3, "o"), (6, "x"), (7, "o"), (8, "x")]
+        for cell, who in sequence:
+            game = x if who == "x" else o
+            txn = game.move(cell)
+            session.settle()
+            assert txn.outcome.committed, txn.rejection
+        assert x.is_draw() and o.is_draw()
+        assert x.winner() is None
+
+    def test_render(self):
+        session, x, o = new_game()
+        x.move(4); session.settle()
+        art = o.render()
+        assert art.count("X") == 1
+        assert "-+-+-" in art
+
+
+class TestConcurrency:
+    def test_racing_for_the_same_turn_exactly_one_wins(self):
+        """Both players move 'simultaneously' while it is X's turn: the
+        optimistic protocol serializes; O's move re-executes against the
+        new state and is rejected as out of turn or plays validly after X."""
+        session, x, o = new_game(latency=60.0)
+        tx = x.move(4)
+        to = o.move(0)  # concurrent, out of turn optimistically
+        session.settle()
+        assert tx.outcome.committed
+        cells = x.cells()
+        assert cells == o.cells()
+        assert cells[4] == "X"
+        if to.outcome.committed:
+            # O's retry landed AFTER X's move, making it legal.
+            assert cells[0] == "O"
+            assert x.turn.get() == "X"
+        else:
+            assert "turn" in to.rejection or "taken" in to.rejection
+
+    def test_racing_for_same_cell(self):
+        """X moves; O (whose turn it becomes) races X's next move for cell 8
+        — the board never ends up with two marks in one cell."""
+        session, x, o = new_game(latency=60.0)
+        x.move(4)
+        session.settle()
+        to = o.move(8)
+        tx = x.move(8)  # concurrent: both want cell 8
+        session.settle()
+        cells = x.cells()
+        assert cells == o.cells()
+        assert cells[8] in ("X", "O")
+        marks = list(cells.values())
+        # Exactly one mark in cell 8 and global alternation preserved:
+        assert abs(marks.count("X") - marks.count("O")) <= 1

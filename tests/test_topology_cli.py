@@ -1,0 +1,103 @@
+"""Tests for topology builders and the CLI experiment runner."""
+
+import os
+
+import pytest
+
+from repro.cli import discover_experiments, main
+from repro.sim import FixedLatency, Network, Scheduler
+from repro.sim.topology import chain_sets, clusters, ring, star
+
+
+def probe_net():
+    sched = Scheduler()
+    net = Network(sched, latency=FixedLatency(999.0))
+    arrivals = {}
+    for site in range(6):
+        net.register(site, lambda src, p, s=site: arrivals.setdefault((src, s), sched.now))
+    return sched, net, arrivals
+
+
+def latency_between(sched, net, arrivals, src, dst):
+    arrivals.clear()
+    start = sched.now
+    net.send(src, dst, "probe")
+    sched.run_until_quiescent()
+    return arrivals[(src, dst)] - start
+
+
+class TestStar:
+    def test_hub_spoke_latencies(self):
+        sched, net, arrivals = probe_net()
+        star(net, hub=0, spokes=[1, 2, 3], spoke_ms=10.0)
+        assert latency_between(sched, net, arrivals, 0, 1) == 10.0
+        assert latency_between(sched, net, arrivals, 2, 0) == 10.0
+        assert latency_between(sched, net, arrivals, 1, 3) == 20.0  # via hub
+
+
+class TestRing:
+    def test_hop_distances(self):
+        sched, net, arrivals = probe_net()
+        ring(net, sites=[0, 1, 2, 3, 4, 5], hop_ms=5.0)
+        assert latency_between(sched, net, arrivals, 0, 1) == 5.0
+        assert latency_between(sched, net, arrivals, 0, 3) == 15.0
+        # Shortest way around the ring.
+        assert latency_between(sched, net, arrivals, 0, 5) == 5.0
+
+
+class TestClusters:
+    def test_lan_vs_wan(self):
+        sched, net, arrivals = probe_net()
+        clusters(net, groups=[[0, 1, 2], [3, 4, 5]], lan_ms=2.0, wan_ms=50.0)
+        assert latency_between(sched, net, arrivals, 0, 1) == 2.0
+        assert latency_between(sched, net, arrivals, 0, 4) == 50.0
+        assert latency_between(sched, net, arrivals, 5, 3) == 2.0
+
+
+class TestChainSets:
+    def test_paper_chain(self):
+        assert chain_sets(7) == [[0, 1, 2], [2, 3, 4], [4, 5, 6]]
+
+    def test_no_full_set_falls_back(self):
+        assert chain_sets(2) == [[0, 1]]
+
+    def test_overlap_validation(self):
+        with pytest.raises(ValueError):
+            chain_sets(9, set_size=2, overlap=2)
+
+    def test_custom_sizes(self):
+        groups = chain_sets(10, set_size=4, overlap=2)
+        assert groups[0] == [0, 1, 2, 3]
+        assert groups[1] == [2, 3, 4, 5]
+
+
+class TestCli:
+    def test_discover_finds_all_experiments(self):
+        experiments = discover_experiments()
+        for exp in ("E1", "E2", "E6", "E10", "E13"):
+            assert exp in experiments
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E6" in out
+
+    def test_bench_command_runs_experiment(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(os.getcwd())  # benchmarks dir resolvable
+        assert main(["bench", "E1"]) == 0
+        out = capsys.readouterr().out
+        assert "commit latency" in out
+        assert "2t" in out
+
+    def test_bench_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "E99"])
+
+    def test_bench_requires_selection(self):
+        with pytest.raises(SystemExit):
+            main(["bench"])
+
+    def test_examples_command(self, capsys):
+        assert main(["examples"]) == 0
+        out = capsys.readouterr().out
+        assert "quickstart.py" in out

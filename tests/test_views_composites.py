@@ -1,0 +1,127 @@
+"""Views attached to composites: subtree tracking, committed-only reads."""
+
+import pytest
+
+from repro import Session, View
+
+
+class Rec(View):
+    def __init__(self, obj):
+        self.obj = obj
+        self.states = []
+        self.commit_count = 0
+
+    def update(self, changed, snapshot):
+        self.states.append(snapshot.read(self.obj))
+
+    def commit(self):
+        self.commit_count += 1
+
+
+def list_pair(latency=40.0, **kwargs):
+    session = Session.simulated(latency_ms=latency, **kwargs)
+    alice, bob = session.add_sites(2)
+    la, lb = session.replicate("list", "doc", [alice, bob])
+    session.settle()
+    return session, alice, bob, la, lb
+
+
+class TestOptimisticCompositeViews:
+    def test_child_edit_notifies_root_view(self):
+        session, alice, bob, la, lb = list_pair()
+        alice.transact(lambda: la.append("string", "draft"))
+        session.settle()
+        view = Rec(lb)
+        lb.attach(view, "optimistic")
+        assert view.states[-1] == ["draft"]
+        alice.transact(lambda: la.child_at(0).set("final"))
+        session.settle()
+        assert view.states[-1] == ["final"]
+
+    def test_structure_change_notifies(self):
+        session, alice, bob, la, lb = list_pair()
+        view = Rec(lb)
+        lb.attach(view, "optimistic")
+        alice.transact(lambda: [la.append("int", i) for i in range(3)])
+        session.settle()
+        assert view.states[-1] == [0, 1, 2]
+        bob.transact(lambda: lb.remove(1))
+        session.settle()
+        assert view.states[-1] == [0, 2]
+
+    def test_rollback_renotifies_with_restored_structure(self):
+        session, alice, bob, la, lb = list_pair(latency=60.0)
+        view = Rec(lb)
+        lb.attach(view, "optimistic")
+        # Conflicting concurrent inserts: one side aborts and re-executes.
+        alice.transact(lambda: la.append("string", "A"))
+        bob.transact(lambda: lb.append("string", "B"))
+        session.settle()
+        final = view.states[-1]
+        assert sorted(final) == ["A", "B"]
+        assert view.commit_count >= 1
+
+
+class TestPessimisticCompositeViews:
+    def test_never_shows_uncommitted_structure(self):
+        session, alice, bob, la, lb = list_pair(latency=60.0, delegation_enabled=False)
+        view = Rec(lb)
+        lb.attach(view, "pessimistic")
+        assert view.states == [[]]
+        bob.transact(lambda: lb.append("string", "mine"))
+        # Optimistically applied locally, but the pessimistic view waits.
+        assert view.states == [[]]
+        session.settle()
+        assert view.states[-1] == ["mine"]
+
+    def test_lossless_structural_sequence(self):
+        session, alice, bob, la, lb = list_pair(latency=30.0)
+        view = Rec(lb)
+        lb.attach(view, "pessimistic")
+        for word in ("a", "b", "c"):
+            alice.transact(lambda w=word: la.append("string", w))
+            session.settle()
+        assert view.states == [[], ["a"], ["a", "b"], ["a", "b", "c"]]
+
+    def test_child_value_updates_delivered_in_order(self):
+        session, alice, bob, la, lb = list_pair(latency=30.0)
+        alice.transact(lambda: la.append("int", 0))
+        session.settle()
+        view = Rec(lb)
+        lb.attach(view, "pessimistic")
+        for v in (1, 2, 3):
+            alice.transact(lambda vv=v: la.child_at(0).set(vv))
+            session.settle()
+        assert view.states == [[0], [1], [2], [3]]
+
+    def test_map_view_committed_only(self):
+        session = Session.simulated(latency_ms=60.0, delegation_enabled=False)
+        alice, bob = session.add_sites(2)
+        ma, mb = session.replicate("map", "board", [alice, bob])
+        session.settle()
+        view = Rec(mb)
+        mb.attach(view, "pessimistic")
+        bob.transact(lambda: mb.put("k", "int", 1))
+        assert view.states == [{}]
+        session.settle()
+        assert view.states[-1] == {"k": 1}
+
+    def test_mixed_subtree_snapshot_consistency(self):
+        """A pessimistic view over a list of maps never sees a child state
+        newer than the structure it sits in."""
+        session, alice, bob, la, lb = list_pair(latency=30.0)
+        view = Rec(lb)
+        lb.attach(view, "pessimistic")
+
+        def build():
+            la.append("map", {"v": ("int", 1)})
+
+        alice.transact(build)
+        session.settle()
+
+        def bump():
+            la.child_at(0).child("v").set(2)
+
+        alice.transact(bump)
+        session.settle()
+        assert view.states == [[], [{"v": 1}], [{"v": 2}]]

@@ -1,0 +1,203 @@
+"""Unit tests for view-notification internals: snapshots, subtree helpers,
+deferred checks, retention floors, and GC interaction."""
+
+import pytest
+
+from repro import Session, View
+from repro.core.views import (
+    Snapshot,
+    blocking_subtree_reservation,
+    subtree_has_entry_in_interval,
+    subtree_uncommitted_in_interval,
+    subtree_uncommitted_upto,
+)
+from repro.vtime import VT_ZERO, VirtualTime
+
+
+def vt(counter, site=0):
+    return VirtualTime(counter, site)
+
+
+class Recorder(View):
+    def __init__(self):
+        self.values = []
+        self.commit_count = 0
+
+    def update(self, changed, snapshot):
+        self.values.append([snapshot.read(c) for c in changed])
+
+    def commit(self):
+        self.commit_count += 1
+
+
+@pytest.fixture()
+def site():
+    return Session().add_site("app")
+
+
+class TestSnapshotObject:
+    def test_read_scalar_at_ts(self, site):
+        x = site.create_int("x", 1)
+        site.transact(lambda: x.set(2))
+        snap = Snapshot(ts=x.current_value_vt(), committed_only=False)
+        assert snap.read(x) == 2
+
+    def test_committed_only_read(self, site):
+        x = site.create_int("x", 1)
+        x.history.insert(vt(100, 9), 99, committed=False)  # fake remote value
+        optimistic = Snapshot(ts=vt(200, 9), committed_only=False)
+        pessimistic = Snapshot(ts=vt(200, 9), committed_only=True)
+        assert optimistic.read(x) == 99
+        assert pessimistic.read(x) == 1
+
+
+class TestSubtreeHelpers:
+    def test_scalar_interval_query(self, site):
+        x = site.create_int("x", 0)
+        x.history.insert(vt(10, 9), 1, committed=True)
+        assert subtree_has_entry_in_interval(x, vt(5), vt(15), committed_only=True)
+        assert not subtree_has_entry_in_interval(x, vt(10, 9), vt(15), committed_only=True)
+
+    def test_composite_subtree_query(self, site):
+        lst = site.create_list("l")
+        holder = []
+        site.transact(lambda: holder.append(lst.append("int", 1)))
+        child = holder[0]
+        write_vt = child.history.current().vt
+        lo = VT_ZERO
+        hi = vt(write_vt.counter + 10, 0)
+        assert subtree_has_entry_in_interval(lst, lo, hi, committed_only=False)
+
+    def test_uncommitted_collection(self, site):
+        x = site.create_int("x", 0)
+        x.history.insert(vt(10, 9), 1, committed=False)
+        x.history.insert(vt(20, 9), 2, committed=False)
+        assert set(subtree_uncommitted_in_interval(x, vt(5), vt(15))) == {vt(10, 9)}
+        assert set(subtree_uncommitted_upto(x, vt(25, 9))) == {vt(10, 9), vt(20, 9)}
+
+    def test_blocking_subtree_reservation_walks_ancestors(self, site):
+        lst = site.create_list("l")
+        holder = []
+        site.transact(lambda: holder.append(lst.append("int", 1)))
+        child = holder[0]
+        lst.subtree_reservations.reserve(vt(1), vt(100), owner=("snap", 0, 1))
+        assert blocking_subtree_reservation(child, vt(50)) is not None
+        assert blocking_subtree_reservation(child, vt(100)) is None
+
+
+class TestRetentionFloor:
+    def test_no_proxies_no_floor(self, site):
+        x = site.create_int("x")
+        assert site.views.retention_floor(x) is None
+
+    def test_pessimistic_proxy_sets_floor(self):
+        session = Session.simulated(latency_ms=50, delegation_enabled=False)
+        alice, bob = session.add_sites(2)
+        a, b = session.replicate("int", "x", [alice, bob], initial=0)
+        session.settle()
+        rec = Recorder()
+        a.attach(rec, "pessimistic")
+        floor_before = alice.views.retention_floor(a)
+        assert floor_before is not None
+        # An in-flight update creates a pending snapshot; the floor must not
+        # exceed its ts so the history version it reads survives GC.
+        bob.transact(lambda: b.set(5))
+        session.run_for(60)  # applied at alice, not yet committed
+        floor = alice.views.retention_floor(a)
+        assert floor is not None
+        assert floor <= a.history.current().vt
+
+    def test_optimistic_proxy_does_not_pin_history(self, site):
+        x = site.create_int("x")
+        rec = Recorder()
+        x.attach(rec, "optimistic")
+        assert site.views.retention_floor(x) is None
+
+
+class TestChangedLists:
+    def test_incremental_changed_only(self):
+        """Notifications list exactly the objects changed since the last
+        notification (paper section 2.5)."""
+        session = Session.simulated(latency_ms=10)
+        alice, bob = session.add_sites(2)
+        xs = session.replicate("int", "x", [alice, bob], initial=0)
+        ys = session.replicate("int", "y", [alice, bob], initial=0)
+        session.settle()
+
+        class Named(View):
+            def __init__(self):
+                self.changed_names = []
+
+            def update(self, changed, snapshot):
+                self.changed_names.append(sorted(c.name for c in changed))
+
+        view = Named()
+        bob.views.attach(view, [xs[1], ys[1]], "optimistic")
+        alice.transact(lambda: xs[0].set(1))
+        session.settle()
+        alice.transact(lambda: ys[0].set(1))
+        session.settle()
+        assert view.changed_names[-2:] == [["x"], ["y"]]
+
+    def test_composite_event_maps_to_attached_ancestor(self):
+        session = Session.simulated(latency_ms=10)
+        alice, bob = session.add_sites(2)
+        lists = session.replicate("list", "l", [alice, bob])
+        session.settle()
+        alice.transact(lambda: lists[0].append("int", 7))
+        session.settle()
+
+        class Named(View):
+            def __init__(self):
+                self.changed_names = []
+
+            def update(self, changed, snapshot):
+                self.changed_names.append([c.name for c in changed])
+
+        view = Named()
+        lists[1].attach(view, "optimistic")
+        # Edit the embedded child; the view attached to the ROOT must be
+        # notified with the root in the changed list.
+        alice.transact(lambda: lists[0].child_at(0).set(8))
+        session.settle()
+        assert ["l"] in view.changed_names[1:]
+
+
+class TestDeferredChecks:
+    def test_pessimistic_check_defers_on_uncommitted_interval(self):
+        """A pessimistic RL check whose interval contains an uncommitted
+        value waits for it to resolve instead of answering."""
+        session = Session.simulated(latency_ms=50, delegation_enabled=False)
+        s0, s1, s2 = session.add_sites(3)
+        objs = session.replicate("int", "x", [s0, s1, s2], initial=0)
+        session.settle()
+        rec = Recorder()
+        objs[2].attach(rec, "pessimistic")
+        values_before = len(rec.values)
+        # Two updates in quick succession: the second snapshot's interval
+        # contains the first (uncommitted) update at the primary.
+        s1.transact(lambda: objs[1].set(1))
+        s1.transact(lambda: objs[1].set(2))
+        session.settle()
+        seen = [v[0] for v in rec.values[values_before:]]
+        assert seen == [1, 2]  # lossless, in order, committed only
+
+
+class TestOptimisticSupersede:
+    def test_only_latest_snapshot_outstanding(self):
+        session = Session.simulated(latency_ms=80, delegation_enabled=False)
+        alice, bob = session.add_sites(2)
+        a, b = session.replicate("int", "x", [alice, bob], initial=0)
+        session.settle()
+        rec = Recorder()
+        b.attach(rec, "optimistic")
+        commits_before = rec.commit_count
+        bob.transact(lambda: b.set(1))
+        bob.transact(lambda: b.set(2))
+        bob.transact(lambda: b.set(3))
+        # Three rapid updates: at most one uncommitted snapshot is kept, so
+        # intermediate snapshots never produce commit notifications.
+        session.settle()
+        new_commits = rec.commit_count - commits_before
+        assert new_commits == 1
+        assert rec.values[-1] == [3]

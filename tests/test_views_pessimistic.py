@@ -1,0 +1,206 @@
+"""Tests for pessimistic view notification (paper section 4.2).
+
+The two guarantees under test:
+
+1. never show any uncommitted or inconsistent values, and
+2. show all committed values, losslessly, in monotonic order of updates.
+"""
+
+import pytest
+
+from repro import Session, View
+
+
+class RecordingView(View):
+    def __init__(self, site, objects):
+        self.site = site
+        self.objects = list(objects)
+        self.updates = []  # (time, {name: value}, changed names)
+
+    def update(self, changed, snapshot):
+        values = {obj.name: snapshot.read(obj) for obj in self.objects}
+        self.updates.append(
+            (self.site.transport.now(), values, sorted(o.name for o in changed))
+        )
+
+    @property
+    def values_seen(self):
+        return [u[1] for u in self.updates]
+
+
+def two_party(latency=50.0, **kwargs):
+    session = Session.simulated(latency_ms=latency, **kwargs)
+    alice, bob = session.add_sites(2)
+    a, b = session.replicate("int", "x", [alice, bob], initial=0)
+    session.settle()
+    return session, alice, bob, a, b
+
+
+class TestBasics:
+    def test_initial_committed_state_on_attach(self):
+        session, alice, bob, a, b = two_party()
+        view = RecordingView(bob, [b])
+        b.attach(view, "pessimistic")
+        assert view.values_seen == [{"x": 0}]
+
+    def test_never_shows_uncommitted(self):
+        session, alice, bob, a, b = two_party(latency=50.0, delegation_enabled=False)
+        view = RecordingView(bob, [b])
+        b.attach(view, "pessimistic")
+        bob.transact(lambda: b.set(9))
+        # Optimistically applied locally, but the pessimistic view must wait.
+        assert view.values_seen == [{"x": 0}]
+        session.settle()
+        assert view.values_seen == [{"x": 0}, {"x": 9}]
+
+    def test_lossless_monotonic_delivery(self):
+        session, alice, bob, a, b = two_party(latency=30.0)
+        view = RecordingView(bob, [b])
+        b.attach(view, "pessimistic")
+        for v in (1, 2, 3):
+            alice.transact(lambda v=v: a.set(v))
+            session.settle()
+        assert view.values_seen == [{"x": 0}, {"x": 1}, {"x": 2}, {"x": 3}]
+
+    def test_rapid_updates_all_delivered(self):
+        """Unlike optimistic views, no committed update is skipped."""
+        session, alice, bob, a, b = two_party(latency=30.0)
+        view = RecordingView(bob, [b])
+        b.attach(view, "pessimistic")
+        for v in (1, 2, 3, 4, 5):
+            alice.transact(lambda v=v: a.set(v))  # no settle in between
+        session.settle()
+        assert view.values_seen == [{"x": n} for n in range(6)]
+
+    def test_aborted_transaction_never_notified(self):
+        session, alice, bob, a, b = two_party(latency=50.0)
+        view = RecordingView(bob, [b])
+        b.attach(view, "pessimistic")
+        # Conflict: both read-modify-write; one side aborts and re-executes.
+        alice.transact(lambda: a.set(a.get() + 1))
+        bob.transact(lambda: b.set(b.get() + 10))
+        session.settle()
+        values = [u[1]["x"] for u in view.updates]
+        # Final value reflects both increments exactly once; every shown
+        # value is a committed one (0, then intermediate, then 11).
+        assert values[-1] == 11
+        assert values == sorted(values, key=lambda v: values.index(v))  # stable order
+        # The rolled-back optimistic value (10 from the aborted attempt, if
+        # bob's txn aborted) must never have been shown unless it was the
+        # committed serialization order.
+        assert all(v in (0, 1, 10, 11) for v in values)
+
+
+class TestLatency:
+    """Section 5.1.2's pessimistic notification latency analysis."""
+
+    def test_origin_notified_in_2t_when_primary_remote(self):
+        session, alice, bob, a, b = two_party(latency=50.0)
+        view = RecordingView(bob, [b])
+        b.attach(view, "pessimistic")
+        t0 = session.scheduler.now
+        bob.transact(lambda: b.set(1))  # primary at alice
+        session.settle()
+        assert view.updates[-1][0] == t0 + 100.0  # 2t
+
+    def test_origin_notified_immediately_when_primary_local(self):
+        session, alice, bob, a, b = two_party(latency=50.0)
+        view = RecordingView(alice, [a])
+        a.attach(view, "pessimistic")
+        t0 = session.scheduler.now
+        alice.transact(lambda: a.set(1))
+        assert view.updates[-1][0] == t0
+
+    def test_remote_site_notified_within_3t(self):
+        session, alice, bob, a, b = two_party(latency=50.0, delegation_enabled=False)
+        view = RecordingView(alice, [a])
+        a.attach(view, "pessimistic")
+        t0 = session.scheduler.now
+        bob.transact(lambda: b.set(1))
+        session.settle()
+        assert view.updates[-1][0] <= t0 + 150.0  # 3t bound
+
+    def test_delegation_speeds_up_remote_pessimistic_view(self):
+        session, alice, bob, a, b = two_party(latency=50.0, delegation_enabled=True)
+        view = RecordingView(alice, [a])
+        a.attach(view, "pessimistic")
+        t0 = session.scheduler.now
+        bob.transact(lambda: b.set(1))
+        session.settle()
+        # The delegate (alice, the primary) commits locally at t.
+        assert view.updates[-1][0] == t0 + 50.0
+
+
+class TestMultiObject:
+    def test_snapshot_consistency_across_objects(self):
+        """A pessimistic view over two objects never sees a mixed state that
+        contradicts the commit order."""
+        session = Session.simulated(latency_ms=25)
+        alice, bob = session.add_sites(2)
+        a1, b1 = session.replicate("int", "m1", [alice, bob], initial=0)
+        a2, b2 = session.replicate("int", "m2", [alice, bob], initial=0)
+        session.settle()
+        view = RecordingView(bob, [b1, b2])
+        bob.views.attach(view, [b1, b2], "pessimistic")
+
+        def both():
+            a1.set(1)
+            a2.set(1)
+
+        alice.transact(both)
+        session.settle()
+        # The multi-object transaction appears atomically: no state with
+        # m1 == 1 and m2 == 0 (or vice versa) is ever shown.
+        for values in view.values_seen:
+            assert values in ({"m1": 0, "m2": 0}, {"m1": 1, "m2": 1})
+        assert view.values_seen[-1] == {"m1": 1, "m2": 1}
+
+    def test_straggler_revision(self):
+        """A committed straggler inserts an earlier snapshot; the later
+        snapshot's RL guess is revised and order stays monotonic."""
+        session = Session.simulated(latency_ms=10)
+        s0, s1, s2 = session.add_sites(3)
+        xs = session.replicate("int", "m1", [s0, s1, s2], initial=0)
+        ys = session.replicate("int", "m2", [s0, s1, s2], initial=0)
+        session.settle()
+        from repro.sim.network import FixedLatency
+
+        session.network.set_link_latency(1, 2, FixedLatency(300.0))
+        view = RecordingView(s2, [xs[2], ys[2]])
+        s2.views.attach(view, [xs[2], ys[2]], "pessimistic")
+        s1.transact(lambda: ys[1].set(5))  # older VT, slow to s2
+        session.run_for(50)
+        s0.transact(lambda: xs[0].set(7))  # newer VT, fast to s2
+        session.settle()
+        # Monotonic: m2's (earlier) update must be shown before m1's.
+        assert view.values_seen[-1] == {"m1": 7, "m2": 5}
+        m2_first = next(i for i, v in enumerate(view.values_seen) if v["m2"] == 5)
+        m1_first = next(i for i, v in enumerate(view.values_seen) if v["m1"] == 7)
+        assert m2_first < m1_first
+
+
+class TestMixedViews:
+    def test_optimistic_leads_pessimistic(self):
+        """Section 5.1.2: an optimistic notification precedes the
+        corresponding pessimistic one (by 2t at the origin's remote peer)."""
+        session, alice, bob, a, b = two_party(latency=50.0, delegation_enabled=False)
+        opt = RecordingView(bob, [b])
+        pess = RecordingView(bob, [b])
+        b.attach(opt, "optimistic")
+        b.attach(pess, "pessimistic")
+        bob.transact(lambda: b.set(1))
+        session.settle()
+        opt_t = next(t for t, v, _ in opt.updates if v == {"x": 1})
+        pess_t = next(t for t, v, _ in pess.updates if v == {"x": 1})
+        assert pess_t - opt_t == 100.0  # 2t earlier
+
+    def test_same_final_state(self):
+        session, alice, bob, a, b = two_party(latency=40.0)
+        opt = RecordingView(bob, [b])
+        pess = RecordingView(bob, [b])
+        b.attach(opt, "optimistic")
+        b.attach(pess, "pessimistic")
+        for v in (1, 2, 3):
+            alice.transact(lambda v=v: a.set(v))
+        session.settle()
+        assert opt.updates[-1][1] == pess.updates[-1][1] == {"x": 3}

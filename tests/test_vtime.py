@@ -1,0 +1,199 @@
+"""Unit and property tests for virtual time and reservation intervals."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.vtime import VT_ZERO, Interval, IntervalSet, LamportClock, VirtualTime
+
+
+# ---------------------------------------------------------------------------
+# VirtualTime
+# ---------------------------------------------------------------------------
+
+
+class TestVirtualTime:
+    def test_ordering_by_counter_first(self):
+        assert VirtualTime(1, 5) < VirtualTime(2, 0)
+        assert VirtualTime(2, 0) > VirtualTime(1, 5)
+
+    def test_site_breaks_ties(self):
+        assert VirtualTime(3, 0) < VirtualTime(3, 1)
+        assert VirtualTime(3, 1) != VirtualTime(3, 0)
+
+    def test_equality_and_hash(self):
+        assert VirtualTime(4, 2) == VirtualTime(4, 2)
+        assert hash(VirtualTime(4, 2)) == hash(VirtualTime(4, 2))
+        assert len({VirtualTime(4, 2), VirtualTime(4, 2), VirtualTime(4, 3)}) == 2
+
+    def test_vt_zero_precedes_everything(self):
+        assert VT_ZERO < VirtualTime(1, 0)
+        assert VT_ZERO < VirtualTime(0, 0)  # site -1 sorts before site 0
+
+    def test_next_at(self):
+        nxt = VirtualTime(7, 3).next_at(9)
+        assert nxt == VirtualTime(8, 9)
+        assert VirtualTime(7, 3) < nxt
+
+    def test_repr(self):
+        assert repr(VirtualTime(7, 3)) == "VT(7@3)"
+
+    @given(
+        st.tuples(st.integers(0, 1000), st.integers(0, 50)),
+        st.tuples(st.integers(0, 1000), st.integers(0, 50)),
+        st.tuples(st.integers(0, 1000), st.integers(0, 50)),
+    )
+    def test_total_order_properties(self, a, b, c):
+        va, vb, vc = VirtualTime(*a), VirtualTime(*b), VirtualTime(*c)
+        # Totality: exactly one of <, ==, > holds.
+        assert sum([va < vb, va == vb, vb < va]) == 1
+        # Transitivity.
+        if va < vb and vb < vc:
+            assert va < vc
+
+
+# ---------------------------------------------------------------------------
+# LamportClock
+# ---------------------------------------------------------------------------
+
+
+class TestLamportClock:
+    def test_tick_monotone_and_unique(self):
+        clock = LamportClock(3)
+        vts = [clock.tick() for _ in range(10)]
+        assert all(earlier < later for earlier, later in zip(vts, vts[1:]))
+        assert len(set(vts)) == 10
+        assert all(vt.site == 3 for vt in vts)
+
+    def test_observe_advances(self):
+        clock = LamportClock(0)
+        clock.observe(VirtualTime(100, 7))
+        assert clock.tick() == VirtualTime(101, 0)
+
+    def test_observe_never_regresses(self):
+        clock = LamportClock(0)
+        clock.observe(VirtualTime(100, 7))
+        clock.observe(VirtualTime(5, 7))
+        assert clock.counter == 100
+
+    def test_observe_none_is_noop(self):
+        clock = LamportClock(0, start=4)
+        clock.observe(None)
+        assert clock.counter == 4
+
+    def test_peek_does_not_tick(self):
+        clock = LamportClock(2)
+        assert clock.peek() == VirtualTime(1, 2)
+        assert clock.counter == 0
+
+    def test_negative_site_rejected(self):
+        with pytest.raises(ValueError):
+            LamportClock(-1)
+
+    def test_causality_across_clocks(self):
+        a, b = LamportClock(0), LamportClock(1)
+        send = a.tick()
+        b.observe(send)
+        receive = b.tick()
+        assert send < receive
+
+
+# ---------------------------------------------------------------------------
+# Interval / IntervalSet
+# ---------------------------------------------------------------------------
+
+
+def vt(counter, site=0):
+    return VirtualTime(counter, site)
+
+
+class TestInterval:
+    def test_open_interval_strict_containment(self):
+        interval = Interval(vt(10), vt(20), owner=vt(20))
+        assert interval.contains_strictly(vt(15))
+        assert not interval.contains_strictly(vt(10))
+        assert not interval.contains_strictly(vt(20))
+
+    def test_empty_interval(self):
+        assert Interval(vt(5), vt(5), owner=vt(5)).is_empty()
+        assert not Interval(vt(5), vt(6), owner=vt(6)).is_empty()
+
+    def test_inverted_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(vt(20), vt(10), owner=vt(20))
+
+
+class TestIntervalSet:
+    def test_reserve_and_block(self):
+        rs = IntervalSet()
+        rs.reserve(vt(10), vt(20), owner=vt(20))
+        blocking = rs.blocking_reservation(vt(15))
+        assert blocking is not None and blocking.owner == vt(20)
+
+    def test_own_reservation_never_blocks(self):
+        rs = IntervalSet()
+        rs.reserve(vt(10), vt(20), owner=vt(20))
+        assert rs.blocking_reservation(vt(15), exclude_owner=vt(20)) is None
+
+    def test_boundaries_do_not_block(self):
+        rs = IntervalSet()
+        rs.reserve(vt(10), vt(20), owner=vt(20))
+        assert rs.blocking_reservation(vt(10)) is None
+        assert rs.blocking_reservation(vt(20)) is None
+
+    def test_empty_reservations_not_stored(self):
+        rs = IntervalSet()
+        rs.reserve(vt(5), vt(5), owner=vt(5))  # blind write
+        assert len(rs) == 0
+
+    def test_release_owner(self):
+        rs = IntervalSet()
+        rs.reserve(vt(1), vt(5), owner=vt(5))
+        rs.reserve(vt(2), vt(9), owner=vt(9))
+        assert rs.release_owner(vt(5)) == 1
+        assert rs.blocking_reservation(vt(3), exclude_owner=vt(9)) is None
+
+    def test_prune_before(self):
+        rs = IntervalSet()
+        rs.reserve(vt(1), vt(5), owner=vt(5))
+        rs.reserve(vt(6), vt(15), owner=vt(15))
+        dropped = rs.prune_before(vt(10))
+        assert dropped == 1
+        assert len(rs) == 1
+
+    def test_covering_intervals_and_owners(self):
+        rs = IntervalSet()
+        rs.reserve(vt(1), vt(10), owner=vt(10))
+        rs.reserve(vt(2), vt(8), owner=vt(8))
+        assert len(rs.covering_intervals(vt(5))) == 2
+        assert rs.owners() == [vt(10), vt(8)]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 50), st.integers(0, 50), st.integers(0, 20)),
+            max_size=30,
+        ),
+        st.integers(0, 50),
+    )
+    def test_blocking_matches_bruteforce(self, raw, probe):
+        rs = IntervalSet()
+        intervals = []
+        for lo, hi, owner_site in raw:
+            if lo > hi:
+                lo, hi = hi, lo
+            owner = VirtualTime(hi, owner_site)
+            rs.reserve(vt(lo), vt(hi), owner=owner)
+            if lo < hi:
+                intervals.append((lo, hi, owner))
+        probe_vt = vt(probe, site=99)
+        expected = any(
+            lo_c < probe or (lo_c == probe and 0 < 99)  # site tiebreak: vt(x,0) < vt(x,99)
+            for lo_c, hi_c, _ in intervals
+            if VirtualTime(lo_c, 0) < probe_vt < VirtualTime(hi_c, 0)
+        )
+        got = rs.blocking_reservation(probe_vt) is not None
+        brute = any(
+            VirtualTime(lo_c, 0) < probe_vt < VirtualTime(hi_c, 0)
+            for lo_c, hi_c, _ in intervals
+        )
+        assert got == brute

@@ -1,0 +1,145 @@
+"""Tests for workload generators and the workload runner."""
+
+import random
+
+import pytest
+
+from repro import Session
+from repro.errors import ReproError
+from repro.workloads import (
+    BlindWriteWorkload,
+    PoissonArrivals,
+    ReadModifyWriteWorkload,
+    TransferWorkload,
+    UniformArrivals,
+    WorkloadParty,
+    run_workload,
+)
+
+
+class TestArrivals:
+    def test_uniform_spacing(self):
+        times = UniformArrivals(100.0).times(5, random.Random(0))
+        assert times == [100.0, 200.0, 300.0, 400.0, 500.0]
+
+    def test_uniform_start_offset(self):
+        times = UniformArrivals(10.0, start_ms=1000.0).times(2, random.Random(0))
+        assert times == [1010.0, 1020.0]
+
+    def test_uniform_validates(self):
+        with pytest.raises(ValueError):
+            UniformArrivals(0)
+
+    def test_poisson_mean(self):
+        rng = random.Random(42)
+        times = PoissonArrivals(100.0).times(2000, rng)
+        intervals = [b - a for a, b in zip([0.0] + times, times)]
+        mean = sum(intervals) / len(intervals)
+        assert 90.0 < mean < 110.0
+
+    def test_poisson_monotone(self):
+        times = PoissonArrivals(50.0).times(100, random.Random(1))
+        assert all(earlier < later for earlier, later in zip(times, times[1:]))
+
+    def test_poisson_deterministic_per_seed(self):
+        a = PoissonArrivals(50.0).times(10, random.Random(7))
+        b = PoissonArrivals(50.0).times(10, random.Random(7))
+        assert a == b
+
+    def test_poisson_validates(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(-1.0)
+
+
+class TestWorkloadBodies:
+    def _site_obj(self):
+        session = Session.simulated(latency_ms=10)
+        site = session.add_site()
+        obj = site.create_int("x", 0)
+        return session, site, obj
+
+    def test_blind_write_values_unique_per_party(self):
+        session, site, obj = self._site_obj()
+        wl = BlindWriteWorkload(obj, party_tag=3)
+        site.transact(wl())
+        first = obj.get()
+        site.transact(wl())
+        second = obj.get()
+        assert first != second
+        assert first // 1_000_000 == second // 1_000_000 == 3
+
+    def test_rmw_increments(self):
+        session, site, obj = self._site_obj()
+        wl = ReadModifyWriteWorkload(obj, increment=5)
+        site.transact(wl())
+        site.transact(wl())
+        assert obj.get() == 10
+
+    def test_transfer_workload(self):
+        session = Session.simulated(latency_ms=10)
+        site = session.add_site()
+        src = site.create_int("src", 100)
+        dst = site.create_int("dst", 0)
+        wl = TransferWorkload(src, dst, amount=10)
+        site.transact(wl())
+        assert (src.get(), dst.get()) == (90, 10)
+
+
+class TestRunner:
+    def test_run_workload_summary(self):
+        session = Session.simulated(latency_ms=20)
+        alice, bob = session.add_sites(2)
+        objs = session.replicate("int", "x", [alice, bob], initial=0)
+        session.settle()
+        parties = [
+            WorkloadParty(
+                site=alice,
+                workload=BlindWriteWorkload(objs[0], party_tag=1),
+                arrivals=UniformArrivals(100.0),
+                count=5,
+            ),
+            WorkloadParty(
+                site=bob,
+                workload=BlindWriteWorkload(objs[1], party_tag=2),
+                arrivals=UniformArrivals(150.0),
+                count=3,
+            ),
+        ]
+        summary = run_workload(session, parties, seed=1)
+        assert summary["committed"] == 8
+        assert summary["aborted"] == 0
+        assert len(summary["outcomes"]) == 8
+        assert summary["mean_commit_latency_ms"] is not None
+        assert summary["counters"]["commits"] >= 8
+        assert objs[0].get() == objs[1].get()
+
+    def test_run_workload_requires_sim(self):
+        session = Session()  # memory transport
+        site = session.add_site()
+        with pytest.raises(ReproError):
+            run_workload(session, [], seed=0)
+
+    def test_deterministic_given_seed(self):
+        def run_once():
+            session = Session.simulated(latency_ms=20, seed=5)
+            alice, bob = session.add_sites(2)
+            objs = session.replicate("int", "x", [alice, bob], initial=0)
+            session.settle()
+            parties = [
+                WorkloadParty(
+                    site=alice,
+                    workload=ReadModifyWriteWorkload(objs[0]),
+                    arrivals=PoissonArrivals(80.0),
+                    count=10,
+                ),
+                WorkloadParty(
+                    site=bob,
+                    workload=ReadModifyWriteWorkload(objs[1]),
+                    arrivals=PoissonArrivals(80.0),
+                    count=10,
+                ),
+            ]
+            summary = run_workload(session, parties, seed=9)
+            return objs[0].get(), summary["counters"]["retries"]
+
+        assert run_once() == run_once()
