@@ -1,0 +1,283 @@
+"""Hot-path microbenchmarks: seed (naive) vs indexed implementations.
+
+Times the four protocol hot paths — history reads/inserts, reservation
+checks, scheduler churn — against the seed's naive linear implementations
+(preserved verbatim in :mod:`repro.bench.reference`), plus an end-to-end
+E6-style commit-throughput run, and writes the numbers to
+``BENCH_hotpaths.json`` at the repo root so successive PRs accumulate a
+perf trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py           # full run
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py --quick   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_hotpaths.py --out /tmp/b.json
+
+Every workload is deterministic (seeded PRNG), so the *operation counts*
+are reproducible; the wall-clock timings vary with the machine, which is
+why the JSON records both sides of every comparison rather than absolute
+thresholds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+from typing import Callable, Dict, List
+
+if __name__ == "__main__":  # allow running straight from a checkout
+    _root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    _src = os.path.join(_root, "src")
+    if _src not in sys.path:
+        sys.path.insert(0, _src)
+
+from repro import Session
+from repro.bench.reference import NaiveIntervalSet, NaiveScheduler, NaiveValueHistory
+from repro.core.history import ValueHistory
+from repro.sim.scheduler import Scheduler
+from repro.vtime import VirtualTime
+from repro.vtime.intervals import IntervalSet
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_hotpaths.json")
+
+FULL = {
+    "read_sizes": [100, 1_000, 10_000, 100_000],
+    "insert_sizes": [100, 1_000, 5_000],
+    "reservation_sizes": [100, 1_000, 10_000],
+    "scheduler_sizes": [1_000, 10_000, 50_000],
+    "e2e_transactions": 300,
+}
+QUICK = {
+    "read_sizes": [100, 1_000],
+    "insert_sizes": [100, 1_000],
+    "reservation_sizes": [100, 1_000],
+    "scheduler_sizes": [1_000, 5_000],
+    "e2e_transactions": 30,
+}
+
+
+def _timeit(fn: Callable[[], object]) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _compare(seed_s: float, indexed_s: float, ops: int) -> Dict[str, float]:
+    return {
+        "ops": ops,
+        "seed_s": round(seed_s, 6),
+        "indexed_s": round(indexed_s, 6),
+        "seed_us_per_op": round(seed_s / ops * 1e6, 3),
+        "indexed_us_per_op": round(indexed_s / ops * 1e6, 3),
+        "speedup": round(seed_s / indexed_s, 2) if indexed_s > 0 else float("inf"),
+    }
+
+
+# ---------------------------------------------------------------------------
+# History
+# ---------------------------------------------------------------------------
+
+
+def _build_histories(n: int):
+    naive, indexed = NaiveValueHistory(0), ValueHistory(0)
+    for i in range(1, n + 1):
+        vt = VirtualTime(i, 0)
+        naive.insert(vt, i, committed=True)
+        indexed.insert(vt, i, committed=True)
+    return naive, indexed
+
+
+def bench_history_read_at(sizes: List[int]) -> Dict[str, Dict[str, float]]:
+    out: Dict[str, Dict[str, float]] = {}
+    for n in sizes:
+        naive, indexed = _build_histories(n)
+        rng = random.Random(1234)
+        probes = [
+            VirtualTime(rng.randint(1, n), 99)
+            for _ in range(min(2_000, max(100, 2_000_000 // n)))
+        ]
+        seed_s = _timeit(lambda: [naive.read_at(p) for p in probes])
+        indexed_s = _timeit(lambda: [indexed.read_at(p) for p in probes])
+        # Sanity: both sides must agree before the timing means anything.
+        for p in probes[:20]:
+            assert naive.read_at(p).value == indexed.read_at(p).value
+        out[str(n)] = _compare(seed_s, indexed_s, len(probes))
+    return out
+
+
+def bench_history_insert(sizes: List[int]) -> Dict[str, Dict[str, float]]:
+    out: Dict[str, Dict[str, float]] = {}
+    for n in sizes:
+        order = list(range(1, n + 1))
+        random.Random(99).shuffle(order)
+        vts = [VirtualTime(c, 0) for c in order]
+
+        def build(cls):
+            h = cls(0)
+            for vt in vts:
+                h.insert(vt, 1, committed=True)
+            return h
+
+        seed_s = _timeit(lambda: build(NaiveValueHistory))
+        indexed_s = _timeit(lambda: build(ValueHistory))
+        out[str(n)] = _compare(seed_s, indexed_s, n)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Reservations
+# ---------------------------------------------------------------------------
+
+
+def bench_blocking_reservation(sizes: List[int]) -> Dict[str, Dict[str, float]]:
+    """NC checks against a backlog of live reservations.
+
+    Reservations are short ``(t_read, t_txn)`` spans accumulated over
+    virtual time; NC probes arrive at *recent* VTs, which is exactly the
+    case the hi-sorted bisect index prunes.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for n in sizes:
+        naive, indexed = NaiveIntervalSet(), IntervalSet()
+        for i in range(1, n + 1):
+            lo, hi, owner = VirtualTime(i, 0), VirtualTime(i + 3, 0), VirtualTime(i + 3, 1)
+            naive.reserve(lo, hi, owner)
+            indexed.reserve(lo, hi, owner)
+        rng = random.Random(4321)
+        probes = [
+            VirtualTime(n - rng.randint(0, 10), 99)
+            for _ in range(min(2_000, max(200, 2_000_000 // n)))
+        ]
+        seed_s = _timeit(lambda: [naive.blocking_reservation(p) for p in probes])
+        indexed_s = _timeit(lambda: [indexed.blocking_reservation(p) for p in probes])
+        for p in probes[:20]:
+            assert naive.blocking_reservation(p) == indexed.blocking_reservation(p)
+        out[str(n)] = _compare(seed_s, indexed_s, len(probes))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Scheduler
+# ---------------------------------------------------------------------------
+
+
+def _noop() -> None:
+    pass
+
+
+def _scheduler_churn(cls, n: int, pending_every: int = 25) -> int:
+    """Schedule ``n`` events, cancel ~90%, poll pending(), then drain."""
+    sched = cls()
+    rng = random.Random(42)
+    checksum = 0
+    for i in range(n):
+        event = sched.call_later(rng.random() * 1_000.0, _noop)
+        if rng.random() < 0.9:
+            event.cancel()
+        if i % pending_every == 0:
+            checksum += sched.pending()
+    sched.run_until_quiescent()
+    return checksum
+
+
+def bench_scheduler_churn(sizes: List[int]) -> Dict[str, Dict[str, float]]:
+    out: Dict[str, Dict[str, float]] = {}
+    for n in sizes:
+        naive_checksum = indexed_checksum = 0
+
+        def run_naive():
+            nonlocal naive_checksum
+            naive_checksum = _scheduler_churn(NaiveScheduler, n)
+
+        def run_indexed():
+            nonlocal indexed_checksum
+            indexed_checksum = _scheduler_churn(Scheduler, n)
+
+        seed_s = _timeit(run_naive)
+        indexed_s = _timeit(run_indexed)
+        assert naive_checksum == indexed_checksum, "pending() counts diverged"
+        out[str(n)] = _compare(seed_s, indexed_s, n)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# End-to-end commit throughput (E6-style, current implementation only)
+# ---------------------------------------------------------------------------
+
+
+def bench_commit_throughput(transactions: int) -> Dict[str, float]:
+    """Wall-clock throughput of sequential committed transactions on a
+    3-site replica set — the perf-trajectory headline for future PRs."""
+    session = Session.simulated(latency_ms=20.0)
+    sites = session.add_sites(3)
+    objs = session.replicate("int", "counter", sites, initial=0)
+    session.settle()
+    start = time.perf_counter()
+    for i in range(transactions):
+        out = sites[0].transact(lambda i=i: objs[0].set(i + 1))
+        session.settle()
+        assert out.committed
+    wall_s = time.perf_counter() - start
+    return {
+        "transactions": transactions,
+        "wall_s": round(wall_s, 6),
+        "commits_per_sec": round(transactions / wall_s, 1),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def run(quick: bool = False) -> Dict[str, object]:
+    cfg = QUICK if quick else FULL
+    results: Dict[str, object] = {
+        "schema": "bench_hotpaths/v1",
+        "mode": "quick" if quick else "full",
+        "python": sys.version.split()[0],
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "history_read_at": bench_history_read_at(cfg["read_sizes"]),
+        "history_insert": bench_history_insert(cfg["insert_sizes"]),
+        "blocking_reservation": bench_blocking_reservation(cfg["reservation_sizes"]),
+        "scheduler_churn": bench_scheduler_churn(cfg["scheduler_sizes"]),
+        "end_to_end_commit": bench_commit_throughput(cfg["e2e_transactions"]),
+    }
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="reduced sizes (CI smoke)")
+    parser.add_argument("--out", default=DEFAULT_OUT, help="output JSON path")
+    args = parser.parse_args(argv)
+
+    results = run(quick=args.quick)
+    with open(args.out, "w") as fh:
+        json.dump(results, fh, indent=2)
+        fh.write("\n")
+
+    for section in ("history_read_at", "history_insert", "blocking_reservation", "scheduler_churn"):
+        print(f"\n{section}")
+        for size, row in results[section].items():
+            print(
+                f"  n={size:>7}  seed {row['seed_us_per_op']:>10.3f} us/op"
+                f"  indexed {row['indexed_us_per_op']:>10.3f} us/op"
+                f"  speedup {row['speedup']:>8.2f}x"
+            )
+    e2e = results["end_to_end_commit"]
+    print(
+        f"\nend_to_end_commit: {e2e['transactions']} txns in {e2e['wall_s']:.3f}s"
+        f" = {e2e['commits_per_sec']:.1f} commits/s"
+    )
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

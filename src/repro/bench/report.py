@@ -74,18 +74,26 @@ def print_table(table: Table) -> None:
     print()
 
 
-def emit(experiment_id: str, text: str, results_dir: Optional[str] = None) -> None:
+def emit(
+    experiment_id: str,
+    text: str,
+    results_dir: Optional[str] = None,
+    quiet: bool = False,
+) -> None:
     """Print an experiment's result block and persist it under results/.
 
     ``results_dir`` defaults to ``benchmarks/results`` relative to the
     current working directory; benches call this so EXPERIMENTS.md numbers
-    can be re-derived from the saved artifacts.
+    can be re-derived from the saved artifacts.  ``quiet`` skips the stdout
+    echo (used by the CLI's ``--json`` mode, which prints one machine-
+    readable document instead) while still persisting the artifact.
     """
     import os
 
-    print()
-    print(text)
-    print()
+    if not quiet:
+        print()
+        print(text)
+        print()
     directory = results_dir or os.path.join("benchmarks", "results")
     try:
         os.makedirs(directory, exist_ok=True)

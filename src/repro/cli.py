@@ -5,22 +5,38 @@ Usage::
     python -m repro.cli list                 # show available experiments
     python -m repro.cli bench E1 E6          # run selected experiments
     python -m repro.cli bench --all          # run the whole evaluation
+    python -m repro.cli bench --all --jobs 4 # fan experiments across processes
+    python -m repro.cli bench E1 --json      # machine-readable output
     python -m repro.cli examples             # list runnable example scripts
 
 Each benchmark module under ``benchmarks/`` exposes ``run_experiment()``;
 the CLI imports and runs it, printing the paper-style table (results are
 also persisted under ``benchmarks/results/``).
+
+``--jobs N`` fans the selected experiments across a ``multiprocessing``
+pool.  Every experiment is an isolated deterministic simulation, so
+parallelism cannot change any result: tables are collected from the
+workers and printed/persisted in the same order as a serial run, byte for
+byte.  ``--json`` replaces the pretty tables on stdout with one JSON
+document (``{"experiments": [{"id", "headline", "table"}, ...]}``) while
+still persisting the plain-text artifacts.
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib.util
+import json
 import os
 import sys
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
-from repro.bench.report import emit, format_table
+from repro.bench.report import Table, emit, format_table
+
+# Loaded benchmark modules, keyed by file path: ``list`` and ``bench`` both
+# need the module (docstring headline, run_experiment), and a single cache
+# ensures each module is exec'd at most once per process.
+_MODULE_CACHE: Dict[str, Any] = {}
 
 
 def _benchmarks_dir() -> str:
@@ -47,32 +63,59 @@ def discover_experiments() -> Dict[str, str]:
 
 
 def _load_module(path: str):
+    cached = _MODULE_CACHE.get(path)
+    if cached is not None:
+        return cached
     name = os.path.splitext(os.path.basename(path))[0]
     spec = importlib.util.spec_from_file_location(name, path)
     if spec is None or spec.loader is None:
         raise SystemExit(f"cannot import {path}")
     module = importlib.util.module_from_spec(spec)
     spec.loader.exec_module(module)
+    _MODULE_CACHE[path] = module
     return module
 
 
-def run_experiment(exp_id: str, path: str) -> None:
+def _headline(module) -> str:
+    doc = module.__doc__ or ""
+    return doc.strip().splitlines()[0] if doc.strip() else ""
+
+
+def _execute_experiment(exp_id: str, path: str) -> Tuple[str, str, Table]:
+    """Run one experiment; returns (id, module headline, result table)."""
     module = _load_module(path)
     runner = getattr(module, "run_experiment", None)
     if runner is None:
         raise SystemExit(f"{path} has no run_experiment()")
-    print(f"\n### {exp_id}: {module.__doc__.strip().splitlines()[0]}")
     result = runner()
     table = result[0] if isinstance(result, tuple) else result
+    return exp_id, _headline(module), table
+
+
+def _pool_worker(task: Tuple[str, str]) -> Tuple[str, str, Table]:
+    """Top-level (picklable) adapter for multiprocessing pool workers."""
+    return _execute_experiment(*task)
+
+
+def run_experiment(exp_id: str, path: str) -> None:
+    exp_id, headline, table = _execute_experiment(exp_id, path)
+    print(f"\n### {exp_id}: {headline}")
     emit(exp_id, format_table(table))
 
 
 def cmd_list(_args: argparse.Namespace) -> int:
     for exp_id, path in discover_experiments().items():
-        module_doc = _load_module(path).__doc__ or ""
-        headline = module_doc.strip().splitlines()[0] if module_doc else ""
-        print(f"  {exp_id:5s} {headline}")
+        print(f"  {exp_id:5s} {_headline(_load_module(path))}")
     return 0
+
+
+def _table_as_dict(table: Table) -> Dict[str, Any]:
+    return {
+        "title": table.title,
+        "headers": list(table.headers),
+        "rows": [list(row) for row in table.rows],
+        "notes": list(table.notes),
+    }
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -86,8 +129,30 @@ def cmd_bench(args: argparse.Namespace) -> int:
             raise SystemExit(f"unknown experiment ids: {unknown}; try 'list'")
     if not selected:
         raise SystemExit("no experiments selected; pass ids or --all")
-    for exp_id in selected:
-        run_experiment(exp_id, experiments[exp_id])
+    jobs = max(1, args.jobs)
+    tasks = [(exp_id, experiments[exp_id]) for exp_id in selected]
+
+    if jobs > 1:
+        import multiprocessing
+
+        with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
+            # imap preserves task order, so output is identical to serial.
+            results = list(pool.imap(_pool_worker, tasks))
+    else:
+        results = [_execute_experiment(exp_id, path) for exp_id, path in tasks]
+
+    json_records: List[Dict[str, Any]] = []
+    for exp_id, headline, table in results:
+        if args.json:
+            json_records.append(
+                {"id": exp_id, "headline": headline, "table": _table_as_dict(table)}
+            )
+            emit(exp_id, format_table(table), quiet=True)
+        else:
+            print(f"\n### {exp_id}: {headline}")
+            emit(exp_id, format_table(table))
+    if args.json:
+        print(json.dumps({"experiments": json_records}, indent=2, default=str))
     return 0
 
 
@@ -113,6 +178,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench = sub.add_parser("bench", help="run experiments and print their tables")
     bench.add_argument("ids", nargs="*", help="experiment ids, e.g. E1 E6")
     bench.add_argument("--all", action="store_true", help="run every experiment")
+    bench.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run experiments across N worker processes (default: serial)",
+    )
+    bench.add_argument(
+        "--json",
+        action="store_true",
+        help="print one JSON document instead of pretty tables",
+    )
     bench.set_defaults(func=cmd_bench)
 
     sub.add_parser("examples", help="list runnable example scripts").set_defaults(

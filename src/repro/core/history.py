@@ -13,12 +13,22 @@ value.  Histories support:
 The same structure stores scalar values, association values, and
 replication graphs; composites use one history per embedded leaf plus
 VT-tagged child slots (see :mod:`repro.core.composites`).
+
+Implementation: alongside the entry list the history maintains a parallel
+list of ``VirtualTime.key`` tuples, kept in the same order, so every
+VT-positional query (``read_at``, ``committed_read_at``, ``entry_at``,
+``entries_in_open_interval``, ``insert``) runs in O(log n) via
+:mod:`bisect` instead of a linear scan.  A cached index of the latest
+committed entry makes ``committed_current()`` O(1).  The naive linear
+implementation is preserved verbatim in :mod:`repro.bench.reference` as
+the equivalence/benchmark baseline.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from typing import Generic, Iterator, List, Optional, TypeVar
+from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
 
 from repro.errors import ProtocolError
 from repro.vtime import VT_ZERO, VirtualTime
@@ -46,10 +56,16 @@ class ValueHistory(Generic[V]):
     ``VT_ZERO``, committed), so ``current()`` and ``read_at()`` are total.
     """
 
+    __slots__ = ("_entries", "_keys", "_latest_committed")
+
     def __init__(self, initial: V, initial_vt: VirtualTime = VT_ZERO) -> None:
         self._entries: List[HistoryEntry[V]] = [
             HistoryEntry(vt=initial_vt, value=initial, committed=True)
         ]
+        # Parallel bisect index: _keys[i] == _entries[i].vt.key, always sorted.
+        self._keys: List[Tuple[int, int]] = [initial_vt.key]
+        # Index of the latest committed entry, or None if none remains.
+        self._latest_committed: Optional[int] = 0
 
     # ------------------------------------------------------------------
     # Queries
@@ -67,59 +83,54 @@ class ValueHistory(Generic[V]):
 
     def committed_current(self) -> HistoryEntry[V]:
         """The latest committed entry."""
-        for entry in reversed(self._entries):
-            if entry.committed:
-                return entry
-        raise ProtocolError("history lost its committed base entry")
+        if self._latest_committed is None:
+            raise ProtocolError("history lost its committed base entry")
+        return self._entries[self._latest_committed]
 
     def read_at(self, vt: VirtualTime) -> HistoryEntry[V]:
         """The entry in effect at ``vt``: latest entry with ``entry.vt <= vt``."""
-        result: Optional[HistoryEntry[V]] = None
-        for entry in self._entries:
-            if entry.vt <= vt:
-                result = entry
-            else:
-                break
-        if result is None:
+        i = bisect_right(self._keys, vt.key) - 1
+        if i < 0:
             raise ProtocolError(
                 f"no value at or before {vt}; history begins at {self._entries[0].vt}"
             )
-        return result
+        return self._entries[i]
 
     def committed_read_at(self, vt: VirtualTime) -> HistoryEntry[V]:
         """The latest *committed* entry with ``entry.vt <= vt``."""
-        result: Optional[HistoryEntry[V]] = None
-        for entry in self._entries:
-            if entry.vt <= vt and entry.committed:
-                result = entry
-            if entry.vt > vt:
-                break
-        if result is None:
+        i = bisect_right(self._keys, vt.key) - 1
+        entries = self._entries
+        while i >= 0 and not entries[i].committed:
+            i -= 1
+        if i < 0:
             raise ProtocolError(f"no committed value at or before {vt}")
-        return result
+        return entries[i]
 
     def entry_at(self, vt: VirtualTime) -> Optional[HistoryEntry[V]]:
         """The exact entry written at ``vt``, if present."""
-        for entry in self._entries:
-            if entry.vt == vt:
-                return entry
-            if entry.vt > vt:
-                return None
+        key = vt.key
+        i = bisect_left(self._keys, key)
+        if i < len(self._keys) and self._keys[i] == key:
+            return self._entries[i]
         return None
 
     def entries_in_open_interval(
         self, lo: VirtualTime, hi: VirtualTime, committed_only: bool = False
     ) -> List[HistoryEntry[V]]:
         """Entries with ``lo < vt < hi`` — the RL guess check's evidence."""
-        found = []
-        for entry in self._entries:
-            if lo < entry.vt < hi and (entry.committed or not committed_only):
-                found.append(entry)
-        return found
+        start = bisect_right(self._keys, lo.key)
+        stop = bisect_left(self._keys, hi.key)
+        window = self._entries[start:stop]
+        if committed_only:
+            return [e for e in window if e.committed]
+        return window
 
     def has_uncommitted_in_open_interval(self, lo: VirtualTime, hi: VirtualTime) -> bool:
         """True if an unresolved value sits inside ``(lo, hi)``."""
-        return any(lo < e.vt < hi and not e.committed for e in self._entries)
+        start = bisect_right(self._keys, lo.key)
+        stop = bisect_left(self._keys, hi.key)
+        entries = self._entries
+        return any(not entries[i].committed for i in range(start, stop))
 
     # ------------------------------------------------------------------
     # Mutation
@@ -131,15 +142,19 @@ class ValueHistory(Generic[V]):
         Duplicate VTs are a protocol violation (VTs are globally unique and
         each transaction's write reaches a site exactly once).
         """
+        key = vt.key
+        i = bisect_right(self._keys, key)
+        if i > 0 and self._keys[i - 1] == key:
+            raise ProtocolError(f"duplicate history entry at {vt}")
         entry = HistoryEntry(vt=vt, value=value, committed=committed)
-        for i in range(len(self._entries) - 1, -1, -1):
-            existing = self._entries[i]
-            if existing.vt == vt:
-                raise ProtocolError(f"duplicate history entry at {vt}")
-            if existing.vt < vt:
-                self._entries.insert(i + 1, entry)
-                return entry
-        self._entries.insert(0, entry)
+        self._entries.insert(i, entry)
+        self._keys.insert(i, key)
+        lc = self._latest_committed
+        if lc is not None and i <= lc:
+            lc += 1
+        if committed and (lc is None or i > lc):
+            lc = i
+        self._latest_committed = lc
         return entry
 
     def set_value_at(self, vt: VirtualTime, value: V) -> None:
@@ -151,21 +166,38 @@ class ValueHistory(Generic[V]):
 
     def commit(self, vt: VirtualTime) -> bool:
         """Mark the entry at ``vt`` committed; returns False if absent."""
-        entry = self.entry_at(vt)
-        if entry is None:
+        key = vt.key
+        i = bisect_left(self._keys, key)
+        if i >= len(self._keys) or self._keys[i] != key:
             return False
-        entry.committed = True
+        self._entries[i].committed = True
+        if self._latest_committed is None or i > self._latest_committed:
+            self._latest_committed = i
         return True
 
     def purge(self, vt: VirtualTime) -> bool:
         """Remove the (aborted) entry at ``vt``; returns False if absent."""
-        for i, entry in enumerate(self._entries):
-            if entry.vt == vt:
-                if len(self._entries) == 1:
-                    raise ProtocolError("cannot purge the last remaining history entry")
-                del self._entries[i]
-                return True
-        return False
+        key = vt.key
+        i = bisect_left(self._keys, key)
+        if i >= len(self._keys) or self._keys[i] != key:
+            return False
+        if len(self._entries) == 1:
+            raise ProtocolError("cannot purge the last remaining history entry")
+        del self._entries[i]
+        del self._keys[i]
+        lc = self._latest_committed
+        if lc is not None:
+            if i < lc:
+                self._latest_committed = lc - 1
+            elif i == lc:
+                self._latest_committed = self._rescan_latest_committed(i - 1)
+        return True
+
+    def _rescan_latest_committed(self, start: int) -> Optional[int]:
+        for j in range(start, -1, -1):
+            if self._entries[j].committed:
+                return j
+        return None
 
     def gc(self, floor: Optional[VirtualTime] = None) -> int:
         """Garbage-collect versions older than the retention ``floor``.
@@ -177,15 +209,21 @@ class ValueHistory(Generic[V]):
         Returns the number of entries dropped.
         """
         if floor is None:
-            floor = self.committed_current().vt
-        base_index = None
-        for i, entry in enumerate(self._entries):
-            if entry.committed and entry.vt <= floor:
-                base_index = i
+            if self._latest_committed is None:
+                raise ProtocolError("history lost its committed base entry")
+            base_index: Optional[int] = self._latest_committed
+        else:
+            i = bisect_right(self._keys, floor.key) - 1
+            while i >= 0 and not self._entries[i].committed:
+                i -= 1
+            base_index = i if i >= 0 else None
         if base_index is None or base_index == 0:
             return 0
         dropped = base_index
         self._entries = self._entries[base_index:]
+        self._keys = self._keys[base_index:]
+        lc = self._latest_committed
+        self._latest_committed = lc - base_index if lc is not None and lc >= base_index else None
         return dropped
 
     def __repr__(self) -> str:

@@ -4,46 +4,68 @@ A :class:`Scheduler` maintains a priority queue of timestamped callbacks.
 Ties in simulated time are broken by insertion order, which makes every run
 fully deterministic: the same seed and the same call sequence always yield
 the same execution.
+
+Implementation: the heap holds plain ``(time, seq, event)`` tuples, so
+sift comparisons resolve on the first two ints (``seq`` is unique — the
+event object itself is never compared).  Cancelled events are skipped
+lazily on pop, but the scheduler counts them and compacts the heap once
+they exceed half of it, so cancellation-heavy workloads (retry timers,
+timeouts that almost always get cancelled) don't accumulate garbage.  A
+live-event counter makes :meth:`Scheduler.pending` O(1).
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
+#: Minimum heap size before cancelled-event compaction can trigger.
+_COMPACT_MIN_HEAP = 64
 
-@dataclass(order=True)
+
+@dataclass
 class ScheduledEvent:
     """A pending callback in the event queue.
 
-    Events order by ``(time, seq)``; ``seq`` is a monotonically increasing
-    insertion counter that makes simultaneous events fire in FIFO order.
+    Events fire in ``(time, seq)`` order; ``seq`` is a monotonically
+    increasing insertion counter that makes simultaneous events fire in
+    FIFO order.
     """
 
     time: float
     seq: int
-    action: Callable[[], None] = field(compare=False)
-    label: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
+    action: Callable[[], None]
+    label: str = ""
+    cancelled: bool = False
+    # Back-reference for cancellation bookkeeping; cleared once the event
+    # leaves the heap so late cancels cannot corrupt the live counter.
+    _sched: Optional["Scheduler"] = field(default=None, repr=False)
 
     def cancel(self) -> None:
         """Prevent the event from firing (it stays in the heap but is skipped)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        sched = self._sched
+        if sched is not None:
+            self._sched = None
+            sched._note_cancelled()
 
 
 class Scheduler:
     """A deterministic discrete-event loop over simulated milliseconds."""
 
     def __init__(self) -> None:
-        self._queue: List[ScheduledEvent] = []
-        self._seq = itertools.count()
+        self._queue: List[Tuple[float, int, ScheduledEvent]] = []
+        self._seq = 0
         self._now = 0.0
         self._running = False
         self._events_processed = 0
+        self._live = 0
+        self._cancelled_in_heap = 0
 
     @property
     def now(self) -> float:
@@ -61,8 +83,11 @@ class Scheduler:
             raise SimulationError(
                 f"cannot schedule event {label!r} at {time} before current time {self._now}"
             )
-        event = ScheduledEvent(time=time, seq=next(self._seq), action=action, label=label)
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = ScheduledEvent(time=time, seq=seq, action=action, label=label, _sched=self)
+        heapq.heappush(self._queue, (time, seq, event))
+        self._live += 1
         return event
 
     def call_later(self, delay: float, action: Callable[[], None], label: str = "") -> ScheduledEvent:
@@ -72,20 +97,45 @@ class Scheduler:
         return self.call_at(self._now + delay, action, label)
 
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of live (non-cancelled) events still queued.  O(1)."""
+        return self._live
+
+    def _note_cancelled(self) -> None:
+        self._live -= 1
+        self._cancelled_in_heap += 1
+        if (
+            self._cancelled_in_heap > len(self._queue) // 2
+            and len(self._queue) >= _COMPACT_MIN_HEAP
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Purge cancelled entries and re-heapify (heap order is (time, seq))."""
+        self._queue = [entry for entry in self._queue if not entry[2].cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_in_heap = 0
+
+    def _pop_live(self) -> Optional[ScheduledEvent]:
+        """Pop the earliest live event off the heap, discarding cancelled ones."""
+        while self._queue:
+            _, _, event = heapq.heappop(self._queue)
+            if event.cancelled:
+                self._cancelled_in_heap -= 1
+                continue
+            event._sched = None
+            self._live -= 1
+            return event
+        return None
 
     def step(self) -> bool:
         """Execute the single earliest event.  Returns False if queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            self._events_processed += 1
-            event.action()
-            return True
-        return False
+        event = self._pop_live()
+        if event is None:
+            return False
+        self._now = event.time
+        self._events_processed += 1
+        event.action()
+        return True
 
     def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
         """Run events until the queue drains or simulated time passes ``until``.
@@ -100,14 +150,17 @@ class Scheduler:
         try:
             executed = 0
             while self._queue:
-                head = self._queue[0]
+                time, _, head = self._queue[0]
                 if head.cancelled:
                     heapq.heappop(self._queue)
+                    self._cancelled_in_heap -= 1
                     continue
-                if until is not None and head.time > until:
+                if until is not None and time > until:
                     break
                 heapq.heappop(self._queue)
-                self._now = head.time
+                head._sched = None
+                self._live -= 1
+                self._now = time
                 self._events_processed += 1
                 head.action()
                 executed += 1

@@ -11,12 +11,23 @@ Intervals are open on both ends: the value read was written *at* ``t_read``
 (so a write exactly at ``t_read`` is the read value itself), and the
 reserving transaction itself acts *at* ``t_txn`` (VT uniqueness means no
 other transaction shares that VT).
+
+Implementation: live intervals are kept in an insertion-ordered dict keyed
+by a monotone sequence number, alongside two indexes — a list sorted by the
+interval's upper bound (``hi``) for bisect-pruned NC checks and prefix-drop
+garbage collection, and a per-owner dict so releasing a transaction's
+reservations on abort is O(k) in the number released.  Removals from the
+``hi``-sorted list are lazy (tombstoned via absence from the live dict) and
+the list is compacted once dead entries exceed half its length.  The naive
+linear implementation is preserved verbatim in
+:mod:`repro.bench.reference` as the equivalence/benchmark baseline.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right, insort
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.vtime.lamport import VirtualTime
 
@@ -42,6 +53,11 @@ class Interval:
         return not self.lo < self.hi
 
 
+#: Minimum number of tombstoned index slots before a compaction can trigger
+#: (avoids rebuild churn on tiny sets).
+_COMPACT_MIN_DEAD = 16
+
+
 class IntervalSet:
     """The set of write-free reservations for one object at its primary copy.
 
@@ -54,14 +70,24 @@ class IntervalSet:
       reservations unreachable by any future straggler.
     """
 
+    __slots__ = ("_live", "_by_hi", "_by_owner", "_next_seq", "_dead")
+
     def __init__(self) -> None:
-        self._intervals: List[Interval] = []
+        # seq -> Interval, in insertion order (dicts preserve it).
+        self._live: Dict[int, Interval] = {}
+        # (hi.key, seq) sorted ascending; may contain tombstoned seqs.
+        self._by_hi: List[Tuple[Tuple[int, int], int]] = []
+        # owner -> seqs reserved by that owner (may contain tombstoned seqs).
+        self._by_owner: Dict[VirtualTime, List[int]] = {}
+        self._next_seq = 0
+        # Count of tombstoned entries still present in _by_hi.
+        self._dead = 0
 
     def __len__(self) -> int:
-        return len(self._intervals)
+        return len(self._live)
 
     def __iter__(self) -> Iterator[Interval]:
-        return iter(self._intervals)
+        return iter(list(self._live.values()))
 
     def reserve(self, lo: VirtualTime, hi: VirtualTime, owner: VirtualTime) -> Interval:
         """Record the open interval ``(lo, hi)`` as write-free for ``owner``.
@@ -72,7 +98,11 @@ class IntervalSet:
         """
         interval = Interval(lo, hi, owner)
         if not interval.is_empty():
-            self._intervals.append(interval)
+            seq = self._next_seq
+            self._next_seq = seq + 1
+            self._live[seq] = interval
+            insort(self._by_hi, (hi.key, seq))
+            self._by_owner.setdefault(owner, []).append(seq)
         return interval
 
     def blocking_reservation(
@@ -83,44 +113,86 @@ class IntervalSet:
         This is the NC guess check: a write at ``vt`` conflicts if some other
         transaction has reserved a write-free region containing ``vt``.  The
         writer's own reservations (``exclude_owner``) never block it.
-        Returns the first blocking interval, or ``None`` if the write is
-        conflict-free.
+        Returns the earliest-reserved blocking interval, or ``None`` if the
+        write is conflict-free.
+
+        Only intervals with ``hi > vt`` can strictly contain ``vt``, and the
+        index is sorted by ``hi``, so the scan starts at the bisect point
+        past all reservations ending at or before ``vt`` — under commit-driven
+        pruning the skipped prefix is most of the set.
         """
-        for interval in self._intervals:
+        start = bisect_right(self._by_hi, (vt.key, self._next_seq))
+        live = self._live
+        best_seq: Optional[int] = None
+        for _, seq in self._by_hi[start:]:
+            if best_seq is not None and seq >= best_seq:
+                continue
+            interval = live.get(seq)
+            if interval is None:
+                continue
             if interval.owner == exclude_owner:
                 continue
-            if interval.contains_strictly(vt):
-                return interval
-        return None
+            if interval.lo < vt:
+                best_seq = seq
+        if best_seq is None:
+            return None
+        return live[best_seq]
 
     def release_owner(self, owner: VirtualTime) -> int:
         """Drop all reservations held by ``owner`` (on abort); returns count dropped."""
-        before = len(self._intervals)
-        self._intervals = [i for i in self._intervals if i.owner != owner]
-        return before - len(self._intervals)
+        seqs = self._by_owner.pop(owner, None)
+        if not seqs:
+            return 0
+        dropped = 0
+        for seq in seqs:
+            if self._live.pop(seq, None) is not None:
+                dropped += 1
+        self._dead += dropped
+        self._maybe_compact()
+        return dropped
 
     def prune_before(self, vt: VirtualTime) -> int:
-        """Drop reservations wholly before ``vt``; returns the count dropped.
+        """Drop reservations with ``hi <= vt``; returns the count dropped.
 
         Once every site has applied a committed write at ``vt``, no future
         transaction can be assigned a VT below ``vt`` that would need to be
-        checked against those reservations, so they are garbage.
+        checked against those reservations, so they are garbage.  A
+        reservation ending exactly *at* ``vt`` is equally dead: only VTs
+        strictly inside it could ever be blocked, and those precede ``vt``.
         """
-        before = len(self._intervals)
-        self._intervals = [i for i in self._intervals if not i.hi < vt and i.hi != vt]
-        return before - len(self._intervals)
+        cut = bisect_right(self._by_hi, (vt.key, self._next_seq))
+        if cut == 0:
+            return 0
+        dropped = 0
+        for _, seq in self._by_hi[:cut]:
+            if self._live.pop(seq, None) is not None:
+                dropped += 1
+            else:
+                self._dead -= 1
+        del self._by_hi[:cut]
+        return dropped
+
+    def _maybe_compact(self) -> None:
+        """Rebuild the ``hi`` index once tombstones outnumber live entries."""
+        if self._dead < _COMPACT_MIN_DEAD or self._dead <= len(self._by_hi) // 2:
+            return
+        self._by_hi = sorted(
+            ((interval.hi.key, seq) for seq, interval in self._live.items())
+        )
+        self._dead = 0
+        # Drop tombstoned seqs from the owner index while we are at it.
+        live = self._live
+        self._by_owner = {}
+        for seq, interval in live.items():
+            self._by_owner.setdefault(interval.owner, []).append(seq)
 
     def covering_intervals(self, vt: VirtualTime) -> List[Interval]:
         """All reservations strictly containing ``vt`` (diagnostics/tests)."""
-        return [i for i in self._intervals if i.contains_strictly(vt)]
+        return [i for i in self._live.values() if i.contains_strictly(vt)]
 
     def owners(self) -> List[VirtualTime]:
         """The distinct reservation owners, in insertion order."""
-        seen: List[VirtualTime] = []
-        for interval in self._intervals:
-            if interval.owner not in seen:
-                seen.append(interval.owner)
-        return seen
+        return list(dict.fromkeys(i.owner for i in self._live.values()))
 
     def __repr__(self) -> str:
-        return f"IntervalSet({self._intervals!r})"
+        return f"IntervalSet({list(self._live.values())!r})"

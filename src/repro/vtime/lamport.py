@@ -9,28 +9,76 @@ ordered.
 
 from __future__ import annotations
 
-import functools
-from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 
-@functools.total_ordering
-@dataclass(frozen=True)
 class VirtualTime:
     """A totally ordered ``(counter, site)`` Lamport timestamp.
 
     Ordering is lexicographic: the Lamport counter dominates and the site
     identifier breaks ties.  Instances are immutable and hashable so they
     can key history entries, reservation tables, and commit logs.
+
+    VTs are the single most-compared object in the system — every history
+    lookup, reservation check, and commit-log ordering goes through them —
+    so the class is slotted and keeps a precomputed ``key`` tuple that all
+    comparisons, hashing, and the bisect-backed indexes share.
     """
+
+    __slots__ = ("counter", "site", "key")
 
     counter: int
     site: int
+    #: Precomputed ``(counter, site)`` — the sort key used by comparisons
+    #: and by the bisect indexes in histories and interval sets.
+    key: Tuple[int, int]
+
+    def __init__(self, counter: int, site: int) -> None:
+        object.__setattr__(self, "counter", counter)
+        object.__setattr__(self, "site", site)
+        object.__setattr__(self, "key", (counter, site))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"VirtualTime is immutable; cannot set {name!r}")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"VirtualTime is immutable; cannot delete {name!r}")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VirtualTime):
+            return NotImplemented
+        return self.key == other.key
+
+    def __ne__(self, other: object) -> bool:
+        if not isinstance(other, VirtualTime):
+            return NotImplemented
+        return self.key != other.key
 
     def __lt__(self, other: "VirtualTime") -> bool:
         if not isinstance(other, VirtualTime):
             return NotImplemented
-        return (self.counter, self.site) < (other.counter, other.site)
+        return self.key < other.key
+
+    def __le__(self, other: "VirtualTime") -> bool:
+        if not isinstance(other, VirtualTime):
+            return NotImplemented
+        return self.key <= other.key
+
+    def __gt__(self, other: "VirtualTime") -> bool:
+        if not isinstance(other, VirtualTime):
+            return NotImplemented
+        return self.key > other.key
+
+    def __ge__(self, other: "VirtualTime") -> bool:
+        if not isinstance(other, VirtualTime):
+            return NotImplemented
+        return self.key >= other.key
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    def __reduce__(self):
+        return (VirtualTime, (self.counter, self.site))
 
     def __repr__(self) -> str:
         return f"VT({self.counter}@{self.site})"

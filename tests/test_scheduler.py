@@ -104,6 +104,60 @@ class TestScheduler:
         sched.run_until_quiescent()
         assert sched.events_processed == 7
 
+    def test_pending_is_counter_not_sweep(self):
+        sched = Scheduler()
+        events = [sched.call_later(i, lambda: None) for i in range(10)]
+        assert sched.pending() == 10
+        events[3].cancel()
+        events[7].cancel()
+        assert sched.pending() == 8
+        sched.step()
+        assert sched.pending() == 7
+
+    def test_double_cancel_counts_once(self):
+        sched = Scheduler()
+        event = sched.call_later(5, lambda: None)
+        sched.call_later(6, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sched.pending() == 1
+
+    def test_cancel_after_firing_is_harmless(self):
+        sched = Scheduler()
+        fired = []
+        event = sched.call_later(1, lambda: fired.append(1))
+        sched.call_later(2, lambda: event.cancel())
+        sched.call_later(3, lambda: fired.append(3))
+        sched.run_until_quiescent()
+        assert fired == [1, 3]
+        assert sched.pending() == 0
+
+    def test_heavy_cancellation_compacts_heap(self):
+        sched = Scheduler()
+        events = [sched.call_later(i, lambda: None) for i in range(1000)]
+        for event in events[:900]:
+            event.cancel()
+        # Compaction purges cancelled entries once they exceed half the heap.
+        assert len(sched._queue) <= 200
+        assert sched.pending() == 100
+        sched.run_until_quiescent()
+        assert sched.events_processed == 100
+
+    def test_cancellation_churn_preserves_order(self):
+        sched = Scheduler()
+        log = []
+        keep = []
+        for i in range(500):
+            event = sched.call_later(500 - i, lambda i=i: log.append(i))
+            if i % 5 != 0:
+                event.cancel()
+            else:
+                keep.append(i)
+        sched.run_until_quiescent()
+        # Survivors fire in time order: larger i was scheduled earlier... the
+        # delay is 500 - i, so ascending time order is descending i.
+        assert log == sorted(keep, reverse=True)
+
     def test_run_not_reentrant(self):
         sched = Scheduler()
         errors = []

@@ -1,5 +1,6 @@
 """Tests for topology builders and the CLI experiment runner."""
 
+import json
 import os
 
 import pytest
@@ -101,3 +102,34 @@ class TestCli:
         assert main(["examples"]) == 0
         out = capsys.readouterr().out
         assert "quickstart.py" in out
+
+    def test_bench_json_output(self, capsys):
+        assert main(["bench", "E1", "--json"]) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out)
+        (record,) = doc["experiments"]
+        assert record["id"] == "E1"
+        assert record["table"]["headers"]
+        assert record["table"]["rows"]
+
+    def test_bench_jobs_matches_serial_byte_for_byte(self, capsys):
+        results_file = os.path.join("benchmarks", "results", "E1.txt")
+        assert main(["bench", "E1"]) == 0
+        serial_out = capsys.readouterr().out
+        with open(results_file) as fh:
+            serial_artifact = fh.read()
+        assert main(["bench", "E1", "--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        with open(results_file) as fh:
+            parallel_artifact = fh.read()
+        assert parallel_out == serial_out
+        assert parallel_artifact == serial_artifact
+
+    def test_module_cache_loads_each_bench_once(self):
+        import repro.cli as cli
+
+        cli._MODULE_CACHE.clear()
+        path = discover_experiments()["E1"]
+        first = cli._load_module(path)
+        second = cli._load_module(path)
+        assert first is second

@@ -161,6 +161,49 @@ class TestIntervalSet:
         assert dropped == 1
         assert len(rs) == 1
 
+    def test_prune_before_drops_interval_ending_exactly_at_vt(self):
+        # Regression pin for the simplified predicate: the seed's
+        # "not hi < vt and hi != vt" keep-condition is exactly "hi > vt",
+        # so an interval with hi == vt is DROPPED (only VTs strictly inside
+        # it could be blocked, and those all precede vt) while hi > vt is kept.
+        rs = IntervalSet()
+        rs.reserve(vt(1), vt(10), owner=vt(10))   # hi == prune point
+        rs.reserve(vt(2), vt(11), owner=vt(11))   # hi > prune point
+        assert rs.prune_before(vt(10)) == 1
+        assert [i.hi for i in rs] == [vt(11)]
+        # Pruning again at the same point drops nothing further.
+        assert rs.prune_before(vt(10)) == 0
+
+    def test_owners_dedup_preserves_insertion_order(self):
+        rs = IntervalSet()
+        rs.reserve(vt(1), vt(9), owner=vt(9))
+        rs.reserve(vt(2), vt(7), owner=vt(7))
+        rs.reserve(vt(3), vt(9, 0), owner=vt(9))  # duplicate owner
+        assert rs.owners() == [vt(9), vt(7)]
+
+    def test_blocking_returns_earliest_reserved_among_candidates(self):
+        # The seed scanned in insertion order; the indexed set must still
+        # report the earliest-reserved blocking interval even though its
+        # index is sorted by hi.
+        rs = IntervalSet()
+        rs.reserve(vt(1), vt(30), owner=vt(30))  # inserted first, largest hi
+        rs.reserve(vt(2), vt(20), owner=vt(20))
+        blocking = rs.blocking_reservation(vt(15, site=99))
+        assert blocking is not None and blocking.owner == vt(30)
+
+    def test_release_owner_heavy_churn_compacts(self):
+        # Reserve/release enough to trip tombstone compaction; behavior
+        # (counts, remaining intervals) must be unaffected.
+        rs = IntervalSet()
+        for i in range(100):
+            rs.reserve(vt(i), vt(i + 5), owner=vt(i + 5, 1))
+        for i in range(80):
+            assert rs.release_owner(vt(i + 5, 1)) == 1
+        assert len(rs) == 20
+        assert rs.release_owner(vt(4, 1)) == 0  # already gone
+        remaining = sorted(i.lo.counter for i in rs)
+        assert remaining == list(range(80, 100))
+
     def test_covering_intervals_and_owners(self):
         rs = IntervalSet()
         rs.reserve(vt(1), vt(10), owner=vt(10))
