@@ -156,6 +156,74 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_explore(args: argparse.Namespace) -> int:
+    """Randomized-schedule conformance campaigns (see repro.explore)."""
+    from repro.explore import replay_artifact, run_campaign
+    from repro.explore.campaign import artifact_for, artifact_json
+
+    if args.replay:
+        with open(args.replay) as fh:
+            artifact = json.load(fh)
+        regenerated, identical = replay_artifact(artifact)
+        violations = regenerated["violations"]
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "replay": args.replay,
+                        "violations": len(violations),
+                        "byte_identical": identical,
+                    },
+                    indent=2,
+                )
+            )
+        else:
+            print(
+                f"replayed {args.replay}: {len(violations)} violations, "
+                f"byte-identical={identical}"
+            )
+            for v in violations[:20]:
+                print(f"  [{v['oracle']}] site={v['site']} obj={v['obj']}: {v['detail']}")
+        return 0 if identical else 1
+
+    result = run_campaign(
+        trials=args.trials,
+        seed=args.seed,
+        mutations=tuple(args.mutate),
+        faults=not args.no_faults,
+        stop_at_first=args.stop_at_first,
+        shrink=args.shrink,
+    )
+    artifact_path = None
+    if result.failures:
+        head = result.failures[0]
+        artifact_path = args.out
+        with open(artifact_path, "w") as fh:
+            fh.write(artifact_json(artifact_for(head.config, head.violations)))
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "trials": result.trials_run,
+                    "seed": result.seed,
+                    "mutations": list(args.mutate),
+                    "violating_trials": [f.index for f in result.failures],
+                    "artifact": artifact_path,
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(result.summary())
+        for failure in result.failures[:5]:
+            print(f"trial {failure.index} ({len(failure.config.faults)} faults):")
+            for v in failure.violations[:8]:
+                print(f"  {v}")
+        if artifact_path:
+            print(f"first violation written to {artifact_path} (replay with --replay)")
+    return 0 if result.ok else 1
+
+
 def cmd_examples(_args: argparse.Namespace) -> int:
     directory = os.path.join(os.path.dirname(_benchmarks_dir()), "examples")
     for name in sorted(os.listdir(directory)):
@@ -191,6 +259,40 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="print one JSON document instead of pretty tables",
     )
     bench.set_defaults(func=cmd_bench)
+
+    explore = sub.add_parser(
+        "explore",
+        help="randomized-schedule conformance campaigns with fault injection",
+    )
+    explore.add_argument("--trials", type=int, default=50, help="number of sampled trials")
+    explore.add_argument("--seed", type=int, default=0, help="campaign master seed")
+    explore.add_argument(
+        "--mutate",
+        action="append",
+        default=[],
+        metavar="FLAG",
+        help="enable a protocol mutation canary (e.g. skip_rl_check); repeatable",
+    )
+    explore.add_argument(
+        "--no-faults", action="store_true", help="disable fault injection (jitter/crash/partition)"
+    )
+    explore.add_argument(
+        "--stop-at-first", action="store_true", help="stop the campaign at the first violation"
+    )
+    explore.add_argument(
+        "--shrink", action="store_true", help="greedily minimize violating fault plans"
+    )
+    explore.add_argument(
+        "--replay", metavar="FILE", help="replay a violation artifact instead of sampling"
+    )
+    explore.add_argument(
+        "--out",
+        default="explore-violation.json",
+        metavar="FILE",
+        help="where to write the first violation artifact",
+    )
+    explore.add_argument("--json", action="store_true", help="machine-readable summary")
+    explore.set_defaults(func=cmd_explore)
 
     sub.add_parser("examples", help="list runnable example scripts").set_defaults(
         func=cmd_examples

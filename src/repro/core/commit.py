@@ -104,6 +104,13 @@ class TransactionEngine:
         self.reserved: Dict[VirtualTime, List["ModelObject"]] = {}
         #: RC / snapshot dependency index.
         self.deps = DependencyIndex()
+        #: Deliberate protocol breakages for conformance-canary tests ONLY
+        #: (see repro.explore): "skip_rl_check" disables the RL interval
+        #: check, "skip_nc_check" disables the NC reservation checks,
+        #: "views_pre_commit" makes pessimistic views deliver uncommitted
+        #: state.  Empty in production; the explorer's oracles must detect
+        #: each mutant, proving they are not vacuous.
+        self.mutations: Set[str] = set()
         #: Propagate messages blocked on missing structural predecessors.
         self.pending_propagates: List[PendingPropagate] = []
         # Metrics counters (read by the bench harness).
@@ -196,6 +203,24 @@ class TransactionEngine:
         remote_primaries = {s for s in primary_sites if s != origin}
         record.pending_confirm_sites |= remote_primaries
 
+        # A guess can only be validated by a live primary.  If a required
+        # primary is already known to have failed (its graph repair has not
+        # committed yet), abort now and re-run once repair installs a live
+        # primary — the same treatment section 3.4 gives transactions that
+        # were already awaiting the dead site's confirmation.
+        dead_primaries = remote_primaries & self.site.failures.failed
+        if dead_primaries:
+            txn, outcome, post = record.txn, record.outcome, record.post_execute
+            self._abort_origin(
+                record,
+                f"primary site(s) {sorted(dead_primaries)} failed; awaiting graph repair",
+                retry=False,
+            )
+            outcome.aborted_no_retry = False
+            outcome.abort_reason = ""
+            self.site.failures.deferred_retries.append((txn, outcome, post))
+            return
+
         delegate_to: Optional[int] = None
         if (
             self.delegation_enabled
@@ -284,14 +309,14 @@ class TransactionEngine:
         conflicting = [
             e for e in target.history.entries_in_open_interval(read_vt, vt)
         ]
-        if conflicting:
+        if conflicting and "skip_rl_check" not in self.mutations:
             return False, f"RL denied on {target.uid}: write at {conflicting[0].vt} in ({read_vt}, {vt})"
         # RL guess on the replication graph ("a primary copy always confirms
         # the RL guess that the graph hasn't changed" — section 3.3).
         graph_conflicts = root.graph_history().entries_in_open_interval(graph_vt, vt)
         if graph_conflicts:
             return False, f"graph RL denied on {root.uid}: change at {graph_conflicts[0].vt}"
-        if is_write:
+        if is_write and "skip_nc_check" not in self.mutations:
             # NC guess: no other transaction reserved a write-free region
             # containing our VT.
             blocking = target.value_reservations.blocking_reservation(vt, exclude_owner=vt)

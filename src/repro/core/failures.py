@@ -470,6 +470,11 @@ class FailureManager:
 
         dead = set(msg.failed_sites) | {msg.failed_site}
         self.site.clock.observe(msg.apply_vt)
+        # Mark the consensus write committed *before* applying: the apply
+        # events reach attached views, and a pessimistic proxy creating a
+        # snapshot at apply_vt must see committed status rather than
+        # registering an RC wait that nothing would ever resolve.
+        self.site.engine.status[msg.apply_vt] = "committed"
         self.site.views.begin_batch()
         try:
             for obj in list(self.site.objects.values()):
@@ -492,5 +497,10 @@ class FailureManager:
                 self.graphs_repaired += 1
         finally:
             self.site.views.end_batch()
-        self.site.engine.status[msg.apply_vt] = "committed"
+        # The consensus write commits outside the normal commit path; fire
+        # any dependents waiting on apply_vt and let the view manager
+        # re-evaluate deferred checks and re-dispatch any snapshot checks
+        # orphaned by the dead primary.
+        self.site.engine.deps.resolve_commit(msg.apply_vt)
+        self.site.views.on_txn_resolved(msg.apply_vt, committed=True)
         self._run_deferred_retries()

@@ -258,11 +258,14 @@ class SiteRuntime:
             raise ProtocolError(f"unroutable payload {type(payload).__name__}")
         # New structure may unblock buffered indirect propagations.
         self.engine.retry_pending_propagates()
+        # A repaired graph may name a live primary for orphaned view checks.
+        self.views.maybe_retry_orphans()
 
     def _on_failure_notice(self, failed_site: int) -> None:
         if failed_site == self.site_id:
             return
         self.failures.on_site_failed(failed_site)
+        self.views.on_site_failed(failed_site)
 
     # ------------------------------------------------------------------
     # Bookkeeping services used by the engines
@@ -299,6 +302,93 @@ class SiteRuntime:
     # ------------------------------------------------------------------
     # Introspection / metrics
     # ------------------------------------------------------------------
+
+    def state_digest(self) -> Dict[str, Any]:
+        """Committed state of every replicated root, keyed relationship-wide.
+
+        The key is the minimum uid in the root's replication graph, which is
+        the same at every member site, so digests from different live sites
+        are directly comparable: converged replicas produce identical
+        digests.  Used by the conformance explorer's convergence oracle.
+        """
+        from repro.vtime import VT_ZERO
+
+        horizon = VirtualTime(2**62, 2**30)
+        digest: Dict[str, Any] = {}
+        for obj in self.objects.values():
+            if not obj.has_own_graph():
+                continue
+            graph = obj.graph()
+            key = min(graph.uids()) if graph.uids() else obj.uid
+            try:
+                committed_vt = obj.history.committed_current().vt
+            except ProtocolError:
+                committed_vt = VT_ZERO
+            digest[key] = (committed_vt.key, repr(obj.value_at(horizon, committed_only=True)))
+        return digest
+
+    def protocol_residue(self) -> Dict[str, List[str]]:
+        """Protocol state that must be empty once the system is quiescent.
+
+        Any entry left after ``run_until_quiescent`` is a leak: a guess that
+        never resolved, a reservation owned by an aborted transaction, an
+        undelivered pessimistic snapshot, or an uncommitted history entry.
+        Used by the conformance explorer's residue oracle.
+        """
+        from repro.core.transaction import TxnState
+        from repro.core.views import PessimisticProxy
+
+        residue: Dict[str, List[str]] = {}
+
+        def add(category: str, item: str) -> None:
+            residue.setdefault(category, []).append(item)
+
+        for vt, record in self.engine.records.items():
+            if record.state not in (TxnState.COMMITTED, TxnState.ABORTED):
+                add(
+                    "unresolved-transactions",
+                    f"{vt} state={record.state} pending_confirm={sorted(record.pending_confirm_sites)}",
+                )
+        for pending in self.engine.pending_propagates:
+            add("pending-propagates", f"{pending.msg.txn_vt} remaining={len(pending.remaining)}")
+        for vt in sorted(self.engine.deps.pending_vts()):
+            add("dangling-dependencies", str(vt))
+        for snap_id, rec in sorted(self.views.records.items()):
+            add(
+                "open-snapshot-records",
+                f"snap{snap_id} ts={rec.ts} pending_sites={sorted(rec.pending_sites)} "
+                f"pending_rc={len(rec.pending_rc)} denied={rec.denied}",
+            )
+        for snap_id, reply in sorted(self.views.outstanding.items()):
+            add("primary-outstanding-replies", f"snap{snap_id} unresolved={reply.unresolved}")
+        for deferred in self.views.deferred:
+            add("deferred-primary-checks", f"snap{deferred.snap_id} on {deferred.check.object_uid}")
+        for proxy in self.views.proxies:
+            if isinstance(proxy, PessimisticProxy) and proxy.pending:
+                add(
+                    "undelivered-pessimistic-snapshots",
+                    f"{type(proxy.view).__name__}: {sorted(str(vt) for vt in proxy.pending)}",
+                )
+        for uid in sorted(self.objects):
+            obj = self.objects[uid]
+            for entry in obj.history:
+                if not entry.committed:
+                    add("uncommitted-history", f"{uid} at {entry.vt}")
+            for table_name, table in (
+                ("value", obj.value_reservations),
+                ("graph", obj.graph_reservations),
+            ):
+                for interval in table:
+                    owner = interval.owner
+                    if (
+                        isinstance(owner, VirtualTime)
+                        and self.engine.status.get(owner) == "aborted"
+                    ):
+                        add(
+                            "leaked-reservations",
+                            f"{uid} {table_name} ({interval.lo},{interval.hi}) owner={owner}",
+                        )
+        return residue
 
     def counters(self) -> Dict[str, int]:
         """Per-site protocol counters for the bench harness."""

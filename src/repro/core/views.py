@@ -534,6 +534,7 @@ class PessimisticProxy(ViewProxy):
 
     def _deliver_ready(self) -> None:
         """Deliver pending snapshots in VT order while they are ready."""
+        pre_commit_mutant = "views_pre_commit" in self.site.engine.mutations
         while self.pending:
             first_ts = min(self.pending)
             record = self.pending[first_ts]
@@ -542,10 +543,18 @@ class PessimisticProxy(ViewProxy):
                 self.manager.discard_record(record)
                 self._revise_successor_of(first_ts)
                 continue
-            if not record.ready():
-                return
-            if self.site.engine.status.get(first_ts) != "committed":
-                return
+            if pre_commit_mutant:
+                # Deliberately broken gating (conformance-canary tests
+                # only): deliver as soon as the remote checks are answered,
+                # ignoring RC guesses and the commit gate.  The explorer's
+                # pessimistic-view oracle must catch this.
+                if record.denied or record.pending_sites:
+                    return
+            else:
+                if not record.ready():
+                    return
+                if self.site.engine.status.get(first_ts) != "committed":
+                    return
             self.pending.pop(first_ts)
             self.manager.discard_record(record)
             self.last_notified_vt = first_ts
@@ -597,6 +606,9 @@ class ViewManager:
         self.outstanding: Dict[Tuple[int, int], OutstandingReply] = {}
         #: Primary-side deferred pessimistic checks.
         self.deferred: List[DeferredCheck] = []
+        #: Snapshot ids whose CONFIRM-READ was addressed to a primary that
+        #: failed; re-dispatched once graph repair names a live primary.
+        self._orphans: List[Tuple[int, int]] = []
 
     # -- attachment ------------------------------------------------------
 
@@ -677,6 +689,14 @@ class ViewManager:
         me = self.site.site_id
         for primary, site_checks in sorted(by_site.items()):
             record.pending_sites.add(primary)
+            if primary != me and primary in self.site.failures.failed:
+                # The current graph still names a dead primary (repair has
+                # not committed yet); park the checks and re-dispatch once
+                # a live primary is implied by the repaired graph.
+                for check, obj in site_checks:
+                    record.outstanding.append((primary, check, obj))
+                self._orphan(record.snap_id)
+                continue
             msg = SnapshotConfirmMsg(
                 snap_id=record.snap_id,
                 origin=me,
@@ -691,6 +711,87 @@ class ViewManager:
                 for check, obj in site_checks:
                     record.outstanding.append((primary, check, obj))
                 self.site.send(primary, msg)
+
+    # -- failure handling (requester and primary side) ---------------------
+
+    def _orphan(self, snap_id: Tuple[int, int]) -> None:
+        if snap_id not in self._orphans:
+            self._orphans.append(snap_id)
+
+    def on_site_failed(self, failed: int) -> None:
+        """React to a fail-stop notification (paper section 3.4).
+
+        Primary-side state owed to the dead site is dropped (its reply has
+        nowhere to go); requester-side records whose CONFIRM-READ was
+        addressed to the dead primary are queued for re-dispatch against
+        the post-repair graph — without this, a pessimistic view whose
+        primary crashes mid-check would block forever.
+        """
+        for snap_id, reply in list(self.outstanding.items()):
+            if reply.origin == failed:
+                del self.outstanding[snap_id]
+        self.deferred = [d for d in self.deferred if d.origin != failed]
+        for record in self.records.values():
+            if failed in record.pending_sites:
+                self._orphan(record.snap_id)
+        self.maybe_retry_orphans()
+
+    def maybe_retry_orphans(self) -> None:
+        """Re-dispatch orphaned checks whose object now has a live primary."""
+        if not self._orphans:
+            return
+        failed = self.site.failures.failed
+        pending, self._orphans = self._orphans, []
+        still: List[Tuple[int, int]] = []
+        for snap_id in pending:
+            record = self.records.get(snap_id)
+            if record is None or record.dead or record.delivered:
+                continue  # superseded, revised, or resolved meanwhile
+            if not record.pending_sites & failed:
+                continue
+            if record.pending_sites - failed:
+                # Replies from live primaries are still in flight; wait for
+                # them so one primary never aggregates two requests for the
+                # same snapshot at once.
+                still.append(snap_id)
+                continue
+            entries = [e for e in record.outstanding if e[0] in failed]
+            new_checks: List[Tuple[int, SnapshotCheck, Any]] = []
+            repaired = True
+            for _old_primary, check, obj in entries:
+                root = obj.propagation_root()
+                primary = self.site.primary_site_of(root.graph())
+                if primary in failed:
+                    repaired = False
+                    break
+                dst_uid = root.graph().uid_at_site(primary)
+                new_checks.append(
+                    (
+                        primary,
+                        SnapshotCheck(
+                            object_uid=dst_uid if dst_uid else root.uid,
+                            lo_vt=check.lo_vt,
+                            hi_vt=check.hi_vt,
+                            committed_only=check.committed_only,
+                            path=check.path,
+                        ),
+                        obj,
+                    )
+                )
+            if not repaired:
+                still.append(snap_id)  # graph repair has not committed yet
+                continue
+            record.outstanding = [e for e in record.outstanding if e[0] not in failed]
+            record.pending_sites -= failed
+            self.dispatch_checks(record, new_checks)
+            if record.ready() and not record.dead:
+                record.proxy.on_snapshot_ready(record)
+        # dispatch_checks above may have re-orphaned records (e.g. the new
+        # primary is dead too); keep those alongside the still-waiting ones.
+        for snap_id in self._orphans:
+            if snap_id not in still:
+                still.append(snap_id)
+        self._orphans = still
 
     # -- primary side --------------------------------------------------------
 
@@ -805,6 +906,9 @@ class ViewManager:
                 reply.ok = False
                 reply.denials.append(deferred.check.object_uid)
             self._maybe_reply(reply)
+        # A commit may be the graph-repair transaction that names a new
+        # primary for orphaned snapshot checks.
+        self.maybe_retry_orphans()
 
     # -- requester side: replies -------------------------------------------
 

@@ -1,0 +1,50 @@
+"""Randomized-schedule conformance explorer (adversarial testing harness).
+
+This package runs seeded campaigns of full DECAF sessions over the
+discrete-event simulator.  Each *trial* samples a topology, a workload mix,
+and a fault plan (latency jitter, fail-stop crashes, partitions presented
+as a crash prelude), runs to quiescence, and then checks a battery of
+invariant oracles derived from the paper's guarantees:
+
+* committed transactions have serializable effect consistent with VT order,
+* pessimistic views saw exactly the committed writes, losslessly, in
+  monotonic VT order, with values matching the serial reconstruction,
+* all live replicas converge to identical committed state,
+* no protocol residue (leaked reservations, dangling guesses, undelivered
+  snapshots) survives quiescence,
+* optimistic views are eventually superseded to the committed outcome.
+
+Violations are replayable ``(seed, topology, fault plan)`` JSON artifacts;
+a greedy shrinker minimizes fault plans by deterministic replay.
+"""
+
+from repro.explore.campaign import (
+    ARTIFACT_FORMAT,
+    CampaignResult,
+    TrialFailure,
+    artifact_for,
+    replay_artifact,
+    run_campaign,
+    shrink_config,
+)
+from repro.explore.oracles import Violation, check_trial
+from repro.explore.plan import FaultEvent, PartySpec, TrialConfig, sample_config
+from repro.explore.trial import TrialResult, run_trial
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "CampaignResult",
+    "FaultEvent",
+    "PartySpec",
+    "TrialConfig",
+    "TrialFailure",
+    "TrialResult",
+    "Violation",
+    "artifact_for",
+    "check_trial",
+    "replay_artifact",
+    "run_campaign",
+    "run_trial",
+    "sample_config",
+    "shrink_config",
+]

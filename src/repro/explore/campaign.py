@@ -1,0 +1,158 @@
+"""Campaign runner: seeded trial sweeps, violation artifacts, replay, shrinking.
+
+A campaign runs ``trials`` independently sampled trials from one master
+seed.  Each violating trial produces a replayable *artifact*::
+
+    {
+      "format": "repro-explore/1",
+      "config": { ... TrialConfig.to_dict() ... },
+      "violations": [ {"oracle", "site", "obj", "detail"}, ... ]
+    }
+
+Artifacts are self-contained: :func:`replay_artifact` rebuilds the trial
+from the embedded config and re-runs it deterministically; the regenerated
+artifact must be byte-identical to the stored one.
+
+The shrinker greedily removes fault events (whole groups at a time, since
+e.g. a partition without its crash is not a sound fault on its own) while
+the trial still violates *some* oracle, converging to a minimal fault plan.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.explore.oracles import Violation, check_trial
+from repro.explore.plan import TrialConfig, sample_config
+from repro.explore.trial import run_trial
+
+ARTIFACT_FORMAT = "repro-explore/1"
+
+
+def run_trial_violations(config: TrialConfig) -> List[Violation]:
+    """Run one trial and return its oracle violations."""
+    return check_trial(run_trial(config))
+
+
+@dataclass
+class TrialFailure:
+    """A violating trial: its (possibly shrunk) config and violations."""
+
+    index: int
+    config: TrialConfig
+    violations: List[Violation]
+    shrunk_from: Optional[int] = None  # fault count before shrinking
+
+
+@dataclass
+class CampaignResult:
+    seed: int
+    trials_run: int
+    failures: List[TrialFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"{self.trials_run} trials, no violations"
+        head = self.failures[0]
+        return (
+            f"{self.trials_run} trials, {len(self.failures)} violating "
+            f"(first: trial {head.index}, {len(head.violations)} violations, "
+            f"e.g. {head.violations[0]})"
+        )
+
+
+def artifact_for(config: TrialConfig, violations: Sequence[Violation]) -> Dict[str, Any]:
+    return {
+        "format": ARTIFACT_FORMAT,
+        "config": config.to_dict(),
+        "violations": [v.to_dict() for v in violations],
+    }
+
+
+def artifact_json(artifact: Dict[str, Any]) -> str:
+    """Canonical serialization (stable key order) for byte-identity checks."""
+    return json.dumps(artifact, indent=2, sort_keys=True) + "\n"
+
+
+def replay_artifact(artifact: Dict[str, Any]) -> Tuple[Dict[str, Any], bool]:
+    """Re-run the trial stored in ``artifact``.
+
+    Returns ``(regenerated_artifact, identical)`` where ``identical`` means
+    the replay reproduced the stored violations byte-for-byte.
+    """
+    if artifact.get("format") != ARTIFACT_FORMAT:
+        raise ValueError(f"unknown artifact format {artifact.get('format')!r}")
+    config = TrialConfig.from_dict(artifact["config"])
+    regenerated = artifact_for(config, run_trial_violations(config))
+    return regenerated, artifact_json(regenerated) == artifact_json(artifact)
+
+
+def shrink_config(
+    config: TrialConfig,
+    violations: Optional[List[Violation]] = None,
+    max_rounds: int = 64,
+) -> Tuple[TrialConfig, List[Violation]]:
+    """Greedily minimize ``config``'s fault plan while any oracle still fails.
+
+    Each round tries removing one fault event (with its soundness group);
+    a removal is kept when the replay still violates.  Deterministic: the
+    same input always shrinks to the same output.
+    """
+    if violations is None:
+        violations = run_trial_violations(config)
+    if not violations:
+        return config, violations
+    for _ in range(max_rounds):
+        removed = False
+        for index in range(len(config.faults)):
+            candidate = config.without_fault(index)
+            if len(candidate.faults) == len(config.faults):
+                continue
+            candidate_violations = run_trial_violations(candidate)
+            if candidate_violations:
+                config, violations = candidate, candidate_violations
+                removed = True
+                break
+        if not removed:
+            break
+    return config, violations
+
+
+def run_campaign(
+    trials: int,
+    seed: int,
+    mutations: Sequence[str] = (),
+    faults: bool = True,
+    stop_at_first: bool = False,
+    shrink: bool = False,
+    progress: Optional[Callable[[int, TrialConfig, List[Violation]], None]] = None,
+) -> CampaignResult:
+    """Run ``trials`` sampled trials; collect (optionally shrunk) failures."""
+    result = CampaignResult(seed=seed, trials_run=0)
+    for index in range(trials):
+        config = sample_config(seed, index, mutations=mutations, faults=faults)
+        violations = run_trial_violations(config)
+        result.trials_run += 1
+        if progress is not None:
+            progress(index, config, violations)
+        if violations:
+            original_faults = len(config.faults)
+            if shrink:
+                config, violations = shrink_config(config, violations)
+            result.failures.append(
+                TrialFailure(
+                    index=index,
+                    config=config,
+                    violations=violations,
+                    shrunk_from=original_faults if shrink else None,
+                )
+            )
+            if stop_at_first:
+                break
+    return result

@@ -89,6 +89,7 @@ class NetworkStats:
     messages_sent: int = 0
     messages_delivered: int = 0
     messages_dropped: int = 0
+    messages_dropped_injected: int = 0
     per_type_sent: Dict[str, int] = field(default_factory=dict)
 
     def record_send(self, payload: Any) -> None:
@@ -101,9 +102,27 @@ class NetworkStats:
             messages_sent=self.messages_sent,
             messages_delivered=self.messages_delivered,
             messages_dropped=self.messages_dropped,
+            messages_dropped_injected=self.messages_dropped_injected,
         )
         copy.per_type_sent = dict(self.per_type_sent)
         return copy
+
+
+@dataclass
+class DropRule:
+    """A fault-injection rule: silently drop up to ``remaining`` messages
+    addressed to ``dst`` (optionally only those from ``src``)."""
+
+    dst: int
+    remaining: int
+    src: Optional[int] = None
+
+    def matches(self, src: int, dst: int) -> bool:
+        return (
+            self.remaining > 0
+            and dst == self.dst
+            and (self.src is None or src == self.src)
+        )
 
 
 class Network:
@@ -121,6 +140,14 @@ class Network:
     fifo:
         When True (default), deliveries on each ordered ``(src, dst)`` pair
         never overtake earlier sends on the same pair.
+    flush_inflight_on_fail:
+        When True, messages already in flight *from* a site at the moment it
+        crashes are still delivered (only messages *to* a failed site are
+        dropped).  This models the paper's ISIS-style infrastructure
+        guarantee — if any survivor received a transaction's COMMIT, every
+        replica received its WRITEs — which the conformance explorer relies
+        on.  The default (False) keeps the stricter drop-everything
+        semantics that the existing failure tests exercise.
     """
 
     def __init__(
@@ -129,10 +156,12 @@ class Network:
         latency: Optional[LatencyModel] = None,
         seed: int = 0,
         fifo: bool = True,
+        flush_inflight_on_fail: bool = False,
     ) -> None:
         self.scheduler = scheduler
         self.default_latency = latency if latency is not None else FixedLatency(50.0)
         self.fifo = fifo
+        self.flush_inflight_on_fail = flush_inflight_on_fail
         self.stats = NetworkStats()
         self._rng = random.Random(seed)
         self._handlers: Dict[int, DeliveryHandler] = {}
@@ -141,6 +170,18 @@ class Network:
         self._last_delivery: Dict[Tuple[int, int], float] = {}
         self._failed: Set[int] = set()
         self._partitioned: Set[Tuple[int, int]] = set()
+        self._drop_rules: List[DropRule] = []
+        #: Optional hook adding deterministic extra delay per message:
+        #: ``fn(src, dst, payload) -> extra_ms``.  With ``fifo=False`` this
+        #: reorders messages within a pair; with FIFO it stretches queues.
+        self.delay_hook: Optional[Callable[[int, int, Any], float]] = None
+        #: When True (default), a partition also destroys messages already
+        #: in flight across the cut.  The conformance explorer sets this to
+        #: False so a partition models "no *new* communication" while
+        #: messages already handed to the infrastructure still arrive —
+        #: the view of disconnection the paper's fail-stop presentation
+        #: implies.
+        self.partition_cuts_inflight: bool = True
 
     # ------------------------------------------------------------------
     # Registration / topology
@@ -179,6 +220,10 @@ class Network:
         if src in self._failed or dst in self._failed or self._is_partitioned(src, dst):
             self.stats.messages_dropped += 1
             return
+        if self._consume_drop_rule(src, dst):
+            self.stats.messages_dropped += 1
+            self.stats.messages_dropped_injected += 1
+            return
         if src == dst:
             # Local loopback delivers on the next scheduler step with zero
             # latency; it still goes through the queue so handler re-entrancy
@@ -187,6 +232,8 @@ class Network:
         else:
             model = self._link_latency.get((src, dst), self.default_latency)
             delivery_time = self.scheduler.now + model.sample(self._rng, src, dst)
+        if self.delay_hook is not None and src != dst:
+            delivery_time += max(0.0, self.delay_hook(src, dst, payload))
         if self.fifo:
             key = (src, dst)
             floor = self._last_delivery.get(key, 0.0)
@@ -194,10 +241,13 @@ class Network:
             self._last_delivery[key] = delivery_time
 
         def deliver() -> None:
-            if dst in self._failed or src in self._failed:
+            if dst in self._failed:
                 self.stats.messages_dropped += 1
                 return
-            if self._is_partitioned(src, dst):
+            if src in self._failed and not self.flush_inflight_on_fail:
+                self.stats.messages_dropped += 1
+                return
+            if self._is_partitioned(src, dst) and self.partition_cuts_inflight:
                 self.stats.messages_dropped += 1
                 return
             self.stats.messages_delivered += 1
@@ -209,6 +259,34 @@ class Network:
         """Send ``payload`` from ``src`` to each destination independently."""
         for dst in dsts:
             self.send(src, dst, payload)
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+
+    def inject_drop(self, dst: int, count: int = 1, src: Optional[int] = None) -> DropRule:
+        """Arm a rule dropping the next ``count`` messages addressed to ``dst``.
+
+        With ``src`` given, only messages from that site match.  Drops are
+        counted in ``stats.messages_dropped_injected``.  Note this breaks
+        the reliable-channel assumption the protocol is built on; it exists
+        for adversarial/conformance testing, where a drop is only sound when
+        the receiver (or sender) is about to crash fail-stop anyway.
+        """
+        if count <= 0:
+            raise SimulationError("inject_drop requires a positive count")
+        rule = DropRule(dst=dst, remaining=count, src=src)
+        self._drop_rules.append(rule)
+        return rule
+
+    def _consume_drop_rule(self, src: int, dst: int) -> bool:
+        for rule in self._drop_rules:
+            if rule.matches(src, dst):
+                rule.remaining -= 1
+                if rule.remaining == 0:
+                    self._drop_rules = [r for r in self._drop_rules if r.remaining > 0]
+                return True
+        return False
 
     # ------------------------------------------------------------------
     # Failures and partitions
@@ -224,12 +302,21 @@ class Network:
         if site in self._failed:
             return
         self._failed.add(site)
+        notify_time = self.scheduler.now + notify_after_ms
+        if self.flush_inflight_on_fail and self.fifo:
+            # Virtual synchrony: the failure notification is ordered after
+            # every message the dead site already handed to the transport
+            # (ISIS view-change semantics).  Without this a survivor could
+            # resolve a transaction as aborted and then receive its COMMIT.
+            for (src, _dst), last in self._last_delivery.items():
+                if src == site and last > notify_time:
+                    notify_time = last
 
         def notify() -> None:
             for handler in list(self._failure_handlers):
                 handler(site)
 
-        self.scheduler.call_later(notify_after_ms, notify, label=f"fail-notify {site}")
+        self.scheduler.call_at(notify_time, notify, label=f"fail-notify {site}")
 
     def is_failed(self, site: int) -> bool:
         return site in self._failed

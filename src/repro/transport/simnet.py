@@ -33,3 +33,23 @@ class SimTransport(Transport):
 
     def defer(self, action, delay_ms: float = 0.0) -> None:
         self.network.scheduler.call_later(delay_ms, action, label="deferred")
+
+    # -- fault-injection passthroughs (used by the conformance explorer) --
+
+    def fail_site(self, site: int, notify_after_ms: float = 0.0) -> None:
+        self.network.fail_site(site, notify_after_ms)
+
+    def is_failed(self, site: int) -> bool:
+        return self.network.is_failed(site)
+
+    def inject_drop(self, dst: int, count: int = 1, src=None):
+        return self.network.inject_drop(dst, count=count, src=src)
+
+    def partition(self, group_a, group_b) -> None:
+        self.network.partition(group_a, group_b)
+
+    def heal_partition(self) -> None:
+        self.network.heal_partition()
+
+    def set_link_latency(self, src: int, dst: int, model) -> None:
+        self.network.set_link_latency(src, dst, model)

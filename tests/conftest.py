@@ -1,0 +1,27 @@
+"""Shared pytest configuration: deterministic Hypothesis profiles.
+
+Two profiles are registered:
+
+``ci``   fully deterministic — ``derandomize=True`` replays the same
+         example sequence on every run, and ``deadline=None`` removes
+         per-example wall-clock deadlines so a slow shared runner cannot
+         flake an otherwise-passing property test.
+``dev``  the default for local runs — randomized example generation
+         (fresh seeds each run) so local testing keeps exploring new
+         inputs, still without wall-clock deadlines.
+
+Select with ``HYPOTHESIS_PROFILE=ci`` (the CI workflow sets this);
+local runs default to ``dev``.
+"""
+
+import os
+
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - hypothesis is optional locally
+    settings = None
+
+if settings is not None:
+    settings.register_profile("ci", derandomize=True, deadline=None)
+    settings.register_profile("dev", deadline=None)
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

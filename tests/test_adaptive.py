@@ -83,6 +83,42 @@ class TestController:
         assert not controller.suppressed
         assert engaged >= 1
 
+    def test_explicit_exit_threshold(self):
+        session, alice, _, _ = contended_pair()
+        controller = AdaptiveOptimismController(
+            alice, enter_threshold=0.4, exit_threshold=0.3
+        )
+        assert controller.exit_threshold == 0.3
+        # Default is hysteresis at half the entry threshold.
+        assert AdaptiveOptimismController(alice, enter_threshold=0.4).exit_threshold == 0.2
+
+    def test_suppressed_submissions_queue_and_still_commit(self):
+        session, alice, bob, objs = contended_pair()
+        controller = AdaptiveOptimismController(bob)
+        controller.suppressed = True  # force the serialized mode
+        outcomes = [
+            controller.transact(lambda: objs[1].set(objs[1].get() + 1))
+            for _ in range(3)
+        ]
+        # The first launches via the pump; the rest wait their turn.
+        assert controller.queued_peak >= 1
+        assert controller.submitted == 3
+        session.settle()
+        assert all(o.committed for o in outcomes)
+        assert objs[0].get() == objs[1].get() == 3
+
+    def test_queued_outcome_is_live_before_execution(self):
+        session, _, bob, objs = contended_pair()
+        controller = AdaptiveOptimismController(bob)
+        controller.suppressed = True
+        first = controller.transact(lambda: objs[1].set(1))
+        second = controller.transact(lambda: objs[1].set(2))
+        # The second transaction has not executed yet, but its outcome
+        # handle already exists and resolves once the queue drains.
+        assert not second.committed
+        session.settle()
+        assert first.committed and second.committed
+
     def test_suppression_reduces_retries(self):
         """The point of the mechanism: serialized submission under
         contention produces fewer conflict retries than raw optimism."""

@@ -80,3 +80,37 @@ class TestMonitors:
         lst.set_authorization(AllowListMonitor(readers=set()))
         outcome = site.transact(lambda: lst.append("int", 1))
         assert outcome.aborted_no_retry
+
+
+class TestJoinGates:
+    """can_join decisions, consulted by the join protocol before revealing
+    replica relationships."""
+
+    def test_base_monitor_allows_join(self):
+        assert AuthorizationMonitor().can_join("anyone", None)
+
+    def test_allow_list_joiners_default_to_writers(self):
+        monitor = AllowListMonitor(readers={"alice", "bob"}, writers={"alice"})
+        assert monitor.can_join("alice", None)
+        assert not monitor.can_join("bob", None)
+
+    def test_allow_list_separate_joiners(self):
+        monitor = AllowListMonitor(readers={"alice"}, joiners={"carol"})
+        assert monitor.can_join("carol", None)
+        assert not monitor.can_join("alice", None)
+
+    def test_read_only_join_restricted_to_owner(self):
+        monitor = ReadOnlyMonitor(owner="alice")
+        assert monitor.can_join("alice", None)
+        assert not monitor.can_join("bob", None)
+
+    def test_predicate_join_delegates(self):
+        monitor = PredicateMonitor(join=lambda principal, obj: principal == "x")
+        assert monitor.can_join("x", None)
+        assert not monitor.can_join("y", None)
+
+    def test_predicate_defaults_allow(self):
+        monitor = PredicateMonitor()
+        assert monitor.can_read("p", None)
+        assert monitor.can_write("p", None)
+        assert monitor.can_join("p", None)

@@ -1,0 +1,283 @@
+"""Tests for the randomized-schedule conformance explorer.
+
+Covers deterministic sampling, healthy campaigns, artifact replay
+(byte-identity), shrinking, the CLI entry point, and two crafted
+regression scenarios: the coordinator double-failure and the
+reliable-channel assumption (selective drops are expected to violate).
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.explore import (
+    FaultEvent,
+    PartySpec,
+    TrialConfig,
+    artifact_for,
+    check_trial,
+    replay_artifact,
+    run_campaign,
+    run_trial,
+    sample_config,
+    shrink_config,
+)
+from repro.explore.campaign import artifact_json, run_trial_violations
+
+
+def mutated_config(**overrides):
+    """A small trial the views_pre_commit canary reliably trips."""
+    config = sample_config(0, 0, mutations=("views_pre_commit",))
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return config
+
+
+class TestSampling:
+    def test_same_seed_same_config(self):
+        for index in range(5):
+            assert (
+                sample_config(3, index).to_dict() == sample_config(3, index).to_dict()
+            )
+
+    def test_different_indices_differ(self):
+        dicts = [sample_config(0, i).to_dict() for i in range(8)]
+        assert len({json.dumps(d, sort_keys=True) for d in dicts}) > 1
+
+    def test_config_roundtrips_through_dict(self):
+        config = sample_config(1, 4)
+        assert TrialConfig.from_dict(config.to_dict()).to_dict() == config.to_dict()
+
+    def test_faults_flag_suppresses_faults(self):
+        assert sample_config(0, 3, faults=False).faults == []
+
+    def test_unknown_fault_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent.from_dict({"at_ms": 0.0, "kind": "meteor", "args": {}})
+
+    def test_unknown_party_kind_rejected(self):
+        spec = sample_config(0, 0).parties[0].to_dict()
+        spec["kind"] = "chaos"
+        with pytest.raises(ValueError):
+            PartySpec.from_dict(spec)
+
+    def test_sampler_never_emits_drops(self):
+        # Selective drops break the reliable-channel assumption; healthy
+        # campaigns must not contain them (see plan.py's soundness notes).
+        for index in range(40):
+            for fault in sample_config(7, index).faults:
+                assert fault.kind != "drop"
+
+
+class TestCampaign:
+    def test_healthy_campaign_has_no_violations(self):
+        result = run_campaign(trials=25, seed=0)
+        assert result.ok, result.summary()
+        assert result.trials_run == 25
+        assert "no violations" in result.summary()
+
+    def test_campaign_is_deterministic(self):
+        first = run_campaign(trials=2, seed=0, mutations=("views_pre_commit",))
+        second = run_campaign(trials=2, seed=0, mutations=("views_pre_commit",))
+        assert [f.index for f in first.failures] == [f.index for f in second.failures]
+        assert first.failures, "canary campaign should violate"
+        a = artifact_for(first.failures[0].config, first.failures[0].violations)
+        b = artifact_for(second.failures[0].config, second.failures[0].violations)
+        assert artifact_json(a) == artifact_json(b)
+
+    def test_stop_at_first_stops_early(self):
+        result = run_campaign(
+            trials=50, seed=0, mutations=("views_pre_commit",), stop_at_first=True
+        )
+        assert result.failures
+        assert result.trials_run < 50
+
+
+class TestArtifacts:
+    def test_replay_is_byte_identical(self):
+        config = mutated_config()
+        violations = run_trial_violations(config)
+        assert violations
+        artifact = artifact_for(config, violations)
+        # Round-trip through JSON text, as the CLI does with --replay.
+        loaded = json.loads(artifact_json(artifact))
+        regenerated, identical = replay_artifact(loaded)
+        assert identical
+        assert artifact_json(regenerated) == artifact_json(artifact)
+
+    def test_replay_rejects_unknown_format(self):
+        with pytest.raises(ValueError):
+            replay_artifact({"format": "not-an-artifact", "config": {}})
+
+
+class TestShrinking:
+    def test_shrinker_removes_superfluous_faults(self):
+        # The mutation alone violates; any sampled faults are superfluous
+        # noise the shrinker must strip, plus two planted jitter events.
+        config = mutated_config()
+        config.faults = list(config.faults) + [
+            FaultEvent(
+                at_ms=30.0,
+                kind="jitter",
+                args={"src": 0, "dst": 1, "low_ms": 20.0, "high_ms": 50.0},
+            ),
+            FaultEvent(
+                at_ms=60.0,
+                kind="jitter",
+                args={"src": 1, "dst": 0, "low_ms": 20.0, "high_ms": 50.0},
+            ),
+        ]
+        shrunk, violations = shrink_config(config)
+        assert violations, "shrinking must preserve the violation"
+        assert shrunk.faults == []
+
+    def test_shrink_of_clean_config_is_identity(self):
+        config = sample_config(0, 0)
+        shrunk, violations = shrink_config(config)
+        assert violations == []
+        assert shrunk is config
+
+    def test_without_fault_removes_whole_group(self):
+        config = sample_config(0, 0, faults=False)
+        config.faults = [
+            FaultEvent(at_ms=10.0, kind="partition", args={"group_a": [0], "group_b": [1]}, group=1),
+            FaultEvent(at_ms=20.0, kind="crash", args={"site": 0}, group=1),
+            FaultEvent(at_ms=40.0, kind="heal", args={}, group=1),
+            FaultEvent(at_ms=5.0, kind="jitter", args={"src": 0, "dst": 1, "low_ms": 1.0, "high_ms": 2.0}),
+        ]
+        remaining = config.without_fault(1).faults
+        assert [f.kind for f in remaining] == ["jitter"]
+
+
+class TestDoubleFailureRegression:
+    """Coordinator dies while its failure-resolution queries for an earlier
+    failed site are still in flight (paper section 3.4's hardest case).
+
+    Site 3 crashes at 120ms (notification at 125ms); site 0 — the minimum
+    survivor, hence the coordinator resolving site 3's transactions —
+    crashes at 128ms, after sending its resolution queries (~125ms) but
+    before the replies arrive (~133ms).  The surviving sites must elect
+    the next coordinator, finish the resolution, repair the replication
+    graphs, and converge with no protocol residue.
+    """
+
+    CONFIG = {
+        "n_sites": 4,
+        "latency": {"kind": "fixed", "ms": 8.0},
+        "net_seed": 11,
+        "parties": [
+            {"site": 1, "kind": "rmw", "count": 5, "arrival": "uniform",
+             "interval_ms": 30.0, "start_ms": 0.0, "arrival_seed": 1, "amount": 1},
+            {"site": 2, "kind": "rmw", "count": 5, "arrival": "uniform",
+             "interval_ms": 30.0, "start_ms": 10.0, "arrival_seed": 2, "amount": 1},
+            {"site": 3, "kind": "xfer", "count": 3, "arrival": "uniform",
+             "interval_ms": 40.0, "start_ms": 5.0, "arrival_seed": 3, "amount": 1},
+        ],
+        "faults": [
+            {"at_ms": 120.0, "kind": "crash", "args": {"site": 3, "notify_after_ms": 5.0}},
+            {"at_ms": 128.0, "kind": "crash", "args": {"site": 0, "notify_after_ms": 5.0}},
+        ],
+        "mutations": [],
+        "views": True,
+        "max_events": 5_000_000,
+        "label": "double-failure-regression",
+    }
+
+    def test_survivors_converge_without_violations(self):
+        config = TrialConfig.from_dict(self.CONFIG)
+        result = run_trial(config)
+        violations = check_trial(result)
+        assert violations == [], [str(v) for v in violations]
+        assert [s.site_id for s in result.live_sites()] == [1, 2]
+        # Both rmw parties ran to completion despite losing two sites.
+        values = {
+            result.objects["ctr"][s.site_id].get() for s in result.live_sites()
+        }
+        assert values == {10}
+
+    def test_scenario_replays_from_artifact(self):
+        config = TrialConfig.from_dict(self.CONFIG)
+        artifact = artifact_for(config, run_trial_violations(config))
+        _, identical = replay_artifact(json.loads(artifact_json(artifact)))
+        assert identical
+
+
+class TestReliableChannelAssumption:
+    def test_selective_drop_without_crash_violates(self):
+        """Documents the protocol's infrastructure assumption: silently
+        dropping messages on a healthy channel (no subsequent fail-stop
+        crash) is outside the fault model, and the oracles detect the
+        resulting divergence.  This is why the sampler never emits bare
+        ``drop`` events.
+
+        Note a *bounded* drop count is actually absorbed: propagation is
+        retried until acknowledged, so only severing the channel outright
+        (drop count exceeding the retry budget) diverges the replicas.
+        """
+        config = TrialConfig(
+            n_sites=2,
+            latency={"kind": "fixed", "ms": 5.0},
+            net_seed=3,
+            parties=[
+                PartySpec(site=0, kind="blind", count=3, arrival="uniform",
+                          interval_ms=40.0, start_ms=0.0, arrival_seed=5),
+            ],
+            faults=[
+                FaultEvent(at_ms=0.0, kind="drop", args={"dst": 1, "count": 100, "src": 0}),
+            ],
+            views=False,
+            max_events=500_000,
+            label="drop-assumption",
+        )
+        violations = run_trial_violations(config)
+        assert violations, "dropping replica updates must break convergence"
+        assert {v.oracle for v in violations} & {"convergence", "effect", "residue"}
+
+
+class TestExploreCli:
+    def test_healthy_campaign_exits_zero(self, capsys):
+        assert cli_main(["explore", "--trials", "3", "--seed", "0"]) == 0
+        assert "no violations" in capsys.readouterr().out
+
+    def test_violation_writes_artifact_and_exits_nonzero(self, tmp_path, capsys):
+        out = tmp_path / "violation.json"
+        code = cli_main(
+            [
+                "explore", "--trials", "3", "--seed", "0",
+                "--mutate", "views_pre_commit", "--stop-at-first", "--shrink",
+                "--out", str(out),
+            ]
+        )
+        assert code == 1
+        assert out.exists()
+        artifact = json.loads(out.read_text())
+        assert artifact["format"] == "repro-explore/1"
+        assert artifact["violations"]
+        assert "views_pre_commit" in artifact["config"]["mutations"]
+
+    def test_replay_mode_round_trips(self, tmp_path, capsys):
+        out = tmp_path / "violation.json"
+        cli_main(
+            [
+                "explore", "--trials", "1", "--seed", "0",
+                "--mutate", "views_pre_commit", "--out", str(out),
+            ]
+        )
+        capsys.readouterr()  # discard the campaign's own output
+        code = cli_main(["explore", "--replay", str(out), "--json"])
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["byte_identical"] is True
+        assert summary["violations"] > 0
+
+    def test_json_summary(self, capsys):
+        assert cli_main(["explore", "--trials", "2", "--seed", "0", "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary == {
+            "trials": 2,
+            "seed": 0,
+            "mutations": [],
+            "violating_trials": [],
+            "artifact": None,
+        }

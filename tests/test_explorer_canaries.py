@@ -1,0 +1,67 @@
+"""Mutation canaries: prove the explorer's oracles have teeth.
+
+Each canary flips a test-only flag that breaks one protocol obligation:
+
+``skip_rl_check``     RL (read-last) guesses validate unconditionally, so
+                      stale reads commit — serializability is lost.
+``skip_nc_check``     NC (no-change) interval checks validate
+                      unconditionally, so snapshots taken over intervals
+                      with intervening committed writes are confirmed.
+``views_pre_commit``  pessimistic views deliver snapshots before commit,
+                      so uncommitted (possibly later aborted) state leaks
+                      into committed-only views.
+
+A sound oracle battery must flag each mutant within a small trial budget;
+these tests pin that detection (empirically all three trip on trial 0 of
+the seed-0 campaign — the budget leaves margin).  The same budget on the
+healthy protocol must stay clean, so detection is attributable to the
+mutation alone.
+"""
+
+import pytest
+
+from repro.explore import run_campaign
+
+#: mutation flag -> oracles allowed to report it (detection may use any).
+CANARIES = {
+    "skip_rl_check": {"effect", "convergence", "optimistic", "pessimistic", "status"},
+    "skip_nc_check": {"effect", "convergence", "optimistic", "pessimistic", "status"},
+    "views_pre_commit": {"pessimistic"},
+}
+
+#: Trials each canary must be caught within (all trip on trial 0 today).
+DETECTION_BUDGET = 10
+
+
+@pytest.mark.parametrize("mutation", sorted(CANARIES))
+def test_canary_detected_within_budget(mutation):
+    result = run_campaign(
+        trials=DETECTION_BUDGET,
+        seed=0,
+        mutations=(mutation,),
+        stop_at_first=True,
+    )
+    assert result.failures, (
+        f"mutation {mutation!r} survived {DETECTION_BUDGET} trials undetected"
+    )
+    failure = result.failures[0]
+    oracles = {v.oracle for v in failure.violations}
+    assert oracles <= CANARIES[mutation], (
+        f"unexpected oracles {oracles - CANARIES[mutation]} for {mutation!r}"
+    )
+
+
+def test_healthy_protocol_clean_on_same_budget():
+    result = run_campaign(trials=DETECTION_BUDGET, seed=0)
+    assert result.ok, result.summary()
+
+
+def test_mutations_recorded_in_violating_config():
+    result = run_campaign(
+        trials=DETECTION_BUDGET,
+        seed=0,
+        mutations=("views_pre_commit",),
+        stop_at_first=True,
+    )
+    assert result.failures
+    assert result.failures[0].config.mutations == ("views_pre_commit",)

@@ -14,9 +14,15 @@ from repro.sim import (
 )
 
 
-def make_net(latency=None, fifo=True, seed=0):
+def make_net(latency=None, fifo=True, seed=0, flush_inflight_on_fail=False):
     sched = Scheduler()
-    net = Network(sched, latency=latency or FixedLatency(10.0), seed=seed, fifo=fifo)
+    net = Network(
+        sched,
+        latency=latency or FixedLatency(10.0),
+        seed=seed,
+        fifo=fifo,
+        flush_inflight_on_fail=flush_inflight_on_fail,
+    )
     inboxes = {}
     for site in range(4):
         inboxes[site] = []
@@ -189,3 +195,98 @@ class TestPartitions:
         net.partition([0], [1])
         sched.run_until_quiescent()
         assert inboxes[1] == []
+
+    def test_inflight_preserved_when_cut_policy_disabled(self):
+        # The conformance explorer's disconnection model: a partition stops
+        # *new* communication, but messages already handed to the transport
+        # still arrive.
+        sched, net, inboxes = make_net(FixedLatency(50.0))
+        net.partition_cuts_inflight = False
+        net.send(0, 1, "inflight")
+        sched.run(until=10)
+        net.partition([0], [1])
+        net.send(0, 1, "new")  # sent across the cut: dropped at send time
+        sched.run_until_quiescent()
+        assert [p for _, p, _ in inboxes[1]] == ["inflight"]
+
+
+class TestInjectedDrops:
+    def test_drops_next_n_matching_messages(self):
+        sched, net, inboxes = make_net()
+        net.inject_drop(1, count=2)
+        for i in range(4):
+            net.send(0, 1, i)
+        sched.run_until_quiescent()
+        assert [p for _, p, _ in inboxes[1]] == [2, 3]
+        assert net.stats.messages_dropped_injected == 2
+
+    def test_src_filter_only_matches_that_sender(self):
+        sched, net, inboxes = make_net()
+        net.inject_drop(2, count=1, src=0)
+        net.send(1, 2, "other-sender")  # does not match, does not consume
+        net.send(0, 2, "dropped")
+        net.send(0, 2, "kept")
+        sched.run_until_quiescent()
+        assert [p for _, p, _ in inboxes[2]] == ["other-sender", "kept"]
+
+    def test_rejects_non_positive_count(self):
+        from repro.errors import SimulationError
+
+        sched, net, _ = make_net()
+        with pytest.raises(SimulationError):
+            net.inject_drop(1, count=0)
+
+
+class TestDelayHook:
+    def test_hook_adds_extra_latency(self):
+        sched, net, inboxes = make_net(FixedLatency(10.0))
+        net.delay_hook = lambda src, dst, payload: 25.0
+        net.send(0, 1, "slowed")
+        sched.run_until_quiescent()
+        assert inboxes[1] == [(0, "slowed", 35.0)]
+
+    def test_hook_skipped_for_loopback(self):
+        sched, net, inboxes = make_net()
+        net.delay_hook = lambda src, dst, payload: 1000.0
+        net.send(0, 0, "local")
+        sched.run_until_quiescent()
+        assert inboxes[0] == [(0, "local", 0.0)]
+
+    def test_negative_delay_clamped(self):
+        sched, net, inboxes = make_net(FixedLatency(10.0))
+        net.delay_hook = lambda src, dst, payload: -100.0
+        net.send(0, 1, "on-time")
+        sched.run_until_quiescent()
+        assert inboxes[1] == [(0, "on-time", 10.0)]
+
+
+class TestFlushInflightOnFail:
+    def test_inflight_from_failed_site_still_delivered(self):
+        sched, net, inboxes = make_net(FixedLatency(50.0), flush_inflight_on_fail=True)
+        net.send(0, 1, "flushed")
+        sched.run(until=10)
+        net.fail_site(0)
+        sched.run_until_quiescent()
+        assert [p for _, p, _ in inboxes[1]] == ["flushed"]
+
+    def test_notification_ordered_after_victims_inflight(self):
+        # Virtual synchrony: survivors must not learn of the failure before
+        # the last message the victim handed to the transport arrives.
+        sched, net, inboxes = make_net(FixedLatency(50.0), flush_inflight_on_fail=True)
+        events = []
+        net.register(1, lambda src, payload: events.append(("msg", sched.now)))
+        net.add_failure_listener(lambda site: events.append(("fail", sched.now)))
+        net.send(0, 1, "inflight")  # delivery at t=50
+        net.fail_site(0, notify_after_ms=5.0)
+        sched.run_until_quiescent()
+        assert events == [("msg", 50.0), ("fail", 50.0)]
+
+    def test_without_flush_notification_is_not_delayed(self):
+        sched, net, inboxes = make_net(FixedLatency(50.0))
+        events = []
+        net.register(1, lambda src, payload: events.append(("msg", sched.now)))
+        net.add_failure_listener(lambda site: events.append(("fail", sched.now)))
+        net.send(0, 1, "inflight")
+        net.fail_site(0, notify_after_ms=5.0)
+        sched.run_until_quiescent()
+        assert events == [("fail", 5.0)]  # message dropped, notice prompt
