@@ -1,0 +1,229 @@
+"""Observability overhead benchmark: obs-enabled vs obs-disabled timings.
+
+Runs the same E6-style commit-throughput workload as
+``benchmarks/bench_hotpaths.py`` in three configurations:
+
+* ``baseline``  — a plain session, bus inactive (reference measurement),
+* ``disabled``  — identical to baseline; a second interleaved series that
+  pairs with it, so the two differ only by scheduling noise,
+* ``enabled``   — ``session.observe()`` on, full event recording.
+
+The zero-overhead-when-disabled contract has two halves and the check
+gate (``--check``) verifies both:
+
+1. *Functional*: with the bus inactive, ``EventBus.emit`` is never
+   entered (the ``if bus.active:`` guards short-circuit), so the emit
+   counter and the event buffer both stay at zero.  This is the
+   deterministic half — it catches a bus left active by default or an
+   unguarded emission sneaking onto a hot path.
+2. *Wall-clock*: the paired baseline/disabled series must agree within
+   the tolerance (default 5%).  A disabled bus costs one attribute load
+   and one branch per instrumentation point, far below measurement
+   noise, so a real divergence here means the guard pattern broke.
+
+Full recording is *not* gated: capturing ~18 events per transaction has
+a real, legitimate cost.  ``BENCH_obs.json`` records the enabled vs
+disabled delta (and the per-event marginal cost) so the perf trajectory
+tracks instrumentation cost from day one.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py            # full run
+    PYTHONPATH=src python benchmarks/bench_obs.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_obs.py --quick --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, List
+
+if __name__ == "__main__":  # allow running straight from a checkout
+    _root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    _src = os.path.join(_root, "src")
+    if _src not in sys.path:
+        sys.path.insert(0, _src)
+
+from repro import Session
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_obs.json")
+
+FULL = {"transactions": 600, "repeats": 9}
+QUICK = {"transactions": 300, "repeats": 7}
+
+
+def bench_commit_throughput(transactions: int, observe: bool) -> Dict[str, Any]:
+    """One timed run of sequential committed transactions on 3 sites."""
+    session = Session.simulated(latency_ms=20.0)
+    if observe:
+        session.observe()
+    sites = session.add_sites(3)
+    objs = session.replicate("int", "counter", sites, initial=0)
+    session.settle()
+    # Cyclic-GC debt from a previous run (e.g. an enabled run's freed
+    # event buffer) would otherwise be paid inside whichever timed region
+    # crosses the collection threshold — a systematic, not random, skew.
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        cpu_start = time.process_time()
+        for i in range(transactions):
+            out = sites[0].transact(lambda i=i: objs[0].set(i + 1))
+            session.settle()
+            assert out.committed
+        cpu_s = time.process_time() - cpu_start
+        wall_s = time.perf_counter() - start
+    finally:
+        gc.enable()
+    return {
+        "wall_s": wall_s,
+        "cpu_s": cpu_s,
+        "events": len(session.bus.events),
+        "emit_calls": session.bus._seq,
+    }
+
+
+def run(quick: bool = False, repeats: int = 0) -> Dict[str, Any]:
+    cfg = QUICK if quick else FULL
+    transactions = cfg["transactions"]
+    repeats = repeats or cfg["repeats"]
+
+    runs: Dict[str, List[Dict[str, Any]]] = {"baseline": [], "disabled": [], "enabled": []}
+    # Untimed warmup: the very first session pays import and allocator
+    # warmup, which would otherwise bias whichever series runs first.
+    bench_commit_throughput(transactions, observe=False)
+    # Interleave the modes so drift (thermal, scheduling) hits all three
+    # series equally; gate on best-of to shed one-off stalls.
+    for _ in range(repeats):
+        runs["baseline"].append(bench_commit_throughput(transactions, observe=False))
+        runs["disabled"].append(bench_commit_throughput(transactions, observe=False))
+        runs["enabled"].append(bench_commit_throughput(transactions, observe=True))
+
+    def summarize(mode: str) -> Dict[str, Any]:
+        walls = [r["wall_s"] for r in runs[mode]]
+        best = min(walls)
+        return {
+            "wall_s": [round(w, 6) for w in walls],
+            "best_s": round(best, 6),
+            "best_cpu_s": round(min(r["cpu_s"] for r in runs[mode]), 6),
+            "commits_per_sec": round(transactions / best, 1),
+            "events": runs[mode][0]["events"],
+            "emit_calls": runs[mode][0]["emit_calls"],
+        }
+
+    summary = {mode: summarize(mode) for mode in runs}
+    disabled_s = summary["disabled"]["best_s"]
+    enabled_s = summary["enabled"]["best_s"]
+    events = summary["enabled"]["events"]
+    # The gated statistic is the ratio of best-of CPU times: the workload
+    # is pure CPU (simulated network), timing noise is one-sided (stalls
+    # only ever slow a run down), and process_time is blind to scheduler
+    # preemption — the dominant noise source on shared CI machines.
+    best_ratio = summary["disabled"]["best_cpu_s"] / summary["baseline"]["best_cpu_s"]
+    # Within-series spread of the baseline is the machine's demonstrated
+    # measurement noise for this exact workload; the check gate widens its
+    # tolerance to at least this, so a 5% contract is enforced for real on
+    # quiet machines and degrades honestly instead of flaking on loaded ones.
+    baseline_cpu = [r["cpu_s"] for r in runs["baseline"]]
+    spread_pct = (max(baseline_cpu) / min(baseline_cpu) - 1.0) * 100
+    return {
+        "schema": "bench_obs/v1",
+        "mode": "quick" if quick else "full",
+        "python": sys.version.split()[0],
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "transactions": transactions,
+        "repeats": repeats,
+        "modes": summary,
+        "overhead": {
+            "disabled_vs_baseline_pct": round((best_ratio - 1.0) * 100, 2),
+            "baseline_noise_pct": round(spread_pct, 2),
+            "enabled_vs_disabled_pct": round((enabled_s / disabled_s - 1.0) * 100, 2),
+            "recording_us_per_event": (
+                round((enabled_s - disabled_s) / events * 1e6, 3) if events else None
+            ),
+        },
+    }
+
+
+def check(results: Dict[str, Any], tolerance_pct: float) -> List[str]:
+    """Gate the zero-overhead-when-disabled contract; returns failures."""
+    failures: List[str] = []
+    modes = results["modes"]
+    for mode in ("baseline", "disabled"):
+        if modes[mode]["emit_calls"] != 0:
+            failures.append(
+                f"{mode}: EventBus.emit entered {modes[mode]['emit_calls']} times "
+                "with the bus inactive — an emission guard is missing or broken"
+            )
+        if modes[mode]["events"] != 0:
+            failures.append(f"{mode}: {modes[mode]['events']} events recorded on an idle bus")
+    if modes["enabled"]["events"] == 0:
+        failures.append("enabled: observe() recorded no events — instrumentation is dead")
+    disabled_pct = abs(results["overhead"]["disabled_vs_baseline_pct"])
+    effective_pct = max(tolerance_pct, results["overhead"]["baseline_noise_pct"])
+    if disabled_pct > effective_pct:
+        failures.append(
+            f"disabled-mode CPU time diverges {disabled_pct:.2f}% from its paired "
+            f"baseline (tolerance {tolerance_pct:.1f}%, machine noise "
+            f"{results['overhead']['baseline_noise_pct']:.1f}%)"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="reduced sizes (CI smoke)")
+    parser.add_argument("--out", default=DEFAULT_OUT, help="output JSON path")
+    parser.add_argument("--repeats", type=int, default=0, help="override repeat count")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate the zero-overhead-when-disabled contract (exit 1 on failure)",
+    )
+    parser.add_argument(
+        "--tolerance-pct",
+        type=float,
+        default=5.0,
+        help="allowed baseline/disabled wall-clock divergence (default 5%%)",
+    )
+    args = parser.parse_args(argv)
+
+    results = run(quick=args.quick, repeats=args.repeats)
+    with open(args.out, "w") as fh:
+        json.dump(results, fh, indent=2)
+        fh.write("\n")
+
+    modes = results["modes"]
+    for mode in ("baseline", "disabled", "enabled"):
+        row = modes[mode]
+        print(
+            f"{mode:9s} best {row['best_s']:.3f}s  {row['commits_per_sec']:>7.1f} commits/s"
+            f"  events={row['events']}"
+        )
+    overhead = results["overhead"]
+    print(
+        f"\ndisabled vs baseline: {overhead['disabled_vs_baseline_pct']:+.2f}%"
+        f"   enabled vs disabled: {overhead['enabled_vs_disabled_pct']:+.2f}%"
+        f"   recording cost: {overhead['recording_us_per_event']} us/event"
+    )
+    print(f"wrote {args.out}")
+
+    if args.check:
+        failures = check(results, args.tolerance_pct)
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAILED: {failure}", file=sys.stderr)
+            return 1
+        print(f"check passed (tolerance {args.tolerance_pct:.1f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

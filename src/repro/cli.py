@@ -158,8 +158,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 def cmd_explore(args: argparse.Namespace) -> int:
     """Randomized-schedule conformance campaigns (see repro.explore)."""
-    from repro.explore import replay_artifact, run_campaign
+    from repro.explore import replay_artifact, run_campaign, run_trial
     from repro.explore.campaign import artifact_for, artifact_json
+    from repro.obs import chrome_trace_json
 
     if args.replay:
         with open(args.replay) as fh:
@@ -193,13 +194,21 @@ def cmd_explore(args: argparse.Namespace) -> int:
         faults=not args.no_faults,
         stop_at_first=args.stop_at_first,
         shrink=args.shrink,
+        timeline=True,
     )
     artifact_path = None
+    timeline_path = None
     if result.failures:
         head = result.failures[0]
         artifact_path = args.out
         with open(artifact_path, "w") as fh:
-            fh.write(artifact_json(artifact_for(head.config, head.violations)))
+            fh.write(artifact_json(artifact_for(head.config, head.violations, head.timeline)))
+        if args.timeline_out:
+            # Chrome trace of the failing trial, Perfetto-loadable.
+            timeline_path = args.timeline_out
+            observed = run_trial(head.config, observe=True)
+            with open(timeline_path, "w") as fh:
+                fh.write(chrome_trace_json(observed.events))
     if args.json:
         print(
             json.dumps(
@@ -209,6 +218,7 @@ def cmd_explore(args: argparse.Namespace) -> int:
                     "mutations": list(args.mutate),
                     "violating_trials": [f.index for f in result.failures],
                     "artifact": artifact_path,
+                    "timeline": timeline_path,
                 },
                 indent=2,
             )
@@ -221,7 +231,86 @@ def cmd_explore(args: argparse.Namespace) -> int:
                 print(f"  {v}")
         if artifact_path:
             print(f"first violation written to {artifact_path} (replay with --replay)")
+        if timeline_path:
+            print(f"failing trial's Chrome trace written to {timeline_path} (open in Perfetto)")
     return 0 if result.ok else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one observed trial; export its event timeline."""
+    from repro.explore.plan import sample_config
+    from repro.explore.trial import run_trial
+    from repro.obs import build_spans, chrome_trace_json, span_summary, to_jsonl
+
+    config = sample_config(
+        args.seed, args.index, mutations=tuple(args.mutate), faults=not args.no_faults
+    )
+    result = run_trial(config, observe=True)
+    events = result.events
+    if args.format == "chrome":
+        payload = chrome_trace_json(events)
+    else:
+        payload = to_jsonl(events)
+    with open(args.out, "w") as fh:
+        fh.write(payload)
+
+    spans = build_spans(events)
+    summary = span_summary(spans)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "seed": args.seed,
+                    "index": args.index,
+                    "out": args.out,
+                    "format": args.format,
+                    "events": len(events),
+                    "spans": summary,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(
+            f"trial seed={args.seed} index={args.index}: {len(events)} events, "
+            f"{summary['spans']} txn spans "
+            f"({summary['committed']} committed, {summary['aborted']} aborted)"
+        )
+        print(f"{args.format} timeline written to {args.out}")
+        if args.format == "chrome":
+            print("open in https://ui.perfetto.dev (or chrome://tracing)")
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Run one trial; print the per-site metrics registry snapshots."""
+    from repro.explore.plan import sample_config
+    from repro.explore.trial import run_trial
+
+    config = sample_config(
+        args.seed, args.index, mutations=tuple(args.mutate), faults=not args.no_faults
+    )
+    result = run_trial(config)
+    snapshots = result.session.metrics_snapshot()
+    if args.json:
+        print(json.dumps({"sites": snapshots}, indent=2, sort_keys=True))
+        return 0
+    for snap in snapshots:
+        print(f"site {snap['site']}:")
+        for name, value in snap["counters"].items():
+            print(f"  {name:32s} {value}")
+        for name, value in snap["gauges"].items():
+            print(f"  {name:32s} {value}")
+        for name, hist in snap["histograms"].items():
+            if hist["total"]:
+                print(
+                    f"  {name:32s} n={hist['total']} mean={hist['mean']:.1f} "
+                    f"min={hist['min']:.1f} max={hist['max']:.1f}"
+                )
+            else:
+                print(f"  {name:32s} n=0")
+    return 0
 
 
 def cmd_examples(_args: argparse.Namespace) -> int:
@@ -291,8 +380,50 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="FILE",
         help="where to write the first violation artifact",
     )
+    explore.add_argument(
+        "--timeline-out",
+        metavar="FILE",
+        help="also write the failing trial's Chrome trace (Perfetto-loadable)",
+    )
     explore.add_argument("--json", action="store_true", help="machine-readable summary")
     explore.set_defaults(func=cmd_explore)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one observed trial and export its protocol event timeline",
+    )
+    trace.add_argument("--seed", type=int, default=0, help="campaign master seed")
+    trace.add_argument("--index", type=int, default=0, help="trial index within the seed")
+    trace.add_argument(
+        "--mutate", action="append", default=[], metavar="FLAG",
+        help="enable a protocol mutation canary; repeatable",
+    )
+    trace.add_argument("--no-faults", action="store_true", help="disable fault injection")
+    trace.add_argument(
+        "--format",
+        choices=("chrome", "jsonl"),
+        default="chrome",
+        help="chrome = Perfetto trace-event JSON; jsonl = one event per line",
+    )
+    trace.add_argument(
+        "--out", default="trace.json", metavar="FILE", help="output file path"
+    )
+    trace.add_argument("--json", action="store_true", help="machine-readable summary")
+    trace.set_defaults(func=cmd_trace)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run one trial and dump the per-site metrics registries",
+    )
+    metrics.add_argument("--seed", type=int, default=0, help="campaign master seed")
+    metrics.add_argument("--index", type=int, default=0, help="trial index within the seed")
+    metrics.add_argument(
+        "--mutate", action="append", default=[], metavar="FLAG",
+        help="enable a protocol mutation canary; repeatable",
+    )
+    metrics.add_argument("--no-faults", action="store_true", help="disable fault injection")
+    metrics.add_argument("--json", action="store_true", help="full JSON snapshots")
+    metrics.set_defaults(func=cmd_metrics)
 
     sub.add_parser("examples", help="list runnable example scripts").set_defaults(
         func=cmd_examples

@@ -49,6 +49,7 @@ from repro.errors import (
     RetryLimitExceeded,
     TransactionAborted,
 )
+from repro.obs.metrics import COUNT_BUCKETS, counter_property
 from repro.vtime import VirtualTime
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -71,6 +72,14 @@ class PendingPropagate:
 
 class TransactionEngine:
     """Per-site driver of the optimistic concurrency-control protocol."""
+
+    # Protocol counters live in the site's MetricsRegistry; these properties
+    # keep the historical attribute API (``engine.commits += 1``, bench
+    # harness reads) while making every counter enumerable and exportable.
+    commits = counter_property("txn.commits")
+    aborts_conflict = counter_property("txn.aborts_conflict")
+    aborts_user = counter_property("txn.aborts_user")
+    retries = counter_property("txn.retries")
 
     def __init__(
         self,
@@ -113,11 +122,6 @@ class TransactionEngine:
         self.mutations: Set[str] = set()
         #: Propagate messages blocked on missing structural predecessors.
         self.pending_propagates: List[PendingPropagate] = []
-        # Metrics counters (read by the bench harness).
-        self.commits = 0
-        self.aborts_conflict = 0
-        self.aborts_user = 0
-        self.retries = 0
 
     # ==================================================================
     # Origin side: running a transaction
@@ -144,6 +148,15 @@ class TransactionEngine:
         record = TxnRecord(vt=vt, txn=txn, ctx=ctx, outcome=outcome)
         record.post_execute = post_execute
         self.records[vt] = record
+        bus = self.site.bus
+        if bus.active:
+            bus.emit(
+                "txn_submitted",
+                site=self.site.site_id,
+                time_ms=self.site.transport.now(),
+                txn_vt=vt,
+                attempt=outcome.attempts,
+            )
 
         self.site.views.begin_batch()
         try:
@@ -159,6 +172,15 @@ class TransactionEngine:
             outcome.aborted_no_retry = True
             outcome.abort_reason = f"{type(exc).__name__}: {exc}"
             self.aborts_user += 1
+            if bus.active:
+                bus.emit(
+                    "aborted",
+                    site=self.site.site_id,
+                    time_ms=self.site.transport.now(),
+                    txn_vt=vt,
+                    reason=outcome.abort_reason,
+                    kind="user",
+                )
             self.site.views.end_batch()
             self.deps.resolve_abort(vt)
             txn.handle_abort(exc)
@@ -179,6 +201,22 @@ class TransactionEngine:
         """Local primary checks, message fan-out, and commit bookkeeping."""
         vt = record.vt
         origin = self.site.site_id
+        bus = self.site.bus
+        if bus.active:
+            # Every write makes an RL guess (nothing landed in the read
+            # interval) and an NC guess (no reservation contains our VT);
+            # read-only accesses make RL guesses.  RC guesses are emitted
+            # at read time by TransactionContext.
+            now = self.site.transport.now()
+            for access in record.ctx.writes:
+                uid = access.target.uid
+                bus.emit("guess_made", site=origin, time_ms=now, txn_vt=vt,
+                         guess="RL", obj=uid)
+                bus.emit("guess_made", site=origin, time_ms=now, txn_vt=vt,
+                         guess="NC", obj=uid)
+            for access in record.ctx.read_only_accesses():
+                bus.emit("guess_made", site=origin, time_ms=now, txn_vt=vt,
+                         guess="RL", obj=access.target.uid)
 
         # RC guesses: reads of uncommitted values.
         for dep_vt in record.ctx.rc_deps:
@@ -192,6 +230,16 @@ class TransactionEngine:
 
         # Local primary checks (objects whose primary copy lives here).
         ok, reason = self._check_local_primaries(record)
+        if bus.active:
+            bus.emit(
+                "validated",
+                site=origin,
+                time_ms=self.site.transport.now(),
+                txn_vt=vt,
+                ok=ok,
+                reason=reason,
+                scope="local",
+            )
         if not ok:
             self._abort_origin(record, reason)
             return
@@ -237,6 +285,17 @@ class TransactionEngine:
             if delegate_to == dst:
                 all_sites = tuple(sorted((record.involved_sites | {origin}) - {dst}))
                 grant = DelegateGrant(all_sites=all_sites)
+            if bus.active:
+                bus.emit(
+                    "fanout_sent",
+                    site=origin,
+                    time_ms=self.site.transport.now(),
+                    txn_vt=vt,
+                    dst=dst,
+                    writes=len(writes),
+                    checks=len(checks),
+                    delegated=grant is not None,
+                )
             self.site.send(
                 dst,
                 TxnPropagateMsg(
@@ -403,10 +462,21 @@ class TransactionEngine:
         for dst in sorted(record.involved_sites):
             self.site.send(dst, CommitMsg(txn_vt=vt, clock=self.site.clock.counter))
         self._apply_commit_locally(vt)
-        record.outcome.committed = True
-        record.outcome.commit_time_ms = self.site.transport.now()
+        self.record_commit_outcome(record.outcome)
+
+    def record_commit_outcome(self, outcome: TransactionOutcome) -> None:
+        """Origin-side commit bookkeeping shared by the direct, delegated,
+        and failure-resolution commit paths: outcome flags, the commits
+        counter, latency/attempt histograms, and commit callbacks."""
+        outcome.committed = True
+        outcome.commit_time_ms = self.site.transport.now()
         self.commits += 1
-        record.outcome._fire_commit()
+        metrics = self.site.metrics
+        latency = outcome.commit_latency_ms
+        if latency is not None:
+            metrics.observe("txn.commit_latency_ms", latency)
+        metrics.observe("txn.attempts", float(outcome.attempts), COUNT_BUCKETS)
+        outcome._fire_commit()
 
     def _abort_origin(self, record: TxnRecord, reason: str, retry: bool = True) -> None:
         """Abort an origin transaction (conflict path) and re-execute it."""
@@ -418,7 +488,7 @@ class TransactionEngine:
         for dst in sorted(record.involved_sites):
             self.site.send(dst, AbortMsg(txn_vt=vt, clock=self.site.clock.counter, reason=reason))
         self.site.views.begin_batch()
-        self._apply_abort_locally(vt)
+        self._apply_abort_locally(vt, reason=reason)
         self.site.views.end_batch()
         self.aborts_conflict += 1
         outcome = record.outcome
@@ -441,6 +511,16 @@ class TransactionEngine:
             self.retry_backoff_ms * outcome.attempts * outcome.attempts,
             self.retry_backoff_ms * 200,
         )
+        bus = self.site.bus
+        if bus.active:
+            bus.emit(
+                "retry_scheduled",
+                site=self.site.site_id,
+                time_ms=self.site.transport.now(),
+                txn_vt=vt,
+                attempt=outcome.attempts,
+                delay_ms=delay,
+            )
         self.site.defer(
             lambda: self.run(record.txn, outcome, post_execute=record.post_execute),
             delay_ms=delay,
@@ -465,6 +545,15 @@ class TransactionEngine:
             self.site.views.end_batch()
         if remaining:
             self.pending_propagates.append(PendingPropagate(src, msg, remaining))
+            bus = self.site.bus
+            if bus.active:
+                bus.emit(
+                    "propagate_blocked",
+                    site=self.site.site_id,
+                    time_ms=self.site.transport.now(),
+                    txn_vt=vt,
+                    remaining=len(remaining),
+                )
             return
         self._finish_propagate(msg)
 
@@ -520,6 +609,17 @@ class TransactionEngine:
         """Run primary checks for a fully applied propagate and respond."""
         vt = msg.txn_vt
         ok, reason = self._run_remote_checks(msg)
+        bus = self.site.bus
+        if bus.active:
+            bus.emit(
+                "validated",
+                site=self.site.site_id,
+                time_ms=self.site.transport.now(),
+                txn_vt=vt,
+                ok=ok,
+                reason=reason,
+                scope="delegate" if msg.delegate is not None else "primary",
+            )
         if msg.delegate is not None:
             self._decide_as_delegate(msg, ok, reason)
             return
@@ -590,7 +690,7 @@ class TransactionEngine:
                     dst, AbortMsg(txn_vt=vt, clock=self.site.clock.counter, reason=reason)
                 )
             self.site.views.begin_batch()
-            self._apply_abort_locally(vt)
+            self._apply_abort_locally(vt, reason=reason)
             self.site.views.end_batch()
 
     # ------------------------------------------------------------------
@@ -615,10 +715,7 @@ class TransactionEngine:
             # Our delegate committed the transaction for us.
             record.state = TxnState.COMMITTED
             self._apply_commit_locally(vt)
-            record.outcome.committed = True
-            record.outcome.commit_time_ms = self.site.transport.now()
-            self.commits += 1
-            record.outcome._fire_commit()
+            self.record_commit_outcome(record.outcome)
             return
         self._apply_commit_locally(vt)
 
@@ -631,7 +728,7 @@ class TransactionEngine:
             self._abort_origin(record, f"delegate denied: {msg.reason}")
             return
         self.site.views.begin_batch()
-        self._apply_abort_locally(vt)
+        self._apply_abort_locally(vt, reason=msg.reason)
         self.site.views.end_batch()
 
     # ------------------------------------------------------------------
@@ -644,6 +741,15 @@ class TransactionEngine:
         if self.status.get(vt) == ABORTED:
             raise ProtocolError(f"commit arrived for aborted transaction {vt}")
         self.status[vt] = COMMITTED
+        bus = self.site.bus
+        if bus.active:
+            bus.emit(
+                "committed",
+                site=self.site.site_id,
+                time_ms=self.site.transport.now(),
+                txn_vt=vt,
+                ops=len(self.applied.get(vt, [])),
+            )
         self.site.views.begin_batch()
         for obj, op in self.applied.get(vt, []):
             propagation.commit_op(obj, op, vt)
@@ -652,10 +758,20 @@ class TransactionEngine:
         self.site.views.on_txn_resolved(vt, committed=True)
         self._garbage_collect(vt)
 
-    def _apply_abort_locally(self, vt: VirtualTime) -> None:
+    def _apply_abort_locally(self, vt: VirtualTime, reason: str = "") -> None:
         if self.status.get(vt) in (COMMITTED, ABORTED):
             return
         self.status[vt] = ABORTED
+        bus = self.site.bus
+        if bus.active:
+            bus.emit(
+                "aborted",
+                site=self.site.site_id,
+                time_ms=self.site.transport.now(),
+                txn_vt=vt,
+                reason=reason,
+                kind="conflict",
+            )
         self._rollback_applied(vt)
         for obj in self.reserved.pop(vt, []):
             obj.value_reservations.release_owner(vt)

@@ -39,6 +39,7 @@ from repro.core.messages import (
 )
 from repro.core.transaction import TxnState
 from repro.errors import ProtocolError
+from repro.obs.metrics import counter_property
 from repro.vtime import VirtualTime
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -83,6 +84,11 @@ class _RepairState:
 class FailureManager:
     """Per-site driver of the section 3.4 failure protocols."""
 
+    # Registry-backed metrics (see repro.obs.metrics).
+    resolutions_committed = counter_property("fail.resolutions_committed")
+    resolutions_aborted = counter_property("fail.resolutions_aborted")
+    graphs_repaired = counter_property("fail.graphs_repaired")
+
     def __init__(self, site: "SiteRuntime") -> None:
         self.site = site
         self.failed: Set[int] = set()
@@ -91,10 +97,6 @@ class FailureManager:
         self.repairs: Dict[Tuple[int, int], _RepairState] = {}
         #: Transactions to re-run once repair completes.
         self.deferred_retries: List[Tuple[Any, Any, Any]] = []
-        # Metrics.
-        self.resolutions_committed = 0
-        self.resolutions_aborted = 0
-        self.graphs_repaired = 0
 
     def _next_id(self) -> Tuple[int, int]:
         self._seq += 1
@@ -310,10 +312,7 @@ class FailureManager:
             for dst in survivors:
                 self.site.send(dst, CommitMsg(txn_vt=vt, clock=self.site.clock.counter))
             engine._apply_commit_locally(vt)
-            record.outcome.committed = True
-            record.outcome.commit_time_ms = self.site.transport.now()
-            engine.commits += 1
-            record.outcome._fire_commit()
+            engine.record_commit_outcome(record.outcome)
             engine.records.pop(vt, None)
             return
         # Nobody saw a commit: abort everywhere and re-run after repair.
@@ -405,6 +404,16 @@ class FailureManager:
 
         self.site.transact(body)
         self.graphs_repaired += 1
+        bus = self.site.bus
+        if bus.active:
+            bus.emit(
+                "repair_committed",
+                site=self.site.site_id,
+                time_ms=self.site.transport.now(),
+                method="txn",
+                obj=obj.uid,
+                failed_site=failed_site,
+            )
 
     def _start_repair_consensus(self, failed_site: int) -> None:
         others = self.survivors() - {self.site.site_id}
@@ -503,4 +512,14 @@ class FailureManager:
         # orphaned by the dead primary.
         self.site.engine.deps.resolve_commit(msg.apply_vt)
         self.site.views.on_txn_resolved(msg.apply_vt, committed=True)
+        bus = self.site.bus
+        if bus.active:
+            bus.emit(
+                "repair_committed",
+                site=self.site.site_id,
+                time_ms=self.site.transport.now(),
+                txn_vt=msg.apply_vt,
+                method="consensus",
+                failed_site=msg.failed_site,
+            )
         self._run_deferred_retries()

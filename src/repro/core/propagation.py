@@ -105,6 +105,17 @@ def apply_op(obj: "ModelObject", op: OpPayload, vt: VirtualTime, committed: bool
     # Record which op was applied so abort/commit processing can reverse or
     # finalize it without re-deriving intent from message logs.
     obj.site.note_applied(vt, obj, op)
+    bus = obj.site.bus
+    if bus.active:
+        bus.emit(
+            "op_applied",
+            site=obj.site.site_id,
+            time_ms=obj.site.transport.now(),
+            txn_vt=vt,
+            obj=obj.uid,
+            op=kind,
+            committed=committed,
+        )
     obj.notify_proxies("apply", vt)
     return result
 

@@ -16,6 +16,7 @@ from repro.core.model import ModelObject
 from repro.core.repgraph import PrimarySelector
 from repro.core.site import SiteRuntime
 from repro.errors import ReproError
+from repro.obs.events import EventBus
 from repro.sim.network import Network
 from repro.sim.scheduler import Scheduler
 from repro.transport.base import Transport
@@ -43,6 +44,11 @@ class Session:
         #: pessimistic views resolve RL guesses without their own round trip.
         self.eager_view_confirms = eager_view_confirms
         self.sites: List[SiteRuntime] = []
+        #: The protocol event bus (repro.obs).  Shared with the transport's
+        #: network when there is one, so site-level protocol events and
+        #: network-level message_sent events interleave on one timeline.
+        transport_bus = getattr(self.transport, "bus", None)
+        self.bus: EventBus = transport_bus if transport_bus is not None else EventBus()
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -166,8 +172,17 @@ class Session:
         return objects
 
     # ------------------------------------------------------------------
-    # Metrics
+    # Observability / metrics
     # ------------------------------------------------------------------
+
+    def observe(self) -> EventBus:
+        """Start recording the protocol event timeline; returns the bus."""
+        self.bus.enable()
+        return self.bus
+
+    def metrics_snapshot(self) -> List[Dict[str, Any]]:
+        """Deterministic per-site metrics registry dumps, in site order."""
+        return [site.metrics.snapshot() for site in self.sites]
 
     def counters(self) -> Dict[str, int]:
         """Aggregated protocol counters across all sites."""

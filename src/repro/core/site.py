@@ -48,6 +48,8 @@ from repro.core.transaction import (
 )
 from repro.core.views import ViewManager
 from repro.errors import ObjectNotFound, ProtocolError, ReproError
+from repro.obs.events import EventBus
+from repro.obs.metrics import MetricsRegistry
 from repro.transport.base import Transport
 from repro.vtime import LamportClock, VirtualTime
 
@@ -77,6 +79,16 @@ class SiteRuntime:
         self.principal = principal or self.name
         self.transport = transport
         self.session = session
+        #: Per-site metrics registry; engine/failure counters are
+        #: registry-backed properties, so this must exist before them.
+        self.metrics = MetricsRegistry(site_id)
+        #: Protocol event bus — shared with the session (and through it the
+        #: simulated network) so one timeline covers the whole run.
+        if session is not None:
+            self.bus: EventBus = session.bus
+        else:
+            transport_bus = getattr(transport, "bus", None)
+            self.bus = transport_bus if transport_bus is not None else EventBus()
         self.clock = LamportClock(site_id)
         self.objects: Dict[str, ModelObject] = {}
         self.views = ViewManager(self)
@@ -264,6 +276,13 @@ class SiteRuntime:
     def _on_failure_notice(self, failed_site: int) -> None:
         if failed_site == self.site_id:
             return
+        if self.bus.active:
+            self.bus.emit(
+                "failure_notice",
+                site=self.site_id,
+                time_ms=self.transport.now(),
+                failed_site=failed_site,
+            )
         self.failures.on_site_failed(failed_site)
         self.views.on_site_failed(failed_site)
 

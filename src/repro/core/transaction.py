@@ -158,11 +158,30 @@ class TransactionContext:
     def _note_rc(self, obj: "ModelObject") -> None:
         """Record RC dependencies on uncommitted current value and graph."""
         entry = obj.history.current()
-        if not entry.committed and entry.vt != self.vt:
+        if not entry.committed and entry.vt != self.vt and entry.vt not in self.rc_deps:
             self.rc_deps.add(entry.vt)
+            self._emit_rc_guess(obj, entry.vt)
         graph_entry = obj.graph_history().current()
-        if not graph_entry.committed and graph_entry.vt != self.vt:
+        if (
+            not graph_entry.committed
+            and graph_entry.vt != self.vt
+            and graph_entry.vt not in self.rc_deps
+        ):
             self.rc_deps.add(graph_entry.vt)
+            self._emit_rc_guess(obj, graph_entry.vt)
+
+    def _emit_rc_guess(self, obj: "ModelObject", dep_vt: VirtualTime) -> None:
+        bus = self.site.bus
+        if bus.active:
+            bus.emit(
+                "guess_made",
+                site=self.site.site_id,
+                time_ms=self.site.transport.now(),
+                txn_vt=self.vt,
+                guess="RC",
+                obj=obj.uid,
+                depends_on=dep_vt,
+            )
 
     def read_scalar(self, obj: "ModelObject") -> Any:
         """Record a scalar read; returns the current (optimistic) value."""

@@ -170,6 +170,8 @@ class SnapshotRecord:
     proxy: "ViewProxy"
     ts: VirtualTime
     committed_only: bool
+    #: Transport time at record creation (pessimistic delivery latency).
+    created_ms: float = 0.0
     pending_sites: Set[int] = field(default_factory=set)
     pending_rc: Set[VirtualTime] = field(default_factory=set)
     denied: bool = False
@@ -232,6 +234,38 @@ class ViewProxy:
         """Buffer an event; the manager flushes at the end of the batch."""
         self._events.append((obj, event, vt))
         self.manager.mark_dirty(self)
+
+    def _record_straggler(self, flavor: str, vt: VirtualTime) -> None:
+        """Count a straggler symptom in the site registry and the event bus.
+
+        The per-proxy integer counters (incremented by callers) remain the
+        bench harness's per-view numbers; this adds the site-wide rollup
+        and the timeline event.
+        """
+        self.site.metrics.inc(f"view.{flavor}")
+        bus = self.site.bus
+        if bus.active:
+            bus.emit(
+                "straggler_detected",
+                site=self.site.site_id,
+                time_ms=self.site.transport.now(),
+                txn_vt=vt,
+                flavor=flavor,
+                mode=self.mode,
+            )
+
+    def _record_notify(self, kind: str, ts: VirtualTime, changed: int) -> None:
+        bus = self.site.bus
+        if bus.active:
+            bus.emit(
+                "view_notified",
+                site=self.site.site_id,
+                time_ms=self.site.transport.now(),
+                txn_vt=ts,
+                mode=self.mode,
+                kind=kind,
+                changed=changed,
+            )
 
     def flush(self) -> None:
         events, self._events = self._events, []
@@ -312,6 +346,7 @@ class OptimisticProxy(ViewProxy):
                 # restored state.
                 if vt <= self.last_ts:
                     self.update_inconsistencies += 1
+                    self._record_straggler("update_inconsistency", vt)
                 superseding = True
                 if all(attached is not c for c in changed):
                     changed.append(attached)
@@ -322,11 +357,13 @@ class OptimisticProxy(ViewProxy):
                 # object: "the message with the earlier virtual time does
                 # not yield a notification" — a *lost update*.
                 self.lost_updates += 1
+                self._record_straggler("lost_update", vt)
                 continue
             if vt < self.last_ts:
                 # Visible straggler for a different attached object: the
                 # earlier snapshot was inconsistent; supersede it.
                 self.read_inconsistencies += 1
+                self._record_straggler("read_inconsistency", vt)
             superseding = True
             if all(attached is not c for c in changed):
                 changed.append(attached)
@@ -371,6 +408,7 @@ class OptimisticProxy(ViewProxy):
                 )
             )
         self.notifications += 1
+        self._record_notify("update", ts, len(changed))
         self.view.update(changed, Snapshot(ts=ts, committed_only=False))
         self.manager.dispatch_checks(record, checks)
         if record.ready() and not record.dead:
@@ -385,6 +423,7 @@ class OptimisticProxy(ViewProxy):
         self.latest = None
         self.manager.discard_record(record)
         self.commit_notifications += 1
+        self._record_notify("commit", record.ts, len(record.changed))
         self.view.commit()
 
     def on_snapshot_reply(self, record: SnapshotRecord, ok: bool) -> None:
@@ -422,6 +461,7 @@ class PessimisticProxy(ViewProxy):
                 ts0 = committed_vt
         self.last_notified_vt = ts0
         self.notifications += 1
+        self._record_notify("update", ts0, len(self.objects))
         self.view.update(list(self.objects), Snapshot(ts=ts0, committed_only=True))
         # Uncommitted values already applied locally become pending snapshots.
         seen: Set[VirtualTime] = set()
@@ -441,6 +481,7 @@ class PessimisticProxy(ViewProxy):
                     # one will be denied at the primary and abort.  Either
                     # way it can never be shown monotonically.
                     self.monotonicity_skips += 1
+                    self._record_straggler("monotonicity_skip", vt)
                     continue
                 existing = self.pending.get(vt)
                 if existing is not None:
@@ -560,6 +601,11 @@ class PessimisticProxy(ViewProxy):
             self.last_notified_vt = first_ts
             record.delivered = True
             self.notifications += 1
+            self.site.metrics.observe(
+                "view.pessimistic_delivery_ms",
+                self.site.transport.now() - record.created_ms,
+            )
+            self._record_notify("update", first_ts, len(record.changed))
             self.view.update(record.changed, Snapshot(ts=first_ts, committed_only=True))
 
     def on_snapshot_ready(self, record: SnapshotRecord) -> None:
@@ -671,9 +717,20 @@ class ViewManager:
             proxy=proxy,
             ts=ts,
             committed_only=committed_only,
+            created_ms=self.site.transport.now(),
             changed=changed,
         )
         self.records[snap_id] = record
+        bus = self.site.bus
+        if bus.active:
+            bus.emit(
+                "snapshot_taken",
+                site=self.site.site_id,
+                time_ms=record.created_ms,
+                txn_vt=ts,
+                mode=proxy.mode,
+                committed_only=committed_only,
+            )
         return record
 
     def discard_record(self, record: SnapshotRecord) -> None:

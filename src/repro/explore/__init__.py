@@ -23,7 +23,9 @@ from repro.explore.campaign import (
     CampaignResult,
     TrialFailure,
     artifact_for,
+    capture_timeline,
     replay_artifact,
+    replay_identity,
     run_campaign,
     shrink_config,
 )
@@ -41,8 +43,10 @@ __all__ = [
     "TrialResult",
     "Violation",
     "artifact_for",
+    "capture_timeline",
     "check_trial",
     "replay_artifact",
+    "replay_identity",
     "run_campaign",
     "run_trial",
     "sample_config",

@@ -6,12 +6,17 @@ seed.  Each violating trial produces a replayable *artifact*::
     {
       "format": "repro-explore/1",
       "config": { ... TrialConfig.to_dict() ... },
-      "violations": [ {"oracle", "site", "obj", "detail"}, ... ]
+      "violations": [ {"oracle", "site", "obj", "detail"}, ... ],
+      "timeline": [ {"seq", "time_ms", "site", "kind", "txn_vt", "data"}, ... ]
     }
 
 Artifacts are self-contained: :func:`replay_artifact` rebuilds the trial
 from the embedded config and re-runs it deterministically; the regenerated
-artifact must be byte-identical to the stored one.
+artifact must be byte-identical to the stored one.  The optional
+``timeline`` (the failing trial's full protocol event log, captured by
+re-running the violating config under observation) is debugging evidence,
+not identity: the replay-identity comparison excludes it, so an artifact
+replays byte-identically whether or not a timeline is embedded.
 
 The shrinker greedily removes fault events (whole groups at a time, since
 e.g. a partition without its crash is not a sound fault on its own) while
@@ -36,6 +41,16 @@ def run_trial_violations(config: TrialConfig) -> List[Violation]:
     return check_trial(run_trial(config))
 
 
+def capture_timeline(config: TrialConfig) -> List[Dict[str, Any]]:
+    """Re-run ``config`` under observation; return its full event timeline.
+
+    Deterministic: the same config always yields the same timeline, and
+    observing does not change the trial's outcome (see
+    :func:`~repro.explore.trial.run_trial`).
+    """
+    return run_trial(config, observe=True).timeline()
+
+
 @dataclass
 class TrialFailure:
     """A violating trial: its (possibly shrunk) config and violations."""
@@ -44,6 +59,7 @@ class TrialFailure:
     config: TrialConfig
     violations: List[Violation]
     shrunk_from: Optional[int] = None  # fault count before shrinking
+    timeline: Optional[List[Dict[str, Any]]] = None  # captured event log
 
 
 @dataclass
@@ -67,12 +83,19 @@ class CampaignResult:
         )
 
 
-def artifact_for(config: TrialConfig, violations: Sequence[Violation]) -> Dict[str, Any]:
-    return {
+def artifact_for(
+    config: TrialConfig,
+    violations: Sequence[Violation],
+    timeline: Optional[List[Dict[str, Any]]] = None,
+) -> Dict[str, Any]:
+    artifact: Dict[str, Any] = {
         "format": ARTIFACT_FORMAT,
         "config": config.to_dict(),
         "violations": [v.to_dict() for v in violations],
     }
+    if timeline is not None:
+        artifact["timeline"] = timeline
+    return artifact
 
 
 def artifact_json(artifact: Dict[str, Any]) -> str:
@@ -80,17 +103,30 @@ def artifact_json(artifact: Dict[str, Any]) -> str:
     return json.dumps(artifact, indent=2, sort_keys=True) + "\n"
 
 
+def replay_identity(artifact: Dict[str, Any]) -> str:
+    """The canonical form compared for replay identity.
+
+    Excludes the ``timeline`` key: the timeline is evidence attached for
+    humans (and Perfetto), not part of what a replay must reproduce — a
+    config + violations match is the identity contract.
+    """
+    return artifact_json({k: v for k, v in artifact.items() if k != "timeline"})
+
+
 def replay_artifact(artifact: Dict[str, Any]) -> Tuple[Dict[str, Any], bool]:
     """Re-run the trial stored in ``artifact``.
 
     Returns ``(regenerated_artifact, identical)`` where ``identical`` means
-    the replay reproduced the stored violations byte-for-byte.
+    the replay reproduced the stored config + violations byte-for-byte
+    (any embedded timeline is excluded from the comparison).  When the
+    stored artifact carries a timeline, the regenerated one does too.
     """
     if artifact.get("format") != ARTIFACT_FORMAT:
         raise ValueError(f"unknown artifact format {artifact.get('format')!r}")
     config = TrialConfig.from_dict(artifact["config"])
-    regenerated = artifact_for(config, run_trial_violations(config))
-    return regenerated, artifact_json(regenerated) == artifact_json(artifact)
+    timeline = capture_timeline(config) if "timeline" in artifact else None
+    regenerated = artifact_for(config, run_trial_violations(config), timeline=timeline)
+    return regenerated, replay_identity(regenerated) == replay_identity(artifact)
 
 
 def shrink_config(
@@ -131,9 +167,15 @@ def run_campaign(
     faults: bool = True,
     stop_at_first: bool = False,
     shrink: bool = False,
+    timeline: bool = False,
     progress: Optional[Callable[[int, TrialConfig, List[Violation]], None]] = None,
 ) -> CampaignResult:
-    """Run ``trials`` sampled trials; collect (optionally shrunk) failures."""
+    """Run ``trials`` sampled trials; collect (optionally shrunk) failures.
+
+    With ``timeline=True`` each failure's (post-shrink) config is re-run
+    under observation and the full event timeline is attached to its
+    :class:`TrialFailure` — ready to embed in the violation artifact.
+    """
     result = CampaignResult(seed=seed, trials_run=0)
     for index in range(trials):
         config = sample_config(seed, index, mutations=mutations, faults=faults)
@@ -151,6 +193,7 @@ def run_campaign(
                     config=config,
                     violations=violations,
                     shrunk_from=original_faults if shrink else None,
+                    timeline=capture_timeline(config) if timeline else None,
                 )
             )
             if stop_at_first:

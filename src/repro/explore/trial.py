@@ -106,6 +106,16 @@ class TrialResult:
     def live_sites(self) -> List[SiteRuntime]:
         return [s for s in self.sites if not self.network.is_failed(s.site_id)]
 
+    @property
+    def events(self):
+        """Protocol events recorded during the trial (empty unless the
+        trial ran with ``observe=True``)."""
+        return self.session.bus.events
+
+    def timeline(self) -> List[Dict[str, Any]]:
+        """The recorded event timeline as stable JSON-serializable dicts."""
+        return self.session.bus.timeline()
+
 
 def build_latency(spec: Dict[str, Any]):
     kind = spec.get("kind")
@@ -152,8 +162,15 @@ def _apply_fault(network: Network, event: FaultEvent) -> None:
         raise ReproError(f"unknown fault kind {kind!r}")
 
 
-def run_trial(config: TrialConfig) -> TrialResult:
-    """Build the session described by ``config``, run it to quiescence."""
+def run_trial(config: TrialConfig, observe: bool = False) -> TrialResult:
+    """Build the session described by ``config``, run it to quiescence.
+
+    With ``observe=True`` the session's protocol event bus records the
+    full event timeline (:attr:`TrialResult.events`).  Observation cannot
+    perturb the run — events are stamped with simulated time and emitted
+    outside the scheduler, so an observed trial is byte-identical to an
+    unobserved one apart from the recording itself.
+    """
     scheduler = Scheduler()
     network = Network(
         scheduler,
@@ -166,6 +183,8 @@ def run_trial(config: TrialConfig) -> TrialResult:
     # messages already in the infrastructure still arrive (see plan.py).
     network.partition_cuts_inflight = False
     session = Session(transport=SimTransport(network))
+    if observe:
+        session.observe()
     session.add_sites(config.n_sites)
     sites = session.sites
 

@@ -1,0 +1,35 @@
+"""Observability layer: event bus, lifecycle spans, metrics, exporters.
+
+Deterministic, zero-overhead-when-disabled instrumentation for the DECAF
+protocol stack.  See docs/OBSERVABILITY.md for the event taxonomy, the
+span lifecycle, and exporter workflows (Perfetto, JSONL).
+"""
+
+from repro.obs.events import EVENT_KINDS, EventBus, ProtocolEvent, event_to_dict
+from repro.obs.export import chrome_trace_json, to_chrome_trace, to_jsonl
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    LATENCY_BUCKETS_MS,
+    Histogram,
+    MetricsRegistry,
+    counter_property,
+)
+from repro.obs.spans import TxnSpan, build_spans, span_summary
+
+__all__ = [
+    "EVENT_KINDS",
+    "EventBus",
+    "ProtocolEvent",
+    "event_to_dict",
+    "to_jsonl",
+    "to_chrome_trace",
+    "chrome_trace_json",
+    "Histogram",
+    "MetricsRegistry",
+    "counter_property",
+    "LATENCY_BUCKETS_MS",
+    "COUNT_BUCKETS",
+    "TxnSpan",
+    "build_spans",
+    "span_summary",
+]

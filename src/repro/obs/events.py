@@ -1,0 +1,229 @@
+"""The protocol event bus: typed lifecycle events with zero disabled cost.
+
+Every protocol-relevant moment — a transaction submitted, a guess made, a
+primary validating, a commit landing, a view being notified, a failure
+notice arriving — is describable as a :class:`ProtocolEvent`.  The
+:class:`EventBus` collects them (when recording) and fans them out to
+subscribers (message tracing, live dashboards).  Instrumented code guards
+every emission with ``if bus.active:`` so a disabled bus costs exactly one
+attribute load and one branch on the hot paths; no event object, kwargs
+dict, or payload formatting is ever built unless someone is listening.
+
+Events are stamped with *simulated* time (the transport clock), never the
+wall clock, so a recorded timeline is deterministic: the same seed always
+yields byte-identical exports, which is what lets the conformance explorer
+embed timelines in replayable violation artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.vtime import VirtualTime
+
+#: The event taxonomy.  ``guess_made`` carries ``guess`` in {"RC","RL","NC"};
+#: ``view_notified`` carries ``mode`` in {"optimistic","pessimistic"} and
+#: ``kind`` in {"update","commit"}; ``straggler_detected`` carries ``flavor``
+#: in {"lost_update","update_inconsistency","read_inconsistency",
+#: "monotonicity_skip"}.  See docs/OBSERVABILITY.md for the full schema.
+EVENT_KINDS = frozenset(
+    {
+        "txn_submitted",
+        "guess_made",
+        "fanout_sent",
+        "validated",
+        "committed",
+        "aborted",
+        "retry_scheduled",
+        "propagate_blocked",
+        "straggler_detected",
+        "view_notified",
+        "snapshot_taken",
+        "op_applied",
+        "failure_notice",
+        "repair_committed",
+        "message_sent",
+    }
+)
+
+#: Data keys never serialized by :func:`event_to_dict` (live object refs
+#: kept for subscribers like MessageTrace, meaningless in an export).
+_EXPORT_SKIP_KEYS = frozenset({"payload"})
+
+
+@dataclass(frozen=True)
+class ProtocolEvent:
+    """One recorded protocol moment.
+
+    ``seq`` is a bus-wide monotone counter that breaks simulated-time ties
+    deterministically; ``site`` is the site at which the event happened
+    (``-1`` for events with no site, e.g. nothing currently); ``txn_vt``
+    links the event to a transaction lifecycle (or a snapshot's ``t_S``,
+    which for pessimistic views equals the writing transaction's VT).
+    """
+
+    seq: int
+    time_ms: float
+    site: int
+    kind: str
+    txn_vt: Optional[VirtualTime]
+    data: Dict[str, Any]
+
+    def __str__(self) -> str:
+        vt = f" vt={self.txn_vt}" if self.txn_vt is not None else ""
+        extras = " ".join(
+            f"{k}={v}" for k, v in sorted(self.data.items()) if k not in _EXPORT_SKIP_KEYS
+        )
+        return f"{self.time_ms:9.1f}ms  s{self.site}  {self.kind}{vt}  {extras}".rstrip()
+
+
+def _json_safe(value: Any) -> Any:
+    """Map event data to deterministic JSON-serializable values."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, VirtualTime):
+        return str(value)
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    return str(value)
+
+
+def event_to_dict(event: ProtocolEvent) -> Dict[str, Any]:
+    """A stable, JSON-serializable rendering of one event."""
+    return {
+        "seq": event.seq,
+        "time_ms": round(event.time_ms, 6),
+        "site": event.site,
+        "kind": event.kind,
+        "txn_vt": str(event.txn_vt) if event.txn_vt is not None else None,
+        "data": {
+            k: _json_safe(v)
+            for k, v in sorted(event.data.items())
+            if k not in _EXPORT_SKIP_KEYS
+        },
+    }
+
+
+class EventBus:
+    """Collects and fans out protocol events for one session/network.
+
+    The bus has two independent consumers: a *recording* buffer
+    (``enable()`` / ``events``) and live *subscribers* (``subscribe``).
+    ``active`` is True iff either exists — instrumentation sites check it
+    before building an event, so an idle bus adds no measurable overhead.
+
+    Subscription is re-entrant-safe and order-independent: subscribers are
+    stored in a list keyed by identity, so two concurrent
+    :class:`~repro.sim.trace.MessageTrace` instances can install and
+    uninstall in any order without clobbering each other (the monkeypatch
+    stacking bug this bus replaced).
+    """
+
+    __slots__ = ("active", "recording", "events", "_subscribers", "_seq")
+
+    def __init__(self) -> None:
+        self.active = False
+        self.recording = False
+        self.events: List[ProtocolEvent] = []
+        self._subscribers: List[Callable[[ProtocolEvent], None]] = []
+        self._seq = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def enable(self) -> None:
+        """Start recording events into :attr:`events`."""
+        self.recording = True
+        self._refresh()
+
+    def disable(self) -> None:
+        """Stop recording (recorded events are kept until :meth:`clear`)."""
+        self.recording = False
+        self._refresh()
+
+    def clear(self) -> None:
+        """Drop all recorded events (the sequence counter keeps running)."""
+        self.events.clear()
+
+    def subscribe(self, fn: Callable[[ProtocolEvent], None]) -> None:
+        """Add a live consumer called synchronously on every event."""
+        self._subscribers.append(fn)
+        self._refresh()
+
+    def unsubscribe(self, fn: Callable[[ProtocolEvent], None]) -> None:
+        """Remove a consumer; unknown consumers are ignored (idempotent)."""
+        try:
+            self._subscribers.remove(fn)
+        except ValueError:
+            pass
+        self._refresh()
+
+    def _refresh(self) -> None:
+        self.active = self.recording or bool(self._subscribers)
+
+    # -- emission --------------------------------------------------------
+
+    def emit(
+        self,
+        event_kind: str,
+        site: int,
+        time_ms: float,
+        txn_vt: Optional[VirtualTime] = None,
+        **data: Any,
+    ) -> Optional[ProtocolEvent]:
+        """Record/distribute one event.  Callers guard with ``if bus.active``
+        so the kwargs dict is never built on a dead bus; emit() re-checks
+        anyway so unguarded call sites stay correct.  (The positional name
+        is ``event_kind`` so data payloads may carry their own ``kind`` key,
+        e.g. view_notified's kind=update/commit.)"""
+        if not self.active:
+            return None
+        seq = self._seq
+        self._seq = seq + 1
+        event = ProtocolEvent(
+            seq=seq, time_ms=time_ms, site=site, kind=event_kind, txn_vt=txn_vt, data=data
+        )
+        if self.recording:
+            self.events.append(event)
+        for fn in self._subscribers:
+            fn(event)
+        return event
+
+    # -- queries ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def filter(
+        self,
+        kind: Optional[str] = None,
+        site: Optional[int] = None,
+        txn_vt: Optional[VirtualTime] = None,
+    ) -> List[ProtocolEvent]:
+        """Recorded events matching every given criterion."""
+        out = []
+        for event in self.events:
+            if kind is not None and event.kind != kind:
+                continue
+            if site is not None and event.site != site:
+                continue
+            if txn_vt is not None and event.txn_vt != txn_vt:
+                continue
+            out.append(event)
+        return out
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    def timeline(self) -> List[Dict[str, Any]]:
+        """The recorded events as stable JSON-serializable dicts."""
+        return [event_to_dict(e) for e in self.events]
+
+    def __repr__(self) -> str:
+        state = "recording" if self.recording else ("live" if self.active else "idle")
+        return f"EventBus({state}, {len(self.events)} events, {len(self._subscribers)} subscribers)"

@@ -1,0 +1,176 @@
+"""Transaction lifecycle spans reconstructed from the event stream.
+
+A *span* is the causal story of one transaction attempt, keyed by its
+virtual time: submit → guess → fanout → validate → commit/abort → notify.
+Each retry executes under a fresh VT, so retries are separate spans linked
+by the ``attempt`` number carried on ``txn_submitted``.
+
+Spans are derived purely from recorded :class:`~repro.obs.events.ProtocolEvent`
+sequences — nothing in the protocol tracks them at runtime — which keeps the
+hot paths clean and makes span reconstruction usable on any saved timeline,
+including the ones embedded in explorer violation artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs.events import ProtocolEvent
+from repro.vtime import VirtualTime
+
+#: Event kinds that participate in a transaction's lifecycle span.  Other
+#: txn_vt-carrying kinds (snapshot_taken, message_sent) are contextual.
+_SPAN_KINDS = frozenset(
+    {
+        "txn_submitted",
+        "guess_made",
+        "fanout_sent",
+        "validated",
+        "committed",
+        "aborted",
+        "view_notified",
+        "repair_committed",
+    }
+)
+
+
+@dataclass
+class TxnSpan:
+    """One transaction attempt's lifecycle, with simulated-time phase marks.
+
+    ``resolution`` is ``"committed"``, ``"aborted"``, or ``None`` when the
+    trace ended mid-flight.  Resolution time is taken from the *origin
+    site's* resolution event (the first one observed); replica applications
+    of the same commit show up in :attr:`events` but don't move the marks.
+    """
+
+    vt: VirtualTime
+    origin: int
+    submit_ms: Optional[float] = None
+    attempt: int = 1
+    first_guess_ms: Optional[float] = None
+    first_fanout_ms: Optional[float] = None
+    first_validated_ms: Optional[float] = None
+    resolved_ms: Optional[float] = None
+    resolution: Optional[str] = None
+    abort_reason: Optional[str] = None
+    first_notify_ms: Optional[float] = None
+    guesses: Dict[str, int] = field(default_factory=dict)
+    fanout_sites: List[int] = field(default_factory=list)
+    notify_count: int = 0
+    events: List[ProtocolEvent] = field(default_factory=list)
+
+    @property
+    def duration_ms(self) -> Optional[float]:
+        """Submit to resolution, in simulated ms (None while in flight)."""
+        if self.submit_ms is None or self.resolved_ms is None:
+            return None
+        return self.resolved_ms - self.submit_ms
+
+    @property
+    def validate_latency_ms(self) -> Optional[float]:
+        """First fanout to first remote validation."""
+        if self.first_fanout_ms is None or self.first_validated_ms is None:
+            return None
+        return self.first_validated_ms - self.first_fanout_ms
+
+    @property
+    def notify_lag_ms(self) -> Optional[float]:
+        """Resolution to first view notification referencing this txn."""
+        if self.resolved_ms is None or self.first_notify_ms is None:
+            return None
+        return self.first_notify_ms - self.resolved_ms
+
+    @property
+    def complete(self) -> bool:
+        return self.submit_ms is not None and self.resolution is not None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "vt": str(self.vt),
+            "origin": self.origin,
+            "attempt": self.attempt,
+            "submit_ms": self.submit_ms,
+            "first_guess_ms": self.first_guess_ms,
+            "first_fanout_ms": self.first_fanout_ms,
+            "first_validated_ms": self.first_validated_ms,
+            "resolved_ms": self.resolved_ms,
+            "resolution": self.resolution,
+            "abort_reason": self.abort_reason,
+            "first_notify_ms": self.first_notify_ms,
+            "duration_ms": self.duration_ms,
+            "guesses": {k: self.guesses[k] for k in sorted(self.guesses)},
+            "fanout_sites": list(self.fanout_sites),
+            "notify_count": self.notify_count,
+            "event_count": len(self.events),
+        }
+
+
+def build_spans(events: Iterable[ProtocolEvent]) -> List[TxnSpan]:
+    """Group an event stream into per-VT lifecycle spans.
+
+    Spans come back ordered by first appearance in the stream, which for a
+    recorded bus equals simulated-time order (seq breaks ties).  Events
+    whose VT never saw a ``txn_submitted`` (e.g. a remote replica's view of
+    a transaction when only one site was recorded) still form a span — its
+    ``submit_ms`` stays None and ``complete`` is False.
+    """
+    spans: Dict[VirtualTime, TxnSpan] = {}
+    for event in events:
+        if event.txn_vt is None or event.kind not in _SPAN_KINDS:
+            continue
+        span = spans.get(event.txn_vt)
+        if span is None:
+            span = TxnSpan(vt=event.txn_vt, origin=event.site)
+            spans[event.txn_vt] = span
+        span.events.append(event)
+        kind = event.kind
+        if kind == "txn_submitted":
+            span.submit_ms = event.time_ms
+            span.origin = event.site
+            span.attempt = int(event.data.get("attempt", 1))
+        elif kind == "guess_made":
+            if span.first_guess_ms is None:
+                span.first_guess_ms = event.time_ms
+            guess = str(event.data.get("guess", "?"))
+            span.guesses[guess] = span.guesses.get(guess, 0) + 1
+        elif kind == "fanout_sent":
+            if span.first_fanout_ms is None:
+                span.first_fanout_ms = event.time_ms
+            dst = event.data.get("dst")
+            if dst is not None:
+                span.fanout_sites.append(int(dst))
+        elif kind == "validated":
+            if span.first_validated_ms is None:
+                span.first_validated_ms = event.time_ms
+        elif kind in ("committed", "aborted"):
+            if span.resolution is None:
+                span.resolution = kind
+                span.resolved_ms = event.time_ms
+                if kind == "aborted":
+                    span.abort_reason = event.data.get("reason")
+        elif kind == "view_notified":
+            span.notify_count += 1
+            if span.first_notify_ms is None:
+                span.first_notify_ms = event.time_ms
+    return list(spans.values())
+
+
+def span_summary(spans: Iterable[TxnSpan]) -> Dict[str, Any]:
+    """Aggregate statistics over a span list (used by `repro trace`)."""
+    spans = list(spans)
+    committed = [s for s in spans if s.resolution == "committed"]
+    aborted = [s for s in spans if s.resolution == "aborted"]
+    durations = sorted(s.duration_ms for s in committed if s.duration_ms is not None)
+    return {
+        "spans": len(spans),
+        "committed": len(committed),
+        "aborted": len(aborted),
+        "in_flight": len(spans) - len(committed) - len(aborted),
+        "commit_duration_ms": {
+            "min": durations[0] if durations else None,
+            "max": durations[-1] if durations else None,
+            "mean": round(sum(durations) / len(durations), 3) if durations else None,
+        },
+    }

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import SimulationError, TransportError
+from repro.obs.events import EventBus
 from repro.sim.scheduler import Scheduler
 
 DeliveryHandler = Callable[[int, Any], None]
@@ -84,12 +85,23 @@ class NormalLatency(LatencyModel):
 
 @dataclass
 class NetworkStats:
-    """Counters used by the benchmark harness to report message complexity."""
+    """Counters used by the benchmark harness to report message complexity.
+
+    The lifecycle counters reconcile at all times::
+
+        messages_sent == messages_delivered + messages_dropped + messages_in_flight
+
+    A message is *in flight* from the moment its delivery is scheduled until
+    ``deliver`` runs; drops at send time (dead/partitioned destination, armed
+    drop rule) never enter the in-flight count, drops at delivery time leave
+    it first.  ``reconcile()`` asserts the invariant for tests.
+    """
 
     messages_sent: int = 0
     messages_delivered: int = 0
     messages_dropped: int = 0
     messages_dropped_injected: int = 0
+    messages_in_flight: int = 0
     per_type_sent: Dict[str, int] = field(default_factory=dict)
 
     def record_send(self, payload: Any) -> None:
@@ -97,12 +109,19 @@ class NetworkStats:
         name = type(payload).__name__
         self.per_type_sent[name] = self.per_type_sent.get(name, 0) + 1
 
+    def reconcile(self) -> bool:
+        """True iff sent == delivered + dropped + in_flight."""
+        return self.messages_sent == (
+            self.messages_delivered + self.messages_dropped + self.messages_in_flight
+        )
+
     def snapshot(self) -> "NetworkStats":
         copy = NetworkStats(
             messages_sent=self.messages_sent,
             messages_delivered=self.messages_delivered,
             messages_dropped=self.messages_dropped,
             messages_dropped_injected=self.messages_dropped_injected,
+            messages_in_flight=self.messages_in_flight,
         )
         copy.per_type_sent = dict(self.per_type_sent)
         return copy
@@ -163,6 +182,9 @@ class Network:
         self.fifo = fifo
         self.flush_inflight_on_fail = flush_inflight_on_fail
         self.stats = NetworkStats()
+        #: Protocol event bus shared with the session and every site built
+        #: on this network (see repro.obs).  Idle unless enabled/subscribed.
+        self.bus = EventBus()
         self._rng = random.Random(seed)
         self._handlers: Dict[int, DeliveryHandler] = {}
         self._failure_handlers: List[FailureHandler] = []
@@ -217,6 +239,18 @@ class Network:
         if dst not in self._handlers:
             raise TransportError(f"destination site {dst} is not registered")
         self.stats.record_send(payload)
+        if self.bus.active:
+            # Emitted for every send attempt — including ones dropped below —
+            # matching what a wire sniffer at the sender would observe.
+            self.bus.emit(
+                "message_sent",
+                site=src,
+                time_ms=self.scheduler.now,
+                txn_vt=getattr(payload, "txn_vt", None),
+                dst=dst,
+                msg_type=type(payload).__name__,
+                payload=payload,
+            )
         if src in self._failed or dst in self._failed or self._is_partitioned(src, dst):
             self.stats.messages_dropped += 1
             return
@@ -240,7 +274,10 @@ class Network:
             delivery_time = max(delivery_time, floor)
             self._last_delivery[key] = delivery_time
 
+        self.stats.messages_in_flight += 1
+
         def deliver() -> None:
+            self.stats.messages_in_flight -= 1
             if dst in self._failed:
                 self.stats.messages_dropped += 1
                 return

@@ -1,11 +1,16 @@
 """Message tracing for the simulated network.
 
-A :class:`MessageTrace` subscribes to a :class:`~repro.sim.network.Network`
-and records every send with its simulated timestamp, endpoints, message
-type, and (when present) transaction VT.  Traces support filtering and a
-compact textual rendering — the primary debugging tool for protocol work,
-and the source of the message-count numbers quoted in the ablation
-benchmarks.
+A :class:`MessageTrace` subscribes to a network's protocol event bus
+(:mod:`repro.obs`) and records every send with its simulated timestamp,
+endpoints, message type, and (when present) transaction VT.  Traces
+support filtering and a compact textual rendering — the primary debugging
+tool for protocol work, and the source of the message-count numbers
+quoted in the ablation benchmarks.
+
+Because traces are bus subscribers (not ``network.send`` monkeypatches,
+as in earlier revisions), any number of traces can be installed
+concurrently and uninstalled in any order without interfering with each
+other or with the bus's own recording.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.obs.events import ProtocolEvent
 from repro.sim.network import Network
 
 
@@ -39,27 +45,28 @@ class MessageTrace:
         self.network = network
         self.capture_payloads = capture_payloads
         self.entries: List[TraceEntry] = []
-        self._original_send = network.send
-        network.send = self._traced_send  # type: ignore[method-assign]
         self._installed = True
+        network.bus.subscribe(self._on_event)
 
-    def _traced_send(self, src: int, dst: int, payload: Any) -> None:
+    def _on_event(self, event: ProtocolEvent) -> None:
+        if event.kind != "message_sent":
+            return
         self.entries.append(
             TraceEntry(
-                time_ms=self.network.scheduler.now,
-                src=src,
-                dst=dst,
-                msg_type=type(payload).__name__,
-                txn_vt=getattr(payload, "txn_vt", None),
-                payload=payload if self.capture_payloads else None,
+                time_ms=event.time_ms,
+                src=event.site,
+                dst=event.data["dst"],
+                msg_type=event.data["msg_type"],
+                txn_vt=event.txn_vt,
+                payload=event.data.get("payload") if self.capture_payloads else None,
             )
         )
-        self._original_send(src, dst, payload)
 
     def uninstall(self) -> None:
-        """Stop tracing (existing entries are kept)."""
+        """Stop tracing (existing entries are kept).  Order-independent:
+        other traces on the same network are unaffected."""
         if self._installed:
-            self.network.send = self._original_send  # type: ignore[method-assign]
+            self.network.bus.unsubscribe(self._on_event)
             self._installed = False
 
     # ------------------------------------------------------------------

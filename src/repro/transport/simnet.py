@@ -19,6 +19,11 @@ class SimTransport(Transport):
     def __init__(self, network: Network) -> None:
         self.network = network
 
+    @property
+    def bus(self):
+        """The network's protocol event bus (shared by session and sites)."""
+        return self.network.bus
+
     def register(self, site: int, handler: DeliveryHandler) -> None:
         self.network.register(site, handler)
 

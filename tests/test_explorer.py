@@ -110,6 +110,49 @@ class TestArtifacts:
         with pytest.raises(ValueError):
             replay_artifact({"format": "not-an-artifact", "config": {}})
 
+    def test_replay_with_embedded_timeline_is_byte_identical(self):
+        """An artifact carrying the failing trial's event timeline still
+        replays byte-identically; the timeline is excluded from the
+        replay-identity comparison but regenerated deterministically."""
+        from repro.explore import capture_timeline, replay_identity
+
+        config = mutated_config()
+        violations = run_trial_violations(config)
+        timeline = capture_timeline(config)
+        assert timeline, "an observed violating trial must record events"
+        artifact = artifact_for(config, violations, timeline=timeline)
+        loaded = json.loads(artifact_json(artifact))
+        assert loaded["timeline"] == timeline
+
+        regenerated, identical = replay_artifact(loaded)
+        assert identical
+        # Timeline is deterministic too: the replay regenerated it equal.
+        assert regenerated["timeline"] == timeline
+        assert artifact_json(regenerated) == artifact_json(artifact)
+        # The identity comparison ignores the timeline: stripping it (or
+        # corrupting it) must not change the replay verdict.
+        assert replay_identity(artifact) == replay_identity(
+            artifact_for(config, violations)
+        )
+        tampered = dict(loaded)
+        tampered["timeline"] = []
+        _, still_identical = replay_artifact(tampered)
+        assert still_identical
+
+    def test_observation_does_not_perturb_outcomes(self):
+        """Observed and unobserved runs of one config reach identical
+        violations and committed state (zero-overhead contract, causal
+        half: recording must never change the schedule)."""
+        config = mutated_config()
+        plain = run_trial(config)
+        observed = run_trial(config, observe=True)
+        assert not plain.session.bus.events
+        assert observed.events
+        assert [str(v) for v in check_trial(plain)] == [str(v) for v in check_trial(observed)]
+        assert [s.state_digest() for s in plain.live_sites()] == [
+            s.state_digest() for s in observed.live_sites()
+        ]
+
 
 class TestShrinking:
     def test_shrinker_removes_superfluous_faults(self):
@@ -255,6 +298,24 @@ class TestExploreCli:
         assert artifact["format"] == "repro-explore/1"
         assert artifact["violations"]
         assert "views_pre_commit" in artifact["config"]["mutations"]
+        # The failing trial's event timeline rides along for debugging.
+        assert artifact["timeline"]
+        assert {e["kind"] for e in artifact["timeline"]} >= {"txn_submitted", "committed"}
+
+    def test_timeline_out_writes_chrome_trace(self, tmp_path, capsys):
+        out = tmp_path / "violation.json"
+        trace_out = tmp_path / "trace.json"
+        code = cli_main(
+            [
+                "explore", "--trials", "1", "--seed", "0",
+                "--mutate", "views_pre_commit",
+                "--out", str(out), "--timeline-out", str(trace_out),
+            ]
+        )
+        assert code == 1
+        document = json.loads(trace_out.read_text())
+        assert document["traceEvents"]
+        assert any(e["ph"] == "X" for e in document["traceEvents"])
 
     def test_replay_mode_round_trips(self, tmp_path, capsys):
         out = tmp_path / "violation.json"
@@ -280,4 +341,5 @@ class TestExploreCli:
             "mutations": [],
             "violating_trials": [],
             "artifact": None,
+            "timeline": None,
         }

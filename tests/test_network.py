@@ -117,6 +117,35 @@ class TestDelivery:
         assert net.stats.messages_delivered == 2
         assert net.stats.per_type_sent == {"str": 2}
 
+    def test_stats_reconcile_through_lifecycle(self):
+        """sent == delivered + dropped + in_flight at every instant."""
+        sched, net, _ = make_net()
+        assert net.stats.reconcile()
+        net.send(0, 1, "a")
+        net.send(0, 2, "b")
+        # Scheduled but not yet delivered: both are in flight.
+        assert net.stats.messages_in_flight == 2
+        assert net.stats.reconcile()
+        sched.run_until_quiescent()
+        assert net.stats.messages_in_flight == 0
+        assert net.stats.messages_delivered == 2
+        assert net.stats.reconcile()
+        # Send-time drop (dead destination): never enters in-flight.
+        net.fail_site(1)
+        net.send(0, 1, "lost")
+        assert net.stats.messages_in_flight == 0
+        assert net.stats.reconcile()
+        # Delivery-time drop (site dies with the message in the air):
+        # in-flight decrements before the drop is counted.
+        net.send(0, 2, "doomed")
+        assert net.stats.messages_in_flight == 1
+        net.fail_site(2)
+        sched.run_until_quiescent()
+        assert net.stats.messages_in_flight == 0
+        assert net.stats.reconcile()
+        snap = net.stats.snapshot()
+        assert snap.reconcile() and snap.messages_in_flight == 0
+
 
 class TestFailures:
     def test_failed_site_stops_receiving(self):

@@ -1,0 +1,116 @@
+"""Tests for SiteRuntime introspection: state digests, protocol residue,
+and the per-site metrics registry's determinism guarantees.
+
+These are the oracles' building blocks (the explorer trusts them to
+detect divergence and leaks), so they get direct coverage: converged
+replicas must produce identical digests, a quiescent healthy session must
+leave zero residue, and metrics snapshots must be byte-stable for a given
+seed — including histogram bucket assignment, which must not depend on
+observation order or platform.
+"""
+
+from repro import Session
+from repro.explore import check_trial, run_trial, sample_config
+
+
+def settled_session(n_sites=3, latency_ms=20.0, txns=6):
+    session = Session.simulated(latency_ms=latency_ms)
+    sites = session.add_sites(n_sites)
+    objs = session.replicate("int", "x", sites, initial=0)
+    session.settle()
+    for i in range(txns):
+        site = sites[i % n_sites]
+        obj = objs[i % n_sites]
+        site.transact(lambda obj=obj: obj.set(obj.get() + 1))
+        session.settle()
+    return session, sites, objs
+
+
+class TestStateDigest:
+    def test_converged_replicas_have_identical_digests(self):
+        session, sites, objs = settled_session()
+        digests = [site.state_digest() for site in sites]
+        assert digests[0] == digests[1] == digests[2]
+        assert digests[0], "digest of a session with replicated roots is non-empty"
+
+    def test_digest_reflects_committed_value(self):
+        session, sites, objs = settled_session(txns=4)
+        _, value_repr = sites[0].state_digest()["s0:x"]
+        assert value_repr == "4"
+
+    def test_digest_diverges_on_purpose(self):
+        """Sanity: the digest actually discriminates — two sessions with
+        different committed values produce different digests."""
+        _, sites_a, _ = settled_session(txns=2)
+        _, sites_b, _ = settled_session(txns=3)
+        assert sites_a[0].state_digest() != sites_b[0].state_digest()
+
+    def test_explorer_trial_digests_agree_across_live_sites(self):
+        result = run_trial(sample_config(0, 0))
+        live = result.live_sites()
+        digests = [s.state_digest() for s in live]
+        assert all(d == digests[0] for d in digests[1:])
+
+
+class TestProtocolResidue:
+    def test_quiescent_healthy_session_leaves_no_residue(self):
+        session, sites, _ = settled_session()
+        for site in sites:
+            assert site.protocol_residue() == {}
+
+    def test_explorer_trial_leaves_no_residue(self):
+        result = run_trial(sample_config(0, 1))
+        assert not check_trial(result), "sampled healthy trial must pass all oracles"
+        for site in result.live_sites():
+            assert site.protocol_residue() == {}
+
+    def test_residue_detects_uncommitted_history(self):
+        """Sanity that the probe can fire: an in-flight (unsettled) write
+        shows up as residue before the commit round trip completes."""
+        session = Session.simulated(latency_ms=50.0)
+        sites = session.add_sites(2)
+        objs = session.replicate("int", "x", sites, initial=0)
+        session.settle()
+        # Originate at the NON-primary site: a primary-site origin commits
+        # locally without any round trip and would leave nothing to see.
+        sites[1].transact(lambda: objs[1].set(1))
+        residue = sites[1].protocol_residue()
+        assert "unresolved-transactions" in residue
+        assert "uncommitted-history" in residue
+        session.settle()
+        assert sites[1].protocol_residue() == {}
+
+
+class TestMetricsDeterminism:
+    def test_snapshots_identical_across_reruns(self):
+        s1, _, _ = settled_session()
+        s2, _, _ = settled_session()
+        assert s1.metrics_snapshot() == s2.metrics_snapshot()
+
+    def test_histogram_buckets_identical_across_reruns_of_same_seed(self):
+        for seed in (0, 1, 7):
+            a = run_trial(sample_config(seed, 0))
+            b = run_trial(sample_config(seed, 0))
+            for snap_a, snap_b in zip(a.session.metrics_snapshot(), b.session.metrics_snapshot()):
+                assert snap_a["histograms"] == snap_b["histograms"]
+                assert snap_a["counters"] == snap_b["counters"]
+
+    def test_latency_histogram_populated_by_commits(self):
+        session, sites, _ = settled_session(txns=5)
+        merged_total = 0
+        for snap in session.metrics_snapshot():
+            hist = snap["histograms"].get("txn.commit_latency_ms")
+            if hist:
+                merged_total += hist["total"]
+                assert sum(hist["counts"]) == hist["total"]
+        commits = sum(s["counters"].get("txn.commits", 0) for s in session.metrics_snapshot())
+        assert merged_total == commits >= 5
+
+    def test_counters_agree_with_legacy_counters_api(self):
+        session, sites, _ = settled_session()
+        for site in sites:
+            legacy = site.counters()
+            snap = site.metrics.snapshot()["counters"]
+            assert legacy["commits"] == snap.get("txn.commits", 0)
+            assert legacy["aborts_conflict"] == snap.get("txn.aborts_conflict", 0)
+            assert legacy["retries"] == snap.get("txn.retries", 0)

@@ -64,6 +64,42 @@ class TestMessageTrace:
         # ...and the protocol still works.
         assert objs[1].get() == 1
 
+    def test_concurrent_traces_stack(self):
+        """Two traces on one network record independently; uninstalling in
+        any order leaves the survivor recording (the monkeypatch-stacking
+        bug the bus-subscriber implementation fixed)."""
+        session, first, alice, bob, objs = self._traced_pair()
+        second = MessageTrace(session.network)
+        alice.transact(lambda: objs[0].set(1))
+        session.settle()
+        assert len(first) > 0
+        assert [e.msg_type for e in first.entries] == [e.msg_type for e in second.entries]
+
+        # Uninstall the FIRST-installed trace first (the order the old
+        # monkeypatch chain could not survive) — the second keeps working.
+        first.uninstall()
+        before = len(second)
+        alice.transact(lambda: objs[0].set(2))
+        session.settle()
+        assert len(first.entries) and len(first) < len(second)
+        assert len(second) > before
+        second.uninstall()
+        alice.transact(lambda: objs[0].set(3))
+        session.settle()
+        assert len(second) == len(second.entries)
+        assert objs[1].get() == 3
+
+    def test_uninstall_idempotent_and_bus_independent(self):
+        session, trace, alice, bob, objs = self._traced_pair()
+        trace.uninstall()
+        trace.uninstall()  # double uninstall is a no-op
+        # A trace must not disturb the bus's own recording lifecycle.
+        bus = session.observe()
+        alice.transact(lambda: objs[0].set(1))
+        session.settle()
+        assert len(trace) == 0
+        assert bus.filter(kind="message_sent")
+
 
 class TestLatencyStats:
     def _outcome(self, latency):
