@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Merge per-area BENCH_*.json results into a per-commit trajectory.
+
+Every perf-sensitive PR records its benchmark results in a ``BENCH_<area>.json``
+file at the repo root (``bench_hotpaths.py``, ``bench_obs.py``, ...).  This
+script flattens each file's numeric scalar leaves into dotted metric names
+(``obs.overhead.recording_us_per_event``, ``hotpaths.history_read_at.1000
+.speedup``, ...) and appends one sample per metric to ``BENCH_trajectory.json``,
+keyed by the current commit — the repo's perf trajectory over its history::
+
+    {
+      "schema": "bench_trajectory/v1",
+      "series": {
+        "<metric>": [ {"commit": "<sha>", "timestamp": "...", "value": N}, ... ]
+      }
+    }
+
+Re-running on the same commit replaces that commit's samples (idempotent),
+so CI can regenerate the trajectory on every push.
+
+``--gate CURRENT.json`` additionally enforces the zero-overhead contract in
+CI: CURRENT.json is a freshly measured ``bench_obs.py`` result, and the gate
+fails (exit 1) when its ``disabled_vs_baseline_pct`` exceeds the tolerance
+recorded in the repo's committed ``BENCH_obs.json`` — ``max(5%,`` the
+recorded ``baseline_noise_pct)``, the same bound ``bench_obs.py --check``
+applies locally.  A regression of the disabled path past its recorded noise
+floor is a hard CI failure, not a drift to discover later.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import subprocess
+import sys
+from typing import Any, Dict, List, Optional
+
+TRAJECTORY_NAME = "BENCH_trajectory.json"
+#: Floor of the disabled-path overhead gate, percent (matches bench_obs.py).
+GATE_FLOOR_PCT = 5.0
+#: Keys that are run provenance, not metrics.
+_SKIP_KEYS = frozenset({"schema", "mode", "python", "timestamp"})
+
+
+def flatten_metrics(value: Any, prefix: str) -> Dict[str, float]:
+    """Numeric scalar leaves of a nested dict, as dotted metric names.
+
+    Lists (e.g. raw ``wall_s`` sample arrays) and non-numeric leaves are
+    skipped — the trajectory tracks derived statistics, not raw samples.
+    """
+    out: Dict[str, float] = {}
+    if isinstance(value, dict):
+        for key, child in sorted(value.items()):
+            if not prefix and key in _SKIP_KEYS:
+                continue
+            name = f"{prefix}.{key}" if prefix else key
+            out.update(flatten_metrics(child, name))
+    elif isinstance(value, bool):
+        pass
+    elif isinstance(value, (int, float)):
+        out[prefix] = float(value)
+    return out
+
+
+def current_commit(repo_root: str) -> str:
+    try:
+        return (
+            subprocess.check_output(
+                ["git", "rev-parse", "HEAD"], cwd=repo_root, stderr=subprocess.DEVNULL
+            )
+            .decode()
+            .strip()
+        )
+    except (subprocess.CalledProcessError, OSError):
+        return "unknown"
+
+
+def collect_bench_files(repo_root: str) -> Dict[str, Dict[str, Any]]:
+    """Map area name ('obs', 'hotpaths', ...) to its parsed BENCH file."""
+    results: Dict[str, Dict[str, Any]] = {}
+    for path in sorted(glob.glob(os.path.join(repo_root, "BENCH_*.json"))):
+        name = os.path.basename(path)
+        if name == TRAJECTORY_NAME:
+            continue
+        area = name[len("BENCH_"):-len(".json")].lower()
+        with open(path) as fh:
+            results[area] = json.load(fh)
+    return results
+
+
+def build_trajectory(repo_root: str, out_path: Optional[str] = None) -> Dict[str, Any]:
+    """Merge all BENCH_*.json into the trajectory file; return it."""
+    out_path = out_path or os.path.join(repo_root, TRAJECTORY_NAME)
+    commit = current_commit(repo_root)
+    if os.path.exists(out_path):
+        with open(out_path) as fh:
+            trajectory = json.load(fh)
+    else:
+        trajectory = {"schema": "bench_trajectory/v1", "series": {}}
+    series: Dict[str, List[Dict[str, Any]]] = trajectory.setdefault("series", {})
+
+    for area, doc in collect_bench_files(repo_root).items():
+        timestamp = doc.get("timestamp", "")
+        for metric, value in flatten_metrics(doc, area).items():
+            samples = series.setdefault(metric, [])
+            # Idempotent per commit: replace this commit's prior sample.
+            samples[:] = [s for s in samples if s.get("commit") != commit]
+            samples.append({"commit": commit, "timestamp": timestamp, "value": value})
+
+    with open(out_path, "w") as fh:
+        json.dump(trajectory, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return trajectory
+
+
+def gate_obs_overhead(repo_root: str, current_path: str) -> int:
+    """Fail (1) if CURRENT's disabled-path overhead exceeds the recorded gate."""
+    recorded_path = os.path.join(repo_root, "BENCH_obs.json")
+    if not os.path.exists(recorded_path):
+        print("gate: no recorded BENCH_obs.json; nothing to gate against")
+        return 0
+    with open(recorded_path) as fh:
+        recorded = json.load(fh)
+    with open(current_path) as fh:
+        current = json.load(fh)
+    try:
+        current_pct = abs(float(current["overhead"]["disabled_vs_baseline_pct"]))
+        emit_calls = int(current["modes"]["disabled"]["emit_calls"])
+    except (KeyError, TypeError, ValueError) as exc:
+        print(f"gate: malformed current result {current_path}: {exc}")
+        return 1
+    noise_pct = float(recorded.get("overhead", {}).get("baseline_noise_pct", 0.0))
+    allowed_pct = max(GATE_FLOOR_PCT, noise_pct)
+    ok = True
+    if emit_calls != 0:
+        print(f"gate FAIL: disabled path made {emit_calls} emit() calls (must be 0)")
+        ok = False
+    if current_pct > allowed_pct:
+        print(
+            f"gate FAIL: disabled-path overhead {current_pct:.2f}% exceeds "
+            f"allowed {allowed_pct:.2f}% (floor {GATE_FLOOR_PCT:.1f}%, recorded "
+            f"baseline noise {noise_pct:.2f}%)"
+        )
+        ok = False
+    else:
+        print(
+            f"gate OK: disabled-path overhead {current_pct:.2f}% within "
+            f"{allowed_pct:.2f}% (floor {GATE_FLOOR_PCT:.1f}%, recorded noise "
+            f"{noise_pct:.2f}%)"
+        )
+    return 0 if ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repo-root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root holding the BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help=f"trajectory output path (default <repo-root>/{TRAJECTORY_NAME})",
+    )
+    parser.add_argument(
+        "--gate",
+        metavar="CURRENT.json",
+        help="also gate a freshly measured bench_obs result against the "
+        "overhead tolerance recorded in the committed BENCH_obs.json",
+    )
+    args = parser.parse_args(argv)
+
+    trajectory = build_trajectory(args.repo_root, args.out)
+    metrics = len(trajectory["series"])
+    samples = sum(len(s) for s in trajectory["series"].values())
+    out_path = args.out or os.path.join(args.repo_root, TRAJECTORY_NAME)
+    print(f"trajectory: {metrics} metrics, {samples} samples -> {out_path}")
+
+    if args.gate:
+        return gate_obs_overhead(args.repo_root, args.gate)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -202,7 +202,13 @@ def cmd_explore(args: argparse.Namespace) -> int:
         head = result.failures[0]
         artifact_path = args.out
         with open(artifact_path, "w") as fh:
-            fh.write(artifact_json(artifact_for(head.config, head.violations, head.timeline)))
+            fh.write(
+                artifact_json(
+                    artifact_for(
+                        head.config, head.violations, head.timeline, analyze=True
+                    )
+                )
+            )
         if args.timeline_out:
             # Chrome trace of the failing trial, Perfetto-loadable.
             timeline_path = args.timeline_out
@@ -240,13 +246,28 @@ def cmd_trace(args: argparse.Namespace) -> int:
     """Run one observed trial; export its event timeline."""
     from repro.explore.plan import sample_config
     from repro.explore.trial import run_trial
-    from repro.obs import build_spans, chrome_trace_json, span_summary, to_jsonl
+    from repro.obs import (
+        analysis_json,
+        analyze_events,
+        build_spans,
+        chrome_trace_json,
+        format_critical_path_report,
+        span_summary,
+        to_jsonl,
+    )
 
     config = sample_config(
         args.seed, args.index, mutations=tuple(args.mutate), faults=not args.no_faults
     )
     result = run_trial(config, observe=True)
     events = result.events
+    if not events:
+        print(
+            f"trace: trial seed={args.seed} index={args.index} produced zero "
+            "events — nothing to export",
+            file=sys.stderr,
+        )
+        return 1
     if args.format == "chrome":
         payload = chrome_trace_json(events)
     else:
@@ -256,22 +277,23 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
     spans = build_spans(events)
     summary = span_summary(spans)
+    analysis = analyze_events(events) if args.analyze else None
+    if analysis is not None and args.analysis_out:
+        with open(args.analysis_out, "w") as fh:
+            fh.write(analysis_json(analysis))
     if args.json:
-        print(
-            json.dumps(
-                {
-                    "seed": args.seed,
-                    "index": args.index,
-                    "out": args.out,
-                    "format": args.format,
-                    "events": len(events),
-                    "spans": summary,
-                },
-                indent=2,
-                sort_keys=True,
-            )
-        )
-    else:
+        doc = {
+            "seed": args.seed,
+            "index": args.index,
+            "out": args.out,
+            "format": args.format,
+            "events": len(events),
+            "spans": summary,
+        }
+        if analysis is not None:
+            doc["analysis"] = analysis
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    elif not args.quiet:
         print(
             f"trial seed={args.seed} index={args.index}: {len(events)} events, "
             f"{summary['spans']} txn spans "
@@ -280,6 +302,15 @@ def cmd_trace(args: argparse.Namespace) -> int:
         print(f"{args.format} timeline written to {args.out}")
         if args.format == "chrome":
             print("open in https://ui.perfetto.dev (or chrome://tracing)")
+        if analysis is not None:
+            print(format_critical_path_report(analysis["critical_path"]), end="")
+            print(
+                f"aborts analyzed: {len(analysis['aborts'])}  "
+                f"stragglers: {len(analysis['stragglers'])}  "
+                f"guess edges: {analysis['guess_edges']}"
+            )
+            if args.analysis_out:
+                print(f"full causal analysis written to {args.analysis_out}")
     return 0
 
 
@@ -293,8 +324,20 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     )
     result = run_trial(config)
     snapshots = result.session.metrics_snapshot()
+    activity = sum(
+        value for snap in snapshots for value in snap["counters"].values()
+    ) + sum(hist["total"] for snap in snapshots for hist in snap["histograms"].values())
+    if not activity:
+        print(
+            f"metrics: trial seed={args.seed} index={args.index} recorded zero "
+            "protocol activity — nothing to report",
+            file=sys.stderr,
+        )
+        return 1
     if args.json:
         print(json.dumps({"sites": snapshots}, indent=2, sort_keys=True))
+        return 0
+    if args.quiet:
         return 0
     for snap in snapshots:
         print(f"site {snap['site']}:")
@@ -311,6 +354,74 @@ def cmd_metrics(args: argparse.Namespace) -> int:
             else:
                 print(f"  {name:32s} n=0")
     return 0
+
+
+def cmd_health(args: argparse.Namespace) -> int:
+    """Stream health detectors over a campaign's trials, live off the bus."""
+    from repro.explore.plan import sample_config
+    from repro.explore.trial import run_trial
+    from repro.obs.health import (
+        AbortRateSpike,
+        HealthMonitor,
+        NotifyLagSLO,
+        RepairStall,
+        StragglerCascade,
+    )
+
+    trial_reports = []
+    total_findings = 0
+    worst = "ok"
+    severity_rank = {"ok": 0, "info": 1, "warning": 2, "critical": 3}
+    for index in range(args.trials):
+        config = sample_config(
+            args.seed, index, mutations=tuple(args.mutate), faults=not args.no_faults
+        )
+        monitor = HealthMonitor(
+            [
+                AbortRateSpike(),
+                StragglerCascade(depth=args.straggler_depth),
+                NotifyLagSLO(slo_ms=args.notify_slo_ms),
+                RepairStall(),
+            ]
+        )
+        run_trial(config, subscribers=(monitor,))
+        report = monitor.report()
+        total_findings += len(report.findings)
+        if severity_rank[report.status] > severity_rank[worst]:
+            worst = report.status
+        trial_reports.append((index, report))
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "seed": args.seed,
+                    "trials": args.trials,
+                    "status": worst,
+                    "findings": total_findings,
+                    "reports": [
+                        {"index": index, **report.to_dict()}
+                        for index, report in trial_reports
+                        if report.findings or not args.quiet
+                    ],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        if not args.quiet:
+            print(
+                f"health: {args.trials} trials seed={args.seed} → status={worst}, "
+                f"{total_findings} finding(s)"
+            )
+        for index, report in trial_reports:
+            if not report.findings:
+                continue
+            print(f"trial {index}:")
+            for line in report.format_text().splitlines()[1:]:
+                print(line)
+    return 0 if total_findings == 0 else 1
 
 
 def cmd_examples(_args: argparse.Namespace) -> int:
@@ -408,7 +519,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     trace.add_argument(
         "--out", default="trace.json", metavar="FILE", help="output file path"
     )
+    trace.add_argument(
+        "--analyze",
+        action="store_true",
+        help="run the causal analysis engine: critical-path attribution, "
+        "abort causal chains, guess-dependency graph",
+    )
+    trace.add_argument(
+        "--analysis-out",
+        metavar="FILE",
+        help="with --analyze, also write the full analysis JSON here",
+    )
     trace.add_argument("--json", action="store_true", help="machine-readable summary")
+    trace.add_argument(
+        "--quiet", action="store_true", help="suppress normal output (for scripts)"
+    )
     trace.set_defaults(func=cmd_trace)
 
     metrics = sub.add_parser(
@@ -423,7 +548,41 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     metrics.add_argument("--no-faults", action="store_true", help="disable fault injection")
     metrics.add_argument("--json", action="store_true", help="full JSON snapshots")
+    metrics.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress normal output; exit status still reports zero activity",
+    )
     metrics.set_defaults(func=cmd_metrics)
+
+    health = sub.add_parser(
+        "health",
+        help="run streaming protocol-health detectors over campaign trials",
+    )
+    health.add_argument("--seed", type=int, default=0, help="campaign master seed")
+    health.add_argument("--trials", type=int, default=10, help="number of sampled trials")
+    health.add_argument(
+        "--mutate", action="append", default=[], metavar="FLAG",
+        help="enable a protocol mutation canary; repeatable",
+    )
+    health.add_argument("--no-faults", action="store_true", help="disable fault injection")
+    health.add_argument(
+        "--notify-slo-ms",
+        type=float,
+        default=120.0,
+        help="pessimistic notify-lag SLO in simulated ms (default 120)",
+    )
+    health.add_argument(
+        "--straggler-depth",
+        type=int,
+        default=3,
+        help="straggler-cascade depth threshold (default 3)",
+    )
+    health.add_argument("--json", action="store_true", help="machine-readable reports")
+    health.add_argument(
+        "--quiet", action="store_true", help="only print trials with findings"
+    )
+    health.set_defaults(func=cmd_health)
 
     sub.add_parser("examples", help="list runnable example scripts").set_defaults(
         func=cmd_examples

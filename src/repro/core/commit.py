@@ -229,7 +229,7 @@ class TransactionEngine:
             record.pending_rc.add(dep_vt)
 
         # Local primary checks (objects whose primary copy lives here).
-        ok, reason = self._check_local_primaries(record)
+        ok, reason, against = self._check_local_primaries(record)
         if bus.active:
             bus.emit(
                 "validated",
@@ -239,6 +239,7 @@ class TransactionEngine:
                 ok=ok,
                 reason=reason,
                 scope="local",
+                against=against,
             )
         if not ok:
             self._abort_origin(record, reason)
@@ -327,27 +328,27 @@ class TransactionEngine:
     # Local primary checks at the originating site
     # ------------------------------------------------------------------
 
-    def _check_local_primaries(self, record: TxnRecord) -> Tuple[bool, str]:
+    def _check_local_primaries(self, record: TxnRecord) -> Tuple[bool, str, Tuple[Any, ...]]:
         origin = self.site.site_id
         for access in record.ctx.writes:
             root = access.target.propagation_root()
             if self.site.primary_site_of(root.graph()) != origin:
                 continue
-            ok, reason = self._check_and_reserve(
+            ok, reason, against = self._check_and_reserve(
                 access.target, root, record.vt, access.read_vt, access.graph_vt, is_write=True
             )
             if not ok:
-                return False, reason
+                return False, reason, against
         for access in record.ctx.read_only_accesses():
             root = access.target.propagation_root()
             if self.site.primary_site_of(root.graph()) != origin:
                 continue
-            ok, reason = self._check_and_reserve(
+            ok, reason, against = self._check_and_reserve(
                 access.target, root, record.vt, access.read_vt, access.graph_vt, is_write=False
             )
             if not ok:
-                return False, reason
-        return True, ""
+                return False, reason, against
+        return True, "", ()
 
     def _check_and_reserve(
         self,
@@ -357,43 +358,65 @@ class TransactionEngine:
         read_vt: VirtualTime,
         graph_vt: VirtualTime,
         is_write: bool,
-    ) -> Tuple[bool, str]:
+    ) -> Tuple[bool, str, Tuple[Any, ...]]:
         """RL + NC checks at the primary, reserving confirmed intervals.
 
         For writes the entry at ``vt`` itself (this transaction's own write,
         already applied) is not a conflict; any *other* entry in the open
         interval denies the RL guess.
+
+        Returns ``(ok, reason, against)``; on a denial ``against`` is the
+        guessed-against VT set — the virtual times of the conflicting
+        writes/reservations that refuted the guess — which the ``validated``
+        event carries so the causal analyzer can build guess-dependency
+        edges without parsing reason strings.
         """
         # RL guess on the value (or structure) history.
         conflicting = [
             e for e in target.history.entries_in_open_interval(read_vt, vt)
         ]
         if conflicting and "skip_rl_check" not in self.mutations:
-            return False, f"RL denied on {target.uid}: write at {conflicting[0].vt} in ({read_vt}, {vt})"
+            return (
+                False,
+                f"RL denied on {target.uid}: write at {conflicting[0].vt} in ({read_vt}, {vt})",
+                tuple(e.vt for e in conflicting),
+            )
         # RL guess on the replication graph ("a primary copy always confirms
         # the RL guess that the graph hasn't changed" — section 3.3).
         graph_conflicts = root.graph_history().entries_in_open_interval(graph_vt, vt)
         if graph_conflicts:
-            return False, f"graph RL denied on {root.uid}: change at {graph_conflicts[0].vt}"
+            return (
+                False,
+                f"graph RL denied on {root.uid}: change at {graph_conflicts[0].vt}",
+                tuple(e.vt for e in graph_conflicts),
+            )
         if is_write and "skip_nc_check" not in self.mutations:
             # NC guess: no other transaction reserved a write-free region
             # containing our VT.
             blocking = target.value_reservations.blocking_reservation(vt, exclude_owner=vt)
             if blocking is not None:
-                return False, f"NC denied on {target.uid}: reserved by {blocking.owner}"
+                return (
+                    False,
+                    f"NC denied on {target.uid}: reserved by {blocking.owner}",
+                    (blocking.owner,),
+                )
             # Pessimistic-snapshot reservations protect whole subtrees:
             # consult the target and every ancestor (section 4.2).
             from repro.core.views import blocking_subtree_reservation
 
             snap_block = blocking_subtree_reservation(target, vt)
             if snap_block is not None:
-                return False, f"NC denied on {target.uid}: snapshot reservation {snap_block.owner}"
+                return (
+                    False,
+                    f"NC denied on {target.uid}: snapshot reservation {snap_block.owner}",
+                    (snap_block.owner,),
+                )
             graph_blocking = root.graph_reservations.blocking_reservation(vt, exclude_owner=vt)
             # A value write does not change the graph, so graph reservations
             # do not block it; only graph *updates* check graph NC.
             if target is root and self._is_graph_write(target, vt):
                 if graph_blocking is not None:
-                    return False, f"graph NC denied on {root.uid}"
+                    return False, f"graph NC denied on {root.uid}", (graph_blocking.owner,)
         target.value_reservations.reserve(read_vt, vt, owner=vt)
         root.graph_reservations.reserve(graph_vt, vt, owner=vt)
         self.reserved.setdefault(vt, []).append(target)
@@ -401,7 +424,7 @@ class TransactionEngine:
             self.reserved.setdefault(vt, []).append(root)
         if is_write and self.eager_view_confirms and target is root:
             self._broadcast_write_confirmed(root, read_vt, vt)
-        return True, ""
+        return True, "", ()
 
     def _broadcast_write_confirmed(
         self, root: "ModelObject", read_vt: VirtualTime, vt: VirtualTime
@@ -608,7 +631,7 @@ class TransactionEngine:
     def _finish_propagate(self, msg: TxnPropagateMsg) -> None:
         """Run primary checks for a fully applied propagate and respond."""
         vt = msg.txn_vt
-        ok, reason = self._run_remote_checks(msg)
+        ok, reason, against = self._run_remote_checks(msg)
         bus = self.site.bus
         if bus.active:
             bus.emit(
@@ -619,6 +642,7 @@ class TransactionEngine:
                 ok=ok,
                 reason=reason,
                 scope="delegate" if msg.delegate is not None else "primary",
+                against=against,
             )
         if msg.delegate is not None:
             self._decide_as_delegate(msg, ok, reason)
@@ -642,39 +666,39 @@ class TransactionEngine:
                 return True
         return False
 
-    def _run_remote_checks(self, msg: TxnPropagateMsg) -> Tuple[bool, str]:
+    def _run_remote_checks(self, msg: TxnPropagateMsg) -> Tuple[bool, str, Tuple[Any, ...]]:
         """RL/NC validation for every op this site is primary for."""
         me = self.site.site_id
         vt = msg.txn_vt
         for write in msg.writes:
             root = self.site.objects.get(write.object_uid)
             if root is None:
-                return False, f"unknown object {write.object_uid}"
+                return False, f"unknown object {write.object_uid}", ()
             if not msg.force_confirm and self.site.primary_site_of(root.graph()) != me:
                 continue
             try:
                 target = propagation.resolve_path(root, write.path)
             except InvalidPath as exc:
-                return False, str(exc)
-            ok, reason = self._check_and_reserve(
+                return False, str(exc), ()
+            ok, reason, against = self._check_and_reserve(
                 target, root, vt, write.read_vt, write.graph_vt, is_write=True
             )
             if not ok:
-                return False, reason
+                return False, reason, against
         for check in msg.read_checks:
             root = self.site.objects.get(check.object_uid)
             if root is None:
-                return False, f"unknown object {check.object_uid}"
+                return False, f"unknown object {check.object_uid}", ()
             try:
                 target = propagation.resolve_path(root, check.path)
             except InvalidPath as exc:
-                return False, str(exc)
-            ok, reason = self._check_and_reserve(
+                return False, str(exc), ()
+            ok, reason, against = self._check_and_reserve(
                 target, root, vt, check.read_vt, check.graph_vt, is_write=False
             )
             if not ok:
-                return False, reason
-        return True, ""
+                return False, reason, against
+        return True, "", ()
 
     def _decide_as_delegate(self, msg: TxnPropagateMsg, ok: bool, reason: str) -> None:
         """Delegated commit: this site broadcasts the summary decision."""

@@ -209,7 +209,7 @@ class JoinManager:
         if gb_primary == me:
             # Validate here: graph RL/NC plus the joiner's value read over
             # (sync_vt, txn_vt).
-            ok, reason = engine._check_and_reserve(
+            ok, reason, _against = engine._check_and_reserve(
                 target, root, vt, read_vt=sync_vt, graph_vt=gb_vt, is_write=False
             )
             if not ok:
@@ -386,7 +386,7 @@ class JoinManager:
 
         # Local validation of our own old graph's primary, if that is us.
         if ga_primary == me:
-            ok, reason = engine._check_and_reserve(
+            ok, reason, _against = engine._check_and_reserve(
                 obj, obj, vt, read_vt=vt, graph_vt=ga_vt, is_write=True
             )
             if not ok:
@@ -471,7 +471,7 @@ class JoinManager:
 
             singleton = ReplicationGraph.singleton(obj.uid, me)
             if old_primary == me:
-                ok, reason = self.site.engine._check_and_reserve(
+                ok, reason, _against = self.site.engine._check_and_reserve(
                     obj, obj, vt, read_vt=vt, graph_vt=old_vt, is_write=True
                 )
                 if not ok:

@@ -7,7 +7,8 @@ seed.  Each violating trial produces a replayable *artifact*::
       "format": "repro-explore/1",
       "config": { ... TrialConfig.to_dict() ... },
       "violations": [ {"oracle", "site", "obj", "detail"}, ... ],
-      "timeline": [ {"seq", "time_ms", "site", "kind", "txn_vt", "data"}, ... ]
+      "timeline": [ {"seq", "time_ms", "site", "kind", "txn_vt", "data"}, ... ],
+      "analysis": { ... repro.obs.causal.analyze_timeline(timeline) ... }
     }
 
 Artifacts are self-contained: :func:`replay_artifact` rebuilds the trial
@@ -87,6 +88,7 @@ def artifact_for(
     config: TrialConfig,
     violations: Sequence[Violation],
     timeline: Optional[List[Dict[str, Any]]] = None,
+    analyze: bool = False,
 ) -> Dict[str, Any]:
     artifact: Dict[str, Any] = {
         "format": ARTIFACT_FORMAT,
@@ -95,6 +97,14 @@ def artifact_for(
     }
     if timeline is not None:
         artifact["timeline"] = timeline
+        if analyze:
+            # Causal evidence for the failing trial: the commit critical
+            # path and each abort's guess-dependency + happens-before
+            # chains.  Derived deterministically from the timeline, and —
+            # like the timeline — excluded from replay identity.
+            from repro.obs.causal import analyze_timeline
+
+            artifact["analysis"] = analyze_timeline(timeline)
     return artifact
 
 
@@ -103,14 +113,18 @@ def artifact_json(artifact: Dict[str, Any]) -> str:
     return json.dumps(artifact, indent=2, sort_keys=True) + "\n"
 
 
+#: Artifact keys that are attached evidence, not replay identity.
+_EVIDENCE_KEYS = frozenset({"timeline", "analysis"})
+
+
 def replay_identity(artifact: Dict[str, Any]) -> str:
     """The canonical form compared for replay identity.
 
-    Excludes the ``timeline`` key: the timeline is evidence attached for
-    humans (and Perfetto), not part of what a replay must reproduce — a
-    config + violations match is the identity contract.
+    Excludes the ``timeline`` and ``analysis`` keys: both are evidence
+    attached for humans (and Perfetto/Graphviz), not part of what a replay
+    must reproduce — a config + violations match is the identity contract.
     """
-    return artifact_json({k: v for k, v in artifact.items() if k != "timeline"})
+    return artifact_json({k: v for k, v in artifact.items() if k not in _EVIDENCE_KEYS})
 
 
 def replay_artifact(artifact: Dict[str, Any]) -> Tuple[Dict[str, Any], bool]:
@@ -125,7 +139,12 @@ def replay_artifact(artifact: Dict[str, Any]) -> Tuple[Dict[str, Any], bool]:
         raise ValueError(f"unknown artifact format {artifact.get('format')!r}")
     config = TrialConfig.from_dict(artifact["config"])
     timeline = capture_timeline(config) if "timeline" in artifact else None
-    regenerated = artifact_for(config, run_trial_violations(config), timeline=timeline)
+    regenerated = artifact_for(
+        config,
+        run_trial_violations(config),
+        timeline=timeline,
+        analyze="analysis" in artifact,
+    )
     return regenerated, replay_identity(regenerated) == replay_identity(artifact)
 
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.model import ModelObject
 from repro.core.session import Session
@@ -162,13 +162,18 @@ def _apply_fault(network: Network, event: FaultEvent) -> None:
         raise ReproError(f"unknown fault kind {kind!r}")
 
 
-def run_trial(config: TrialConfig, observe: bool = False) -> TrialResult:
+def run_trial(
+    config: TrialConfig, observe: bool = False, subscribers: Sequence[Any] = ()
+) -> TrialResult:
     """Build the session described by ``config``, run it to quiescence.
 
     With ``observe=True`` the session's protocol event bus records the
-    full event timeline (:attr:`TrialResult.events`).  Observation cannot
-    perturb the run — events are stamped with simulated time and emitted
-    outside the scheduler, so an observed trial is byte-identical to an
+    full event timeline (:attr:`TrialResult.events`).  ``subscribers``
+    are attached live to the bus before any site exists, so streaming
+    consumers (e.g. :class:`~repro.obs.health.HealthMonitor`) see the
+    exact sequence a recording would capture.  Observation cannot perturb
+    the run — events are stamped with simulated time and emitted outside
+    the scheduler, so an observed trial is byte-identical to an
     unobserved one apart from the recording itself.
     """
     scheduler = Scheduler()
@@ -185,6 +190,8 @@ def run_trial(config: TrialConfig, observe: bool = False) -> TrialResult:
     session = Session(transport=SimTransport(network))
     if observe:
         session.observe()
+    for subscriber in subscribers:
+        session.bus.subscribe(subscriber)
     session.add_sites(config.n_sites)
     sites = session.sites
 

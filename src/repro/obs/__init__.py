@@ -1,12 +1,45 @@
-"""Observability layer: event bus, lifecycle spans, metrics, exporters.
+"""Observability layer: event bus, lifecycle spans, metrics, exporters,
+causal analysis, and health detectors.
 
 Deterministic, zero-overhead-when-disabled instrumentation for the DECAF
 protocol stack.  See docs/OBSERVABILITY.md for the event taxonomy, the
-span lifecycle, and exporter workflows (Perfetto, JSONL).
+span lifecycle, exporter workflows (Perfetto, JSONL), the happens-before
+DAG model, and the health-detector rules.
 """
 
+from repro.obs.causal import (
+    CausalGraph,
+    abort_causal_chain,
+    CommitCriticalPath,
+    GuessEdge,
+    GuessGraph,
+    HBEdge,
+    analysis_json,
+    analyze_events,
+    analyze_timeline,
+    build_causal_graph,
+    build_guess_graph,
+    commit_critical_paths,
+    critical_path_report,
+    events_from_timeline,
+    format_critical_path_report,
+    normalize_events,
+    parse_vt,
+)
 from repro.obs.events import EVENT_KINDS, EventBus, ProtocolEvent, event_to_dict
 from repro.obs.export import chrome_trace_json, to_chrome_trace, to_jsonl
+from repro.obs.health import (
+    AbortRateSpike,
+    HealthFinding,
+    HealthMonitor,
+    HealthReport,
+    HealthRule,
+    NotifyLagSLO,
+    RepairStall,
+    StragglerCascade,
+    default_rules,
+    run_health,
+)
 from repro.obs.metrics import (
     COUNT_BUCKETS,
     LATENCY_BUCKETS_MS,
@@ -32,4 +65,31 @@ __all__ = [
     "TxnSpan",
     "build_spans",
     "span_summary",
+    "CausalGraph",
+    "HBEdge",
+    "CommitCriticalPath",
+    "GuessGraph",
+    "GuessEdge",
+    "abort_causal_chain",
+    "build_causal_graph",
+    "build_guess_graph",
+    "commit_critical_paths",
+    "critical_path_report",
+    "format_critical_path_report",
+    "analyze_events",
+    "analyze_timeline",
+    "analysis_json",
+    "events_from_timeline",
+    "normalize_events",
+    "parse_vt",
+    "HealthFinding",
+    "HealthRule",
+    "HealthMonitor",
+    "HealthReport",
+    "AbortRateSpike",
+    "StragglerCascade",
+    "NotifyLagSLO",
+    "RepairStall",
+    "default_rules",
+    "run_health",
 ]

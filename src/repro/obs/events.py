@@ -26,7 +26,10 @@ from repro.vtime import VirtualTime
 #: ``view_notified`` carries ``mode`` in {"optimistic","pessimistic"} and
 #: ``kind`` in {"update","commit"}; ``straggler_detected`` carries ``flavor``
 #: in {"lost_update","update_inconsistency","read_inconsistency",
-#: "monotonicity_skip"}.  See docs/OBSERVABILITY.md for the full schema.
+#: "monotonicity_skip"}; ``message_sent``/``message_delivered`` share a
+#: network-wide ``msg_id`` linking each delivery to its send (the
+#: happens-before edges of repro.obs.causal).  See docs/OBSERVABILITY.md
+#: for the full schema.
 EVENT_KINDS = frozenset(
     {
         "txn_submitted",
@@ -44,6 +47,7 @@ EVENT_KINDS = frozenset(
         "failure_notice",
         "repair_committed",
         "message_sent",
+        "message_delivered",
     }
 )
 

@@ -55,6 +55,11 @@ class TxnSpan:
     resolved_ms: Optional[float] = None
     resolution: Optional[str] = None
     abort_reason: Optional[str] = None
+    #: True when the transaction aborted before any fan-out was sent (user
+    #: abort or a local-primary denial): the span is degenerate — no
+    #: transit/validate phases exist — but it must still be reported, not
+    #: silently dropped from span-derived analyses.
+    aborted_pre_fanout: bool = False
     first_notify_ms: Optional[float] = None
     guesses: Dict[str, int] = field(default_factory=dict)
     fanout_sites: List[int] = field(default_factory=list)
@@ -98,6 +103,7 @@ class TxnSpan:
             "resolved_ms": self.resolved_ms,
             "resolution": self.resolution,
             "abort_reason": self.abort_reason,
+            "aborted_pre_fanout": self.aborted_pre_fanout,
             "first_notify_ms": self.first_notify_ms,
             "duration_ms": self.duration_ms,
             "guesses": {k: self.guesses[k] for k in sorted(self.guesses)},
@@ -150,6 +156,7 @@ def build_spans(events: Iterable[ProtocolEvent]) -> List[TxnSpan]:
                 span.resolved_ms = event.time_ms
                 if kind == "aborted":
                     span.abort_reason = event.data.get("reason")
+                    span.aborted_pre_fanout = span.first_fanout_ms is None
         elif kind == "view_notified":
             span.notify_count += 1
             if span.first_notify_ms is None:
@@ -167,6 +174,7 @@ def span_summary(spans: Iterable[TxnSpan]) -> Dict[str, Any]:
         "spans": len(spans),
         "committed": len(committed),
         "aborted": len(aborted),
+        "aborted_pre_fanout": sum(1 for s in aborted if s.aborted_pre_fanout),
         "in_flight": len(spans) - len(committed) - len(aborted),
         "commit_duration_ms": {
             "min": durations[0] if durations else None,

@@ -193,6 +193,11 @@ class Network:
         self._failed: Set[int] = set()
         self._partitioned: Set[Tuple[int, int]] = set()
         self._drop_rules: List[DropRule] = []
+        #: Network-wide message sequence.  Assigned on every send (observed
+        #: or not) so a message's id is identical whether or not the bus is
+        #: recording; ``message_sent``/``message_delivered`` events carry it,
+        #: giving the causal analyzer exact send→deliver edges.
+        self._msg_seq = 0
         #: Optional hook adding deterministic extra delay per message:
         #: ``fn(src, dst, payload) -> extra_ms``.  With ``fifo=False`` this
         #: reorders messages within a pair; with FIFO it stretches queues.
@@ -239,6 +244,8 @@ class Network:
         if dst not in self._handlers:
             raise TransportError(f"destination site {dst} is not registered")
         self.stats.record_send(payload)
+        msg_id = self._msg_seq
+        self._msg_seq = msg_id + 1
         if self.bus.active:
             # Emitted for every send attempt — including ones dropped below —
             # matching what a wire sniffer at the sender would observe.
@@ -249,6 +256,7 @@ class Network:
                 txn_vt=getattr(payload, "txn_vt", None),
                 dst=dst,
                 msg_type=type(payload).__name__,
+                msg_id=msg_id,
                 payload=payload,
             )
         if src in self._failed or dst in self._failed or self._is_partitioned(src, dst):
@@ -288,6 +296,19 @@ class Network:
                 self.stats.messages_dropped += 1
                 return
             self.stats.messages_delivered += 1
+            if self.bus.active:
+                # Paired with the message_sent event via msg_id: together
+                # they are the cross-site happens-before edges of the
+                # causal analyzer (repro.obs.causal).
+                self.bus.emit(
+                    "message_delivered",
+                    site=dst,
+                    time_ms=self.scheduler.now,
+                    txn_vt=getattr(payload, "txn_vt", None),
+                    src=src,
+                    msg_type=type(payload).__name__,
+                    msg_id=msg_id,
+                )
             self._handlers[dst](src, payload)
 
         self.scheduler.call_at(delivery_time, deliver, label=f"deliver {src}->{dst}")

@@ -1,0 +1,487 @@
+"""Tests for the causal analysis engine (repro.obs.causal).
+
+Covers the happens-before DAG (message pairing, reachability), the
+acceptance-criteria invariants — critical-path segments summing exactly to
+span durations, byte-stable analysis on a fixed seed, and an abort's
+causal chain validated edge-by-edge against the recorded message
+timeline — plus guess-dependency graph construction and the exporters.
+"""
+
+import json
+
+import pytest
+
+from repro import Session
+from repro.obs import (
+    abort_causal_chain,
+    analysis_json,
+    analyze_events,
+    build_causal_graph,
+    build_guess_graph,
+    build_spans,
+    commit_critical_paths,
+    critical_path_report,
+    events_from_timeline,
+    format_critical_path_report,
+    parse_vt,
+)
+from repro.obs.causal import SEGMENTS
+from repro.obs.events import ProtocolEvent, event_to_dict
+from repro.vtime import VirtualTime
+
+
+def make_event(seq, time_ms, site, kind, vt=None, **data):
+    return ProtocolEvent(
+        seq=seq, time_ms=float(time_ms), site=site, kind=kind, txn_vt=vt, data=data
+    )
+
+
+def conflict_run():
+    """A deterministic run with one RL-denied (then retried) transaction.
+
+    Two read-modify-writes race from different sites: the loser's write
+    window at the primary contains the winner's commit, producing a
+    ``validated ok=False`` denial with a non-empty guessed-against set,
+    an AbortMsg back to the origin, and a successful retry.
+    """
+    session = Session.simulated(latency_ms=20, seed=1)
+    bus = session.observe()
+    alice, bob, carol = session.add_sites(3)
+    objs = session.replicate("int", "x", [alice, bob, carol], initial=0)
+    session.settle()
+    bus.clear()
+    out_a = alice.transact(lambda: objs[0].set(objs[0].get() + 1))
+    out_b = bob.transact(lambda: objs[1].set(objs[1].get() + 1))
+    session.settle()
+    assert out_a.committed and out_b.committed
+    assert out_b.attempts == 2  # bob lost the race and retried
+    return bus.events
+
+
+class TestParseVt:
+    def test_round_trips_and_rejects(self):
+        vt = VirtualTime(7, 1)
+        assert parse_vt(vt) is vt
+        assert parse_vt(str(vt)) == vt
+        assert parse_vt("VT(-3@-1)") == VirtualTime(-3, -1)
+        assert parse_vt("snap:0:1") is None
+        assert parse_vt(["snap", 0, 1]) is None
+        assert parse_vt(None) is None
+        assert parse_vt(7) is None
+
+
+class TestCausalGraph:
+    def test_every_delivery_pairs_with_its_send(self):
+        events = conflict_run()
+        graph = build_causal_graph(events)
+        message_edges = [e for e in graph.edges if e.kind == "message"]
+        deliveries = [e for e in events if e.kind == "message_delivered"]
+        # Every delivery has exactly one incoming message edge, from the
+        # send that carries the same network msg_id.
+        assert len(message_edges) == len(deliveries)
+        by_seq = {e.seq: e for e in events}
+        for edge in message_edges:
+            send, recv = by_seq[edge.src], by_seq[edge.dst]
+            assert send.kind == "message_sent"
+            assert recv.kind == "message_delivered"
+            assert send.data["msg_id"] == recv.data["msg_id"]
+            assert send.data["msg_type"] == recv.data["msg_type"]
+            assert send.data["dst"] == recv.site
+
+    def test_happens_before_follows_messages_not_time(self):
+        events = conflict_run()
+        graph = build_causal_graph(events)
+        submits = [e for e in events if e.kind == "txn_submitted"]
+        commits = [
+            e
+            for e in events
+            if e.kind == "committed" and e.txn_vt is not None
+            and e.site == e.txn_vt.site
+        ]
+        # A transaction's submit always precedes its own origin commit.
+        for commit in commits:
+            submit = next(s for s in submits if s.txn_vt == commit.txn_vt)
+            assert graph.happens_before(submit.seq, commit.seq)
+            assert not graph.happens_before(commit.seq, submit.seq)
+
+    def test_concurrent_events_are_not_ordered(self):
+        # Two sites with no messages between their first events: a send at
+        # s0 and an independent event at s1 earlier in seq order but with
+        # no path.
+        events = [
+            make_event(0, 0.0, 0, "txn_submitted", VirtualTime(1, 0), attempt=1),
+            make_event(1, 0.0, 1, "txn_submitted", VirtualTime(1, 1), attempt=1),
+        ]
+        graph = build_causal_graph(events)
+        assert not graph.happens_before(0, 1)
+        assert not graph.happens_before(1, 0)
+        assert graph.path(0, 1) is None
+
+    def test_path_returns_real_edges(self):
+        events = conflict_run()
+        graph = build_causal_graph(events)
+        sends = [e for e in events if e.kind == "message_sent"]
+        first = sends[0]
+        delivery = next(
+            e
+            for e in events
+            if e.kind == "message_delivered"
+            and e.data["msg_id"] == first.data["msg_id"]
+        )
+        path = graph.path(first.seq, delivery.seq)
+        assert path is not None
+        assert path[-1].kind == "message"
+        # The path's hops chain correctly.
+        for a, b in zip(path, path[1:]):
+            assert a.dst == b.src
+
+
+class TestAbortCausalChain:
+    def test_abort_chain_validated_edge_by_edge_against_message_timeline(self):
+        """Acceptance: the causal chain of an RL-denied abort is a real
+        happens-before path — every hop is re-verified here against the
+        raw recorded timeline, independent of the graph's own edge list."""
+        events = conflict_run()
+        graph = build_causal_graph(events)
+        by_seq = {e.seq: e for e in events}
+        abort_vts = sorted(
+            {
+                e.txn_vt
+                for e in events
+                if e.kind == "aborted" and e.txn_vt is not None
+            },
+            key=lambda v: v.key,
+        )
+        assert abort_vts, "conflict run must produce an abort"
+        vt = abort_vts[0]
+        chain = abort_causal_chain(graph, vt)
+        assert chain["connected"]
+        assert chain["via_denial"]
+        hops = chain["hops"]
+        assert hops, "chain must have at least one hop"
+
+        # The chain passes through the propagate delivery at the denying
+        # primary and the AbortMsg delivery back at the origin.
+        kinds = [(h["kind"], h["label"]) for h in hops]
+        assert ("message", "TxnPropagateMsg") in kinds
+        assert ("message", "AbortMsg") in kinds
+
+        # Edge-by-edge validation against the raw timeline: program hops
+        # are same-site seq-forward; message hops correspond to a recorded
+        # send/deliver pair sharing one msg_id.
+        for hop in hops:
+            src, dst = by_seq[hop["src_seq"]], by_seq[hop["dst_seq"]]
+            assert src.seq < dst.seq
+            if hop["kind"] == "program":
+                assert src.site == dst.site
+            else:
+                assert hop["kind"] == "message"
+                assert src.kind == "message_sent"
+                assert dst.kind == "message_delivered"
+                assert src.data["msg_id"] == dst.data["msg_id"]
+                assert src.site != dst.site
+        # ...and consecutive hops chain without gaps.
+        for a, b in zip(hops, hops[1:]):
+            assert a["dst_seq"] <= b["src_seq"]
+
+        # The chain starts at the submit and ends at the origin abort.
+        assert by_seq[hops[0]["src_seq"]].kind == "txn_submitted"
+        last = by_seq[hops[-1]["dst_seq"]]
+        assert last.kind == "aborted" and last.site == vt.site
+
+    def test_unresolvable_chain_reports_disconnected(self):
+        events = [
+            make_event(0, 0.0, 0, "txn_submitted", VirtualTime(1, 0), attempt=1),
+        ]
+        graph = build_causal_graph(events)
+        chain = abort_causal_chain(graph, VirtualTime(1, 0))
+        assert chain == {"connected": False, "via_denial": False, "hops": []}
+
+
+class TestCriticalPath:
+    def test_segments_sum_exactly_to_span_duration(self):
+        """Acceptance: per-VT segment sums equal the PR 3 span durations."""
+        events = conflict_run()
+        spans = {str(s.vt): s for s in build_spans(events)}
+        paths = commit_critical_paths(events)
+        assert paths, "run must commit transactions"
+        for path in paths:
+            span = spans[str(path.vt)]
+            assert sum(path.segments.values()) == pytest.approx(
+                span.duration_ms, abs=1e-9
+            )
+            assert path.duration_ms == pytest.approx(span.duration_ms, abs=1e-9)
+            assert set(path.segments) == set(SEGMENTS)
+            assert all(v >= 0.0 for v in path.segments.values())
+
+    def test_remote_commit_attributes_transit(self):
+        # Synthetic: submit 0ms, fanout 1ms, delivered at primary 11ms,
+        # validated 12ms, committed at origin 20ms.
+        vt = VirtualTime(5, 1)
+        events = [
+            make_event(0, 0.0, 1, "txn_submitted", vt, attempt=1),
+            make_event(1, 1.0, 1, "fanout_sent", vt, dst=0),
+            make_event(2, 1.0, 1, "message_sent", vt, dst=0,
+                       msg_type="TxnPropagateMsg", msg_id=0),
+            make_event(3, 11.0, 0, "message_delivered", vt, src=1,
+                       msg_type="TxnPropagateMsg", msg_id=0),
+            make_event(4, 12.0, 0, "validated", vt, ok=True, reason="",
+                       scope="primary", against=()),
+            make_event(5, 20.0, 1, "committed", vt, ops=1),
+        ]
+        (path,) = commit_critical_paths(events)
+        assert path.validator_site == 0
+        assert path.segments == {
+            "submit_fanout": 1.0,
+            "transit": 10.0,
+            "validate": 1.0,
+            "ack": 8.0,
+        }
+        assert path.dominant == "transit"
+        assert path.duration_ms == 20.0
+
+    def test_local_commit_collapses_to_ack(self):
+        vt = VirtualTime(2, 0)
+        events = [
+            make_event(0, 0.0, 0, "txn_submitted", vt, attempt=1),
+            make_event(1, 4.0, 0, "committed", vt, ops=1),
+        ]
+        (path,) = commit_critical_paths(events)
+        assert path.validator_site == -1
+        assert path.segments == {
+            "submit_fanout": 0.0,
+            "transit": 0.0,
+            "validate": 0.0,
+            "ack": 4.0,
+        }
+
+    def test_report_shares_sum_to_100(self):
+        events = conflict_run()
+        report = critical_path_report(events)
+        assert report["committed"] > 0
+        total_share = sum(
+            report["segments"][name]["share_pct"] for name in SEGMENTS
+        )
+        assert total_share == pytest.approx(100.0, abs=0.1)
+        assert report["dominant"] in SEGMENTS
+        dominant_counts = sum(
+            report["segments"][name]["dominant_in"] for name in SEGMENTS
+        )
+        assert dominant_counts == report["committed"]
+
+    def test_empty_timeline_report(self):
+        report = critical_path_report([])
+        assert report["committed"] == 0
+        assert report["dominant"] is None
+        text = format_critical_path_report(report)
+        assert "no committed transactions" in text
+
+
+class TestGuessGraph:
+    def test_rc_and_denial_edges(self):
+        vt_a, vt_b, vt_c = VirtualTime(1, 0), VirtualTime(2, 1), VirtualTime(3, 2)
+        events = [
+            # c reads b's uncommitted value; b was denied against a.
+            make_event(0, 0.0, 1, "guess_made", vt_b, guess="RL", obj="s0:x"),
+            make_event(1, 1.0, 0, "validated", vt_b, ok=False,
+                       reason=f"RL denied on s0:x: write at {vt_a} in (..)",
+                       scope="primary", against=(str(vt_a),)),
+            make_event(2, 2.0, 2, "guess_made", vt_c, guess="RC", obj="s0:x",
+                       depends_on=str(vt_b)),
+        ]
+        graph = build_guess_graph(events)
+        edges = {(e.src, e.dst, e.guess) for e in graph.edges}
+        assert (str(vt_b), str(vt_a), "RL") in edges
+        assert (str(vt_c), str(vt_b), "RC") in edges
+        rl_edge = next(e for e in graph.edges if e.guess == "RL")
+        assert rl_edge.obj == "s0:x"
+
+        # The transitive chain from c reaches a through b.
+        chain = graph.dependency_chain(vt_c)
+        assert [(e.src, e.dst) for e in chain] == [
+            (str(vt_c), str(vt_b)),
+            (str(vt_b), str(vt_a)),
+        ]
+        assert graph.cascade_roots() == [str(vt_a)]
+
+    def test_real_denial_produces_against_edge(self):
+        events = conflict_run()
+        graph = build_guess_graph(events)
+        rl_edges = [e for e in graph.edges if e.guess == "RL"]
+        assert rl_edges, "RL denial must produce a guess edge"
+        edge = rl_edges[0]
+        # The guessed-against VT is the winning transaction, which
+        # committed; the guessing transaction aborted.
+        assert graph.nodes[edge.dst]["resolution"] == "committed"
+        assert graph.nodes[edge.src]["resolution"] == "aborted"
+        assert edge.obj == "s0:x"
+
+    def test_snapshot_owner_tokens_are_kept_not_parsed(self):
+        vt = VirtualTime(4, 1)
+        events = [
+            make_event(0, 0.0, 0, "validated", vt, ok=False,
+                       reason="NC denied on s0:x: snapshot reservation ('snap', 0, 1)",
+                       scope="primary", against=(["snap", 0, 1],)),
+        ]
+        graph = build_guess_graph(events)
+        (edge,) = graph.edges
+        assert edge.dst == "snap:0:1"
+        assert edge.guess == "NC:snapshot"
+
+    def test_dot_and_jsonl_exports(self):
+        events = conflict_run()
+        graph = build_guess_graph(events)
+        dot = graph.to_dot()
+        assert dot.startswith("digraph guesses {")
+        assert dot.endswith("}\n")
+        for edge in graph.edges:
+            assert f'"{edge.src}" -> "{edge.dst}"' in dot
+        jsonl = graph.to_jsonl()
+        lines = [json.loads(line) for line in jsonl.splitlines()]
+        assert len(lines) == len(graph.edges)
+        seqs = [line["seq"] for line in lines]
+        assert seqs == sorted(seqs)
+        # Rooted export only contains the root's cascade.
+        abort_vt = next(
+            vt for vt, node in graph.nodes.items()
+            if node["resolution"] == "aborted"
+        )
+        rooted = graph.to_dot(root=abort_vt)
+        assert f'"{abort_vt}"' in rooted
+
+
+class TestAnalyzeDeterminism:
+    def test_fixed_seed_analysis_is_byte_stable(self):
+        """Acceptance: same seed → byte-identical analysis, both across
+        re-runs and across an export/import round trip of the timeline."""
+        first = analysis_json(analyze_events(conflict_run()))
+        second = analysis_json(analyze_events(conflict_run()))
+        assert first == second
+        events = conflict_run()
+        round_tripped = events_from_timeline([event_to_dict(e) for e in events])
+        assert analysis_json(analyze_events(round_tripped)) == analysis_json(
+            analyze_events(events)
+        )
+
+    def test_format_report_is_byte_stable(self):
+        report_a = critical_path_report(conflict_run())
+        report_b = critical_path_report(conflict_run())
+        assert format_critical_path_report(report_a) == format_critical_path_report(
+            report_b
+        )
+
+    def test_analysis_embeds_abort_evidence(self):
+        analysis = analyze_events(conflict_run())
+        assert analysis["format"] == "repro-causal/1"
+        assert analysis["dag"]["events"] > 0
+        assert analysis["aborts"], "conflict run must analyze its abort"
+        abort = analysis["aborts"][0]
+        assert abort["causal_chain"]["connected"]
+        assert abort["guess_chain"], "RL denial must appear in the guess chain"
+        assert abort["aborted_pre_fanout"] is False
+
+
+class TestEventsFromTimeline:
+    def test_round_trip_preserves_structure(self):
+        events = conflict_run()
+        rebuilt = events_from_timeline([event_to_dict(e) for e in events])
+        assert len(rebuilt) == len(events)
+        for original, copy in zip(events, rebuilt):
+            assert copy.seq == original.seq
+            assert copy.kind == original.kind
+            assert copy.site == original.site
+            assert copy.txn_vt == original.txn_vt
+            assert copy.time_ms == pytest.approx(original.time_ms, abs=1e-6)
+
+
+class TestTraceAnalyzeCli:
+    def test_trace_analyze_byte_stable_and_segment_sums(self, tmp_path, capsys):
+        """Acceptance: `repro trace --analyze` on a fixed seed emits a
+        byte-stable critical-path report whose per-VT segment sums equal
+        the span durations."""
+        from repro.cli import main
+
+        outputs = []
+        out = tmp_path / "t.jsonl"
+        analysis_out = tmp_path / "a.json"
+        for _run in range(2):
+            code = main(
+                [
+                    "trace", "--seed", "7", "--index", "3", "--analyze",
+                    "--format", "jsonl",
+                    "--out", str(out), "--analysis-out", str(analysis_out),
+                ]
+            )
+            assert code == 0
+            outputs.append(
+                (capsys.readouterr().out, analysis_out.read_text(), out.read_text())
+            )
+        assert outputs[0] == outputs[1]
+
+        analysis = json.loads(outputs[0][1])
+        spans = {
+            str(s.vt): s
+            for s in build_spans(
+                events_from_timeline(
+                    [json.loads(line) for line in outputs[0][2].splitlines()]
+                )
+            )
+        }
+        assert analysis["critical_path"]["per_txn"], "trial must commit txns"
+        for entry in analysis["critical_path"]["per_txn"]:
+            duration = spans[entry["vt"]].duration_ms
+            assert sum(entry["segments"].values()) == pytest.approx(
+                duration, abs=1e-5
+            )
+
+    def test_trace_exits_1_on_zero_events(self, tmp_path, capsys, monkeypatch):
+        import repro.explore.trial as trial_mod
+        from repro.cli import main
+
+        class Empty:
+            events = []
+
+        monkeypatch.setattr(
+            trial_mod, "run_trial", lambda config, observe=False, subscribers=(): Empty()
+        )
+        code = main(["trace", "--out", str(tmp_path / "t.json")])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "zero" in captured.err
+        assert not (tmp_path / "t.json").exists()
+
+    def test_trace_quiet_suppresses_output(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["trace", "--seed", "0", "--index", "0", "--quiet",
+             "--out", str(tmp_path / "t.json")]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == ""
+        assert (tmp_path / "t.json").exists()
+
+    def test_metrics_exits_1_on_zero_activity(self, capsys, monkeypatch):
+        import repro.explore.trial as trial_mod
+        from repro.cli import main
+
+        class DeadSession:
+            def metrics_snapshot(self):
+                return [{"site": 0, "counters": {}, "gauges": {}, "histograms": {}}]
+
+        class Dead:
+            session = DeadSession()
+
+        monkeypatch.setattr(
+            trial_mod, "run_trial", lambda config, observe=False, subscribers=(): Dead()
+        )
+        code = main(["metrics"])
+        assert code == 1
+        assert "zero" in capsys.readouterr().err
+
+    def test_metrics_quiet_still_reports_activity_via_exit_code(self, capsys):
+        from repro.cli import main
+
+        code = main(["metrics", "--seed", "0", "--index", "0", "--quiet"])
+        assert code == 0
+        assert capsys.readouterr().out == ""

@@ -122,3 +122,14 @@ class TestExportDeterminism:
         document = to_chrome_trace([])
         assert document["traceEvents"] == []
         json.loads(chrome_trace_json([]))
+
+    def test_empty_timeline_chrome_trace_is_loadable_and_stable(self):
+        # An empty timeline must still export a structurally valid,
+        # byte-stable Chrome trace document (no metadata for phantom
+        # sites, no slices), so tooling can open "nothing happened" runs.
+        payload = chrome_trace_json([])
+        assert payload == chrome_trace_json([])
+        document = json.loads(payload)
+        assert document["traceEvents"] == []
+        assert document["displayTimeUnit"] == "ms"
+        assert payload.endswith("\n") or payload == json.dumps(document)

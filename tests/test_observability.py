@@ -106,6 +106,27 @@ class TestHistogram:
         assert h.total == 5
         assert h.min == 0.0 and h.max == 21.0
 
+    def test_boundary_values_land_deterministically_in_one_bucket(self):
+        # A value exactly on a bucket edge must always land in the bucket
+        # whose *inclusive upper* edge it is — for every edge of both
+        # standard bucket layouts, and identically on repeat observation.
+        for bounds in (LATENCY_BUCKETS_MS, COUNT_BUCKETS):
+            for index, edge in enumerate(bounds):
+                h = Histogram(bounds=bounds)
+                h.observe(float(edge))
+                h.observe(float(edge))
+                expected = [0] * (len(bounds) + 1)
+                expected[index] = 2
+                assert h.counts == expected, (bounds, edge)
+
+    def test_just_past_an_edge_lands_in_the_next_bucket(self):
+        h = Histogram(bounds=(10.0, 20.0))
+        h.observe(10.0)  # inclusive upper edge of bucket 0
+        h.observe(10.000001)  # strictly above: bucket 1
+        h.observe(20.0)
+        h.observe(20.000001)  # strictly above the last bound: overflow
+        assert h.counts == [1, 2, 1]
+
     def test_rejects_unsorted_bounds(self):
         with pytest.raises(ValueError):
             Histogram(bounds=(5.0, 5.0))
@@ -220,11 +241,49 @@ class TestSpans:
         assert span.abort_reason == "RL conflict on x"
         assert span.resolved_ms == 9.0
 
+    def test_pre_fanout_abort_emits_degenerate_span(self):
+        """Regression: a transaction aborting before any fanout must still
+        produce a span, flagged ``aborted_pre_fanout`` (it has no
+        transit/validate phases, but dropping it would hide the abort from
+        every span-derived analysis)."""
+        vt = VirtualTime(9, 2)
+        mk = lambda seq, t, event_kind, **data: ProtocolEvent(
+            seq=seq, time_ms=t, site=2, kind=event_kind, txn_vt=vt, data=data
+        )
+        events = [
+            mk(0, 0.0, "txn_submitted", attempt=1),
+            mk(1, 2.0, "aborted", reason="user abort", kind="user"),
+        ]
+        (span,) = build_spans(events)
+        assert span.resolution == "aborted"
+        assert span.aborted_pre_fanout is True
+        assert span.first_fanout_ms is None
+        assert span.duration_ms == 2.0
+        assert span.to_dict()["aborted_pre_fanout"] is True
+        summary = span_summary([span])
+        assert summary["aborted"] == 1
+        assert summary["aborted_pre_fanout"] == 1
+
+    def test_post_fanout_abort_is_not_flagged(self):
+        vt = VirtualTime(9, 2)
+        mk = lambda seq, t, event_kind, **data: ProtocolEvent(
+            seq=seq, time_ms=t, site=2, kind=event_kind, txn_vt=vt, data=data
+        )
+        events = [
+            mk(0, 0.0, "txn_submitted", attempt=1),
+            mk(1, 1.0, "fanout_sent", dst=0, writes=1, checks=0),
+            mk(2, 9.0, "aborted", reason="RL conflict", kind="conflict"),
+        ]
+        (span,) = build_spans(events)
+        assert span.aborted_pre_fanout is False
+        assert span_summary([span])["aborted_pre_fanout"] == 0
+
     def test_summary(self):
         _, events = self._events()
         summary = span_summary(build_spans(events))
         assert summary["spans"] == 1 and summary["committed"] == 1
         assert summary["aborted"] == 0 and summary["in_flight"] == 0
+        assert summary["aborted_pre_fanout"] == 0
         assert summary["commit_duration_ms"]["mean"] == 50.0
 
 
