@@ -18,6 +18,7 @@ import pytest
 from repro import Session
 from repro.baselines import CentralizedSystem, GvtSystem, LockingSystem
 from repro.bench.report import Table, emit, format_table
+from repro import DInt
 
 T = 50.0
 
@@ -25,7 +26,7 @@ T = 50.0
 def decaf_point(n_sites):
     session = Session.simulated(latency_ms=T)
     sites = session.add_sites(n_sites)
-    objs = session.replicate("int", "x", sites, initial=0)
+    objs = session.replicate(DInt, "x", sites, initial=0)
     session.settle()
     origin = sites[-1]
     out = origin.transact(lambda: objs[-1].set(1))

@@ -14,6 +14,7 @@ import pytest
 from repro import Session
 from repro.core.adaptive import AdaptiveOptimismController
 from repro.bench.report import Table, emit, format_table
+from repro import DInt
 
 T = 60.0
 ROUNDS = 30
@@ -23,7 +24,7 @@ GAP_MS = 40.0
 def run_case(governed: bool, seed: int):
     session = Session.simulated(latency_ms=T, seed=seed)
     alice, bob = session.add_sites(2)
-    objs = session.replicate("int", "x", [alice, bob], initial=0)
+    objs = session.replicate(DInt, "x", [alice, bob], initial=0)
     session.settle()
     controller = None
     if governed:

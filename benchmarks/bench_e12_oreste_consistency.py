@@ -15,6 +15,7 @@ import pytest
 from repro import Session, View
 from repro.baselines.oreste import OresteSystem
 from repro.bench.report import Table, emit, format_table
+from repro import DString
 
 T = 60.0
 ROUNDS = 12
@@ -41,8 +42,8 @@ def run_oreste(seed=0):
 def run_decaf(seed=0):
     session = Session.simulated(latency_ms=T, seed=seed)
     alice, bob = session.add_sites(2)
-    colors = session.replicate("string", "color", [alice, bob], initial="red")
-    places = session.replicate("string", "place", [alice, bob], initial="A")
+    colors = session.replicate(DString, "color", [alice, bob], initial="red")
+    places = session.replicate(DString, "place", [alice, bob], initial="A")
     session.settle()
 
     observed = [set(), set()]

@@ -13,6 +13,7 @@ import pytest
 
 from repro import Session, View
 from repro.bench.report import Table, emit, format_table
+from repro import DInt
 
 T = 50.0
 
@@ -31,7 +32,7 @@ class Probe(View):
 def run_case(eager: bool):
     session = Session.simulated(latency_ms=T, eager_view_confirms=eager)
     sites = session.add_sites(3)
-    objs = session.replicate("int", "x", sites, initial=0)
+    objs = session.replicate(DInt, "x", sites, initial=0)
     session.settle()
     probe = Probe(sites[1])  # third party: origin is 2, primary is 0
     objs[1].attach(probe, "pessimistic")

@@ -16,6 +16,7 @@ import pytest
 from repro.bench import two_party_scenario
 from repro.bench.report import Table, emit, format_table
 from repro import Session
+from repro import DInt
 
 T = 50.0  # one-way delay in ms
 
@@ -52,8 +53,8 @@ def run_experiment():
     # --- Case 3: general multi-primary -------------------------------
     session = Session.simulated(latency_ms=T)
     sites = session.add_sites(4)
-    w = session.replicate("int", "w", [sites[0], sites[1], sites[2]], initial=4)
-    y = session.replicate("int", "y", [sites[3], sites[1], sites[2]], initial=3)
+    w = session.replicate(DInt, "w", [sites[0], sites[1], sites[2]], initial=4)
+    y = session.replicate(DInt, "y", [sites[3], sites[1], sites[2]], initial=3)
 
     def body():
         w[2].set(w[2].get() + 1)

@@ -20,6 +20,7 @@ import pytest
 from repro import Session
 from repro.baselines import GvtSystem
 from repro.bench.report import Table, emit, format_table
+from repro import DInt
 
 T = 20.0  # one-way delay (ms)
 SIZES = [3, 5, 9, 17, 33]
@@ -42,7 +43,7 @@ def decaf_chain_latency(n_sites: int) -> float:
         sets = [sites]
     objects = []
     for i, member_sites in enumerate(sets):
-        objects.append(session.replicate("int", f"set{i}", member_sites, initial=0))
+        objects.append(session.replicate(DInt, f"set{i}", member_sites, initial=0))
     session.settle()
     last_set_objs = objects[-1]
     origin_site = sets[-1][-1]

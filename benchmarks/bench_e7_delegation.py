@@ -14,6 +14,7 @@ import pytest
 
 from repro import Session
 from repro.bench.report import Table, emit, format_table
+from repro import DInt
 
 T = 50.0
 
@@ -21,7 +22,7 @@ T = 50.0
 def run_case(n_sites: int, delegation: bool):
     session = Session.simulated(latency_ms=T, delegation_enabled=delegation)
     sites = session.add_sites(n_sites)
-    objs = session.replicate("int", "x", sites, initial=0)
+    objs = session.replicate(DInt, "x", sites, initial=0)
     session.settle()
     msgs_before = session.network.stats.messages_sent
     t0 = session.scheduler.now

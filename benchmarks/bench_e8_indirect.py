@@ -18,6 +18,7 @@ import pytest
 
 from repro import Session
 from repro.bench.report import Table, emit, format_table
+from repro import DList
 
 
 def count_graphs(site) -> int:
@@ -32,7 +33,7 @@ def count_embedded(site) -> int:
 def run_case(k_children: int):
     session = Session.simulated(latency_ms=20.0)
     sites = session.add_sites(3)
-    lists = session.replicate("list", "doc", sites)
+    lists = session.replicate(DList, "doc", sites)
     session.settle()
 
     def fill():

@@ -22,6 +22,7 @@ import pytest
 from repro import Session
 from repro.bench import attach_probe
 from repro.bench.report import Table, emit, format_table
+from repro import DInt
 from repro.workloads import (
     BlindWriteWorkload,
     PoissonArrivals,
@@ -37,8 +38,8 @@ COUNT = 80
 def build(seed):
     session = Session.simulated(latency_ms=LATENCY_MS, seed=seed)
     alice, bob = session.add_sites(2)
-    m1 = session.replicate("int", "m1", [alice, bob], initial=0)
-    m2 = session.replicate("int", "m2", [alice, bob], initial=0)
+    m1 = session.replicate(DInt, "m1", [alice, bob], initial=0)
+    m2 = session.replicate(DInt, "m2", [alice, bob], initial=0)
     session.settle()
     probe_a = attach_probe(alice, [m1[0], m2[0]], "optimistic")
     probe_b = attach_probe(bob, [m1[1], m2[1]], "optimistic")

@@ -41,6 +41,7 @@ from repro.core.history import ValueHistory
 from repro.sim.scheduler import Scheduler
 from repro.vtime import VirtualTime
 from repro.vtime.intervals import IntervalSet
+from repro import DInt
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_hotpaths.json")
@@ -215,7 +216,7 @@ def bench_commit_throughput(transactions: int) -> Dict[str, float]:
     3-site replica set — the perf-trajectory headline for future PRs."""
     session = Session.simulated(latency_ms=20.0)
     sites = session.add_sites(3)
-    objs = session.replicate("int", "counter", sites, initial=0)
+    objs = session.replicate(DInt, "counter", sites, initial=0)
     session.settle()
     start = time.perf_counter()
     for i in range(transactions):

@@ -57,6 +57,7 @@ if __name__ == "__main__":  # allow running straight from a checkout
         sys.path.insert(0, _src)
 
 from repro import Session
+from repro import DInt
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_obs.json")
@@ -71,7 +72,7 @@ def bench_commit_throughput(transactions: int, observe: bool) -> Dict[str, Any]:
     if observe:
         session.observe()
     sites = session.add_sites(3)
-    objs = session.replicate("int", "counter", sites, initial=0)
+    objs = session.replicate(DInt, "counter", sites, initial=0)
     session.settle()
     # Cyclic-GC debt from a previous run (e.g. an enabled run's freed
     # event buffer) would otherwise be paid inside whichever timed region
@@ -109,7 +110,7 @@ def bench_analysis_cost(transactions: int, repeats: int) -> Dict[str, Any]:
     session = Session.simulated(latency_ms=20.0)
     session.observe()
     sites = session.add_sites(3)
-    objs = session.replicate("int", "counter", sites, initial=0)
+    objs = session.replicate(DInt, "counter", sites, initial=0)
     session.settle()
     for i in range(transactions):
         out = sites[0].transact(lambda i=i: objs[0].set(i + 1))

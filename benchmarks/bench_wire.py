@@ -1,0 +1,293 @@
+"""Message-plane benchmark: envelope coalescing and wire-codec throughput.
+
+Runs the standard commit-fanout workload (K sequential increments of one
+fully replicated counter, issued from a non-primary origin) in three
+message-plane configurations:
+
+* ``off``   — seed behaviour: every protocol message is its own frame,
+* ``turn``  — session-level ``batching=True``: each protocol turn's
+  fan-out coalesces per destination (join/commit turns that address the
+  same peer more than once shrink; steady-state one-message turns don't),
+* ``burst`` — the whole K-transaction burst inside one explicit
+  ``session.batched()`` window, the bulk-loading pattern: everything a
+  site says to one peer across the burst leaves as one envelope.
+
+The check gate (``--check``) enforces the message-plane contract:
+
+1. *Transparency*: all three modes move exactly the same protocol
+   messages and every site ends with an identical state digest —
+   batching changes framing, never protocol content.
+2. *Reduction*: the burst mode cuts ``envelopes_sent`` by at least
+   ``--min-ratio`` (default 3x) on the standard workload.
+
+A codec microbenchmark (encode/decode of a representative
+``TxnPropagateMsg`` frame) rides along ungated; its us/op and bytes/frame
+land in the perf trajectory so serialization regressions show up as a
+slope change.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_wire.py            # full run
+    PYTHONPATH=src python benchmarks/bench_wire.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_wire.py --quick --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, List
+
+if __name__ == "__main__":  # allow running straight from a checkout
+    _root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    _src = os.path.join(_root, "src")
+    if _src not in sys.path:
+        sys.path.insert(0, _src)
+
+from repro import DInt, Session
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_wire.json")
+
+FULL = {"transactions": 200, "sites": 4, "repeats": 5}
+QUICK = {"transactions": 60, "sites": 4, "repeats": 3}
+
+MODES = ("off", "turn", "burst")
+
+
+def commit_fanout(transactions: int, n_sites: int, mode: str) -> Dict[str, Any]:
+    """One run of the standard commit-fanout workload in one plane mode."""
+    session = Session.simulated(latency_ms=20.0, seed=7, batching=(mode != "off"))
+    sites = session.add_sites(n_sites)
+    objs = session.replicate(DInt, "ctr", sites, initial=0)
+    session.settle()
+    setup_messages = sum(s.outbox.messages_sent for s in sites)
+    setup_envelopes = sum(s.outbox.envelopes_sent for s in sites)
+    origin, obj = sites[-1], objs[-1]
+
+    def burst() -> None:
+        for _ in range(transactions):
+            origin.transact(lambda: obj.set(obj.get() + 1))
+
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        if mode == "burst":
+            with session.batched():
+                burst()
+        else:
+            burst()
+        session.settle()
+        wall_s = time.perf_counter() - start
+    finally:
+        gc.enable()
+
+    return {
+        "wall_s": wall_s,
+        "messages": sum(s.outbox.messages_sent for s in sites) - setup_messages,
+        "envelopes": sum(s.outbox.envelopes_sent for s in sites) - setup_envelopes,
+        "batched": sum(s.outbox.messages_batched for s in sites),
+        "setup_messages": setup_messages,
+        "setup_envelopes": setup_envelopes,
+        "digests": [s.state_digest() for s in sites],
+        "value": objs[0].get(),
+    }
+
+
+def bench_codec(repeats: int, iterations: int = 2000) -> Dict[str, Any]:
+    """Encode/decode throughput for a representative propagate frame."""
+    from repro.core.messages import OpPayload, TxnPropagateMsg, WriteOp
+    from repro.vtime import VirtualTime
+    from repro.wire import decode, encode
+
+    msg = TxnPropagateMsg(
+        txn_vt=VirtualTime(41, 2),
+        origin=2,
+        writes=tuple(
+            WriteOp(
+                object_uid=f"s{i}:ctr",
+                op=OpPayload(kind="set", args=(i,)),
+                read_vt=VirtualTime(40, 2),
+                graph_vt=VirtualTime(12, 0),
+            )
+            for i in range(3)
+        ),
+        read_checks=(),
+        clock=57,
+    )
+    blob = encode(msg)
+    assert decode(blob) == msg
+
+    def best_of(fn) -> float:
+        gc.collect()
+        gc.disable()
+        try:
+            times = []
+            for _ in range(repeats):
+                start = time.perf_counter()
+                for _ in range(iterations):
+                    fn()
+                times.append(time.perf_counter() - start)
+        finally:
+            gc.enable()
+        return min(times) / iterations
+
+    encode_s = best_of(lambda: encode(msg))
+    decode_s = best_of(lambda: decode(blob))
+    return {
+        "frame_bytes": len(blob),
+        "encode_us": round(encode_s * 1e6, 3),
+        "decode_us": round(decode_s * 1e6, 3),
+    }
+
+
+def run(quick: bool = False, repeats: int = 0) -> Dict[str, Any]:
+    cfg = QUICK if quick else FULL
+    transactions, n_sites = cfg["transactions"], cfg["sites"]
+    repeats = repeats or cfg["repeats"]
+
+    # Untimed warmup pays import/allocator cost outside the timed series.
+    commit_fanout(transactions, n_sites, "off")
+    runs: Dict[str, List[Dict[str, Any]]] = {m: [] for m in MODES}
+    for _ in range(repeats):  # interleave modes so drift hits all equally
+        for mode in MODES:
+            runs[mode].append(commit_fanout(transactions, n_sites, mode))
+
+    reference = runs["off"][0]
+
+    def summarize(mode: str) -> Dict[str, Any]:
+        rows = runs[mode]
+        best = min(r["wall_s"] for r in rows)
+        row = rows[0]  # counters are deterministic across repeats
+        return {
+            "wall_s": [round(r["wall_s"], 6) for r in rows],
+            "best_s": round(best, 6),
+            "commits_per_sec": round(transactions / best, 1),
+            "messages": row["messages"],
+            "envelopes": row["envelopes"],
+            "batched": row["batched"],
+            "envelope_ratio_vs_off": round(
+                reference["envelopes"] / row["envelopes"], 2
+            ),
+        }
+
+    summary = {mode: summarize(mode) for mode in MODES}
+    digests_identical = all(
+        r["digests"] == reference["digests"] and all(
+            d == r["digests"][0] for d in r["digests"]
+        )
+        for rows in runs.values()
+        for r in rows
+    )
+    messages_identical = all(
+        r["messages"] == reference["messages"] for rows in runs.values() for r in rows
+    )
+    return {
+        "schema": "bench_wire/v1",
+        "mode": "quick" if quick else "full",
+        "python": sys.version.split()[0],
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "transactions": transactions,
+        "sites": n_sites,
+        "repeats": repeats,
+        "fanout": summary,
+        "setup": {
+            # The join/replicate phase has multi-message turns, so
+            # session-level batching shrinks it even in "turn" mode.
+            "off_envelopes": runs["off"][0]["setup_envelopes"],
+            "turn_envelopes": runs["turn"][0]["setup_envelopes"],
+            "turn_ratio": round(
+                runs["off"][0]["setup_envelopes"] / runs["turn"][0]["setup_envelopes"], 2
+            ),
+        },
+        "codec": bench_codec(min(repeats, 3)),
+        "contract": {
+            "digests_identical": digests_identical,
+            "messages_identical": messages_identical,
+        },
+    }
+
+
+def check(results: Dict[str, Any], min_ratio: float) -> List[str]:
+    """Gate the message-plane contract; returns failure descriptions."""
+    failures: List[str] = []
+    if not results["contract"]["digests_identical"]:
+        failures.append(
+            "state digests diverge across plane modes/sites — batching changed "
+            "protocol outcomes, not just framing"
+        )
+    if not results["contract"]["messages_identical"]:
+        failures.append(
+            "protocol message counts differ across plane modes — the batcher "
+            "dropped or duplicated messages"
+        )
+    ratio = results["fanout"]["burst"]["envelope_ratio_vs_off"]
+    if ratio < min_ratio:
+        failures.append(
+            f"burst-mode envelope reduction {ratio:.2f}x is below the "
+            f"required {min_ratio:.1f}x on the standard commit-fanout workload"
+        )
+    if results["fanout"]["burst"]["batched"] == 0:
+        failures.append("burst mode coalesced zero messages — the outbox is inert")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="reduced sizes (CI smoke)")
+    parser.add_argument("--out", default=DEFAULT_OUT, help="output JSON path")
+    parser.add_argument("--repeats", type=int, default=0, help="override repeat count")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate the batching contract (exit 1 on failure)",
+    )
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=3.0,
+        help="required burst-mode envelope reduction (default 3x)",
+    )
+    args = parser.parse_args(argv)
+
+    results = run(quick=args.quick, repeats=args.repeats)
+    with open(args.out, "w") as fh:
+        json.dump(results, fh, indent=2)
+        fh.write("\n")
+
+    for mode in MODES:
+        row = results["fanout"][mode]
+        print(
+            f"{mode:6s} best {row['best_s']:.3f}s  {row['commits_per_sec']:>7.1f} commits/s"
+            f"  {row['messages']} msgs in {row['envelopes']} envelopes"
+            f"  ({row['envelope_ratio_vs_off']:.2f}x vs off)"
+        )
+    codec = results["codec"]
+    print(
+        f"\ncodec: {codec['frame_bytes']}B propagate frame, "
+        f"encode {codec['encode_us']} us, decode {codec['decode_us']} us"
+    )
+    print(
+        f"setup phase: {results['setup']['off_envelopes']} -> "
+        f"{results['setup']['turn_envelopes']} envelopes "
+        f"({results['setup']['turn_ratio']:.2f}x) with turn batching"
+    )
+    print(f"wrote {args.out}")
+
+    if args.check:
+        failures = check(results, args.min_ratio)
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAILED: {failure}", file=sys.stderr)
+            return 1
+        print(f"check passed (min ratio {args.min_ratio:.1f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,17 +29,17 @@ async def main():
     log_a = alice.create_list("chatlog")
     assoc = alice.create_association("chat.assoc")
     alice.transact(lambda: assoc.create_relationship("chat.rel"))
-    await transport.quiesce()
+    await transport.aquiesce()
     alice.join(assoc, "chat.rel", log_a)
-    await transport.quiesce()
+    await transport.aquiesce()
     invitation = assoc.make_invitation(note="team chat")
     rooms = [ChatRoom(alice, log_a, author="alice")]
     for site, author in ((bob, "bob"), (carol, "carol")):
         local_assoc = site.import_invitation(invitation, "chat.assoc")
-        await transport.quiesce()
+        await transport.aquiesce()
         local_log = site.create_list("chatlog")
         site.join(local_assoc, "chat.rel", local_log)
-        await transport.quiesce()
+        await transport.aquiesce()
         rooms.append(ChatRoom(site, local_log, author=author))
 
     script = [
@@ -53,7 +53,7 @@ async def main():
     for sender, text in script:
         rooms[sender].send(text)
         await asyncio.sleep(0.02)  # users type fast, sometimes overlapping
-    await transport.quiesce(settle_ms=200)
+    await transport.aquiesce(settle_ms=200)
     elapsed = (time.monotonic() - t0) * 1000
 
     print(f"-- transcripts after {elapsed:.0f} ms of real time --")

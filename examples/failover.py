@@ -14,13 +14,14 @@ Run:  python examples/failover.py
 
 from repro import Session
 from repro.sim.network import FixedLatency
+from repro import DInt
 
 
 def main():
     print("== DECAF failure handling demo ==\n")
     session = Session.simulated(latency_ms=30.0, delegation_enabled=False)
     s0, s1, s2 = session.add_sites(3, prefix="user")
-    counters = session.replicate("int", "counter", [s0, s1, s2], initial=0)
+    counters = session.replicate(DInt, "counter", [s0, s1, s2], initial=0)
     session.settle()
 
     print(f"-- replication graph: sites {counters[1].graph().sites()}, "

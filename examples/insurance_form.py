@@ -15,13 +15,14 @@ Run:  python examples/insurance_form.py
 from repro import Session
 from repro.apps import FormDocument
 from repro.core.auth import PredicateMonitor
+from repro import DMap
 
 
 def main():
     print("== DECAF collaborative insurance form ==\n")
     session = Session.simulated(latency_ms=40.0)
     agent, client, auditor = session.add_sites(3, prefix="party")
-    forms_objs = session.replicate("map", "policy", [agent, client, auditor])
+    forms_objs = session.replicate(DMap, "policy", [agent, client, auditor])
     agent_form = FormDocument(agent, forms_objs[0])
     client_form = FormDocument(client, forms_objs[1])
     audit_form = FormDocument(auditor, forms_objs[2])  # pessimistic audit view

@@ -11,6 +11,7 @@ Run:  python examples/protocol_trace.py
 
 from repro import Session
 from repro.sim.trace import MessageTrace
+from repro import DInt
 
 
 def main():
@@ -19,10 +20,10 @@ def main():
     trace = MessageTrace(session.network)
     s0, s1, s2, s3 = session.add_sites(4)
 
-    w = session.replicate("int", "W", [s0, s1, s2], initial=4)
-    x = session.replicate("int", "X", [s0, s1, s2], initial=2)
-    y = session.replicate("int", "Y", [s1, s2, s3], initial=3)
-    z = session.replicate("int", "Z", [s1, s2, s3], initial=6)
+    w = session.replicate(DInt, "W", [s0, s1, s2], initial=4)
+    x = session.replicate(DInt, "X", [s0, s1, s2], initial=2)
+    y = session.replicate(DInt, "Y", [s1, s2, s3], initial=3)
+    z = session.replicate(DInt, "Z", [s1, s2, s3], initial=6)
     session.settle()
     trace.clear()  # drop the establishment traffic
 

@@ -13,6 +13,7 @@ Run:  python examples/quickstart.py
 
 from repro import Session, View
 from repro.apps import AccountBook, TransferTransaction
+from repro import DFloat
 
 
 class BalanceView(View):
@@ -49,8 +50,8 @@ def main():
 
     # Replicate two account objects between the sites (runs the real
     # association/invitation/join protocol of the paper's section 2.6).
-    checking = session.replicate("float", "checking", [agent, client], initial=1000.0)
-    savings = session.replicate("float", "savings", [agent, client], initial=250.0)
+    checking = session.replicate(DFloat, "checking", [agent, client], initial=1000.0)
+    savings = session.replicate(DFloat, "savings", [agent, client], initial=250.0)
 
     agent_book = AccountBook(agent, prefix="agent")
     agent_book.adopt("checking", checking[0])

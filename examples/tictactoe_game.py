@@ -13,14 +13,15 @@ Run:  python examples/tictactoe_game.py
 
 from repro import Session
 from repro.apps import TicTacToe
+from repro import DMap, DString
 
 
 def main():
     print("== DECAF tic-tac-toe ==\n")
     session = Session.simulated(latency_ms=60.0)
     px, po = session.add_sites(2, prefix="player")
-    boards = session.replicate("map", "board", [px, po])
-    turns = session.replicate("string", "turn", [px, po], initial="X")
+    boards = session.replicate(DMap, "board", [px, po])
+    turns = session.replicate(DString, "turn", [px, po], initial="X")
     session.settle()
     x = TicTacToe(px, boards[0], turns[0], "X")
     o = TicTacToe(po, boards[1], turns[1], "O")

@@ -1,0 +1,225 @@
+#!/usr/bin/env python3
+"""Two OS processes collaborating on one replicated list over real TCP.
+
+Run with no arguments::
+
+    PYTHONPATH=src python examples/two_process_tcp.py
+
+The parent picks two free ports, then spawns two child processes:
+
+* **site 0** hosts the list, creates the association/relationship, joins,
+  and drops a wire-codec-encoded :class:`~repro.core.Invitation` into a
+  handoff file;
+* **site 1** picks up the invitation, imports it, and joins its own local
+  list through the real join protocol — every message crossing the process
+  boundary as length-prefixed wire-codec frames over
+  :class:`~repro.transport.tcp.TcpTransport`.
+
+Each child then appends its own marked integers, waits until the committed
+list holds everyone's entries, and writes its ``state_digest()`` to a file.
+The parent compares the digests byte-for-byte: identical digests mean the
+two processes converged on identical committed state.  Exit status 0 on
+convergence, 1 on timeout/mismatch (used as a CI smoke test).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import Session  # noqa: E402
+from repro.transport.tcp import TcpTransport  # noqa: E402
+from repro.vtime import VirtualTime  # noqa: E402
+from repro.wire import decode, encode  # noqa: E402
+
+APPENDS_PER_SITE = 5
+CHILD_DEADLINE_S = 60.0
+
+
+# ---------------------------------------------------------------------------
+# Child: one site in one process
+# ---------------------------------------------------------------------------
+
+
+async def poll(predicate, deadline_s: float, what: str, interval_s: float = 0.02):
+    start = time.monotonic()
+    while not predicate():
+        if time.monotonic() - start > deadline_s:
+            raise TimeoutError(f"timed out waiting for {what}")
+        await asyncio.sleep(interval_s)
+
+
+async def child_main(site_id: int, ports: list, workdir: Path) -> None:
+    addrs = {i: ("127.0.0.1", port) for i, port in enumerate(ports)}
+    transport = TcpTransport(addrs, local_sites={site_id}, fail_after_ms=30_000.0)
+    session = Session(transport=transport, roster=set(addrs), batching=True)
+    site = session.add_site(f"proc{site_id}", site_id=site_id)
+    await transport.start()
+
+    invite_file = workdir / "invitation.hex"
+    name = "doc"
+    rel_id = f"{name}.rel"
+    horizon = VirtualTime(2**62, 2**30)
+
+    def committed(outcome) -> bool:
+        if outcome.aborted_no_retry:
+            raise RuntimeError("transaction aborted without retry")
+        return outcome.committed
+
+    if site_id == 0:
+        lst = site.create_list(name)
+        assoc = site.create_association(f"{name}.assoc")
+        outcome = site.transact(lambda: assoc.create_relationship(rel_id))
+        await poll(lambda: committed(outcome), CHILD_DEADLINE_S, "create_relationship")
+        outcome = site.join(assoc, rel_id, lst)
+        await poll(lambda: committed(outcome), CHILD_DEADLINE_S, "owner join")
+        invitation = assoc.make_invitation(note="two-process demo")
+        invite_file.write_text(encode(invitation).hex())
+        # Wait until the peer's join lands: the list's replication graph
+        # grows to cover both sites.
+        await poll(
+            lambda: {n.site for n in lst.graph().nodes} == set(addrs),
+            CHILD_DEADLINE_S,
+            "peer join",
+        )
+    else:
+        await poll(invite_file.exists, CHILD_DEADLINE_S, "invitation file")
+        invitation = decode(bytes.fromhex(invite_file.read_text()))
+        local_assoc = site.import_invitation(invitation, f"{name}.assoc")
+        # The association's value (all relationship memberships) arrives with
+        # the join state sync; wait until the relationship is visible here.
+        await poll(
+            lambda: rel_id in dict(local_assoc.value_at(horizon, committed_only=True)),
+            CHILD_DEADLINE_S,
+            "association state sync",
+        )
+        lst = site.create_list(name)
+        outcome = site.join(local_assoc, rel_id, lst)
+        await poll(lambda: committed(outcome), CHILD_DEADLINE_S, "member join")
+
+    # Both processes append their own marked entries concurrently.
+    for k in range(APPENDS_PER_SITE):
+        value = site_id * 1000 + k
+        outcome = site.transact(lambda v=value: lst.append("int", v))
+        await poll(lambda o=outcome: committed(o), CHILD_DEADLINE_S, f"append {value}")
+
+    # Convergence: the committed list holds every site's entries.
+    want = APPENDS_PER_SITE * len(addrs)
+
+    def committed_len() -> int:
+        return len(lst.value_at(horizon, committed_only=True))
+
+    await poll(lambda: committed_len() == want, CHILD_DEADLINE_S, "converged list")
+    await transport.aquiesce(settle_ms=300.0)
+
+    digest = {key: [list(vt_key), value] for key, (vt_key, value) in site.state_digest().items()}
+    out = {
+        "site": site_id,
+        "digest": digest,
+        "committed_len": committed_len(),
+        "wire": {
+            "messages_sent": site.outbox.messages_sent,
+            "envelopes_sent": site.outbox.envelopes_sent,
+            "messages_batched": site.outbox.messages_batched,
+            "frames_sent": transport.frames_sent,
+            "frames_received": transport.frames_received,
+        },
+    }
+    (workdir / f"digest{site_id}.json").write_text(json.dumps(out, sort_keys=True))
+    await transport.stop()
+
+
+# ---------------------------------------------------------------------------
+# Parent: orchestrate, compare digests
+# ---------------------------------------------------------------------------
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def parent_main() -> int:
+    ports = [free_port(), free_port()]
+    with tempfile.TemporaryDirectory(prefix="repro-tcp-") as tmp:
+        workdir = Path(tmp)
+        children = [
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    __file__,
+                    "--role", "child",
+                    "--site", str(site_id),
+                    "--ports", ",".join(map(str, ports)),
+                    "--workdir", str(workdir),
+                ],
+                env=os.environ.copy(),
+            )
+            for site_id in (0, 1)
+        ]
+        deadline = time.monotonic() + CHILD_DEADLINE_S + 30.0
+        for child in children:
+            remaining = max(1.0, deadline - time.monotonic())
+            try:
+                code = child.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                for c in children:
+                    c.kill()
+                print("FAIL: child process timed out")
+                return 1
+            if code != 0:
+                for c in children:
+                    c.kill()
+                print(f"FAIL: child exited with status {code}")
+                return 1
+
+        reports = [
+            json.loads((workdir / f"digest{site_id}.json").read_text())
+            for site_id in (0, 1)
+        ]
+        if reports[0]["digest"] != reports[1]["digest"]:
+            print("FAIL: state digests differ between processes")
+            print(json.dumps(reports, indent=2, sort_keys=True))
+            return 1
+        print(
+            f"OK: both processes converged on {reports[0]['committed_len']} committed "
+            f"entries with identical state digests"
+        )
+        for report in reports:
+            wire = report["wire"]
+            print(
+                f"  site {report['site']}: {wire['messages_sent']} protocol messages in "
+                f"{wire['envelopes_sent']} frames "
+                f"({wire['messages_batched']} coalesced), "
+                f"{wire['frames_sent']} TCP frames out / {wire['frames_received']} in"
+            )
+        return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--role", choices=["parent", "child"], default="parent")
+    parser.add_argument("--site", type=int, default=0)
+    parser.add_argument("--ports", default="")
+    parser.add_argument("--workdir", default="")
+    args = parser.parse_args()
+    if args.role == "parent":
+        return parent_main()
+    ports = [int(p) for p in args.ports.split(",")]
+    asyncio.run(child_main(args.site, ports, Path(args.workdir)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

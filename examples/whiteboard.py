@@ -12,13 +12,14 @@ Run:  python examples/whiteboard.py
 
 from repro import Session
 from repro.apps import Whiteboard
+from repro import DMap
 
 
 def main():
     print("== DECAF shared whiteboard ==\n")
     session = Session.simulated(latency_ms=30.0, seed=7)
     ann, ben, col = session.add_sites(3, prefix="artist")
-    boards_objs = session.replicate("map", "board", [ann, ben, col])
+    boards_objs = session.replicate(DMap, "board", [ann, ben, col])
     boards = [Whiteboard(site, obj) for site, obj in zip((ann, ben, col), boards_objs)]
     conflicts_before = session.counters()["aborts_conflict"]
 

@@ -9,11 +9,11 @@ pessimistic view notification via consistent snapshots.
 
 Quickstart::
 
-    from repro import Session
+    from repro import DInt, Session
 
     session = Session.simulated(latency_ms=50)
     alice, bob = session.add_sites(2)
-    a, b = session.replicate("int", "balance", [alice, bob], initial=100)
+    a, b = session.replicate(DInt, "balance", [alice, bob], initial=100)
 
     alice.transact(lambda: a.set(a.get() - 30))
     session.settle()

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.model import ModelObject
+from repro.core.scalars import DInt
 from repro.core.session import Session
 from repro.core.site import SiteRuntime
 from repro.core.views import Snapshot, View
@@ -83,7 +84,7 @@ class TwoPartyScenario:
 
 def two_party_scenario(
     latency_ms: float = 50.0,
-    kind: str = "int",
+    kind: Any = DInt,
     initial: Any = 0,
     seed: int = 0,
     **session_kwargs: Any,
@@ -106,7 +107,7 @@ class MultiPartyScenario:
 def multi_party_scenario(
     n_sites: int,
     latency_ms: float = 50.0,
-    kind: str = "int",
+    kind: Any = DInt,
     initial: Any = 0,
     seed: int = 0,
     **session_kwargs: Any,

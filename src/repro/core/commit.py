@@ -138,7 +138,20 @@ class TransactionEngine:
         Returns the (live) :class:`TransactionOutcome`; with an asynchronous
         transport the commit typically happens later — poll ``committed`` or
         register ``on_commit``.
+
+        The whole run is one outbox turn: with batching enabled, the
+        propagation fan-out (and any eagerly-resolved replies) leaves as
+        one envelope per destination.
         """
+        with self.site.outbox.auto_turn():
+            return self._run(txn, outcome, post_execute)
+
+    def _run(
+        self,
+        txn: Transaction,
+        outcome: Optional[TransactionOutcome],
+        post_execute,
+    ) -> TransactionOutcome:
         if outcome is None:
             outcome = TransactionOutcome(start_time_ms=self.site.transport.now())
         outcome.attempts += 1

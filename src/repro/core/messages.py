@@ -368,3 +368,31 @@ class GraphRepairApplyMsg:
     apply_vt: VirtualTime
     clock: int
     failed_sites: Tuple[int, ...] = ()
+
+
+# ---------------------------------------------------------------------------
+# Transport envelopes (message-plane batching)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """One network frame carrying several protocol messages to one peer.
+
+    The batching layer (:class:`repro.wire.batch.Outbox`) coalesces every
+    message a site emits to the same destination within one protocol turn —
+    a commit fan-out, a burst of view confirms, an eager write-confirm
+    broadcast — into a single envelope, so the transport pays one frame
+    (one latency sample, one wire header) for the whole burst.  Inner
+    message order is the send order, and an envelope travels as one unit
+    on the per-pair channel, so per-pair FIFO is preserved exactly.
+
+    Envelopes never nest, and carry no ``clock`` of their own: receivers
+    unpack and dispatch each inner message (merging its Lamport clock)
+    exactly as if it had arrived alone.
+    """
+
+    messages: Tuple[Any, ...]
+
+    def __len__(self) -> int:
+        return len(self.messages)

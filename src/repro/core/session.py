@@ -5,15 +5,24 @@ provides the common setup helpers used by tests, examples, and benchmarks —
 notably :meth:`replicate`, which builds a fully joined replica relationship
 across sites using the real association/invitation/join protocol of
 sections 2.6 and 3.3 (no back-door state copying).
+
+Replicable kinds are a class-keyed registry: ``session.replicate(DInt, ...)``
+names the type directly, and applications extend the vocabulary with
+:func:`register_replicable`.  The historical string kinds (``"int"``,
+``"list"``, ...) remain as deprecated aliases.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence
+import contextlib
+import warnings
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Type, Union
 
 from repro.core.association import Association
+from repro.core.composites import DList, DMap
 from repro.core.model import ModelObject
 from repro.core.repgraph import PrimarySelector
+from repro.core.scalars import DFloat, DInt, DString
 from repro.core.site import SiteRuntime
 from repro.errors import ReproError
 from repro.obs.events import EventBus
@@ -22,6 +31,52 @@ from repro.sim.scheduler import Scheduler
 from repro.transport.base import Transport
 from repro.transport.memory import MemoryTransport
 from repro.transport.simnet import SimTransport
+
+# ---------------------------------------------------------------------------
+# Replicable-kind registry
+# ---------------------------------------------------------------------------
+
+#: Factory signature: ``factory(site, name, initial) -> ModelObject``.
+ReplicableFactory = Callable[[SiteRuntime, str, Any], ModelObject]
+
+_REPLICABLE: Dict[type, ReplicableFactory] = {}
+#: Deprecated string kinds -> registered class.
+_KIND_ALIASES: Dict[str, type] = {}
+
+
+def register_replicable(
+    cls: Type[ModelObject],
+    factory: ReplicableFactory,
+    alias: Optional[str] = None,
+) -> None:
+    """Teach :meth:`Session.replicate` to build objects of ``cls``.
+
+    ``factory(site, name, initial)`` must create a *local* object at
+    ``site``; the replicate helper handles association, invitation, and
+    join.  ``alias`` additionally registers a deprecated string kind for
+    the legacy ``replicate("int", ...)`` spelling.
+    """
+    _REPLICABLE[cls] = factory
+    if alias is not None:
+        _KIND_ALIASES[alias] = cls
+
+
+register_replicable(
+    DInt, lambda s, name, initial: s.create_int(name, initial if initial is not None else 0),
+    alias="int",
+)
+register_replicable(
+    DFloat,
+    lambda s, name, initial: s.create_float(name, initial if initial is not None else 0.0),
+    alias="float",
+)
+register_replicable(
+    DString,
+    lambda s, name, initial: s.create_string(name, initial if initial is not None else ""),
+    alias="string",
+)
+register_replicable(DList, lambda s, name, initial: s.create_list(name), alias="list")
+register_replicable(DMap, lambda s, name, initial: s.create_map(name), alias="map")
 
 
 class Session:
@@ -34,6 +89,8 @@ class Session:
         max_retries: int = 50,
         delegation_enabled: bool = True,
         eager_view_confirms: bool = False,
+        batching: bool = False,
+        roster: Optional[Iterable[int]] = None,
     ) -> None:
         self.transport = transport if transport is not None else MemoryTransport()
         self.primary_selector = primary_selector
@@ -43,6 +100,13 @@ class Session:
         #: primaries eagerly broadcast confirmed write intervals so remote
         #: pessimistic views resolve RL guesses without their own round trip.
         self.eager_view_confirms = eager_view_confirms
+        #: When True, each site's outbox coalesces every protocol turn's
+        #: fan-out into one Envelope per destination (repro.wire.batch).
+        self.batching = batching
+        #: Site ids known to belong to the collaboration but hosted
+        #: elsewhere (other processes); merged into every site's roster so
+        #: the failure protocol and fan-outs see the full membership.
+        self.base_roster: set = set(roster) if roster is not None else set()
         self.sites: List[SiteRuntime] = []
         #: The protocol event bus (repro.obs).  Shared with the transport's
         #: network when there is one, so site-level protocol events and
@@ -77,9 +141,22 @@ class Session:
             return self.transport.network
         return None
 
-    def add_site(self, name: str = "", principal: str = "") -> SiteRuntime:
-        """Create the next site runtime and update every roster."""
-        site_id = len(self.sites)
+    def add_site(
+        self,
+        name: str = "",
+        principal: str = "",
+        site_id: Optional[int] = None,
+    ) -> SiteRuntime:
+        """Create a site runtime and update every roster.
+
+        ``site_id`` defaults to the next local index; cross-process sessions
+        pass explicit ids so each process hosts its own slice of one global
+        numbering (the transport routes by these ids).
+        """
+        if site_id is None:
+            site_id = len(self.sites)
+        if any(s.site_id == site_id for s in self.sites):
+            raise ReproError(f"site id {site_id} already exists in this session")
         site = SiteRuntime(
             site_id,
             self.transport,
@@ -89,9 +166,10 @@ class Session:
             max_retries=self.max_retries,
             delegation_enabled=self.delegation_enabled,
             eager_view_confirms=self.eager_view_confirms,
+            batching=self.batching,
         )
         self.sites.append(site)
-        roster = {s.site_id for s in self.sites}
+        roster = self.base_roster | {s.site_id for s in self.sites}
         for s in self.sites:
             s.roster = set(roster)
         return site
@@ -105,12 +183,12 @@ class Session:
     # ------------------------------------------------------------------
 
     def settle(self, max_events: int = 10_000_000) -> None:
-        """Deliver all in-flight messages (quiesce the system)."""
-        if isinstance(self.transport, SimTransport):
-            self.transport.network.scheduler.run_until_quiescent(max_events=max_events)
-        elif isinstance(self.transport, MemoryTransport):
-            self.transport.drain()
-        # Asyncio transports settle through their own quiesce() coroutine.
+        """Deliver all in-flight messages (quiesce the system).
+
+        Delegates to the transport's own :meth:`~repro.transport.base.Transport.quiesce`;
+        event-loop transports raise and must be awaited via ``aquiesce()``.
+        """
+        self.transport.quiesce(max_events=max_events)
 
     def run_for(self, ms: float) -> None:
         """Advance a simulated session by ``ms`` milliseconds."""
@@ -119,38 +197,64 @@ class Session:
             raise ReproError("run_for requires a simulated transport")
         scheduler.run(until=scheduler.now + ms)
 
+    @contextlib.contextmanager
+    def batched(self):
+        """An explicit coalescing window across every local site.
+
+        All messages sent inside the block leave as one envelope per
+        (site, destination) pair when it closes — independent of the
+        session-level ``batching`` flag, so callers can batch a known
+        burst (bulk loading, many small transactions) ad hoc.
+        """
+        for site in self.sites:
+            site.outbox.begin_turn()
+        try:
+            yield self
+        finally:
+            for site in self.sites:
+                site.outbox.end_turn()
+
     # ------------------------------------------------------------------
     # Replication setup (uses the real join protocol)
     # ------------------------------------------------------------------
 
     def replicate(
         self,
-        kind: str,
+        kind: Union[Type[ModelObject], str],
         name: str,
         sites: Sequence[SiteRuntime],
         initial: Any = None,
     ) -> List[ModelObject]:
         """Create one object per site and join them all into one relationship.
 
-        The first site creates the object, an association, and a
-        relationship; every other site imports an invitation and joins its
-        own local object.  Returns the objects in site order.  The session
-        is settled between steps, so on return the relationship is
-        established and committed.
+        ``kind`` is a registered model-object class (``DInt``, ``DList``,
+        ...; extend with :func:`register_replicable`).  The first site
+        creates the object, an association, and a relationship; every other
+        site imports an invitation and joins its own local object.  Returns
+        the objects in site order.  The session is settled between steps,
+        so on return the relationship is established and committed.
         """
         if not sites:
             raise ReproError("replicate requires at least one site")
-        factories: Dict[str, Callable[[SiteRuntime], ModelObject]] = {
-            "int": lambda s: s.create_int(name, initial if initial is not None else 0),
-            "float": lambda s: s.create_float(name, initial if initial is not None else 0.0),
-            "string": lambda s: s.create_string(name, initial if initial is not None else ""),
-            "list": lambda s: s.create_list(name),
-            "map": lambda s: s.create_map(name),
-        }
-        if kind not in factories:
-            raise ReproError(f"cannot replicate objects of kind {kind!r}")
+        if isinstance(kind, str):
+            cls = _KIND_ALIASES.get(kind)
+            if cls is None:
+                raise ReproError(f"cannot replicate objects of kind {kind!r}")
+            warnings.warn(
+                f"Session.replicate({kind!r}, ...) is deprecated; "
+                f"pass the class (Session.replicate({cls.__name__}, ...))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            kind = cls
+        factory = _REPLICABLE.get(kind)
+        if factory is None:
+            raise ReproError(
+                f"cannot replicate objects of kind {kind!r}; "
+                "register the class with repro.core.session.register_replicable"
+            )
         owner = sites[0]
-        objects = [factories[kind](owner)]
+        objects = [factory(owner, name, initial)]
         assoc = owner.create_association(f"{name}.assoc")
         rel_id = f"{name}.rel"
 
@@ -165,7 +269,7 @@ class Session:
         for site in sites[1:]:
             local_assoc = site.import_invitation(invitation, f"{name}.assoc")
             self.settle()
-            obj = factories[kind](site)
+            obj = factory(site, name, initial)
             objects.append(obj)
             site.join(local_assoc, rel_id, obj)
             self.settle()

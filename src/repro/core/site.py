@@ -24,6 +24,7 @@ from repro.core.messages import (
     AbortMsg,
     CommitMsg,
     ConfirmMsg,
+    Envelope,
     FailQueryMsg,
     FailQueryReplyMsg,
     FailResolutionMsg,
@@ -52,6 +53,7 @@ from repro.obs.events import EventBus
 from repro.obs.metrics import MetricsRegistry
 from repro.transport.base import Transport
 from repro.vtime import LamportClock, VirtualTime
+from repro.wire.batch import Outbox
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.session import Session
@@ -70,6 +72,7 @@ class SiteRuntime:
         max_retries: int = 50,
         delegation_enabled: bool = True,
         eager_view_confirms: bool = False,
+        batching: bool = False,
     ) -> None:
         from repro.core.failures import FailureManager
         from repro.core.join import JoinManager
@@ -90,6 +93,10 @@ class SiteRuntime:
             transport_bus = getattr(transport, "bus", None)
             self.bus = transport_bus if transport_bus is not None else EventBus()
         self.clock = LamportClock(site_id)
+        #: All outgoing protocol messages funnel through the outbox; with
+        #: batching enabled, one protocol turn's fan-out coalesces into one
+        #: Envelope per destination (see :mod:`repro.wire.batch`).
+        self.outbox = Outbox(self, enabled=batching)
         self.objects: Dict[str, ModelObject] = {}
         self.views = ViewManager(self)
         self.engine = TransactionEngine(
@@ -224,13 +231,26 @@ class SiteRuntime:
     # ------------------------------------------------------------------
 
     def send(self, dst: int, payload: Any) -> None:
-        self.transport.send(self.site_id, dst, payload)
+        self.outbox.send(dst, payload)
 
     def defer(self, action: Callable[[], None], delay_ms: float = 0.0) -> None:
         self.transport.defer(action, delay_ms)
 
     def dispatch(self, src: int, payload: Any) -> None:
-        """Transport delivery handler: merge clocks and route by type."""
+        """Transport delivery handler: unpack envelopes, route each message.
+
+        One delivery is one protocol turn: with batching enabled, every
+        reply this turn produces leaves coalesced when the turn ends.
+        """
+        with self.outbox.auto_turn():
+            if isinstance(payload, Envelope):
+                for message in payload.messages:
+                    self._dispatch_one(src, message)
+            else:
+                self._dispatch_one(src, payload)
+
+    def _dispatch_one(self, src: int, payload: Any) -> None:
+        """Merge clocks and route one protocol message by type."""
         clock = getattr(payload, "clock", None)
         if clock is not None:
             self.clock.observe(VirtualTime(clock, src))
@@ -283,8 +303,9 @@ class SiteRuntime:
                 time_ms=self.transport.now(),
                 failed_site=failed_site,
             )
-        self.failures.on_site_failed(failed_site)
-        self.views.on_site_failed(failed_site)
+        with self.outbox.auto_turn():
+            self.failures.on_site_failed(failed_site)
+            self.views.on_site_failed(failed_site)
 
     # ------------------------------------------------------------------
     # Bookkeeping services used by the engines

@@ -57,6 +57,15 @@ class TransportError(ReproError):
     """A transport failed to deliver a message."""
 
 
+class WireError(ReproError):
+    """A wire-format payload could not be encoded or decoded.
+
+    Raised on unknown codec versions, unregistered tags, truncated frames,
+    and values outside the wire-encodable vocabulary.  Always a hard error:
+    a site that cannot parse a peer's bytes must not guess.
+    """
+
+
 class RetryLimitExceeded(ReproError):
     """A transaction exceeded its automatic re-execution budget.
 

@@ -31,6 +31,7 @@ from repro.sim.network import FixedLatency, Network, NormalLatency, UniformLaten
 from repro.sim.scheduler import Scheduler
 from repro.transport.simnet import SimTransport
 from repro.vtime import VirtualTime
+from repro.core.scalars import DInt
 from repro.workloads import (
     BlindWriteWorkload,
     PoissonArrivals,
@@ -197,7 +198,7 @@ def run_trial(
 
     objects: Dict[str, List[ModelObject]] = {}
     for name, initial in TRIAL_OBJECTS:
-        objects[name] = session.replicate("int", name, sites, initial)
+        objects[name] = session.replicate(DInt, name, sites, initial)
 
     for site in sites:
         site.engine.mutations.update(config.mutations)

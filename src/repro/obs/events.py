@@ -48,6 +48,7 @@ EVENT_KINDS = frozenset(
         "repair_committed",
         "message_sent",
         "message_delivered",
+        "envelope_sent",
     }
 )
 

@@ -20,6 +20,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
+from repro.core.messages import Envelope
 from repro.errors import SimulationError, TransportError
 from repro.obs.events import EventBus
 from repro.sim.scheduler import Scheduler
@@ -95,6 +96,12 @@ class NetworkStats:
     ``deliver`` runs; drops at send time (dead/partitioned destination, armed
     drop rule) never enter the in-flight count, drops at delivery time leave
     it first.  ``reconcile()`` asserts the invariant for tests.
+
+    All lifecycle counters are in units of *protocol messages*: an
+    :class:`~repro.core.messages.Envelope` frame carrying K messages counts
+    as K sent/delivered/dropped, so message-complexity reports are
+    comparable with and without batching.  ``envelopes_sent`` additionally
+    counts multi-message frames; ``per_type_sent`` counts the inner types.
     """
 
     messages_sent: int = 0
@@ -102,9 +109,17 @@ class NetworkStats:
     messages_dropped: int = 0
     messages_dropped_injected: int = 0
     messages_in_flight: int = 0
+    envelopes_sent: int = 0
     per_type_sent: Dict[str, int] = field(default_factory=dict)
 
     def record_send(self, payload: Any) -> None:
+        if isinstance(payload, Envelope):
+            self.envelopes_sent += 1
+            self.messages_sent += len(payload.messages)
+            for message in payload.messages:
+                name = type(message).__name__
+                self.per_type_sent[name] = self.per_type_sent.get(name, 0) + 1
+            return
         self.messages_sent += 1
         name = type(payload).__name__
         self.per_type_sent[name] = self.per_type_sent.get(name, 0) + 1
@@ -122,6 +137,7 @@ class NetworkStats:
             messages_dropped=self.messages_dropped,
             messages_dropped_injected=self.messages_dropped_injected,
             messages_in_flight=self.messages_in_flight,
+            envelopes_sent=self.envelopes_sent,
         )
         copy.per_type_sent = dict(self.per_type_sent)
         return copy
@@ -244,6 +260,9 @@ class Network:
         if dst not in self._handlers:
             raise TransportError(f"destination site {dst} is not registered")
         self.stats.record_send(payload)
+        # Lifecycle counters stay in protocol-message units even when the
+        # payload is a multi-message envelope frame.
+        units = len(payload.messages) if isinstance(payload, Envelope) else 1
         msg_id = self._msg_seq
         self._msg_seq = msg_id + 1
         if self.bus.active:
@@ -260,11 +279,11 @@ class Network:
                 payload=payload,
             )
         if src in self._failed or dst in self._failed or self._is_partitioned(src, dst):
-            self.stats.messages_dropped += 1
+            self.stats.messages_dropped += units
             return
         if self._consume_drop_rule(src, dst):
-            self.stats.messages_dropped += 1
-            self.stats.messages_dropped_injected += 1
+            self.stats.messages_dropped += units
+            self.stats.messages_dropped_injected += units
             return
         if src == dst:
             # Local loopback delivers on the next scheduler step with zero
@@ -282,20 +301,20 @@ class Network:
             delivery_time = max(delivery_time, floor)
             self._last_delivery[key] = delivery_time
 
-        self.stats.messages_in_flight += 1
+        self.stats.messages_in_flight += units
 
         def deliver() -> None:
-            self.stats.messages_in_flight -= 1
+            self.stats.messages_in_flight -= units
             if dst in self._failed:
-                self.stats.messages_dropped += 1
+                self.stats.messages_dropped += units
                 return
             if src in self._failed and not self.flush_inflight_on_fail:
-                self.stats.messages_dropped += 1
+                self.stats.messages_dropped += units
                 return
             if self._is_partitioned(src, dst) and self.partition_cuts_inflight:
-                self.stats.messages_dropped += 1
+                self.stats.messages_dropped += units
                 return
-            self.stats.messages_delivered += 1
+            self.stats.messages_delivered += units
             if self.bus.active:
                 # Paired with the message_sent event via msg_id: together
                 # they are the cross-site happens-before edges of the

@@ -11,11 +11,15 @@ Three interchangeable implementations:
 * :class:`~repro.transport.asyncio_transport.AsyncioTransport` — wall-clock
   asyncio delivery with optional injected delay; used by the runnable
   examples to demonstrate live behaviour.
+* :class:`~repro.transport.tcp.TcpTransport` — length-prefixed wire-codec
+  frames over real asyncio TCP streams, with reconnect/backoff and
+  fail-stop detection; lets sites in separate OS processes collaborate.
 """
 
 from repro.transport.base import Transport
 from repro.transport.memory import MemoryTransport
 from repro.transport.simnet import SimTransport
 from repro.transport.asyncio_transport import AsyncioTransport
+from repro.transport.tcp import TcpTransport
 
-__all__ = ["Transport", "MemoryTransport", "SimTransport", "AsyncioTransport"]
+__all__ = ["Transport", "MemoryTransport", "SimTransport", "AsyncioTransport", "TcpTransport"]

@@ -69,7 +69,23 @@ class AsyncioTransport(Transport):
             return
         self._queues[dst].put_nowait((src, payload))
 
-    async def quiesce(self, settle_ms: float = 50.0) -> None:
+    # ``quiesce``/``aquiesce``/``pending`` below implement the Transport
+    # drain contract for an event-loop fabric.
+
+    def pending(self) -> int:
+        return self._in_flight + sum(q.qsize() for q in self._queues.values())
+
+    def is_failed(self, site: int) -> bool:
+        return site in self._failed
+
+    def quiesce(self, max_events: Optional[int] = None) -> int:
+        """Event-loop transports cannot drain synchronously."""
+        raise TransportError(
+            "AsyncioTransport delivers on the event loop; use `await aquiesce()` "
+            "instead of the synchronous quiesce()"
+        )
+
+    async def aquiesce(self, settle_ms: float = 50.0) -> None:
         """Wait until all queues drain, deliveries finish, and a settle period passes."""
 
         def idle() -> bool:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Callable, List
+from typing import Any, Callable, List, Optional
 
 DeliveryHandler = Callable[[int, Any], None]
 FailureHandler = Callable[[int], None]
@@ -32,12 +32,39 @@ class Transport(ABC):
     def now(self) -> float:
         """Current transport time in milliseconds (simulated or wall-clock)."""
 
+    @abstractmethod
+    def pending(self) -> int:
+        """Number of messages accepted but not yet delivered."""
+
+    @abstractmethod
+    def quiesce(self, max_events: Optional[int] = None) -> int:
+        """Synchronously drive delivery until no messages remain in flight.
+
+        Returns the number of deliveries performed.  ``max_events`` bounds
+        the work for transports that process one event at a time (the
+        simulator); queue transports may ignore it.  Event-loop transports
+        cannot drain synchronously and must raise
+        :class:`~repro.errors.TransportError` directing callers to
+        ``await aquiesce()`` instead of silently doing nothing.
+        """
+
+    def is_failed(self, site: int) -> bool:
+        """Whether ``site`` has been reported failed; default transport never fails."""
+        return False
+
     def add_failure_listener(self, handler: FailureHandler) -> None:
         """Subscribe to fail-stop notifications; default transport never fails."""
 
     def broadcast(self, src: int, dsts: List[int], payload: Any) -> None:
-        """Send ``payload`` to each destination independently."""
+        """Send ``payload`` to each live destination independently.
+
+        Destinations already reported failed are skipped: fail-stop sites
+        never receive another message, so sending would at best be dropped
+        by the fabric and at worst resurrect a dead queue.
+        """
         for dst in dsts:
+            if self.is_failed(dst):
+                continue
             self.send(src, dst, payload)
 
     def defer(self, action: Callable[[], None], delay_ms: float = 0.0) -> None:

@@ -53,6 +53,16 @@ class MemoryTransport(Transport):
         if self._auto_drain:
             self.drain()
 
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def quiesce(self, max_events=None) -> int:
+        """Deliver everything queued (``max_events`` is moot: drain is total)."""
+        return self.drain()
+
+    def is_failed(self, site: int) -> bool:
+        return site in self._failed
+
     def drain(self) -> int:
         """Deliver all queued messages; returns the number delivered."""
         if self._draining:

@@ -36,6 +36,19 @@ class SimTransport(Transport):
     def now(self) -> float:
         return self.network.scheduler.now
 
+    def pending(self) -> int:
+        return self.network.scheduler.pending()
+
+    def quiesce(self, max_events=None) -> int:
+        """Run the discrete-event scheduler until no events remain."""
+        scheduler = self.network.scheduler
+        before = scheduler.events_processed
+        if max_events is None:
+            scheduler.run_until_quiescent()
+        else:
+            scheduler.run_until_quiescent(max_events=max_events)
+        return scheduler.events_processed - before
+
     def defer(self, action, delay_ms: float = 0.0) -> None:
         self.network.scheduler.call_later(delay_ms, action, label="deferred")
 

@@ -1,0 +1,343 @@
+"""A real TCP transport: DECAF sites in separate OS processes.
+
+Each process runs one :class:`TcpTransport` hosting its *local* sites; all
+other site ids in the address map are *remote*.  Frames are length-prefixed
+wire-codec payloads (:func:`repro.wire.encode_frame`) on plain asyncio
+streams — exactly the per-pair FIFO TCP channels the paper's DECAF
+prototype assumed.
+
+Topology and guarantees:
+
+* One listening server per distinct local address; one outbound connection
+  per remote site, owned by a sender task.  TCP ordering plus the single
+  writer per destination preserves per-pair FIFO.
+* **Reconnect with backoff**: a broken or unreachable peer connection is
+  retried with exponential backoff (``reconnect_base_ms`` doubling up to
+  ``reconnect_max_ms``).  The frame being sent is not lost — the sender
+  holds it until a write succeeds.
+* **Fail-stop detection**: once a peer has been continuously unreachable
+  for ``fail_after_ms``, it is declared failed, registered failure
+  listeners fire (feeding the protocol's failure manager), its queued
+  frames are dropped, and nothing is ever sent to it again.
+* Delivery is decode-then-dispatch: payloads cross the boundary as codec
+  bytes, never as live objects, so this transport only carries what the
+  wire format can express.
+
+Synchronous :meth:`quiesce` raises — use ``await aquiesce()``; like the
+in-process :class:`~repro.transport.asyncio_transport.AsyncioTransport`,
+this transport lives on an event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import time
+from collections import deque
+from typing import Any, Deque, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import TransportError, WireError
+from repro.transport.base import DeliveryHandler, FailureHandler, Transport
+from repro.wire.codec import (
+    FRAME_HEADER_BYTES,
+    MAX_FRAME_BYTES,
+    decode_frame_body,
+    encode_frame,
+)
+
+
+class _PeerLink:
+    """Outbound state for one remote site: frame queue + sender task."""
+
+    __slots__ = ("frames", "wakeup", "writer", "task", "writing")
+
+    def __init__(self) -> None:
+        self.frames: Deque[bytes] = deque()
+        self.wakeup = asyncio.Event()
+        self.writer: Optional[asyncio.StreamWriter] = None
+        self.task: Optional["asyncio.Task"] = None
+        self.writing = False
+
+
+class TcpTransport(Transport):
+    """Length-prefixed codec frames over asyncio TCP streams."""
+
+    def __init__(
+        self,
+        site_addrs: Dict[int, Tuple[str, int]],
+        local_sites: Iterable[int],
+        reconnect_base_ms: float = 25.0,
+        reconnect_max_ms: float = 1000.0,
+        fail_after_ms: float = 10_000.0,
+    ) -> None:
+        self.site_addrs = dict(site_addrs)
+        self.local_sites: Set[int] = set(local_sites)
+        for site in self.local_sites:
+            if site not in self.site_addrs:
+                raise TransportError(f"local site {site} has no address")
+        self.reconnect_base_ms = reconnect_base_ms
+        self.reconnect_max_ms = reconnect_max_ms
+        self.fail_after_ms = fail_after_ms
+        self._handlers: Dict[int, DeliveryHandler] = {}
+        self._failure_handlers: List[FailureHandler] = []
+        self._failed: Set[int] = set()
+        self._links: Dict[int, _PeerLink] = {}
+        self._servers: List["asyncio.base_events.Server"] = []
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._start_time = time.monotonic()
+        self._local_pending = 0
+        self._dispatching = 0
+        self._stopped = False
+        #: Frames successfully written to / read from peer sockets.
+        self.frames_sent = 0
+        self.frames_received = 0
+
+    # ------------------------------------------------------------------
+    # Transport interface
+    # ------------------------------------------------------------------
+
+    def register(self, site: int, handler: DeliveryHandler) -> None:
+        if site not in self.local_sites:
+            raise TransportError(
+                f"site {site} is not local to this process (local: {sorted(self.local_sites)})"
+            )
+        self._handlers[site] = handler
+
+    def add_failure_listener(self, handler: FailureHandler) -> None:
+        self._failure_handlers.append(handler)
+
+    def now(self) -> float:
+        return (time.monotonic() - self._start_time) * 1000.0
+
+    def is_failed(self, site: int) -> bool:
+        return site in self._failed
+
+    def send(self, src: int, dst: int, payload: Any) -> None:
+        if self._stopped or src in self._failed or dst in self._failed:
+            return
+        if dst in self.local_sites:
+            # Local loopback still crosses the codec so every payload is
+            # provably wire-expressible regardless of site placement.
+            frame = encode_frame(src, dst, payload)
+            self._local_pending += 1
+            self._require_loop().call_soon(self._deliver_local, frame)
+            return
+        if dst not in self.site_addrs:
+            raise TransportError(f"destination site {dst} has no address")
+        frame = encode_frame(src, dst, payload)
+        link = self._links.get(dst)
+        if link is None:
+            link = _PeerLink()
+            self._links[dst] = link
+            link.task = self._require_loop().create_task(self._run_peer(dst, link))
+        link.frames.append(frame)
+        link.wakeup.set()
+
+    def defer(self, action, delay_ms: float = 0.0) -> None:
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            action()
+            return
+        if delay_ms > 0:
+            loop.call_later(delay_ms / 1000.0, action)
+        else:
+            loop.call_soon(action)
+
+    def pending(self) -> int:
+        return (
+            self._local_pending
+            + self._dispatching
+            + sum(len(link.frames) + (1 if link.writing else 0) for link in self._links.values())
+        )
+
+    def quiesce(self, max_events: Optional[int] = None) -> int:
+        """Event-loop transports cannot drain synchronously."""
+        raise TransportError(
+            "TcpTransport delivers on the event loop; use `await aquiesce()` "
+            "instead of the synchronous quiesce()"
+        )
+
+    async def aquiesce(self, settle_ms: float = 50.0) -> None:
+        """Wait until local delivery and outbound writes drain, then settle.
+
+        Only covers *this* process: a peer may still be processing frames we
+        already wrote.  Cross-process convergence needs an application-level
+        check (compare state digests), which the two-process example does.
+        """
+
+        def idle() -> bool:
+            return self.pending() == 0
+
+        while True:
+            if idle():
+                await asyncio.sleep(settle_ms / 1000.0)
+                if idle():
+                    return
+            else:
+                await asyncio.sleep(0.005)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind listening servers for the local sites; call inside the loop."""
+        if self._loop is not None:
+            return
+        self._loop = asyncio.get_running_loop()
+        bound: Set[Tuple[str, int]] = set()
+        for site in sorted(self.local_sites):
+            addr = self.site_addrs[site]
+            if addr in bound:
+                continue
+            bound.add(addr)
+            self._servers.append(
+                await asyncio.start_server(self._serve_connection, addr[0], addr[1])
+            )
+
+    async def stop(self) -> None:
+        """Close servers, sender tasks, and peer connections."""
+        self._stopped = True
+        for server in self._servers:
+            server.close()
+            await server.wait_closed()
+        self._servers.clear()
+        for link in self._links.values():
+            if link.task is not None:
+                link.task.cancel()
+        for link in self._links.values():
+            if link.task is not None:
+                try:
+                    await link.task
+                except asyncio.CancelledError:
+                    pass
+            if link.writer is not None:
+                link.writer.close()
+                link.writer = None
+        self._links.clear()
+
+    def fail_site(self, site: int) -> None:
+        """Administratively declare ``site`` failed (tests / orchestration)."""
+        self._declare_failed(site)
+
+    # ------------------------------------------------------------------
+    # Inbound path
+    # ------------------------------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                header = await reader.readexactly(FRAME_HEADER_BYTES)
+                length = int.from_bytes(header, "big")
+                if length > MAX_FRAME_BYTES:
+                    raise WireError(f"inbound frame of {length} bytes exceeds limit")
+                body = await reader.readexactly(length)
+                self.frames_received += 1
+                src, dst, payload = decode_frame_body(body)
+                self._dispatch(src, dst, payload)
+        except asyncio.CancelledError:
+            pass  # transport stopping / event loop shutting down
+        except (asyncio.IncompleteReadError, ConnectionResetError, OSError):
+            pass  # peer went away; its sender will reconnect if it returns
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    def _deliver_local(self, frame: bytes) -> None:
+        self._local_pending -= 1
+        src, dst, payload = decode_frame_body(frame[FRAME_HEADER_BYTES:])
+        self._dispatch(src, dst, payload)
+
+    def _dispatch(self, src: int, dst: int, payload: Any) -> None:
+        handler = self._handlers.get(dst)
+        if handler is None or src in self._failed or dst in self._failed:
+            return
+        self._dispatching += 1
+        try:
+            handler(src, payload)
+        finally:
+            self._dispatching -= 1
+
+    # ------------------------------------------------------------------
+    # Outbound path
+    # ------------------------------------------------------------------
+
+    async def _run_peer(self, dst: int, link: _PeerLink) -> None:
+        host, port = self.site_addrs[dst]
+        while not self._stopped and dst not in self._failed:
+            if not link.frames:
+                link.wakeup.clear()
+                await link.wakeup.wait()
+                continue
+            if link.writer is None and not await self._connect(dst, link, host, port):
+                return  # peer declared failed
+            frame = link.frames[0]
+            link.writing = True
+            try:
+                assert link.writer is not None
+                link.writer.write(frame)
+                await link.writer.drain()
+            except (ConnectionError, OSError):
+                # Keep the frame; the next iteration reconnects and resends.
+                self._close_writer(link)
+                continue
+            finally:
+                link.writing = False
+            link.frames.popleft()
+            self.frames_sent += 1
+
+    async def _connect(self, dst: int, link: _PeerLink, host: str, port: int) -> bool:
+        """Dial ``dst`` with exponential backoff; False once declared failed."""
+        backoff_ms = self.reconnect_base_ms
+        down_since = time.monotonic()
+        while not self._stopped:
+            try:
+                _, writer = await asyncio.open_connection(host, port)
+                link.writer = writer
+                return True
+            except (ConnectionError, OSError):
+                if (time.monotonic() - down_since) * 1000.0 >= self.fail_after_ms:
+                    self._declare_failed(dst)
+                    return False
+                await asyncio.sleep(backoff_ms / 1000.0)
+                backoff_ms = min(backoff_ms * 2, self.reconnect_max_ms)
+        return False
+
+    def _close_writer(self, link: _PeerLink) -> None:
+        if link.writer is not None:
+            link.writer.close()
+            link.writer = None
+
+    def _declare_failed(self, site: int) -> None:
+        if site in self._failed:
+            return
+        self._failed.add(site)
+        link = self._links.get(site)
+        if link is not None:
+            link.frames.clear()
+            link.wakeup.set()  # let the sender loop observe the failure and exit
+            self._close_writer(link)
+        for handler in list(self._failure_handlers):
+            handler(site)
+
+    # ------------------------------------------------------------------
+
+    def _require_loop(self) -> asyncio.AbstractEventLoop:
+        if self._loop is not None:
+            return self._loop
+        try:
+            return asyncio.get_running_loop()
+        except RuntimeError:
+            raise TransportError(
+                "TcpTransport.start() must run inside the event loop before sends"
+            ) from None
+
+    def __repr__(self) -> str:
+        return (
+            f"TcpTransport(local={sorted(self.local_sites)}, "
+            f"peers={sorted(set(self.site_addrs) - self.local_sites)}, "
+            f"pending={self.pending()})"
+        )

@@ -1,0 +1,35 @@
+"""Wire format for the DECAF message plane.
+
+:mod:`repro.wire.codec` — deterministic, versioned binary codec for every
+protocol message; :mod:`repro.wire.batch` — per-destination outbox that
+coalesces a protocol turn's fan-out into :class:`~repro.core.messages.Envelope`
+frames.
+"""
+
+from repro.wire.codec import (
+    FRAME_HEADER_BYTES,
+    MAX_FRAME_BYTES,
+    MESSAGE_TYPES,
+    WIRE_STRUCTS,
+    WIRE_VERSION,
+    decode,
+    decode_frame_body,
+    encode,
+    encode_frame,
+    register_struct,
+)
+from repro.wire.batch import Outbox
+
+__all__ = [
+    "FRAME_HEADER_BYTES",
+    "MAX_FRAME_BYTES",
+    "MESSAGE_TYPES",
+    "WIRE_STRUCTS",
+    "WIRE_VERSION",
+    "decode",
+    "decode_frame_body",
+    "encode",
+    "encode_frame",
+    "register_struct",
+    "Outbox",
+]

@@ -1,0 +1,441 @@
+"""The DECAF wire codec: a deterministic, versioned binary format.
+
+Everything a site sends to a peer — every message dataclass in
+:mod:`repro.core.messages`, the virtual times they carry, replication
+graphs, invitations, nested sync/child specs — encodes to bytes through
+this module, so payloads can cross a real process boundary (the
+:class:`~repro.transport.tcp.TcpTransport`) instead of travelling as live
+Python references through in-memory queues.
+
+Design rules:
+
+* **Versioned.**  Every encoded payload starts with a one-byte format
+  version.  A decoder that sees an unknown version raises
+  :class:`~repro.errors.WireError` immediately — no best-effort parsing.
+* **Registry-tagged.**  Each value form has a one-byte tag.  Primitive
+  tags (ints, strings, tuples, ...) are fixed; protocol dataclasses are
+  entered in a registry mapping tag ↔ class, and encode as the tag
+  followed by the dataclass fields in declaration order.  Extensions
+  register new structs with :func:`register_struct`; unknown tags are a
+  hard decode error.
+* **Deterministic.**  Encoding is a pure function of the value: dict
+  entries and frozenset elements are ordered by their encoded bytes, so
+  ``encode(decode(encode(x))) == encode(x)`` byte-for-byte.  This is what
+  makes golden-bytes tests, cross-process digest comparison, and
+  replayable traces possible.
+* **Self-contained.**  Varints for all integers (arbitrary precision),
+  IEEE-754 big-endian for floats, UTF-8 for strings.  No pickling, no
+  code execution on decode.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from typing import Any, Callable, Dict, List, Tuple, Type
+
+from repro.core.association import Invitation
+from repro.core.messages import (
+    AbortMsg,
+    CommitMsg,
+    ConfirmMsg,
+    DelegateGrant,
+    Envelope,
+    FailQueryMsg,
+    FailQueryReplyMsg,
+    FailResolutionMsg,
+    GraphRepairAckMsg,
+    GraphRepairApplyMsg,
+    GraphRepairProposeMsg,
+    JoinReplyMsg,
+    JoinRequestMsg,
+    OpPayload,
+    PathStep,
+    ReadCheck,
+    SlotId,
+    SnapshotCheck,
+    SnapshotConfirmMsg,
+    SnapshotReplyMsg,
+    TxnPropagateMsg,
+    WriteConfirmedMsg,
+    WriteOp,
+)
+from repro.core.repgraph import GraphNode, ReplicationGraph
+from repro.errors import WireError
+from repro.vtime import VirtualTime
+
+#: Current wire-format version.  Bump on any incompatible layout change;
+#: decoders reject every version they do not implement.
+WIRE_VERSION = 1
+
+# ---------------------------------------------------------------------------
+# Primitive tags (0x00–0x1F reserved for the codec itself)
+# ---------------------------------------------------------------------------
+
+_T_NONE = 0x00
+_T_TRUE = 0x01
+_T_FALSE = 0x02
+_T_INT = 0x03
+_T_FLOAT = 0x04
+_T_STR = 0x05
+_T_BYTES = 0x06
+_T_TUPLE = 0x07
+_T_LIST = 0x08
+_T_DICT = 0x09
+_T_FROZENSET = 0x0A
+_T_VT = 0x0B
+
+# ---------------------------------------------------------------------------
+# Struct registry (tags 0x20–0xFF)
+# ---------------------------------------------------------------------------
+
+#: tag -> (class, field names in declaration order)
+_STRUCTS_BY_TAG: Dict[int, Tuple[type, Tuple[str, ...]]] = {}
+#: class -> (tag, field names)
+_STRUCTS_BY_CLASS: Dict[type, Tuple[int, Tuple[str, ...]]] = {}
+
+
+def register_struct(tag: int, cls: type) -> None:
+    """Enter a frozen dataclass into the wire registry under ``tag``.
+
+    The encoding is the tag byte followed by the field values in dataclass
+    declaration order; decode reconstructs via the positional constructor.
+    Tags below 0x20 are reserved for codec primitives.  Registering the
+    same (tag, class) pair twice is a no-op; conflicting registrations are
+    an error — tags are a wire contract, not a runtime convenience.
+    """
+    if not 0x20 <= tag <= 0xFF:
+        raise WireError(f"struct tags must be in [0x20, 0xFF], got {tag:#x}")
+    if not dataclasses.is_dataclass(cls):
+        raise WireError(f"{cls.__name__} is not a dataclass")
+    fields = tuple(f.name for f in dataclasses.fields(cls))
+    existing = _STRUCTS_BY_TAG.get(tag)
+    if existing is not None:
+        if existing[0] is cls:
+            return
+        raise WireError(
+            f"wire tag {tag:#x} already registered for {existing[0].__name__}"
+        )
+    if cls in _STRUCTS_BY_CLASS:
+        raise WireError(
+            f"{cls.__name__} already registered under tag {_STRUCTS_BY_CLASS[cls][0]:#x}"
+        )
+    _STRUCTS_BY_TAG[tag] = (cls, fields)
+    _STRUCTS_BY_CLASS[cls] = (tag, fields)
+
+
+#: The canonical tag assignments.  Order and values are part of the wire
+#: contract (docs/WIRE.md); append new structs, never renumber.
+_REGISTRY: Tuple[Tuple[int, type], ...] = (
+    (0x20, SlotId),
+    (0x21, PathStep),
+    (0x22, OpPayload),
+    (0x23, WriteOp),
+    (0x24, ReadCheck),
+    (0x25, DelegateGrant),
+    (0x26, TxnPropagateMsg),
+    (0x27, ConfirmMsg),
+    (0x28, CommitMsg),
+    (0x29, AbortMsg),
+    (0x2A, SnapshotCheck),
+    (0x2B, SnapshotConfirmMsg),
+    (0x2C, SnapshotReplyMsg),
+    (0x2D, WriteConfirmedMsg),
+    (0x2E, JoinRequestMsg),
+    (0x2F, JoinReplyMsg),
+    (0x30, FailQueryMsg),
+    (0x31, FailQueryReplyMsg),
+    (0x32, FailResolutionMsg),
+    (0x33, GraphRepairProposeMsg),
+    (0x34, GraphRepairAckMsg),
+    (0x35, GraphRepairApplyMsg),
+    (0x36, GraphNode),
+    (0x37, ReplicationGraph),
+    (0x38, Invitation),
+    (0x39, Envelope),
+)
+
+for _tag, _cls in _REGISTRY:
+    register_struct(_tag, _cls)
+
+#: Every registered wire struct, in tag order (test parametrization).
+WIRE_STRUCTS: Tuple[type, ...] = tuple(cls for _tag, cls in _REGISTRY)
+
+#: The protocol message types a transport may be handed (excludes the
+#: nested payload structs that only ever appear inside other messages).
+MESSAGE_TYPES: Tuple[type, ...] = (
+    TxnPropagateMsg,
+    ConfirmMsg,
+    CommitMsg,
+    AbortMsg,
+    SnapshotConfirmMsg,
+    SnapshotReplyMsg,
+    WriteConfirmedMsg,
+    JoinRequestMsg,
+    JoinReplyMsg,
+    FailQueryMsg,
+    FailQueryReplyMsg,
+    FailResolutionMsg,
+    GraphRepairProposeMsg,
+    GraphRepairAckMsg,
+    GraphRepairApplyMsg,
+    Envelope,
+)
+
+
+# ---------------------------------------------------------------------------
+# Varints
+# ---------------------------------------------------------------------------
+
+
+def _write_uvarint(out: List[bytes], value: int) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(bytes((byte | 0x80,)))
+        else:
+            out.append(bytes((byte,)))
+            return
+
+
+def _write_svarint(out: List[bytes], value: int) -> None:
+    # ZigZag: interleave sign so small magnitudes stay small on the wire.
+    _write_uvarint(out, (value << 1) if value >= 0 else ((-value << 1) - 1))
+
+
+def _read_uvarint(data: bytes, pos: int) -> Tuple[int, int]:
+    shift = 0
+    value = 0
+    while True:
+        if pos >= len(data):
+            raise WireError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+
+
+def _read_svarint(data: bytes, pos: int) -> Tuple[int, int]:
+    raw, pos = _read_uvarint(data, pos)
+    return ((raw >> 1) if not raw & 1 else -((raw + 1) >> 1)), pos
+
+
+# ---------------------------------------------------------------------------
+# Value encoding
+# ---------------------------------------------------------------------------
+
+
+def _encode_value(out: List[bytes], value: Any) -> None:
+    if value is None:
+        out.append(bytes((_T_NONE,)))
+    elif value is True:
+        out.append(bytes((_T_TRUE,)))
+    elif value is False:
+        out.append(bytes((_T_FALSE,)))
+    elif isinstance(value, VirtualTime):
+        out.append(bytes((_T_VT,)))
+        _write_svarint(out, value.counter)
+        _write_svarint(out, value.site)
+    elif isinstance(value, int):  # after bool/VT checks
+        out.append(bytes((_T_INT,)))
+        _write_svarint(out, value)
+    elif isinstance(value, float):
+        out.append(bytes((_T_FLOAT,)))
+        out.append(struct.pack(">d", value))
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(bytes((_T_STR,)))
+        _write_uvarint(out, len(raw))
+        out.append(raw)
+    elif isinstance(value, bytes):
+        out.append(bytes((_T_BYTES,)))
+        _write_uvarint(out, len(value))
+        out.append(value)
+    elif isinstance(value, tuple):
+        out.append(bytes((_T_TUPLE,)))
+        _write_uvarint(out, len(value))
+        for item in value:
+            _encode_value(out, item)
+    elif isinstance(value, list):
+        out.append(bytes((_T_LIST,)))
+        _write_uvarint(out, len(value))
+        for item in value:
+            _encode_value(out, item)
+    elif isinstance(value, dict):
+        # Canonical order: entries sorted by their encoded key bytes, so
+        # two equal dicts always encode identically.
+        out.append(bytes((_T_DICT,)))
+        _write_uvarint(out, len(value))
+        entries = []
+        for key, val in value.items():
+            kparts: List[bytes] = []
+            _encode_value(kparts, key)
+            vparts: List[bytes] = []
+            _encode_value(vparts, val)
+            entries.append((b"".join(kparts), b"".join(vparts)))
+        for kbytes, vbytes in sorted(entries):
+            out.append(kbytes)
+            out.append(vbytes)
+    elif isinstance(value, frozenset):
+        # Canonical order: elements sorted by their encoded bytes.
+        out.append(bytes((_T_FROZENSET,)))
+        _write_uvarint(out, len(value))
+        items = []
+        for item in value:
+            parts: List[bytes] = []
+            _encode_value(parts, item)
+            items.append(b"".join(parts))
+        for raw in sorted(items):
+            out.append(raw)
+    else:
+        entry = _STRUCTS_BY_CLASS.get(type(value))
+        if entry is None:
+            raise WireError(
+                f"{type(value).__name__} is not wire-encodable; register it "
+                "with repro.wire.register_struct"
+            )
+        tag, fields = entry
+        out.append(bytes((tag,)))
+        for name in fields:
+            _encode_value(out, getattr(value, name))
+
+
+def _decode_value(data: bytes, pos: int) -> Tuple[Any, int]:
+    if pos >= len(data):
+        raise WireError("truncated payload: expected a value tag")
+    tag = data[pos]
+    pos += 1
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_FALSE:
+        return False, pos
+    if tag == _T_INT:
+        return _read_svarint(data, pos)
+    if tag == _T_FLOAT:
+        if pos + 8 > len(data):
+            raise WireError("truncated float")
+        return struct.unpack(">d", data[pos : pos + 8])[0], pos + 8
+    if tag == _T_STR:
+        n, pos = _read_uvarint(data, pos)
+        if pos + n > len(data):
+            raise WireError("truncated string")
+        return data[pos : pos + n].decode("utf-8"), pos + n
+    if tag == _T_BYTES:
+        n, pos = _read_uvarint(data, pos)
+        if pos + n > len(data):
+            raise WireError("truncated bytes")
+        return data[pos : pos + n], pos + n
+    if tag == _T_TUPLE:
+        n, pos = _read_uvarint(data, pos)
+        items = []
+        for _ in range(n):
+            item, pos = _decode_value(data, pos)
+            items.append(item)
+        return tuple(items), pos
+    if tag == _T_LIST:
+        n, pos = _read_uvarint(data, pos)
+        out_list = []
+        for _ in range(n):
+            item, pos = _decode_value(data, pos)
+            out_list.append(item)
+        return out_list, pos
+    if tag == _T_DICT:
+        n, pos = _read_uvarint(data, pos)
+        mapping = {}
+        for _ in range(n):
+            key, pos = _decode_value(data, pos)
+            val, pos = _decode_value(data, pos)
+            mapping[key] = val
+        return mapping, pos
+    if tag == _T_FROZENSET:
+        n, pos = _read_uvarint(data, pos)
+        elems = []
+        for _ in range(n):
+            item, pos = _decode_value(data, pos)
+            elems.append(item)
+        fs = frozenset(elems)
+        if len(fs) != n:
+            raise WireError("frozenset payload contains duplicate elements")
+        return fs, pos
+    if tag == _T_VT:
+        counter, pos = _read_svarint(data, pos)
+        site, pos = _read_svarint(data, pos)
+        return VirtualTime(counter, site), pos
+    entry = _STRUCTS_BY_TAG.get(tag)
+    if entry is None:
+        raise WireError(f"unknown wire tag {tag:#x}")
+    cls, fields = entry
+    values = []
+    for _ in fields:
+        value, pos = _decode_value(data, pos)
+        values.append(value)
+    try:
+        return cls(*values), pos
+    except Exception as exc:  # constructor invariants (e.g. empty graph)
+        raise WireError(f"invalid {cls.__name__} payload: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+
+def encode(value: Any) -> bytes:
+    """Serialize ``value`` (a protocol message or wire-safe value) to bytes."""
+    out: List[bytes] = [bytes((WIRE_VERSION,))]
+    _encode_value(out, value)
+    return b"".join(out)
+
+
+def decode(data: bytes) -> Any:
+    """Parse bytes produced by :func:`encode`; rejects unknown versions,
+    unknown tags, truncated payloads, and trailing garbage."""
+    if not data:
+        raise WireError("empty payload")
+    version = data[0]
+    if version != WIRE_VERSION:
+        raise WireError(
+            f"unsupported wire version {version} (this codec speaks {WIRE_VERSION})"
+        )
+    value, pos = _decode_value(data, 1)
+    if pos != len(data):
+        raise WireError(f"{len(data) - pos} trailing bytes after payload")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Framing (length-prefixed, for stream transports)
+# ---------------------------------------------------------------------------
+
+#: Size of the frame length prefix in bytes (big-endian unsigned).
+FRAME_HEADER_BYTES = 4
+
+#: Upper bound on a single frame body.  A frame claiming more than this is
+#: treated as stream corruption, not a legitimate payload.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+
+def encode_frame(src: int, dst: int, payload: Any) -> bytes:
+    """One length-prefixed routed frame: header + encode((src, dst, payload))."""
+    body = encode((src, dst, payload))
+    if len(body) > MAX_FRAME_BYTES:
+        raise WireError(f"frame of {len(body)} bytes exceeds MAX_FRAME_BYTES")
+    return len(body).to_bytes(FRAME_HEADER_BYTES, "big") + body
+
+
+def decode_frame_body(body: bytes) -> Tuple[int, int, Any]:
+    """Parse a frame body back into ``(src, dst, payload)``."""
+    triple = decode(body)
+    if (
+        not isinstance(triple, tuple)
+        or len(triple) != 3
+        or not isinstance(triple[0], int)
+        or not isinstance(triple[1], int)
+    ):
+        raise WireError("frame body is not a (src, dst, payload) triple")
+    return triple  # type: ignore[return-value]

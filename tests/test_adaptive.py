@@ -4,12 +4,13 @@ import pytest
 
 from repro import Session
 from repro.core.adaptive import AdaptiveOptimismController
+from repro import DInt
 
 
 def contended_pair(latency=60.0, seed=0):
     session = Session.simulated(latency_ms=latency, seed=seed)
     alice, bob = session.add_sites(2)
-    objs = session.replicate("int", "x", [alice, bob], initial=0)
+    objs = session.replicate(DInt, "x", [alice, bob], initial=0)
     session.settle()
     return session, alice, bob, objs
 

@@ -4,6 +4,7 @@ import pytest
 
 from repro import Session
 from repro.apps import AccountBook, ChatRoom, FormDocument, TransferTransaction, Whiteboard
+from repro import DFloat, DList, DMap
 
 
 def pair_session(latency=20.0):
@@ -47,8 +48,8 @@ class TestAccountBook:
 
     def test_replicated_transfer_conserves_total(self):
         session, alice, bob = pair_session()
-        a_accts = session.replicate("float", "checking", [alice, bob], initial=500.0)
-        b_accts = session.replicate("float", "savings", [alice, bob], initial=0.0)
+        a_accts = session.replicate(DFloat, "checking", [alice, bob], initial=500.0)
+        b_accts = session.replicate(DFloat, "savings", [alice, bob], initial=0.0)
         alice_book = AccountBook(alice)
         alice_book.adopt("checking", a_accts[0])
         alice_book.adopt("savings", b_accts[0])
@@ -65,7 +66,7 @@ class TestAccountBook:
 class TestChatRoom:
     def test_messages_propagate(self):
         session, alice, bob = pair_session()
-        logs = session.replicate("list", "chat", [alice, bob])
+        logs = session.replicate(DList, "chat", [alice, bob])
         room_a = ChatRoom(alice, logs[0], author="alice")
         room_b = ChatRoom(bob, logs[1], author="bob")
         room_a.send("hello")
@@ -77,7 +78,7 @@ class TestChatRoom:
 
     def test_concurrent_sends_converge(self):
         session, alice, bob = pair_session(latency=60.0)
-        logs = session.replicate("list", "chat", [alice, bob])
+        logs = session.replicate(DList, "chat", [alice, bob])
         room_a = ChatRoom(alice, logs[0], author="alice")
         room_b = ChatRoom(bob, logs[1], author="bob")
         room_a.send("first?")
@@ -88,7 +89,7 @@ class TestChatRoom:
 
     def test_view_gets_commit_notifications(self):
         session, alice, bob = pair_session()
-        logs = session.replicate("list", "chat", [alice, bob])
+        logs = session.replicate(DList, "chat", [alice, bob])
         room_b = ChatRoom(bob, logs[1], author="bob")
         room_b.send("msg")
         session.settle()
@@ -98,7 +99,7 @@ class TestChatRoom:
 class TestWhiteboard:
     def test_draw_and_render(self):
         session, alice, bob = pair_session()
-        boards = session.replicate("map", "board", [alice, bob])
+        boards = session.replicate(DMap, "board", [alice, bob])
         wb_a, wb_b = Whiteboard(alice, boards[0]), Whiteboard(bob, boards[1])
         sid, out = wb_a.draw("circle", 1, 2, color="red")
         session.settle()
@@ -108,7 +109,7 @@ class TestWhiteboard:
 
     def test_move_preserves_kind_and_color(self):
         session, alice, bob = pair_session()
-        boards = session.replicate("map", "board", [alice, bob])
+        boards = session.replicate(DMap, "board", [alice, bob])
         wb = Whiteboard(alice, boards[0])
         sid, _ = wb.draw("rect", 0, 0, color="blue")
         session.settle()
@@ -120,7 +121,7 @@ class TestWhiteboard:
 
     def test_erase(self):
         session, alice, bob = pair_session()
-        boards = session.replicate("map", "board", [alice, bob])
+        boards = session.replicate(DMap, "board", [alice, bob])
         wb_a, wb_b = Whiteboard(alice, boards[0]), Whiteboard(bob, boards[1])
         sid, _ = wb_a.draw("dot", 0, 0)
         session.settle()
@@ -130,7 +131,7 @@ class TestWhiteboard:
 
     def test_concurrent_draws_never_conflict(self):
         session, alice, bob = pair_session(latency=80.0)
-        boards = session.replicate("map", "board", [alice, bob])
+        boards = session.replicate(DMap, "board", [alice, bob])
         wb_a, wb_b = Whiteboard(alice, boards[0]), Whiteboard(bob, boards[1])
         before = session.counters()["aborts_conflict"]
         for i in range(5):
@@ -145,7 +146,7 @@ class TestWhiteboard:
 class TestFormDocument:
     def test_fill_and_audit(self):
         session, alice, bob = pair_session()
-        forms = session.replicate("map", "form", [alice, bob])
+        forms = session.replicate(DMap, "form", [alice, bob])
         doc_a, doc_b = FormDocument(alice, forms[0]), FormDocument(bob, forms[1])
         doc_a.fill(name="X", age=30)
         session.settle()
@@ -155,7 +156,7 @@ class TestFormDocument:
 
     def test_clear_field(self):
         session, alice, bob = pair_session()
-        forms = session.replicate("map", "form", [alice, bob])
+        forms = session.replicate(DMap, "form", [alice, bob])
         doc = FormDocument(alice, forms[0])
         doc.fill(note="temp")
         session.settle()
@@ -165,7 +166,7 @@ class TestFormDocument:
 
     def test_audit_never_sees_uncommitted(self):
         session, alice, bob = pair_session(latency=100.0)
-        forms = session.replicate("map", "form", [alice, bob])
+        forms = session.replicate(DMap, "form", [alice, bob])
         doc_a = FormDocument(alice, forms[0])
         doc_b = FormDocument(bob, forms[1])
         doc_b.fill(field="optimistic")
@@ -178,7 +179,7 @@ class TestFormDocument:
         from repro.core.auth import ReadOnlyMonitor
 
         session, alice, bob = pair_session()
-        forms = session.replicate("map", "form", [alice, bob])
+        forms = session.replicate(DMap, "form", [alice, bob])
         doc = FormDocument(bob, forms[1])
         doc.protect(ReadOnlyMonitor(owner="somebody-else"))
         out = doc.fill(hack=1)

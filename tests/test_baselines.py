@@ -3,6 +3,7 @@
 import pytest
 
 from repro.baselines import CentralizedSystem, GvtSystem, LockingSystem
+from repro import DInt
 
 
 class TestGvtSystem:
@@ -117,7 +118,7 @@ class TestHeadToHead:
 
         session = Session.simulated(latency_ms=50.0)
         alice, bob = session.add_sites(2)
-        a, b = session.replicate("int", "x", [alice, bob], initial=0)
+        a, b = session.replicate(DInt, "x", [alice, bob], initial=0)
         session.settle()
         out = bob.transact(lambda: b.set(1))
         decaf_echo = out.local_apply_time_ms - out.start_time_ms

@@ -13,6 +13,7 @@ from repro.bench import (
     multi_party_scenario,
     two_party_scenario,
 )
+from repro import DMap
 from repro.bench.report import emit, format_series
 
 
@@ -82,7 +83,7 @@ class TestScenarios:
         assert all(o.get() == 9 for o in scenario.objects)
 
     def test_scenario_kinds(self):
-        scenario = two_party_scenario(latency_ms=10.0, kind="map")
+        scenario = two_party_scenario(latency_ms=10.0, kind=DMap)
         scenario.alice.transact(lambda: scenario.a.put("k", "int", 1))
         scenario.session.settle()
         assert scenario.b.value_at(scenario.b.current_value_vt()) == {"k": 1}

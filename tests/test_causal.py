@@ -28,6 +28,7 @@ from repro.obs import (
 from repro.obs.causal import SEGMENTS
 from repro.obs.events import ProtocolEvent, event_to_dict
 from repro.vtime import VirtualTime
+from repro import DInt
 
 
 def make_event(seq, time_ms, site, kind, vt=None, **data):
@@ -47,7 +48,7 @@ def conflict_run():
     session = Session.simulated(latency_ms=20, seed=1)
     bus = session.observe()
     alice, bob, carol = session.add_sites(3)
-    objs = session.replicate("int", "x", [alice, bob, carol], initial=0)
+    objs = session.replicate(DInt, "x", [alice, bob, carol], initial=0)
     session.settle()
     bus.clear()
     out_a = alice.transact(lambda: objs[0].set(objs[0].get() + 1))

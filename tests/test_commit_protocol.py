@@ -9,12 +9,13 @@ commit, and the paper's Fig. 4/5 worked example.
 import pytest
 
 from repro import Session
+from repro import DInt
 
 
 def two_party(latency=50.0, **kwargs):
     session = Session.simulated(latency_ms=latency, **kwargs)
     alice, bob = session.add_sites(2)
-    a, b = session.replicate("int", "x", [alice, bob], initial=0)
+    a, b = session.replicate(DInt, "x", [alice, bob], initial=0)
     session.settle()
     return session, alice, bob, a, b
 
@@ -43,7 +44,7 @@ class TestBasicPropagation:
     def test_three_party_propagation(self):
         session = Session.simulated(latency_ms=20)
         sites = session.add_sites(3)
-        objs = session.replicate("int", "n", sites, initial=0)
+        objs = session.replicate(DInt, "n", sites, initial=0)
         sites[2].transact(lambda: objs[2].set(5))
         session.settle()
         assert [o.get() for o in objs] == [5, 5, 5]
@@ -85,8 +86,8 @@ class TestCommitLatency:
     def test_two_remote_primaries_commit_in_2t(self):
         session = Session.simulated(latency_ms=50)
         sites = session.add_sites(4)
-        w = session.replicate("int", "w", [sites[0], sites[1], sites[2]], initial=4)
-        y = session.replicate("int", "y", [sites[3], sites[1], sites[2]], initial=3)
+        w = session.replicate(DInt, "w", [sites[0], sites[1], sites[2]], initial=4)
+        y = session.replicate(DInt, "y", [sites[3], sites[1], sites[2]], initial=3)
         # Primary of w is site 0; y's members are sites 3,1,2 so its primary
         # is the minimum site among them (site 1)... choose an origin that
         # is remote from both primaries: site 2.
@@ -144,7 +145,7 @@ class TestGuessChecks:
         bob.transact(lambda: b.set(10))  # needs 2t to commit
         # Immediately read the uncommitted value at bob and write another
         # replicated object.
-        c_alice, c_bob = session.replicate("int", "c", [alice, bob], initial=0)
+        c_alice, c_bob = session.replicate(DInt, "c", [alice, bob], initial=0)
         out2 = bob.transact(lambda: c_bob.set(b.get() + 5))
         session.settle()
         assert out2.committed
@@ -154,8 +155,8 @@ class TestGuessChecks:
         """If the read-from transaction aborts, the reader aborts and retries."""
         session = Session.simulated(latency_ms=50)
         s0, s1, s2 = session.add_sites(3)
-        xs = session.replicate("int", "x", [s0, s1, s2], initial=0)
-        ys = session.replicate("int", "y", [s1, s2], initial=0)
+        xs = session.replicate(DInt, "x", [s0, s1, s2], initial=0)
+        ys = session.replicate(DInt, "y", [s1, s2], initial=0)
         # Create a conflict: s0 and s1 both read-modify-write x.
         s0.transact(lambda: xs[0].set(xs[0].get() + 100))
         t1 = s1.transact(lambda: xs[1].set(xs[1].get() + 1))
@@ -206,8 +207,8 @@ class TestDelegatedCommit:
     def test_delegation_disabled_for_multi_primary(self):
         session = Session.simulated(latency_ms=50)
         sites = session.add_sites(4)
-        w = session.replicate("int", "w", [sites[0], sites[2]], initial=0)
-        y = session.replicate("int", "y", [sites[1], sites[2]], initial=0)
+        w = session.replicate(DInt, "w", [sites[0], sites[2]], initial=0)
+        y = session.replicate(DInt, "y", [sites[1], sites[2]], initial=0)
 
         def body():
             w[1].set(1)
@@ -236,10 +237,10 @@ class TestPaperFig45Example:
         # selector for Y/Z via a max-site session? Simpler: accept primary
         # 1 for Y,Z — the protocol structure (CONFIRM-READ to W/X primary,
         # WRITE to Y/Z replicas+primary) is identical.
-        w = session.replicate("int", "w", [s1, s2, s3], initial=4)
-        x = session.replicate("int", "x", [s1, s2, s3], initial=2)
-        y = session.replicate("int", "y", [s2, s3, s4], initial=3)
-        z = session.replicate("int", "z", [s2, s3, s4], initial=6)
+        w = session.replicate(DInt, "w", [s1, s2, s3], initial=4)
+        x = session.replicate(DInt, "x", [s1, s2, s3], initial=2)
+        y = session.replicate(DInt, "y", [s2, s3, s4], initial=3)
+        z = session.replicate(DInt, "z", [s2, s3, s4], initial=6)
         session.settle()
         return session, (s1, s2, s3, s4), w, x, y, z
 
@@ -287,7 +288,7 @@ class TestStragglers:
         ordering by VT keeps the newer value current."""
         session = Session.simulated(latency_ms=10)
         s0, s1, s2 = session.add_sites(3)
-        xs = session.replicate("int", "x", [s0, s1, s2], initial=0)
+        xs = session.replicate(DInt, "x", [s0, s1, s2], initial=0)
         session.settle()
         # Make s1 -> s2 very slow so s1's write arrives at s2 after s0's.
         from repro.sim.network import FixedLatency
@@ -303,7 +304,7 @@ class TestStragglers:
         """Delegated commits can outrun the origin's WRITE on a third site."""
         session = Session.simulated(latency_ms=10)
         s0, s1, s2 = session.add_sites(3)
-        xs = session.replicate("int", "x", [s0, s1, s2], initial=0)
+        xs = session.replicate(DInt, "x", [s0, s1, s2], initial=0)
         session.settle()
         from repro.sim.network import FixedLatency
 
@@ -322,7 +323,7 @@ class TestRetriesAndLiveness:
     def test_heavy_contention_converges(self):
         session = Session.simulated(latency_ms=20)
         sites = session.add_sites(3)
-        xs = session.replicate("int", "x", sites, initial=0)
+        xs = session.replicate(DInt, "x", sites, initial=0)
         session.settle()
         for round_ in range(4):
             for i, site in enumerate(sites):
@@ -336,7 +337,7 @@ class TestRetriesAndLiveness:
         session.max_retries  # default high; build a session with 0 retries
         s2 = Session.simulated(latency_ms=50, max_retries=0)
         alice2, bob2 = s2.add_sites(2)
-        a2, b2 = s2.replicate("int", "x", [alice2, bob2], initial=0)
+        a2, b2 = s2.replicate(DInt, "x", [alice2, bob2], initial=0)
         s2.settle()
         alice2.transact(lambda: a2.set(a2.get() + 1))
         out = bob2.transact(lambda: b2.set(b2.get() + 1))

@@ -4,12 +4,13 @@ import pytest
 
 from repro import Session
 from repro.sim.network import FixedLatency
+from repro import DInt, DList, DMap
 
 
 def list_pair(latency=20.0, **kwargs):
     session = Session.simulated(latency_ms=latency, **kwargs)
     alice, bob = session.add_sites(2)
-    la, lb = session.replicate("list", "doc", [alice, bob])
+    la, lb = session.replicate(DList, "doc", [alice, bob])
     session.settle()
     return session, alice, bob, la, lb
 
@@ -17,7 +18,7 @@ def list_pair(latency=20.0, **kwargs):
 def map_pair(latency=20.0, **kwargs):
     session = Session.simulated(latency_ms=latency, **kwargs)
     alice, bob = session.add_sites(2)
-    ma, mb = session.replicate("map", "board", [alice, bob])
+    ma, mb = session.replicate(DMap, "board", [alice, bob])
     session.settle()
     return session, alice, bob, ma, mb
 
@@ -100,7 +101,7 @@ class TestBlockingOnMissingStructure:
         structural update is received."""
         session = Session.simulated(latency_ms=10)
         s0, s1, s2 = session.add_sites(3)
-        lists = session.replicate("list", "doc", [s0, s1, s2])
+        lists = session.replicate(DList, "doc", [s0, s1, s2])
         session.settle()
         # Make s0's messages to s2 very slow: s2 learns about the insert
         # late, but s1's child update (which depends on it) arrives early.
@@ -122,7 +123,7 @@ class TestBlockingOnMissingStructure:
     def test_remove_blocks_until_insert_arrives(self):
         session = Session.simulated(latency_ms=10)
         s0, s1, s2 = session.add_sites(3)
-        lists = session.replicate("list", "doc", [s0, s1, s2])
+        lists = session.replicate(DList, "doc", [s0, s1, s2])
         session.settle()
         session.network.set_link_latency(0, 2, FixedLatency(500.0))
         s0.transact(lambda: lists[0].append("int", 1))
@@ -191,8 +192,8 @@ class TestMixedScalarComposite:
     def test_transaction_spanning_scalar_and_composite(self):
         session = Session.simulated(latency_ms=20)
         alice, bob = session.add_sites(2)
-        counters = session.replicate("int", "count", [alice, bob], initial=0)
-        docs = session.replicate("list", "doc", [alice, bob])
+        counters = session.replicate(DInt, "count", [alice, bob], initial=0)
+        docs = session.replicate(DList, "doc", [alice, bob])
         session.settle()
 
         def body():

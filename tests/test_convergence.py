@@ -13,17 +13,18 @@ import pytest
 
 from repro import Session
 from repro.sim.network import UniformLatency
+from repro import DInt, DList, DMap
 
 
 def value(obj):
     return obj.value_at(obj.current_value_vt())
 
 
-def build_session(n_sites, seed, kind="int", jitter=(5.0, 80.0)):
+def build_session(n_sites, seed, kind=DInt, jitter=(5.0, 80.0)):
     session = Session.simulated(latency_ms=40, seed=seed)
     session.network.default_latency = UniformLatency(*jitter)
     sites = session.add_sites(n_sites)
-    objs = session.replicate(kind, "obj", sites, initial=0 if kind == "int" else None)
+    objs = session.replicate(kind, "obj", sites, initial=0 if kind is DInt else None)
     session.settle()
     return session, sites, objs
 
@@ -64,7 +65,7 @@ def test_read_modify_write_serializes(seed):
 
 @pytest.mark.parametrize("seed", [20, 21])
 def test_list_convergence_under_concurrent_edits(seed):
-    session, sites, lists = build_session(3, seed, kind="list")
+    session, sites, lists = build_session(3, seed, kind=DList)
     rng = random.Random(seed)
     for step in range(12):
         i = rng.randrange(len(sites))
@@ -89,7 +90,7 @@ def test_list_convergence_under_concurrent_edits(seed):
 
 @pytest.mark.parametrize("seed", [30, 31])
 def test_map_convergence_with_lww(seed):
-    session, sites, maps = build_session(3, seed, kind="map")
+    session, sites, maps = build_session(3, seed, kind=DMap)
     rng = random.Random(seed)
     keys = ["a", "b", "c"]
     for step in range(25):
@@ -109,8 +110,8 @@ def test_mixed_objects_and_views_converge():
     session = Session.simulated(latency_ms=30, seed=42)
     session.network.default_latency = UniformLatency(5.0, 60.0)
     sites = session.add_sites(3)
-    ints = session.replicate("int", "n", sites, initial=0)
-    lists = session.replicate("list", "l", sites)
+    ints = session.replicate(DInt, "n", sites, initial=0)
+    lists = session.replicate(DList, "l", sites)
     session.settle()
 
     from repro import View

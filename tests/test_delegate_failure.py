@@ -12,12 +12,13 @@ import pytest
 
 from repro import Session
 from repro.sim.network import FixedLatency
+from repro import DInt
 
 
 def build(latency=30.0):
     session = Session.simulated(latency_ms=latency)
     sites = session.add_sites(4)
-    objs = session.replicate("int", "x", sites, initial=0)
+    objs = session.replicate(DInt, "x", sites, initial=0)
     session.settle()
     # Primary (and hence delegate for remote origins) is site 0.
     assert objs[1].primary_site() == 0

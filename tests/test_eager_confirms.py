@@ -3,6 +3,7 @@
 import pytest
 
 from repro import Session, View
+from repro import DInt
 
 
 class Probe(View):
@@ -23,7 +24,7 @@ class Probe(View):
 def third_party(eager, latency=50.0):
     session = Session.simulated(latency_ms=latency, eager_view_confirms=eager)
     sites = session.add_sites(3)
-    objs = session.replicate("int", "x", sites, initial=0)
+    objs = session.replicate(DInt, "x", sites, initial=0)
     session.settle()
     return session, sites, objs
 

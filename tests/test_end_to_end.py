@@ -12,6 +12,7 @@ from repro import Session, View
 from repro.apps import ChatRoom, Whiteboard
 from repro.core.adaptive import AdaptiveOptimismController
 from repro.persist import checkpoint_to_json, restore_from_json
+from repro import DInt, DList, DMap
 
 
 def value(obj):
@@ -32,9 +33,9 @@ def test_full_collaborative_session():
     host, editor, reviewer = session.add_sites(3, prefix="user")
 
     # --- Establish three shared artifacts --------------------------------
-    counters = session.replicate("int", "revision", [host, editor, reviewer], initial=0)
-    boards = session.replicate("map", "canvas", [host, editor, reviewer])
-    logs = session.replicate("list", "minutes", [host, editor, reviewer])
+    counters = session.replicate(DInt, "revision", [host, editor, reviewer], initial=0)
+    boards = session.replicate(DMap, "canvas", [host, editor, reviewer])
+    logs = session.replicate(DList, "minutes", [host, editor, reviewer])
     session.settle()
 
     # Views: a pessimistic audit at the reviewer, optimistic everywhere else.

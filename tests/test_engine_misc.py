@@ -7,12 +7,13 @@ from repro import Session
 from repro.core.messages import AbortMsg, CommitMsg, ConfirmMsg
 from repro.sim.network import FixedLatency
 from repro.vtime import VirtualTime
+from repro import DInt
 
 
 def pair(latency=30.0, **kwargs):
     session = Session.simulated(latency_ms=latency, **kwargs)
     alice, bob = session.add_sites(2)
-    objs = session.replicate("int", "x", [alice, bob], initial=0)
+    objs = session.replicate(DInt, "x", [alice, bob], initial=0)
     session.settle()
     return session, alice, bob, objs
 

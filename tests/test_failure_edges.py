@@ -6,12 +6,13 @@ import pytest
 from repro import Session
 from repro.sim.network import FixedLatency
 from repro.vtime import VirtualTime
+from repro import DInt
 
 
 def quad(latency=20.0, **kwargs):
     session = Session.simulated(latency_ms=latency, **kwargs)
     sites = session.add_sites(4)
-    objs = session.replicate("int", "x", sites, initial=0)
+    objs = session.replicate(DInt, "x", sites, initial=0)
     session.settle()
     return session, sites, objs
 
@@ -102,7 +103,7 @@ class TestStabilityBound:
         in-flight (stale-VT) transactions must stay checkable."""
         session = Session.simulated(latency_ms=10)
         s0, s1, s2 = session.add_sites(3)
-        objs = session.replicate("int", "x", [s0, s1, s2], initial=0)
+        objs = session.replicate(DInt, "x", [s0, s1, s2], initial=0)
         session.settle()
         # Cut s2 off (very slow outgoing links): it goes silent.
         session.network.set_link_latency(2, 0, FixedLatency(100000.0))
@@ -121,7 +122,7 @@ class TestStabilityBound:
         read-modify-write from a stale-clocked site must still be caught."""
         session = Session.simulated(latency_ms=10)
         s0, s1, s2 = session.add_sites(3)
-        objs = session.replicate("int", "x", [s0, s1, s2], initial=0)
+        objs = session.replicate(DInt, "x", [s0, s1, s2], initial=0)
         session.settle()
         # s2 reads x=0 now, then is partitioned off while s0 churns.
         session.network.set_link_latency(0, 2, FixedLatency(100000.0))
@@ -147,7 +148,7 @@ class TestClockMerging:
     def test_clocks_converge_through_traffic(self):
         session = Session.simulated(latency_ms=10)
         alice, bob = session.add_sites(2)
-        objs = session.replicate("int", "x", [alice, bob], initial=0)
+        objs = session.replicate(DInt, "x", [alice, bob], initial=0)
         session.settle()
         alice.transact(lambda: objs[0].set(1))
         session.settle()
@@ -156,7 +157,7 @@ class TestClockMerging:
     def test_last_heard_monotone(self):
         session = Session.simulated(latency_ms=10)
         alice, bob = session.add_sites(2)
-        objs = session.replicate("int", "x", [alice, bob], initial=0)
+        objs = session.replicate(DInt, "x", [alice, bob], initial=0)
         session.settle()
         h1 = bob.last_heard.get(0, 0)
         alice.transact(lambda: objs[0].set(1))

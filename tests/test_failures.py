@@ -4,12 +4,13 @@ import pytest
 
 from repro import Session
 from repro.sim.network import FixedLatency
+from repro import DInt
 
 
 def triple(latency=20.0, **kwargs):
     session = Session.simulated(latency_ms=latency, **kwargs)
     sites = session.add_sites(3)
-    objs = session.replicate("int", "x", sites, initial=0)
+    objs = session.replicate(DInt, "x", sites, initial=0)
     session.settle()
     return session, sites, objs
 
@@ -113,7 +114,7 @@ class TestFailureEdgeCases:
     def test_two_party_peer_failure(self):
         session = Session.simulated(latency_ms=20)
         alice, bob = session.add_sites(2)
-        a, b = session.replicate("int", "x", [alice, bob], initial=0)
+        a, b = session.replicate(DInt, "x", [alice, bob], initial=0)
         session.settle()
         session.network.fail_site(1)
         session.settle()
@@ -126,7 +127,7 @@ class TestFailureEdgeCases:
     def test_failure_of_uninvolved_site_is_harmless(self):
         session = Session.simulated(latency_ms=20)
         sites = session.add_sites(4)
-        objs = session.replicate("int", "x", sites[:2], initial=0)
+        objs = session.replicate(DInt, "x", sites[:2], initial=0)
         session.settle()
         session.network.fail_site(3)  # not in any relationship
         session.settle()
@@ -137,7 +138,7 @@ class TestFailureEdgeCases:
     def test_sequential_failures(self):
         session = Session.simulated(latency_ms=20)
         sites = session.add_sites(4)
-        objs = session.replicate("int", "x", sites, initial=0)
+        objs = session.replicate(DInt, "x", sites, initial=0)
         session.settle()
         session.network.fail_site(0)
         session.settle()

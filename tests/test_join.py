@@ -4,6 +4,7 @@ import pytest
 
 from repro import Session
 from repro.errors import NotAuthorized
+from repro import DInt
 
 
 class TestInvitationFlow:
@@ -43,7 +44,7 @@ class TestInvitationFlow:
     def test_updates_flow_after_join(self):
         session = Session.simulated(latency_ms=20)
         alice, bob = session.add_sites(2)
-        a, b = session.replicate("int", "x", [alice, bob], initial=1)
+        a, b = session.replicate(DInt, "x", [alice, bob], initial=1)
         bob.transact(lambda: b.set(5))
         session.settle()
         assert a.get() == 5
@@ -62,7 +63,7 @@ class TestInvitationFlow:
         and sees values from A."""
         session = Session.simulated(latency_ms=20)
         sites = session.add_sites(3)
-        objs = session.replicate("int", "x", sites, initial=7)
+        objs = session.replicate(DInt, "x", sites, initial=7)
         assert [o.get() for o in objs] == [7, 7, 7]
         sites[2].transact(lambda: objs[2].set(9))
         session.settle()
@@ -71,7 +72,7 @@ class TestInvitationFlow:
     def test_late_joiner_adopts_current_state(self):
         session = Session.simulated(latency_ms=20)
         alice, bob, carol = session.add_sites(3)
-        a, b = session.replicate("int", "x", [alice, bob], initial=0)
+        a, b = session.replicate(DInt, "x", [alice, bob], initial=0)
         alice.transact(lambda: a.set(41))
         session.settle()
         # Carol joins after activity.
@@ -126,7 +127,7 @@ class TestLeave:
     def test_leave_stops_propagation(self):
         session = Session.simulated(latency_ms=20)
         alice, bob = session.add_sites(2)
-        a, b = session.replicate("int", "x", [alice, bob], initial=0)
+        a, b = session.replicate(DInt, "x", [alice, bob], initial=0)
         assoc_b = bob.objects["s1:x.assoc"]
         outcome = bob.leave(assoc_b, "x.rel", b)
         session.settle()
@@ -139,7 +140,7 @@ class TestLeave:
     def test_leaver_can_write_independently(self):
         session = Session.simulated(latency_ms=20)
         alice, bob = session.add_sites(2)
-        a, b = session.replicate("int", "x", [alice, bob], initial=0)
+        a, b = session.replicate(DInt, "x", [alice, bob], initial=0)
         assoc_b = bob.objects["s1:x.assoc"]
         bob.leave(assoc_b, "x.rel", b)
         session.settle()
@@ -151,7 +152,7 @@ class TestLeave:
     def test_membership_updated_after_leave(self):
         session = Session.simulated(latency_ms=20)
         alice, bob = session.add_sites(2)
-        a, b = session.replicate("int", "x", [alice, bob], initial=0)
+        a, b = session.replicate(DInt, "x", [alice, bob], initial=0)
         assoc_a = alice.objects["s0:x.assoc"]
         assoc_b = bob.objects["s1:x.assoc"]
         bob.leave(assoc_b, "x.rel", b)

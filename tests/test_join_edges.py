@@ -5,6 +5,7 @@ import pytest
 
 from repro import Session
 from repro.sim.network import FixedLatency
+from repro import DInt
 
 
 class TestUncommittedMemberState:
@@ -14,7 +15,7 @@ class TestUncommittedMemberState:
         session = Session.simulated(latency_ms=40, delegation_enabled=False)
         alice, bob, carol = session.add_sites(3)
         # alice & bob share x; alice is primary.
-        a_obj, b_obj = session.replicate("int", "x", [alice, bob], initial=1)
+        a_obj, b_obj = session.replicate(DInt, "x", [alice, bob], initial=1)
         session.settle()
         # bob writes; confirms from alice are slow, so bob's value stays
         # uncommitted a while.
@@ -52,7 +53,7 @@ class TestAssociationConflicts:
         assoc's primary serializes them via the normal RL machinery."""
         session = Session.simulated(latency_ms=30)
         alice, bob, carol = session.add_sites(3)
-        objs = session.replicate("int", "x", [alice], initial=3)
+        objs = session.replicate(DInt, "x", [alice], initial=3)
         assoc = alice.objects["s0:x.assoc"]
         inv = assoc.make_invitation()
         assoc_b = bob.import_invitation(inv, "x.assoc")
@@ -73,7 +74,7 @@ class TestLeaveRejoin:
     def test_leave_then_rejoin_same_object(self):
         session = Session.simulated(latency_ms=20)
         alice, bob = session.add_sites(2)
-        a_obj, b_obj = session.replicate("int", "x", [alice, bob], initial=5)
+        a_obj, b_obj = session.replicate(DInt, "x", [alice, bob], initial=5)
         assoc_b = bob.objects["s1:x.assoc"]
         bob.leave(assoc_b, "x.rel", b_obj)
         session.settle()
@@ -91,7 +92,7 @@ class TestLeaveRejoin:
     def test_leave_is_visible_in_membership_everywhere(self):
         session = Session.simulated(latency_ms=20)
         sites = session.add_sites(3)
-        objs = session.replicate("int", "x", sites, initial=0)
+        objs = session.replicate(DInt, "x", sites, initial=0)
         assoc_2 = sites[2].objects["s2:x.assoc"]
         sites[2].leave(assoc_2, "x.rel", objs[2])
         session.settle()

@@ -5,6 +5,7 @@ import pytest
 from repro import Session
 from repro.bench.metrics import ConflictStats, DeviationTotals, LatencyStats
 from repro.bench import attach_probe
+from repro import DInt
 from repro.workloads import (
     PoissonArrivals,
     ReadModifyWriteWorkload,
@@ -17,7 +18,7 @@ from repro.workloads import (
 def scenario():
     session = Session.simulated(latency_ms=40, seed=11)
     alice, bob = session.add_sites(2)
-    objs = session.replicate("int", "x", [alice, bob], initial=0)
+    objs = session.replicate(DInt, "x", [alice, bob], initial=0)
     session.settle()
     return session, alice, bob, objs
 

@@ -26,6 +26,7 @@ from repro.obs import (
     to_jsonl,
 )
 from repro.vtime import VirtualTime
+from repro import DInt
 
 
 class TestEventBus:
@@ -292,7 +293,7 @@ class TestEndToEndDeterminism:
         session = Session.simulated(latency_ms=20.0)
         bus = session.observe()
         sites = session.add_sites(3)
-        objs = session.replicate("int", "x", sites, initial=0)
+        objs = session.replicate(DInt, "x", sites, initial=0)
         session.settle()
         for i in range(5):
             sites[i % 3].transact(lambda i=i: objs[i % 3].set(objs[i % 3].get() + 1))
@@ -316,7 +317,7 @@ class TestEndToEndDeterminism:
     def test_unobserved_session_records_nothing(self):
         session = Session.simulated(latency_ms=20.0)
         sites = session.add_sites(2)
-        objs = session.replicate("int", "x", sites, initial=0)
+        objs = session.replicate(DInt, "x", sites, initial=0)
         session.settle()
         sites[0].transact(lambda: objs[0].set(1))
         session.settle()

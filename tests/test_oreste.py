@@ -6,6 +6,7 @@ import pytest
 from repro.baselines.oreste import Operation, OresteSystem, default_commutes
 from repro.sim.network import FixedLatency
 from repro.vtime import VirtualTime
+from repro import DInt
 
 
 def vt(counter, site=0):
@@ -129,8 +130,8 @@ class TestPaperSection6Criticism:
 
         session = Session.simulated(latency_ms=50.0)
         alice, bob = session.add_sites(2)
-        a1, b1 = session.replicate("int", "acct_a", [alice, bob], initial=100)
-        a2, b2 = session.replicate("int", "acct_b", [alice, bob], initial=0)
+        a1, b1 = session.replicate(DInt, "acct_a", [alice, bob], initial=100)
+        a2, b2 = session.replicate(DInt, "acct_b", [alice, bob], initial=0)
         session.settle()
 
         class PairView(View):

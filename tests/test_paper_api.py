@@ -9,6 +9,7 @@ programming model.
 import pytest
 
 from repro import Session, Transaction, View
+from repro import DFloat
 
 
 class XferTrans(Transaction):
@@ -71,8 +72,8 @@ class BalanceView(View):
 def accounts():
     session = Session.simulated(latency_ms=50.0, delegation_enabled=False)
     a1, a2 = session.add_sites(2)
-    Ap = session.replicate("float", "A", [a1, a2], initial=100.0)
-    Bp = session.replicate("float", "B", [a1, a2], initial=0.0)
+    Ap = session.replicate(DFloat, "A", [a1, a2], initial=100.0)
+    Bp = session.replicate(DFloat, "B", [a1, a2], initial=0.0)
     session.settle()
     return session, a1, a2, Ap, Bp
 

@@ -11,13 +11,14 @@ accountant).
 import pytest
 
 from repro import Session
+from repro import DInt
 
 
 class TestPartialReplication:
     def test_private_state_never_propagates(self):
         session = Session.simulated(latency_ms=20)
         alice, bob = session.add_sites(2)
-        shared = session.replicate("int", "shared", [alice, bob], initial=0)
+        shared = session.replicate(DInt, "shared", [alice, bob], initial=0)
         private = alice.create_int("private", 42)
 
         def body():
@@ -35,8 +36,8 @@ class TestPartialReplication:
         accountant; planner never sees Y, accountant never sees X."""
         session = Session.simulated(latency_ms=20)
         app, planner, accountant = session.add_sites(3)
-        xs = session.replicate("int", "portfolio", [app, planner], initial=100)
-        ys = session.replicate("int", "taxes", [app, accountant], initial=50)
+        xs = session.replicate(DInt, "portfolio", [app, planner], initial=100)
+        ys = session.replicate(DInt, "taxes", [app, accountant], initial=50)
 
         def update_both():
             xs[0].set(110)
@@ -56,8 +57,8 @@ class TestPartialReplication:
         not at all — its primaries may live at different sites."""
         session = Session.simulated(latency_ms=40)
         app, planner, accountant = session.add_sites(3)
-        xs = session.replicate("int", "x", [planner, app], initial=0)  # primary: planner
-        ys = session.replicate("int", "y", [accountant, app], initial=0)  # primary: accountant
+        xs = session.replicate(DInt, "x", [planner, app], initial=0)  # primary: planner
+        ys = session.replicate(DInt, "y", [accountant, app], initial=0)  # primary: accountant
         # Contention on x: planner writes concurrently to force one retry.
         planner.transact(lambda: xs[0].set(xs[0].get() + 5))
 
@@ -76,8 +77,8 @@ class TestPartialReplication:
         site 2, which participates in both."""
         session = Session.simulated(latency_ms=20)
         sites = session.add_sites(5)
-        left = session.replicate("int", "left", [sites[0], sites[1], sites[2]], initial=0)
-        right = session.replicate("int", "right", [sites[2], sites[3], sites[4]], initial=0)
+        left = session.replicate(DInt, "left", [sites[0], sites[1], sites[2]], initial=0)
+        right = session.replicate(DInt, "right", [sites[2], sites[3], sites[4]], initial=0)
 
         def bridge():
             # Site 2 reads from one collaboration and writes the other.
@@ -96,7 +97,7 @@ class TestPartialReplication:
         the object as a counter, the other as a high-water mark."""
         session = Session.simulated(latency_ms=20)
         a_site, b_site = session.add_sites(2)
-        objs = session.replicate("int", "metric", [a_site, b_site], initial=0)
+        objs = session.replicate(DInt, "metric", [a_site, b_site], initial=0)
 
         def count_up():
             objs[0].set(objs[0].get() + 1)

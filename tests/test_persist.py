@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro import Session
+from repro import DInt
 from repro.persist import (
     CheckpointError,
     checkpoint_site,
@@ -59,7 +60,7 @@ class TestCheckpoint:
         # Disable delegation so alice (the primary) does not commit at t.
         session = Session.simulated(latency_ms=50, delegation_enabled=False)
         alice, bob = session.add_sites(2)
-        objs = session.replicate("int", "x", [alice, bob], initial=1)
+        objs = session.replicate(DInt, "x", [alice, bob], initial=1)
         session.settle()
         bob.transact(lambda: objs[1].set(99))  # uncommitted at alice for 3t
         session.run_for(60)  # applied at alice, commit not yet arrived
@@ -127,7 +128,7 @@ class TestRecoveryScenario:
         collaboration; state reconciles through the join sync."""
         session = Session.simulated(latency_ms=20)
         alice, bob = session.add_sites(2)
-        objs = session.replicate("int", "x", [alice, bob], initial=5)
+        objs = session.replicate(DInt, "x", [alice, bob], initial=5)
         session.settle()
         # Bob checkpoints, then crashes.
         payload = checkpoint_to_json(bob)
@@ -158,7 +159,7 @@ class TestRecoveryScenario:
         re-establishes the relationship — values survive."""
         session = Session.simulated(latency_ms=20)
         alice, bob = session.add_sites(2)
-        objs = session.replicate("int", "x", [alice, bob], initial=0)
+        objs = session.replicate(DInt, "x", [alice, bob], initial=0)
         alice.transact(lambda: objs[0].set(123))
         session.settle()
         checkpoint_a = checkpoint_to_json(alice)

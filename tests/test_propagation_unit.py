@@ -8,12 +8,13 @@ from repro.core.messages import OpPayload, SlotId
 from repro.core.transaction import TransactionContext, TxnRecord, TransactionOutcome
 from repro.errors import InvalidPath, ProtocolError
 from repro.vtime import VirtualTime
+from repro import DInt, DList
 
 
 def three_party():
     session = Session.simulated(latency_ms=10)
     sites = session.add_sites(3)
-    objs = session.replicate("int", "x", sites, initial=0)
+    objs = session.replicate(DInt, "x", sites, initial=0)
     session.settle()
     return session, sites, objs
 
@@ -49,7 +50,7 @@ class TestBuildBatches:
 
     def test_read_write_mix(self):
         session, sites, objs = three_party()
-        ys = session.replicate("int", "y", sites, initial=0)
+        ys = session.replicate(DInt, "y", sites, initial=0)
         session.settle()
 
         def body():
@@ -73,7 +74,7 @@ class TestBuildBatches:
 
     def test_child_write_addressed_root_relative(self):
         session, sites, _ = three_party()
-        lists = session.replicate("list", "doc", sites[:2])
+        lists = session.replicate(DList, "doc", sites[:2])
         session.settle()
         holder = []
         sites[0].transact(lambda: holder.append(lists[0].append("int", 1)))

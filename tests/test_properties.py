@@ -19,17 +19,17 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro import Session, View
+from repro import DInt, DList, DMap, Session, View
 from repro.sim.network import UniformLatency
 
 SETTINGS = settings(max_examples=25, deadline=None)
 
 
-def build(n_sites, seed, kind="int"):
+def build(n_sites, seed, kind=DInt):
     session = Session.simulated(latency_ms=40, seed=seed)
     session.network.default_latency = UniformLatency(5.0, 70.0)
     sites = session.add_sites(n_sites)
-    objs = session.replicate(kind, "obj", sites, initial=0 if kind == "int" else None)
+    objs = session.replicate(kind, "obj", sites, initial=0 if kind is DInt else None)
     session.settle()
     return session, sites, objs
 
@@ -142,7 +142,7 @@ def test_pessimistic_views_show_committed_prefix_in_order(script, seed):
     seed=st.integers(0, 5),
 )
 def test_map_scripts_converge(ops, seed):
-    session, sites, maps = build(2, seed, kind="map")
+    session, sites, maps = build(2, seed, kind=DMap)
     rng = random.Random(seed)
     keys = ["a", "b", "c"]
     for site_i, key_i, v in ops:
@@ -164,7 +164,7 @@ def test_map_scripts_converge(ops, seed):
     seed=st.integers(0, 5),
 )
 def test_list_scripts_converge(ops, seed):
-    session, sites, lists = build(2, seed, kind="list")
+    session, sites, lists = build(2, seed, kind=DList)
     rng = random.Random(seed)
     counter = [0]
     for site_i, action in ops:

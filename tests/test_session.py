@@ -6,6 +6,7 @@ from repro import Session
 from repro.core.repgraph import GraphNode
 from repro.errors import ReproError
 from repro.transport import MemoryTransport, SimTransport
+from repro import DInt, DList, DMap
 
 
 class TestConstruction:
@@ -45,13 +46,13 @@ class TestConstruction:
             latency_ms=10.0, primary_selector=lambda g: max(g.nodes)
         )
         alice, bob = session.add_sites(2)
-        objs = session.replicate("int", "x", [alice, bob], initial=0)
+        objs = session.replicate(DInt, "x", [alice, bob], initial=0)
         assert objs[0].primary_site() == 1
 
     def test_counters_aggregate(self):
         session = Session.simulated(latency_ms=10.0)
         alice, bob = session.add_sites(2)
-        objs = session.replicate("int", "x", [alice, bob], initial=0)
+        objs = session.replicate(DInt, "x", [alice, bob], initial=0)
         alice.transact(lambda: objs[0].set(1))
         session.settle()
         counters = session.counters()
@@ -77,8 +78,8 @@ class TestReplicateHelper:
     def test_composite_kinds(self):
         session = Session.simulated(latency_ms=10.0)
         sites = session.add_sites(2)
-        lists = session.replicate("list", "l", sites)
-        maps = session.replicate("map", "m", sites)
+        lists = session.replicate(DList, "l", sites)
+        maps = session.replicate(DMap, "m", sites)
         sites[0].transact(lambda: lists[0].append("int", 1))
         sites[1].transact(lambda: maps[1].put("k", "int", 2))
         session.settle()
@@ -88,7 +89,7 @@ class TestReplicateHelper:
     def test_replication_is_committed_on_return(self):
         session = Session.simulated(latency_ms=10.0)
         sites = session.add_sites(3)
-        objs = session.replicate("int", "x", sites, initial=0)
+        objs = session.replicate(DInt, "x", sites, initial=0)
         for obj in objs:
             assert obj.graph_history().current().committed
             assert len(obj.graph()) == 3
@@ -102,7 +103,7 @@ class TestReplicateHelper:
     def test_empty_sites_rejected(self):
         session = Session()
         with pytest.raises(ReproError):
-            session.replicate("int", "x", [])
+            session.replicate(DInt, "x", [])
 
     def test_run_for_requires_sim(self):
         session = Session()
@@ -115,7 +116,7 @@ class TestMemoryTransportSessions:
         """The protocol works synchronously over the zero-latency transport."""
         session = Session()
         alice, bob = session.add_sites(2)
-        objs = session.replicate("int", "x", [alice, bob], initial=5)
+        objs = session.replicate(DInt, "x", [alice, bob], initial=5)
         alice.transact(lambda: objs[0].set(6))
         assert objs[1].get() == 6
         assert objs[1].history.current().committed

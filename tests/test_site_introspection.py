@@ -11,12 +11,13 @@ observation order or platform.
 
 from repro import Session
 from repro.explore import check_trial, run_trial, sample_config
+from repro import DInt
 
 
 def settled_session(n_sites=3, latency_ms=20.0, txns=6):
     session = Session.simulated(latency_ms=latency_ms)
     sites = session.add_sites(n_sites)
-    objs = session.replicate("int", "x", sites, initial=0)
+    objs = session.replicate(DInt, "x", sites, initial=0)
     session.settle()
     for i in range(txns):
         site = sites[i % n_sites]
@@ -69,7 +70,7 @@ class TestProtocolResidue:
         shows up as residue before the commit round trip completes."""
         session = Session.simulated(latency_ms=50.0)
         sites = session.add_sites(2)
-        objs = session.replicate("int", "x", sites, initial=0)
+        objs = session.replicate(DInt, "x", sites, initial=0)
         session.settle()
         # Originate at the NON-primary site: a primary-site origin commits
         # locally without any round trip and would leave nothing to see.

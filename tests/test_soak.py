@@ -13,6 +13,7 @@ import pytest
 
 from repro import Session
 from repro.sim.topology import clusters
+from repro import DInt, DList, DMap
 
 
 def value(obj):
@@ -25,9 +26,9 @@ def test_wan_soak_with_midrun_failure(seed):
     sites = session.add_sites(6)
     clusters(session.network, groups=[[0, 1, 2], [3, 4, 5]], lan_ms=3.0, wan_ms=60.0)
 
-    counters = session.replicate("int", "n", sites, initial=0)
-    boards = session.replicate("map", "m", sites)
-    docs = session.replicate("list", "d", sites)
+    counters = session.replicate(DInt, "n", sites, initial=0)
+    boards = session.replicate(DMap, "m", sites)
+    docs = session.replicate(DList, "d", sites)
     session.settle()
 
     rng = random.Random(seed)

@@ -4,13 +4,14 @@ import pytest
 
 from repro import Session
 from repro.apps.tictactoe import TicTacToe
+from repro import DMap, DString
 
 
 def new_game(latency=30.0):
     session = Session.simulated(latency_ms=latency)
     px, po = session.add_sites(2)
-    boards = session.replicate("map", "board", [px, po])
-    turns = session.replicate("string", "turn", [px, po], initial="X")
+    boards = session.replicate(DMap, "board", [px, po])
+    turns = session.replicate(DString, "turn", [px, po], initial="X")
     session.settle()
     game_x = TicTacToe(px, boards[0], turns[0], "X")
     game_o = TicTacToe(po, boards[1], turns[1], "O")

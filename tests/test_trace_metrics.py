@@ -6,6 +6,7 @@ from repro import Session
 from repro.bench.metrics import ConflictStats, DeviationTotals, LatencyStats
 from repro.core.transaction import TransactionOutcome
 from repro.sim.trace import MessageTrace
+from repro import DInt
 
 
 class TestMessageTrace:
@@ -13,7 +14,7 @@ class TestMessageTrace:
         session = Session.simulated(latency_ms=20)
         trace = MessageTrace(session.network)
         alice, bob = session.add_sites(2)
-        objs = session.replicate("int", "x", [alice, bob], initial=0)
+        objs = session.replicate(DInt, "x", [alice, bob], initial=0)
         session.settle()
         trace.clear()  # drop setup traffic
         return session, trace, alice, bob, objs
@@ -149,7 +150,7 @@ class TestDeviationTotals:
 
         session = Session.simulated(latency_ms=20)
         alice, bob = session.add_sites(2)
-        objs = session.replicate("int", "x", [alice, bob], initial=0)
+        objs = session.replicate(DInt, "x", [alice, bob], initial=0)
         session.settle()
         objs[1].attach(Null(), "optimistic")
         alice.transact(lambda: objs[0].set(1))

@@ -106,7 +106,7 @@ class TestAsyncioTransport:
             transport.register(1, lambda src, p: inbox.append((src, p)))
             await transport.start()
             transport.send(0, 1, "hello")
-            await transport.quiesce(settle_ms=5)
+            await transport.aquiesce(settle_ms=5)
             await transport.stop()
             return inbox
 
@@ -120,7 +120,7 @@ class TestAsyncioTransport:
             await transport.start()
             start = transport.now()
             transport.send(0, 1, "x")
-            await transport.quiesce(settle_ms=5)
+            await transport.aquiesce(settle_ms=5)
             await transport.stop()
             return times[0] - start
 
@@ -136,7 +136,7 @@ class TestAsyncioTransport:
             await transport.start()
             transport.fail_site(1)
             transport.send(0, 1, "lost")
-            await transport.quiesce(settle_ms=5)
+            await transport.aquiesce(settle_ms=5)
             await transport.stop()
             return inbox, notices
 

@@ -3,6 +3,7 @@
 import pytest
 
 from repro import Session, View
+from repro import DList, DMap
 
 
 class Rec(View):
@@ -21,7 +22,7 @@ class Rec(View):
 def list_pair(latency=40.0, **kwargs):
     session = Session.simulated(latency_ms=latency, **kwargs)
     alice, bob = session.add_sites(2)
-    la, lb = session.replicate("list", "doc", [alice, bob])
+    la, lb = session.replicate(DList, "doc", [alice, bob])
     session.settle()
     return session, alice, bob, la, lb
 
@@ -97,7 +98,7 @@ class TestPessimisticCompositeViews:
     def test_map_view_committed_only(self):
         session = Session.simulated(latency_ms=60.0, delegation_enabled=False)
         alice, bob = session.add_sites(2)
-        ma, mb = session.replicate("map", "board", [alice, bob])
+        ma, mb = session.replicate(DMap, "board", [alice, bob])
         session.settle()
         view = Rec(mb)
         mb.attach(view, "pessimistic")

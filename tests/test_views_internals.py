@@ -12,6 +12,7 @@ from repro.core.views import (
     subtree_uncommitted_upto,
 )
 from repro.vtime import VT_ZERO, VirtualTime
+from repro import DInt, DList
 
 
 def vt(counter, site=0):
@@ -93,7 +94,7 @@ class TestRetentionFloor:
     def test_pessimistic_proxy_sets_floor(self):
         session = Session.simulated(latency_ms=50, delegation_enabled=False)
         alice, bob = session.add_sites(2)
-        a, b = session.replicate("int", "x", [alice, bob], initial=0)
+        a, b = session.replicate(DInt, "x", [alice, bob], initial=0)
         session.settle()
         rec = Recorder()
         a.attach(rec, "pessimistic")
@@ -120,8 +121,8 @@ class TestChangedLists:
         notification (paper section 2.5)."""
         session = Session.simulated(latency_ms=10)
         alice, bob = session.add_sites(2)
-        xs = session.replicate("int", "x", [alice, bob], initial=0)
-        ys = session.replicate("int", "y", [alice, bob], initial=0)
+        xs = session.replicate(DInt, "x", [alice, bob], initial=0)
+        ys = session.replicate(DInt, "y", [alice, bob], initial=0)
         session.settle()
 
         class Named(View):
@@ -142,7 +143,7 @@ class TestChangedLists:
     def test_composite_event_maps_to_attached_ancestor(self):
         session = Session.simulated(latency_ms=10)
         alice, bob = session.add_sites(2)
-        lists = session.replicate("list", "l", [alice, bob])
+        lists = session.replicate(DList, "l", [alice, bob])
         session.settle()
         alice.transact(lambda: lists[0].append("int", 7))
         session.settle()
@@ -169,7 +170,7 @@ class TestDeferredChecks:
         value waits for it to resolve instead of answering."""
         session = Session.simulated(latency_ms=50, delegation_enabled=False)
         s0, s1, s2 = session.add_sites(3)
-        objs = session.replicate("int", "x", [s0, s1, s2], initial=0)
+        objs = session.replicate(DInt, "x", [s0, s1, s2], initial=0)
         session.settle()
         rec = Recorder()
         objs[2].attach(rec, "pessimistic")
@@ -187,7 +188,7 @@ class TestOptimisticSupersede:
     def test_only_latest_snapshot_outstanding(self):
         session = Session.simulated(latency_ms=80, delegation_enabled=False)
         alice, bob = session.add_sites(2)
-        a, b = session.replicate("int", "x", [alice, bob], initial=0)
+        a, b = session.replicate(DInt, "x", [alice, bob], initial=0)
         session.settle()
         rec = Recorder()
         b.attach(rec, "optimistic")

@@ -3,6 +3,7 @@
 import pytest
 
 from repro import Session, View
+from repro import DInt
 
 
 class RecordingView(View):
@@ -31,7 +32,7 @@ class RecordingView(View):
 def two_party(latency=50.0, **kwargs):
     session = Session.simulated(latency_ms=latency, **kwargs)
     alice, bob = session.add_sites(2)
-    a, b = session.replicate("int", "x", [alice, bob], initial=0)
+    a, b = session.replicate(DInt, "x", [alice, bob], initial=0)
     session.settle()
     return session, alice, bob, a, b
 
@@ -79,8 +80,8 @@ class TestBasics:
     def test_changed_list_names_updated_objects_only(self):
         session = Session.simulated(latency_ms=10)
         alice, bob = session.add_sites(2)
-        a1, b1 = session.replicate("int", "x", [alice, bob], initial=0)
-        a2, b2 = session.replicate("int", "y", [alice, bob], initial=0)
+        a1, b1 = session.replicate(DInt, "x", [alice, bob], initial=0)
+        a2, b2 = session.replicate(DInt, "y", [alice, bob], initial=0)
         session.settle()
         view = RecordingView(bob, [b1, b2])
         bob.site_id  # silence lint
@@ -92,8 +93,8 @@ class TestBasics:
     def test_multi_object_transaction_bundles_one_notification(self):
         session = Session.simulated(latency_ms=10)
         alice, bob = session.add_sites(2)
-        a1, b1 = session.replicate("int", "x", [alice, bob], initial=0)
-        a2, b2 = session.replicate("int", "y", [alice, bob], initial=0)
+        a1, b1 = session.replicate(DInt, "x", [alice, bob], initial=0)
+        a2, b2 = session.replicate(DInt, "y", [alice, bob], initial=0)
         session.settle()
         view = RecordingView(bob, [b1, b2])
         bob.views.attach(view, [b1, b2], "optimistic")
@@ -149,7 +150,7 @@ class TestDeviations:
         """A straggler older than the current value yields no notification."""
         session = Session.simulated(latency_ms=10)
         s0, s1, s2 = session.add_sites(3)
-        xs = session.replicate("int", "x", [s0, s1, s2], initial=0)
+        xs = session.replicate(DInt, "x", [s0, s1, s2], initial=0)
         session.settle()
         from repro.sim.network import FixedLatency
 
@@ -173,7 +174,7 @@ class TestDeviations:
         with the restored state."""
         session = Session.simulated(latency_ms=50)
         alice, bob = session.add_sites(2)
-        a, b = session.replicate("int", "x", [alice, bob], initial=0)
+        a, b = session.replicate(DInt, "x", [alice, bob], initial=0)
         session.settle()
         view = RecordingView(bob, [b])
         b.attach(view, "optimistic")
@@ -194,8 +195,8 @@ class TestDeviations:
         earlier VT arrives: the inconsistent snapshot is superseded."""
         session = Session.simulated(latency_ms=10)
         s0, s1, s2 = session.add_sites(3)
-        xs = session.replicate("int", "m1", [s0, s1, s2], initial=0)
-        ys = session.replicate("int", "m2", [s0, s1, s2], initial=0)
+        xs = session.replicate(DInt, "m1", [s0, s1, s2], initial=0)
+        ys = session.replicate(DInt, "m2", [s0, s1, s2], initial=0)
         session.settle()
         from repro.sim.network import FixedLatency
 
@@ -218,7 +219,7 @@ class TestQuiescence:
         """Section 2.5.1: the final snapshot before quiescence is correct."""
         session = Session.simulated(latency_ms=30, seed=3)
         sites = session.add_sites(3)
-        xs = session.replicate("int", "x", sites, initial=0)
+        xs = session.replicate(DInt, "x", sites, initial=0)
         session.settle()
         views = []
         for i, site in enumerate(sites):

@@ -9,6 +9,7 @@ The two guarantees under test:
 import pytest
 
 from repro import Session, View
+from repro import DInt
 
 
 class RecordingView(View):
@@ -31,7 +32,7 @@ class RecordingView(View):
 def two_party(latency=50.0, **kwargs):
     session = Session.simulated(latency_ms=latency, **kwargs)
     alice, bob = session.add_sites(2)
-    a, b = session.replicate("int", "x", [alice, bob], initial=0)
+    a, b = session.replicate(DInt, "x", [alice, bob], initial=0)
     session.settle()
     return session, alice, bob, a, b
 
@@ -137,8 +138,8 @@ class TestMultiObject:
         contradicts the commit order."""
         session = Session.simulated(latency_ms=25)
         alice, bob = session.add_sites(2)
-        a1, b1 = session.replicate("int", "m1", [alice, bob], initial=0)
-        a2, b2 = session.replicate("int", "m2", [alice, bob], initial=0)
+        a1, b1 = session.replicate(DInt, "m1", [alice, bob], initial=0)
+        a2, b2 = session.replicate(DInt, "m2", [alice, bob], initial=0)
         session.settle()
         view = RecordingView(bob, [b1, b2])
         bob.views.attach(view, [b1, b2], "pessimistic")
@@ -160,8 +161,8 @@ class TestMultiObject:
         snapshot's RL guess is revised and order stays monotonic."""
         session = Session.simulated(latency_ms=10)
         s0, s1, s2 = session.add_sites(3)
-        xs = session.replicate("int", "m1", [s0, s1, s2], initial=0)
-        ys = session.replicate("int", "m2", [s0, s1, s2], initial=0)
+        xs = session.replicate(DInt, "m1", [s0, s1, s2], initial=0)
+        ys = session.replicate(DInt, "m2", [s0, s1, s2], initial=0)
         session.settle()
         from repro.sim.network import FixedLatency
 

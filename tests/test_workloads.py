@@ -6,6 +6,7 @@ import pytest
 
 from repro import Session
 from repro.errors import ReproError
+from repro import DInt
 from repro.workloads import (
     BlindWriteWorkload,
     PoissonArrivals,
@@ -89,7 +90,7 @@ class TestRunner:
     def test_run_workload_summary(self):
         session = Session.simulated(latency_ms=20)
         alice, bob = session.add_sites(2)
-        objs = session.replicate("int", "x", [alice, bob], initial=0)
+        objs = session.replicate(DInt, "x", [alice, bob], initial=0)
         session.settle()
         parties = [
             WorkloadParty(
@@ -123,7 +124,7 @@ class TestRunner:
         def run_once():
             session = Session.simulated(latency_ms=20, seed=5)
             alice, bob = session.add_sites(2)
-            objs = session.replicate("int", "x", [alice, bob], initial=0)
+            objs = session.replicate(DInt, "x", [alice, bob], initial=0)
             session.settle()
             parties = [
                 WorkloadParty(
