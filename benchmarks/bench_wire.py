@@ -21,15 +21,23 @@ The check gate (``--check``) enforces the message-plane contract:
    ``--min-ratio`` (default 3x) on the standard workload.
 
 A codec microbenchmark (encode/decode of a representative
-``TxnPropagateMsg`` frame) rides along ungated; its us/op and bytes/frame
-land in the perf trajectory so serialization regressions show up as a
-slope change.
+``TxnPropagateMsg`` frame) rides along; its us/op and bytes/frame land in
+the perf trajectory so serialization regressions show up as a slope
+change.  Under ``--check`` the codec numbers are additionally gated
+against the committed ``BENCH_wire.json``: a >2x slowdown of encode or
+decode fails CI.
+
+A sockets benchmark measures the real TCP path: ping-pong frame latency
+(p50/p99 one-way) between two in-process :class:`TcpTransport` instances,
+a one-way burst exercising frame coalescing, and real-socket commits/sec
+from the two-OS-process example (``examples/two_process_tcp.py``).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_wire.py            # full run
     PYTHONPATH=src python benchmarks/bench_wire.py --quick    # CI smoke
     PYTHONPATH=src python benchmarks/bench_wire.py --quick --check
+    PYTHONPATH=src python benchmarks/bench_wire.py --no-sockets
 """
 
 from __future__ import annotations
@@ -146,7 +154,121 @@ def bench_codec(repeats: int, iterations: int = 2000) -> Dict[str, Any]:
     }
 
 
-def run(quick: bool = False, repeats: int = 0) -> Dict[str, Any]:
+def bench_sockets(quick: bool) -> Dict[str, Any]:
+    """Real-socket numbers: ping-pong latency, coalesced burst, two-process rate.
+
+    Everything here crosses actual TCP sockets on localhost — the ping-pong
+    and burst between two in-process :class:`TcpTransport` instances, the
+    commit rate between two OS processes running the full join/append
+    protocol (``examples/two_process_tcp.py --bench-out``).
+    """
+    import asyncio
+    import socket
+    import subprocess
+    import tempfile
+
+    from repro.core.messages import CommitMsg
+    from repro.transport.tcp import TcpTransport
+    from repro.vtime import VirtualTime
+
+    pingpong_frames = 200 if quick else 1000
+    burst_frames = 500 if quick else 2000
+    example_appends = 10 if quick else 40
+
+    def free_port() -> int:
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            return sock.getsockname()[1]
+
+    async def transports_bench() -> Dict[str, Any]:
+        addrs = {0: ("127.0.0.1", free_port()), 1: ("127.0.0.1", free_port())}
+        a = TcpTransport(addrs, local_sites={0})
+        b = TcpTransport(addrs, local_sites={1})
+        got = asyncio.Event()
+        echo = [True]
+        received = [0]
+
+        def on_b(src, payload):
+            if echo[0]:
+                b.send(1, 0, payload)
+            else:
+                received[0] += 1
+
+        a.register(0, lambda src, payload: got.set())
+        b.register(1, on_b)
+        await a.start()
+        await b.start()
+
+        async def rtt_once(i: int) -> float:
+            got.clear()
+            msg = CommitMsg(VirtualTime(i, 0), i)
+            start = time.perf_counter()
+            a.send(0, 1, msg)
+            await asyncio.wait_for(got.wait(), timeout=10.0)
+            return time.perf_counter() - start
+
+        for i in range(20):  # warmup: dial, codec caches, event-loop jit
+            await rtt_once(i)
+        rtts = sorted([await rtt_once(i) for i in range(pingpong_frames)])
+
+        def pct(p: float) -> float:
+            return rtts[min(len(rtts) - 1, int(p / 100.0 * len(rtts)))]
+
+        # One-way burst: the sender task drains the queue in coalesced
+        # batches, so writes << frames when the pipeline is doing its job.
+        echo[0] = False
+        writes0, coalesced0 = a.writes, a.frames_coalesced
+        start = time.perf_counter()
+        for i in range(burst_frames):
+            a.send(0, 1, CommitMsg(VirtualTime(i, 1), i))
+        deadline = start + 60.0
+        while received[0] < burst_frames:
+            if time.perf_counter() > deadline:
+                raise TimeoutError("burst frames did not all arrive")
+            await asyncio.sleep(0.001)
+        burst_s = time.perf_counter() - start
+        burst = {
+            "frames": burst_frames,
+            "frames_per_sec": round(burst_frames / burst_s, 1),
+            "writes": a.writes - writes0,
+            "frames_coalesced": a.frames_coalesced - coalesced0,
+        }
+        await a.stop()
+        await b.stop()
+        return {
+            "frames": pingpong_frames,
+            "rtt_p50_us": round(pct(50) * 1e6, 1),
+            "rtt_p99_us": round(pct(99) * 1e6, 1),
+            "frame_p50_us": round(pct(50) / 2 * 1e6, 1),
+            "frame_p99_us": round(pct(99) / 2 * 1e6, 1),
+            "burst": burst,
+        }
+
+    pingpong = asyncio.run(transports_bench())
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        bench_file = os.path.join(tmp, "two_process.json")
+        proc = subprocess.run(
+            [
+                sys.executable,
+                os.path.join(REPO_ROOT, "examples", "two_process_tcp.py"),
+                "--appends", str(example_appends),
+                "--bench-out", bench_file,
+            ],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        if proc.returncode == 0 and os.path.exists(bench_file):
+            with open(bench_file) as fh:
+                two_process = json.load(fh)
+        else:
+            two_process = {"error": (proc.stdout + proc.stderr).strip()[-500:]}
+
+    return {"pingpong": pingpong, "two_process": two_process}
+
+
+def run(quick: bool = False, repeats: int = 0, sockets: bool = True) -> Dict[str, Any]:
     cfg = QUICK if quick else FULL
     transactions, n_sites = cfg["transactions"], cfg["sites"]
     repeats = repeats or cfg["repeats"]
@@ -187,7 +309,7 @@ def run(quick: bool = False, repeats: int = 0) -> Dict[str, Any]:
     messages_identical = all(
         r["messages"] == reference["messages"] for rows in runs.values() for r in rows
     )
-    return {
+    result: Dict[str, Any] = {
         "schema": "bench_wire/v1",
         "mode": "quick" if quick else "full",
         "python": sys.version.split()[0],
@@ -211,9 +333,20 @@ def run(quick: bool = False, repeats: int = 0) -> Dict[str, Any]:
             "messages_identical": messages_identical,
         },
     }
+    if sockets:
+        result["sockets"] = bench_sockets(quick)
+    return result
 
 
-def check(results: Dict[str, Any], min_ratio: float) -> List[str]:
+#: Allowed codec slowdown vs the committed BENCH_wire.json before CI fails.
+CODEC_REGRESSION_FACTOR = 2.0
+
+
+def check(
+    results: Dict[str, Any],
+    min_ratio: float,
+    baseline_codec: "Dict[str, Any] | None" = None,
+) -> List[str]:
     """Gate the message-plane contract; returns failure descriptions."""
     failures: List[str] = []
     if not results["contract"]["digests_identical"]:
@@ -234,6 +367,16 @@ def check(results: Dict[str, Any], min_ratio: float) -> List[str]:
         )
     if results["fanout"]["burst"]["batched"] == 0:
         failures.append("burst mode coalesced zero messages — the outbox is inert")
+    if baseline_codec:
+        for op in ("encode_us", "decode_us"):
+            current = float(results["codec"][op])
+            recorded = float(baseline_codec.get(op, 0.0))
+            if recorded > 0 and current > recorded * CODEC_REGRESSION_FACTOR:
+                failures.append(
+                    f"codec {op} regressed to {current:.3f}us — more than "
+                    f"{CODEC_REGRESSION_FACTOR:.0f}x the committed baseline "
+                    f"{recorded:.3f}us"
+                )
     return failures
 
 
@@ -253,9 +396,25 @@ def main(argv=None) -> int:
         default=3.0,
         help="required burst-mode envelope reduction (default 3x)",
     )
+    parser.add_argument(
+        "--no-sockets",
+        action="store_true",
+        help="skip the real-socket benchmarks (ping-pong + two-process)",
+    )
     args = parser.parse_args(argv)
 
-    results = run(quick=args.quick, repeats=args.repeats)
+    # The codec regression gate compares against the *committed*
+    # BENCH_wire.json; read it before run() can overwrite it (--out
+    # defaults to the same path).
+    baseline_codec = None
+    if args.check and os.path.exists(DEFAULT_OUT):
+        try:
+            with open(DEFAULT_OUT) as fh:
+                baseline_codec = json.load(fh).get("codec")
+        except (ValueError, OSError):
+            baseline_codec = None
+
+    results = run(quick=args.quick, repeats=args.repeats, sockets=not args.no_sockets)
     with open(args.out, "w") as fh:
         json.dump(results, fh, indent=2)
         fh.write("\n")
@@ -277,10 +436,26 @@ def main(argv=None) -> int:
         f"{results['setup']['turn_envelopes']} envelopes "
         f"({results['setup']['turn_ratio']:.2f}x) with turn batching"
     )
+    if "sockets" in results:
+        ping = results["sockets"]["pingpong"]
+        print(
+            f"sockets: frame latency p50 {ping['frame_p50_us']} us / "
+            f"p99 {ping['frame_p99_us']} us, burst {ping['burst']['frames_per_sec']} "
+            f"frames/s in {ping['burst']['writes']} writes "
+            f"({ping['burst']['frames_coalesced']} coalesced)"
+        )
+        two = results["sockets"]["two_process"]
+        if "commits_per_sec" in two:
+            print(
+                f"two-process: {two['commits_per_sec']} commits/s over real TCP "
+                f"({two['commits']} commits in {two['wall_s']:.3f}s)"
+            )
+        else:
+            print(f"two-process bench failed: {two.get('error', 'unknown')}")
     print(f"wrote {args.out}")
 
     if args.check:
-        failures = check(results, args.min_ratio)
+        failures = check(results, args.min_ratio, baseline_codec)
         if failures:
             for failure in failures:
                 print(f"CHECK FAILED: {failure}", file=sys.stderr)

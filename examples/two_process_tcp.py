@@ -59,7 +59,9 @@ async def poll(predicate, deadline_s: float, what: str, interval_s: float = 0.02
         await asyncio.sleep(interval_s)
 
 
-async def child_main(site_id: int, ports: list, workdir: Path) -> None:
+async def child_main(
+    site_id: int, ports: list, workdir: Path, appends: int = APPENDS_PER_SITE
+) -> None:
     addrs = {i: ("127.0.0.1", port) for i, port in enumerate(ports)}
     transport = TcpTransport(addrs, local_sites={site_id}, fail_after_ms=30_000.0)
     session = Session(transport=transport, roster=set(addrs), batching=True)
@@ -107,14 +109,23 @@ async def child_main(site_id: int, ports: list, workdir: Path) -> None:
         outcome = site.join(local_assoc, rel_id, lst)
         await poll(lambda: committed(outcome), CHILD_DEADLINE_S, "member join")
 
-    # Both processes append their own marked entries concurrently.
-    for k in range(APPENDS_PER_SITE):
+    # Both processes append their own marked entries concurrently.  The loop
+    # is timed so bench mode can derive real-socket commits/sec; the tight
+    # poll interval keeps the measurement about the protocol, not the poll.
+    append_start = time.perf_counter()
+    for k in range(appends):
         value = site_id * 1000 + k
         outcome = site.transact(lambda v=value: lst.append("int", v))
-        await poll(lambda o=outcome: committed(o), CHILD_DEADLINE_S, f"append {value}")
+        await poll(
+            lambda o=outcome: committed(o),
+            CHILD_DEADLINE_S,
+            f"append {value}",
+            interval_s=0.002,
+        )
+    append_wall_s = time.perf_counter() - append_start
 
     # Convergence: the committed list holds every site's entries.
-    want = APPENDS_PER_SITE * len(addrs)
+    want = appends * len(addrs)
 
     def committed_len() -> int:
         return len(lst.value_at(horizon, committed_only=True))
@@ -127,6 +138,8 @@ async def child_main(site_id: int, ports: list, workdir: Path) -> None:
         "site": site_id,
         "digest": digest,
         "committed_len": committed_len(),
+        "appends": appends,
+        "append_wall_s": append_wall_s,
         "wire": {
             "messages_sent": site.outbox.messages_sent,
             "envelopes_sent": site.outbox.envelopes_sent,
@@ -150,7 +163,7 @@ def free_port() -> int:
         return sock.getsockname()[1]
 
 
-def parent_main() -> int:
+def parent_main(appends: int = APPENDS_PER_SITE, bench_out: str = "") -> int:
     ports = [free_port(), free_port()]
     with tempfile.TemporaryDirectory(prefix="repro-tcp-") as tmp:
         workdir = Path(tmp)
@@ -163,6 +176,7 @@ def parent_main() -> int:
                     "--site", str(site_id),
                     "--ports", ",".join(map(str, ports)),
                     "--workdir", str(workdir),
+                    "--appends", str(appends),
                 ],
                 env=os.environ.copy(),
             )
@@ -204,6 +218,18 @@ def parent_main() -> int:
                 f"({wire['messages_batched']} coalesced), "
                 f"{wire['frames_sent']} TCP frames out / {wire['frames_received']} in"
             )
+        if bench_out:
+            # Both sites run their append loops concurrently: total commits
+            # over the slower site's wall time is the real-socket commit rate.
+            total_commits = sum(r["appends"] for r in reports)
+            wall_s = max(r["append_wall_s"] for r in reports)
+            bench = {
+                "commits": total_commits,
+                "wall_s": round(wall_s, 6),
+                "commits_per_sec": round(total_commits / wall_s, 1),
+                "frames_sent": sum(r["wire"]["frames_sent"] for r in reports),
+            }
+            Path(bench_out).write_text(json.dumps(bench, sort_keys=True) + "\n")
         return 0
 
 
@@ -213,11 +239,18 @@ def main() -> int:
     parser.add_argument("--site", type=int, default=0)
     parser.add_argument("--ports", default="")
     parser.add_argument("--workdir", default="")
+    parser.add_argument("--appends", type=int, default=APPENDS_PER_SITE)
+    parser.add_argument(
+        "--bench-out",
+        default="",
+        metavar="FILE",
+        help="write commits/sec for the timed append phase as JSON",
+    )
     args = parser.parse_args()
     if args.role == "parent":
-        return parent_main()
+        return parent_main(appends=args.appends, bench_out=args.bench_out)
     ports = [int(p) for p in args.ports.split(",")]
-    asyncio.run(child_main(args.site, ports, Path(args.workdir)))
+    asyncio.run(child_main(args.site, ports, Path(args.workdir), appends=args.appends))
     return 0
 
 

@@ -25,13 +25,19 @@ class VirtualTime:
     comparisons, hashing, and the bisect-backed indexes share.
     """
 
-    __slots__ = ("counter", "site", "key")
+    __slots__ = ("counter", "site", "key", "_wire")
 
     counter: int
     site: int
     #: Precomputed ``(counter, site)`` — the sort key used by comparisons
     #: and by the bisect indexes in histories and interval sets.
     key: Tuple[int, int]
+    #: Lazily cached canonical wire encoding (tag byte + two zigzag
+    #: varints), written once by the codec via ``object.__setattr__`` the
+    #: first time this VT is encoded.  Commit fan-out and dict/frozenset
+    #: canonicalization re-encode the same timestamps many times; the cache
+    #: makes every encode after the first a single list append.
+    _wire: bytes
 
     def __init__(self, counter: int, site: int) -> None:
         object.__setattr__(self, "counter", counter)
@@ -127,6 +133,17 @@ class LamportClock:
         """Merge a VT carried by an incoming message (no-op for ``None``)."""
         if vt is not None and vt.counter > self._counter:
             self._counter = vt.counter
+
+    def observe_counter(self, counter: int) -> None:
+        """Merge a bare Lamport counter from an incoming message.
+
+        Equivalent to ``observe(VirtualTime(counter, src))`` for any site —
+        the merge only reads the counter — without allocating a throwaway
+        :class:`VirtualTime`.  The message dispatch loop calls this once
+        per incoming message.
+        """
+        if counter > self._counter:
+            self._counter = counter
 
     def peek(self) -> VirtualTime:
         """Return the VT the next :meth:`tick` would produce, without ticking."""

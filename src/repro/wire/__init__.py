@@ -1,9 +1,12 @@
 """Wire format for the DECAF message plane.
 
 :mod:`repro.wire.codec` — deterministic, versioned binary codec for every
-protocol message; :mod:`repro.wire.batch` — per-destination outbox that
-coalesces a protocol turn's fan-out into :class:`~repro.core.messages.Envelope`
-frames.
+protocol message, built around per-struct compiled packers, interning
+caches, and a span memo; :mod:`repro.wire.reference` — the original
+generic implementation, kept as the executable specification the compiled
+codec is property-tested against; :mod:`repro.wire.batch` — per-destination
+outbox that coalesces a protocol turn's fan-out into
+:class:`~repro.core.messages.Envelope` frames.
 """
 
 from repro.wire.codec import (

@@ -126,26 +126,38 @@ class Outbox:
 
     def _flush(self) -> None:
         buffered, self._buffer = self._buffer, []
-        groups: Dict[int, List[Any]] = {}
-        for dst, payload in buffered:  # first-seen destination order
-            groups.setdefault(dst, []).append(payload)
         site = self.site
-        for dst, msgs in groups.items():
-            self.messages_sent += len(msgs)
+        if len(buffered) == 1:
+            # The overwhelmingly common turn outcome — one reply to one
+            # destination — skips the grouping dict entirely.
+            dst, payload = buffered[0]
+            self.messages_sent += 1
             self.envelopes_sent += 1
-            if len(msgs) == 1:
-                site.transport.send(site.site_id, dst, msgs[0])
+            site.transport.send(site.site_id, dst, payload)
+            return
+        groups: Dict[int, List[Any]] = {}
+        setdefault = groups.setdefault
+        for dst, payload in buffered:  # first-seen destination order
+            setdefault(dst, []).append(payload)
+        transport_send = site.transport.send
+        site_id = site.site_id
+        for dst, msgs in groups.items():
+            count = len(msgs)
+            self.messages_sent += count
+            self.envelopes_sent += 1
+            if count == 1:
+                transport_send(site_id, dst, msgs[0])
                 continue
-            self.messages_batched += len(msgs)
+            self.messages_batched += count
             if site.bus.active:
                 site.bus.emit(
                     "envelope_sent",
-                    site=site.site_id,
+                    site=site_id,
                     time_ms=site.transport.now(),
                     dst=dst,
-                    count=len(msgs),
+                    count=count,
                 )
-            site.transport.send(site.site_id, dst, Envelope(tuple(msgs)))
+            transport_send(site_id, dst, Envelope(tuple(msgs)))
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,134 @@
+"""Adversarial decode fuzzing: malformed bytes must fail *cleanly*.
+
+The decoder's contract is that any byte string either decodes to a value or
+raises :class:`WireError` — never IndexError, struct.error, UnicodeError,
+RecursionError, or a hang.  The compiled unpackers take many speculative
+fast paths (fused tag reads, span memos, inline varints), so these
+properties hammer them with arbitrary bytes, mutated valid frames, and
+truncations of valid frames.
+"""
+
+import pytest
+from hypothesis import example, given, settings
+from hypothesis import strategies as st
+
+from repro.core.messages import OpPayload, TxnPropagateMsg, WriteOp
+from repro.errors import WireError
+from repro.vtime import VirtualTime
+from repro.wire import decode, decode_frame_body, encode
+from repro.wire.codec import WIRE_VERSION
+
+
+def _decode_or_wire_error(data):
+    """decode() may succeed or raise WireError; anything else is a bug."""
+    try:
+        decode(data)
+    except WireError:
+        pass
+
+
+def _sample_frames():
+    writes = tuple(
+        WriteOp(
+            object_uid=f"s{i}:ctr",
+            op=OpPayload(kind="set", args=(i,)),
+            read_vt=VirtualTime(40, 2),
+            graph_vt=VirtualTime(12, 0),
+        )
+        for i in range(3)
+    )
+    msg = TxnPropagateMsg(
+        txn_vt=VirtualTime(41, 2), origin=2, writes=writes, read_checks=(), clock=57
+    )
+    return [
+        encode(msg),
+        encode((0, 1, msg)),
+        encode({"k": (VirtualTime(1, 0), b"\x00\xff")}),
+        encode([None, True, -(2**40), 2.5, frozenset({1, 2})]),
+    ]
+
+
+SAMPLE_FRAMES = _sample_frames()
+
+
+@settings(max_examples=300)
+@given(st.binary(max_size=256))
+@example(b"")
+@example(bytes([WIRE_VERSION]))
+@example(bytes([WIRE_VERSION, 0x0B]))  # VT tag, no varints
+@example(bytes([WIRE_VERSION, 0x05, 0x7F]))  # str header, no payload
+@example(bytes([WIRE_VERSION, 0x07, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F]))  # huge tuple
+@example(bytes([WIRE_VERSION, 0x80]))  # continuation bit, no next byte
+@example(bytes([WIRE_VERSION, 0x26]))  # struct tag, no fields
+def test_arbitrary_bytes_never_escape_wire_error(data):
+    _decode_or_wire_error(data)
+
+
+@settings(max_examples=200)
+@given(
+    st.sampled_from(SAMPLE_FRAMES),
+    st.data(),
+)
+def test_mutated_valid_frames_never_escape_wire_error(frame, data):
+    pos = data.draw(st.integers(0, len(frame) - 1))
+    new_byte = data.draw(st.integers(0, 255))
+    mutated = frame[:pos] + bytes([new_byte]) + frame[pos + 1 :]
+    _decode_or_wire_error(mutated)
+
+
+@settings(max_examples=200)
+@given(st.sampled_from(SAMPLE_FRAMES), st.data())
+def test_truncated_valid_frames_never_escape_wire_error(frame, data):
+    cut = data.draw(st.integers(0, len(frame) - 1))
+    _decode_or_wire_error(frame[:cut])
+
+
+@settings(max_examples=100)
+@given(st.sampled_from(SAMPLE_FRAMES), st.binary(min_size=1, max_size=8))
+def test_trailing_garbage_raises_wire_error(frame, suffix):
+    with pytest.raises(WireError):
+        decode(frame + suffix)
+
+
+@settings(max_examples=200)
+@given(st.binary(max_size=64))
+def test_memoryview_input_behaves_like_bytes(data):
+    try:
+        from_bytes = decode(data)
+        bytes_ok = True
+    except WireError as exc:
+        from_bytes = str(exc)
+        bytes_ok = False
+    try:
+        from_view = decode(memoryview(data))
+        view_ok = True
+    except WireError as exc:
+        from_view = str(exc)
+        view_ok = False
+    assert bytes_ok == view_ok
+    if bytes_ok:
+        assert from_view == from_bytes
+
+
+@settings(max_examples=200)
+@given(st.binary(max_size=128))
+def test_frame_body_decoder_never_escapes_wire_error(body):
+    try:
+        decode_frame_body(body)
+    except WireError:
+        pass
+
+
+def test_deep_nesting_does_not_blow_the_stack():
+    # 2000 nested single-element tuples: decode must either succeed or fail
+    # cleanly, not die with RecursionError.
+    depth = 2000
+    payload = bytes([WIRE_VERSION]) + bytes([0x07, 0x01]) * depth + bytes([0x00])
+    try:
+        value = decode(payload)
+    except WireError:
+        return
+    for _ in range(depth):
+        assert isinstance(value, tuple) and len(value) == 1
+        value = value[0]
+    assert value is None

@@ -1,0 +1,234 @@
+"""Equivalence of the compiled packers against the reference codec.
+
+:mod:`repro.wire.codec` compiles a specialized encoder/decoder per
+registered struct, with fused byte tables, interning caches, and a span
+memo.  :mod:`repro.wire.reference` keeps the original generic
+implementation as the executable specification of the wire format.  These
+properties pin the two together for every registered struct: byte-identical
+encodings, identical decodes (in both directions), and well-behaved caches.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.association import Invitation
+from repro.core.messages import (
+    DelegateGrant,
+    OpPayload,
+    PathStep,
+    ReadCheck,
+    SlotId,
+    SnapshotCheck,
+    WriteOp,
+)
+from repro.core.repgraph import GraphNode, ReplicationGraph
+from repro.vtime import VirtualTime
+from repro.wire import codec, reference
+from repro.wire.codec import WIRE_STRUCTS, decode, encode
+
+from tests.test_wire import (
+    MESSAGE_STRATEGIES,
+    delegate_grants,
+    graph_nodes,
+    graphs,
+    op_payloads,
+    path_steps,
+    read_checks,
+    slot_ids,
+    snapshot_checks,
+    uids,
+    vts,
+    wire_values,
+    write_ops,
+)
+
+# ---------------------------------------------------------------------------
+# One strategy per registered struct (messages reuse tests.test_wire's)
+# ---------------------------------------------------------------------------
+
+invitations = st.builds(Invitation, st.integers(0, 64), uids, st.text(max_size=12))
+
+STRUCT_STRATEGIES = dict(MESSAGE_STRATEGIES)
+STRUCT_STRATEGIES.update(
+    {
+        SlotId: slot_ids,
+        PathStep: path_steps,
+        OpPayload: op_payloads,
+        WriteOp: write_ops,
+        ReadCheck: read_checks,
+        DelegateGrant: delegate_grants,
+        SnapshotCheck: snapshot_checks,
+        GraphNode: graph_nodes,
+        ReplicationGraph: graphs,
+        Invitation: invitations,
+    }
+)
+
+
+def test_every_registered_struct_has_a_strategy():
+    assert set(STRUCT_STRATEGIES) == set(WIRE_STRUCTS)
+
+
+# ---------------------------------------------------------------------------
+# Byte-for-byte equivalence with the reference codec
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("struct_type", WIRE_STRUCTS, ids=lambda t: t.__name__)
+def test_packer_encoding_matches_reference(struct_type):
+    @settings(max_examples=30)
+    @given(STRUCT_STRATEGIES[struct_type])
+    def check(value):
+        fast = encode(value)
+        assert fast == reference.encode(value)
+        # and both decoders agree on both encodings
+        assert decode(fast) == value
+        assert reference.decode(fast) == value
+
+    check()
+
+
+@pytest.mark.parametrize("struct_type", WIRE_STRUCTS, ids=lambda t: t.__name__)
+def test_packer_decoding_matches_reference(struct_type):
+    @settings(max_examples=30)
+    @given(STRUCT_STRATEGIES[struct_type])
+    def check(value):
+        ref_bytes = reference.encode(value)
+        assert decode(ref_bytes) == reference.decode(ref_bytes) == value
+
+    check()
+
+
+@settings(max_examples=60)
+@given(wire_values)
+def test_generic_values_match_reference(value):
+    fast = encode(value)
+    assert fast == reference.encode(value)
+    assert decode(fast) == reference.decode(fast) == value
+
+
+@settings(max_examples=40)
+@given(MESSAGE_STRATEGIES[list(MESSAGE_STRATEGIES)[0]])
+def test_reencoding_a_decoded_message_is_byte_identical(msg):
+    raw = encode(msg)
+    assert encode(decode(raw)) == raw
+
+
+# ---------------------------------------------------------------------------
+# Interning semantics
+# ---------------------------------------------------------------------------
+
+
+def test_interned_structs_are_shared_across_decodes():
+    op = OpPayload(kind="set", args=(7,))
+    raw = encode(op)
+    first = decode(raw)
+    second = decode(raw)
+    assert first == op
+    assert first is second  # span memo returns the shared instance
+
+
+def test_interned_structs_are_shared_across_identical_frames():
+    # Duplicate delivery: the same bytes arriving twice (e.g. a retransmit)
+    # must reuse the instances decoded the first time, not rebuild them.
+    w = WriteOp(
+        object_uid="s2:list",
+        op=OpPayload(kind="insert", args=(0, "x")),
+        read_vt=VirtualTime(9, 2),
+        graph_vt=VirtualTime(3, 0),
+    )
+    raw = encode(w)
+    first = decode(raw)
+    second = decode(bytes(raw))  # a distinct buffer with equal contents
+    assert first == w
+    assert first is second
+
+
+def test_interning_does_not_conflate_distinct_values():
+    a = OpPayload(kind="set", args=(1,))
+    b = OpPayload(kind="set", args=(2,))
+    assert decode(encode(a)) == a
+    assert decode(encode(b)) == b
+    assert decode(encode(a)) != decode(encode(b))
+
+
+def test_interning_is_invisible_to_equality_and_hash():
+    op = OpPayload(kind="put", args=("k", 1))
+    decoded = decode(encode(op))
+    assert decoded == op
+    assert hash(decoded) == hash(op)
+    assert dataclasses.asdict(decoded) == dataclasses.asdict(op)
+
+
+def test_encode_cache_stamp_is_stable_and_invisible():
+    # The first encode stamps the canonical bytes on the instance (_wire);
+    # later encodes must be byte-identical and the stamp must not leak into
+    # equality, hashing, or dataclass introspection.
+    w = WriteOp(
+        object_uid="s1:obj",
+        op=OpPayload(kind="set", args=(1,)),
+        read_vt=VirtualTime(5, 1),
+        graph_vt=VirtualTime(2, 0),
+    )
+    first = encode(w)
+    assert encode(w) == first
+    assert w == dataclasses.replace(w)
+    assert [f.name for f in dataclasses.fields(w)] == [
+        "object_uid",
+        "op",
+        "read_vt",
+        "graph_vt",
+        "path",
+    ]
+
+
+def test_overlong_varint_decodes_but_reencodes_canonically():
+    # The decoder tolerates non-minimal varints; re-encoding the decoded
+    # value must still produce the canonical (minimal) bytes.
+    canonical = encode(7)
+    overlong = bytes([canonical[0], canonical[1], 0x8E, 0x00])  # 14 -> 0x8E 0x00
+    assert decode(overlong) == 7
+    assert encode(decode(overlong)) == canonical
+
+
+def test_vt_decode_cache_handles_multibyte_varints():
+    for counter in (0, 1, 63, 64, 127, 128, 1000, 2**40):
+        vt = VirtualTime(counter, 2)
+        assert decode(encode(vt)) == vt
+
+
+# ---------------------------------------------------------------------------
+# Cache bounds: a burst of unique values must not grow caches without bound
+# ---------------------------------------------------------------------------
+
+
+def test_vt_cache_is_bounded():
+    for i in range(1000):
+        decode(encode(VirtualTime(i, i % 64)))
+    assert len(codec._VT_CACHE) <= codec._VT_CACHE_MAX
+
+
+def test_str_cache_is_bounded():
+    for i in range(1000):
+        decode(encode(f"unique-string-{i}"))
+    assert len(codec._STR_CACHE) <= codec._STR_CACHE_MAX
+    # long strings are never interned
+    big = "x" * (codec._STR_INTERN_MAX_LEN + 1)
+    assert decode(encode(big)) == big
+
+
+def test_struct_span_memo_is_bounded():
+    for i in range(1000):
+        decode(encode(OpPayload(kind="set", args=(i, f"v{i}"))))
+    assert len(codec._STRUCT_CACHE) <= codec._STRUCT_CACHE_MAX
+    for bucket in codec._STRUCT_CACHE.values():
+        assert len(bucket) <= codec._SPAN_BUCKET_MAX
+
+
+def test_reference_shares_the_live_registry():
+    # structs registered after import are visible to the reference codec
+    assert reference._STRUCTS_BY_CLASS is codec._STRUCTS_BY_CLASS
+    assert reference._STRUCTS_BY_TAG is codec._STRUCTS_BY_TAG
