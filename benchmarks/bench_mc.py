@@ -1,0 +1,145 @@
+"""Model-checker benchmark: exhaustive enumeration cost and POR leverage.
+
+Measures the bounded-exhaustive scheduler (``repro.explore.mc``) on the
+standard small configs:
+
+* ``replays_per_s`` — stateless executions per second (each DFS node costs
+  one full trial replay from config; this is the unit cost of everything),
+* per config: full vs POR schedule counts, the reduction ratio, and the
+  wall-clock to exhaust each space,
+* ``canary_s`` — time for the exhaustive canary check to *find* each
+  protocol mutation (stop-on-violation), the latency a CI gate pays.
+
+The committed ``BENCH_mc.json`` feeds ``scripts/bench_trajectory.py``
+(auto-globbed as area ``mc``), so schedule-count drift — a protocol change
+that silently grows or shrinks the reachable interleaving space — and
+replay-throughput regressions both show up in the per-commit trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_mc.py            # full run
+    PYTHONPATH=src python benchmarks/bench_mc.py --quick    # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Any, Dict
+
+if __name__ == "__main__":  # allow running straight from a checkout
+    _root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    _src = os.path.join(_root, "src")
+    if _src not in sys.path:
+        sys.path.insert(0, _src)
+
+from repro.explore.mc import canary_config, explore
+from repro.explore.plan import exhaustive_config
+from repro.sim.choice import ScheduleController
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_mc.json")
+
+#: (name, n_sites, txns, views, enumerate_full).  The quick set stops
+#: before the minute-scale entries; the 3-site unreduced space exceeds
+#: 20k schedules, so only its POR run is ever enumerated.
+CONFIGS = [
+    ("2s_2rmw", 2, [(0, "rmw"), (1, "rmw")], False, True),
+    ("2s_3txn", 2, [(0, "rmw"), (1, "rmw"), (0, "blind")], False, True),
+    ("2s_2rmw_views", 2, [(0, "rmw"), (1, "rmw")], True, True),
+]
+CONFIGS_FULL = CONFIGS + [
+    ("3s_2rmw", 3, [(0, "rmw"), (1, "rmw")], False, False),
+]
+
+
+def bench_replay_throughput(repeats: int) -> Dict[str, Any]:
+    """Unit cost: one controlled trial replay from config (DFS node cost)."""
+    from repro.explore.trial import run_trial
+
+    config = exhaustive_config(2, [(0, "rmw"), (1, "rmw")], views=False)
+
+    class FirstChoice:
+        def choose(self, depth, enabled):
+            return enabled[0]
+
+    start = time.perf_counter()
+    for _ in range(repeats):
+        run_trial(config, controller=ScheduleController(FirstChoice()))
+    elapsed = time.perf_counter() - start
+    return {
+        "repeats": repeats,
+        "replays_per_s": round(repeats / elapsed, 1),
+        "ms_per_replay": round(1000.0 * elapsed / repeats, 3),
+    }
+
+
+def bench_config(name, n_sites, txns, views, do_full: bool) -> Dict[str, Any]:
+    config = exhaustive_config(n_sites, txns, views=views)
+    t0 = time.perf_counter()
+    reduced = explore(config, por=True)
+    por_s = time.perf_counter() - t0
+    row: Dict[str, Any] = {
+        "por_schedules": reduced.stats.schedules,
+        "por_pruned": reduced.stats.pruned,
+        "por_s": round(por_s, 3),
+        "distinct_outcomes": reduced.stats.distinct_outcomes,
+        "max_depth": reduced.stats.max_depth,
+    }
+    if do_full:
+        t0 = time.perf_counter()
+        full = explore(config, por=False)
+        row["full_schedules"] = full.stats.schedules
+        row["full_s"] = round(time.perf_counter() - t0, 3)
+        row["por_ratio"] = round(reduced.stats.schedules / full.stats.schedules, 4)
+    return row
+
+
+def bench_canaries() -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for mutation in ("skip_rl_check", "views_pre_commit", "skip_nc_check"):
+        t0 = time.perf_counter()
+        result = explore(canary_config(mutation), por=True, stop_on_violation=True)
+        out[mutation] = {
+            "caught": not result.ok,
+            "schedules_to_find": result.stats.schedules,
+            "canary_s": round(time.perf_counter() - t0, 3),
+        }
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="reduced sizes (CI smoke)")
+    parser.add_argument("--out", default=DEFAULT_OUT, help="output JSON path")
+    args = parser.parse_args(argv)
+
+    configs = CONFIGS if args.quick else CONFIGS_FULL
+    results: Dict[str, Any] = {
+        "schema": "bench_mc/v1",
+        "quick": args.quick,
+        "replay": bench_replay_throughput(40 if args.quick else 200),
+        "configs": {},
+    }
+    for name, n_sites, txns, views, enumerate_full in configs:
+        # Full enumeration of the viewed 2-site config is ~4.4k schedules
+        # (~30 s): measured in the full run, skipped in --quick.
+        do_full = enumerate_full and not (args.quick and views)
+        results["configs"][name] = bench_config(name, n_sites, txns, views, do_full)
+        print(f"{name}: {json.dumps(results['configs'][name])}")
+    if not args.quick:
+        results["canaries"] = bench_canaries()
+        print(f"canaries: {json.dumps(results['canaries'])}")
+
+    with open(args.out, "w") as fh:
+        json.dump(results, fh, indent=2)
+        fh.write("\n")
+    print(f"results written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -242,6 +242,171 @@ def cmd_explore(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _parse_mc_txns(specs: List[str]) -> List[tuple]:
+    txns = []
+    for spec in specs:
+        try:
+            site_s, kind = spec.split(":", 1)
+            txns.append((int(site_s), kind))
+        except ValueError:
+            raise SystemExit(f"bad --txn {spec!r}: expected SITE:KIND, e.g. 0:rmw")
+    return txns
+
+
+def cmd_mc(args: argparse.Namespace) -> int:
+    """Bounded-exhaustive schedule model checking (see repro.explore.mc)."""
+    from repro.explore.campaign import artifact_json
+    from repro.explore.mc import (
+        CANARY_CONFIGS,
+        canary_config,
+        cross_check,
+        explore,
+        mc_artifact_for,
+        replay_mc_artifact,
+    )
+    from repro.explore.plan import exhaustive_config
+
+    if args.replay:
+        with open(args.replay) as fh:
+            artifact = json.load(fh)
+        regenerated, identical = replay_mc_artifact(artifact)
+        violations = regenerated["violations"]
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "replay": args.replay,
+                        "violations": len(violations),
+                        "byte_identical": identical,
+                    },
+                    indent=2,
+                )
+            )
+        else:
+            print(
+                f"replayed {args.replay}: schedule of {len(artifact['schedule'])} events, "
+                f"{len(violations)} violations, byte-identical={identical}"
+            )
+            for v in violations[:20]:
+                print(f"  [{v['oracle']}] site={v['site']} obj={v['obj']}: {v['detail']}")
+        return 0 if identical else 1
+
+    if args.canary:
+        # Canary mode: the mutation MUST be caught — exit 0 iff it is.
+        config = canary_config(args.canary)
+        result = explore(
+            config, por=not args.full, max_steps=args.max_steps, stop_on_violation=True
+        )
+        oracles = sorted({key[0] for key in result.violation_keys()})
+        allowed = sorted(CANARY_CONFIGS[args.canary]["oracles"])
+        caught = not result.ok and set(oracles) <= set(allowed)
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "canary": args.canary,
+                        "caught": caught,
+                        "oracles": oracles,
+                        "allowed": allowed,
+                        "stats": result.stats.to_dict(),
+                    },
+                    indent=2,
+                )
+            )
+        else:
+            verdict = "CAUGHT" if caught else "MISSED"
+            print(
+                f"canary {args.canary}: {verdict} by {oracles or 'nothing'} "
+                f"after {result.stats.schedules} schedules"
+            )
+        return 0 if caught else 1
+
+    if args.txn:
+        config = exhaustive_config(
+            args.sites,
+            _parse_mc_txns(args.txn),
+            views=not args.no_views,
+            mutations=tuple(args.mutate),
+            max_retries=args.max_retries,
+        )
+    else:
+        # Default workload: one rmw per site — maximal contention on one
+        # object, the protocol's hard case.
+        config = exhaustive_config(
+            args.sites,
+            [(s, "rmw") for s in range(args.sites)],
+            views=not args.no_views,
+            mutations=tuple(args.mutate),
+            max_retries=args.max_retries,
+        )
+
+    if args.cross_check:
+        verdict = cross_check(config, max_steps=args.max_steps)
+        full, reduced = verdict["full"], verdict["reduced"]
+        sound = verdict["violations_match"] and verdict["outcomes_match"]
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "config": config.label,
+                        "full": full.stats.to_dict(),
+                        "por": reduced.stats.to_dict(),
+                        "ratio": verdict["ratio"],
+                        "violations_match": verdict["violations_match"],
+                        "outcomes_match": verdict["outcomes_match"],
+                        "ok": full.ok,
+                    },
+                    indent=2,
+                )
+            )
+        else:
+            print(f"cross-check {config.label}:")
+            print(f"  {full.summary()}")
+            print(f"  {reduced.summary()}")
+            print(
+                f"  ratio={verdict['ratio']:.3f} violations_match={verdict['violations_match']} "
+                f"outcomes_match={verdict['outcomes_match']}"
+            )
+        if not sound:
+            return 2
+        return 0 if full.ok else 1
+
+    result = explore(
+        config,
+        por=not args.full,
+        max_schedules=args.max_schedules,
+        max_steps=args.max_steps,
+    )
+    artifact_path = None
+    if not result.ok:
+        _fp, schedule, violations = result.violating()[0]
+        artifact_path = args.out
+        with open(artifact_path, "w") as fh:
+            fh.write(artifact_json(mc_artifact_for(config, schedule, violations)))
+    if args.json:
+        doc = {
+            "config": config.label,
+            "por": result.por,
+            "exhausted": result.exhausted,
+            "ok": result.ok,
+            "stats": result.stats.to_dict(),
+            "artifact": artifact_path,
+        }
+        print(json.dumps(doc, indent=2))
+    else:
+        print(f"{config.label}: {result.summary()}")
+        if args.stats:
+            for key, value in result.stats.to_dict().items():
+                print(f"  {key:18s} {value}")
+        for _fp, schedule, violations in result.violating()[:3]:
+            print(f"violating schedule ({len(schedule)} events):")
+            for v in violations[:8]:
+                print(f"  {v}")
+        if artifact_path:
+            print(f"first violating schedule written to {artifact_path} (replay with --replay)")
+    return 0 if result.ok else 1
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """Run one observed trial; export its event timeline."""
     from repro.explore.plan import sample_config
@@ -498,6 +663,78 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     explore.add_argument("--json", action="store_true", help="machine-readable summary")
     explore.set_defaults(func=cmd_explore)
+
+    mc = sub.add_parser(
+        "mc",
+        help="bounded-exhaustive schedule model checking with partial-order reduction",
+    )
+    mc.add_argument("--sites", type=int, default=2, help="number of sites (default 2)")
+    mc.add_argument(
+        "--txn",
+        action="append",
+        default=[],
+        metavar="SITE:KIND",
+        help="one single-transaction party, e.g. 0:rmw 1:xfer; repeatable "
+        "(default: one rmw per site)",
+    )
+    mc.add_argument(
+        "--no-views", action="store_true", help="skip attaching recording views (smaller space)"
+    )
+    mc.add_argument(
+        "--mutate",
+        action="append",
+        default=[],
+        metavar="FLAG",
+        help="enable a protocol mutation canary; repeatable",
+    )
+    mc.add_argument(
+        "--full",
+        action="store_true",
+        help="disable partial-order reduction (enumerate the unreduced space)",
+    )
+    mc.add_argument(
+        "--max-schedules",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N complete schedules (result marked non-exhausted)",
+    )
+    mc.add_argument(
+        "--max-steps",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="per-schedule choice-event cap (livelock guard)",
+    )
+    mc.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="transaction retry bound (third dimension of the bounded space)",
+    )
+    mc.add_argument("--stats", action="store_true", help="print explored/pruned/deduped counters")
+    mc.add_argument(
+        "--cross-check",
+        action="store_true",
+        help="run full and POR explorations; verify identical outcomes and violations",
+    )
+    mc.add_argument(
+        "--canary",
+        metavar="MUTATION",
+        help="run the smallest config exposing MUTATION; exit 0 iff caught",
+    )
+    mc.add_argument(
+        "--out",
+        default="mc-violation.json",
+        metavar="FILE",
+        help="where to write the first violating schedule artifact",
+    )
+    mc.add_argument(
+        "--replay", metavar="FILE", help="replay a repro-mc/1 schedule artifact instead of exploring"
+    )
+    mc.add_argument("--json", action="store_true", help="machine-readable summary")
+    mc.set_defaults(func=cmd_mc)
 
     trace = sub.add_parser(
         "trace",

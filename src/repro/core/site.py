@@ -255,7 +255,7 @@ class SiteRuntime:
         self.outbox.send(dst, payload)
 
     def defer(self, action: Callable[[], None], delay_ms: float = 0.0) -> None:
-        self.transport.defer(action, delay_ms)
+        self.transport.defer(action, delay_ms, site=self.site_id)
 
     def dispatch(self, src: int, payload: Any) -> None:
         """Transport delivery handler: unpack envelopes, route each message.

@@ -16,6 +16,12 @@ invariant oracles derived from the paper's guarantees:
 
 Violations are replayable ``(seed, topology, fault plan)`` JSON artifacts;
 a greedy shrinker minimizes fault plans by deterministic replay.
+
+Alongside the randomized campaigns, :mod:`repro.explore.mc` *enumerates*
+every schedule of a small fault-free config (bounded-exhaustive model
+checking with sleep-set partial-order reduction) and runs the same oracle
+battery at every terminal state; its violations are replayable
+``repro-mc/1`` schedule artifacts.
 """
 
 from repro.explore.campaign import (
@@ -29,26 +35,55 @@ from repro.explore.campaign import (
     run_campaign,
     shrink_config,
 )
+from repro.explore.mc import (
+    MC_ARTIFACT_FORMAT,
+    MCResult,
+    MCStats,
+    canary_config,
+    cross_check,
+    explore,
+    mc_artifact_for,
+    replay_mc_artifact,
+    run_schedule,
+    terminal_fingerprint,
+)
 from repro.explore.oracles import Violation, check_trial
-from repro.explore.plan import FaultEvent, PartySpec, TrialConfig, sample_config
+from repro.explore.plan import (
+    FaultEvent,
+    PartySpec,
+    TrialConfig,
+    exhaustive_config,
+    sample_config,
+)
 from repro.explore.trial import TrialResult, run_trial
 
 __all__ = [
     "ARTIFACT_FORMAT",
+    "MC_ARTIFACT_FORMAT",
     "CampaignResult",
     "FaultEvent",
+    "MCResult",
+    "MCStats",
     "PartySpec",
     "TrialConfig",
     "TrialFailure",
     "TrialResult",
     "Violation",
     "artifact_for",
+    "canary_config",
     "capture_timeline",
     "check_trial",
+    "cross_check",
+    "exhaustive_config",
+    "explore",
+    "mc_artifact_for",
     "replay_artifact",
     "replay_identity",
+    "replay_mc_artifact",
     "run_campaign",
+    "run_schedule",
     "run_trial",
     "sample_config",
     "shrink_config",
+    "terminal_fingerprint",
 ]

@@ -126,6 +126,11 @@ class TrialConfig:
     mutations: Tuple[str, ...] = ()
     views: bool = True
     max_events: int = 5_000_000
+    #: Transaction retry cap.  The campaign default (50) never binds in
+    #: practice; exhaustive exploration lowers it (it is one of the bounds
+    #: of bounded-exhaustive checking — every retry multiplies the
+    #: schedule tree).
+    max_retries: int = 50
     label: str = ""
 
     def to_dict(self) -> Dict[str, Any]:
@@ -138,6 +143,7 @@ class TrialConfig:
             "mutations": list(self.mutations),
             "views": self.views,
             "max_events": self.max_events,
+            "max_retries": self.max_retries,
             "label": self.label,
         }
 
@@ -152,6 +158,7 @@ class TrialConfig:
             mutations=tuple(data.get("mutations", ())),
             views=bool(data.get("views", True)),
             max_events=int(data.get("max_events", 5_000_000)),
+            max_retries=int(data.get("max_retries", 50)),
             label=str(data.get("label", "")),
         )
 
@@ -172,8 +179,66 @@ class TrialConfig:
             mutations=self.mutations,
             views=self.views,
             max_events=self.max_events,
+            max_retries=self.max_retries,
             label=self.label,
         )
+
+
+def exhaustive_config(
+    n_sites: int,
+    txns: Sequence[Tuple[int, str]],
+    views: bool = True,
+    mutations: Sequence[str] = (),
+    max_retries: int = 2,
+    label: str = "",
+) -> TrialConfig:
+    """A tiny, fault-free config sized for bounded-exhaustive exploration.
+
+    ``txns`` lists the workload as ``(site, kind)`` pairs; each becomes its
+    own single-transaction party, so the model checker is free to
+    interleave *every* arrival against every other (per-party program
+    order constrains nothing when each party issues one transaction).
+    Latency and seeds are fixed: under controlled scheduling neither is
+    consulted for the enumerated events, and setup stays deterministic.
+
+    ``max_retries`` is deliberately small: it is the third bound of the
+    bounded-exhaustive space (sites, transactions, retries).  An
+    adversarial scheduler can sustain abort/retry cycles the timed
+    simulation's backoff makes vanishingly rare, and every retry round
+    multiplies the tree; a transaction that exhausts the cap surfaces as
+    an ordinary ``aborted_no_retry`` outcome the oracles already handle.
+    """
+    if n_sites < 1:
+        raise ValueError("exhaustive_config requires at least one site")
+    parties = []
+    for site, kind in txns:
+        if kind not in TXN_KINDS:
+            raise ValueError(f"unknown txn kind {kind!r}")
+        if not 0 <= site < n_sites:
+            raise ValueError(f"txn site {site} outside 0..{n_sites - 1}")
+        parties.append(
+            PartySpec(
+                site=site,
+                kind=kind,
+                count=1,
+                arrival="uniform",
+                interval_ms=1.0,
+                start_ms=0.0,
+                arrival_seed=0,
+                amount=1,
+            )
+        )
+    return TrialConfig(
+        n_sites=n_sites,
+        latency={"kind": "fixed", "ms": 1.0},
+        net_seed=0,
+        parties=parties,
+        faults=[],
+        mutations=tuple(mutations),
+        views=views,
+        max_retries=max_retries,
+        label=label or f"mc-{n_sites}s-{len(parties)}t",
+    )
 
 
 def _sample_latency(rng: random.Random) -> Dict[str, Any]:

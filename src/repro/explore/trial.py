@@ -164,7 +164,10 @@ def _apply_fault(network: Network, event: FaultEvent) -> None:
 
 
 def run_trial(
-    config: TrialConfig, observe: bool = False, subscribers: Sequence[Any] = ()
+    config: TrialConfig,
+    observe: bool = False,
+    subscribers: Sequence[Any] = (),
+    controller: Optional[Any] = None,
 ) -> TrialResult:
     """Build the session described by ``config``, run it to quiescence.
 
@@ -176,6 +179,14 @@ def run_trial(
     the run — events are stamped with simulated time and emitted outside
     the scheduler, so an observed trial is byte-identical to an
     unobserved one apart from the recording itself.
+
+    With a ``controller`` (a :class:`~repro.sim.choice.ScheduleController`)
+    the trial runs under *controlled scheduling* instead of sampled
+    latencies: session setup settles through the ordinary timed path, then
+    every workload arrival and cross-site delivery becomes a choice point
+    the controller's strategy orders.  Requires a fault-free config — the
+    exhaustive event alphabet covers arrivals, deliveries, and retry
+    timers, not fault injections.
     """
     scheduler = Scheduler()
     network = Network(
@@ -188,7 +199,7 @@ def run_trial(
     # Partitions model "no new communication" fail-stop disconnection;
     # messages already in the infrastructure still arrive (see plan.py).
     network.partition_cuts_inflight = False
-    session = Session(transport=SimTransport(network))
+    session = Session(transport=SimTransport(network), max_retries=config.max_retries)
     if observe:
         session.observe()
     for subscriber in subscribers:
@@ -223,6 +234,9 @@ def run_trial(
                 obj.attach(opt, mode="optimistic")
                 result.opt_views[(site.site_id, name)] = opt
 
+    if controller is not None and config.faults:
+        raise ReproError("controlled scheduling requires a fault-free config")
+
     base = scheduler.now
 
     for party_idx, spec in enumerate(config.parties):
@@ -252,7 +266,20 @@ def run_trial(
                 result.infos.append(info)
                 info.outcome = site.transact(body)
 
-            scheduler.call_at(base + max(0.0, t), fire, label=f"explore-txn p{party_idx}")
+            if controller is not None:
+                # Controlled scheduling: the arrival's *order* (per-party
+                # program order preserved) is the choice, not its time.
+                controller.offer_arrival(party_idx, fire)
+            else:
+                scheduler.call_at(base + max(0.0, t), fire, label=f"explore-txn p{party_idx}")
+
+    if controller is not None:
+        network.choice = controller
+        try:
+            controller.drive(scheduler, max_events=config.max_events)
+        finally:
+            network.choice = None
+        return result
 
     for event in config.faults:
         scheduler.call_at(

@@ -1,0 +1,191 @@
+"""Choice-point injection for the simulated network (exhaustive exploration).
+
+When a :class:`ScheduleController` is installed on a
+:class:`~repro.sim.network.Network` (``network.choice``), message deliveries
+stop flowing through sampled latencies: each send is parked in a per-channel
+FIFO queue and the *order* in which channel heads fire becomes an explicit
+choice, delegated to a pluggable strategy.  The model checker in
+:mod:`repro.explore.mc` uses this hook to enumerate every interleaving of a
+small trial; a fixed-schedule strategy replays one recorded interleaving.
+
+Event alphabet
+--------------
+
+Every choice event carries a stable, replayable key:
+
+``("msg", src, dst, n)``
+    The ``n``-th message sent on the ordered channel ``(src, dst)`` since
+    the controller was installed.  Per-channel FIFO is structural: only the
+    head of each channel queue is ever enabled, so no schedule can violate
+    the TCP-like ordering the protocol assumes.
+``("txn", party, n)``
+    The ``n``-th workload transaction of party ``party`` arriving at its
+    site.  Per-party program order is likewise structural.
+``("tmr", site, step, n)``
+    A positive-delay deferred action (transaction retry backoff) created at
+    ``site`` during macro step ``step``.  Timers created by the same macro
+    step at the same site fire in delay order (they share one creation
+    instant, so only that order is realizable in the timed simulation);
+    timers from different steps or sites interleave freely.
+
+Granularity (what is — and is not — a choice point)
+---------------------------------------------------
+
+One fired event is a *macro step*: the delivery/arrival/timer itself plus
+all same-instant local follow-ups (zero-delay defers and zero-latency
+loopback self-sends drain through the scheduler before the next choice).
+In the timed simulation those follow-ups always precede any cross-site
+delivery, which all carry positive latency, so folding them into the macro
+step never constructs an unrealizable schedule.  Conversely every schedule
+the controller *can* produce is realizable by some assignment of link
+latencies and timer expiries: the enabled set only ever contains events
+whose causal predecessors have fired.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+#: A stable, JSON-serializable identifier for one choice event.
+EventKey = Tuple[Any, ...]
+
+
+class PruneBranch(Exception):
+    """Raised by a strategy to cut the current branch (not a real terminal).
+
+    The controller stops driving and flags :attr:`ScheduleController.pruned`;
+    the trial's final state must not be treated as a quiescent outcome.
+    """
+
+
+class ScheduleExhausted(Exception):
+    """A fixed-schedule replay ran out of (or diverged from) its schedule."""
+
+
+class _Pending:
+    """One parked choice event: its key and the closure that fires it."""
+
+    __slots__ = ("key", "fire")
+
+    def __init__(self, key: EventKey, fire: Callable[[], None]) -> None:
+        self.key = key
+        self.fire = fire
+
+
+class ScheduleController:
+    """Parks deliverable events and fires them in a strategy-chosen order.
+
+    ``strategy`` is any object with ``choose(depth, enabled) -> EventKey``
+    where ``enabled`` is the canonically sorted list of currently enabled
+    event keys; it may raise :class:`PruneBranch` to cut the branch.
+
+    The controller is single-use: one instance drives one trial execution.
+    """
+
+    def __init__(self, strategy: Any, max_steps: int = 100_000) -> None:
+        self.strategy = strategy
+        self.max_steps = max_steps
+        #: Fired event keys, in order — the schedule this execution took.
+        self.trace: List[EventKey] = []
+        #: True when the strategy pruned the branch (partial execution).
+        self.pruned = False
+        self._queues: "OrderedDict[Tuple[Any, ...], Deque[_Pending]]" = OrderedDict()
+        self._channel_seq: Dict[Tuple[int, int], int] = {}
+        self._party_seq: Dict[int, int] = {}
+        #: Timers offered during the current macro step, flushed (in delay
+        #: order per site) into per-(site, step) queues before the next
+        #: choice is presented.
+        self._timer_buffer: List[Tuple[int, float, int, Callable[[], None]]] = []
+        self._timer_seq = 0
+
+    # ------------------------------------------------------------------
+    # Offer side (called by the network / transport / trial harness)
+    # ------------------------------------------------------------------
+
+    def offer_message(self, src: int, dst: int, fire: Callable[[], None]) -> EventKey:
+        """Park a message delivery on the FIFO channel ``(src, dst)``."""
+        n = self._channel_seq.get((src, dst), 0)
+        self._channel_seq[(src, dst)] = n + 1
+        key = ("msg", src, dst, n)
+        self._queues.setdefault(("msg", src, dst), deque()).append(_Pending(key, fire))
+        return key
+
+    def offer_arrival(self, party: int, fire: Callable[[], None]) -> EventKey:
+        """Park a workload transaction arrival (program order per party)."""
+        n = self._party_seq.get(party, 0)
+        self._party_seq[party] = n + 1
+        key = ("txn", party, n)
+        self._queues.setdefault(("txn", party), deque()).append(_Pending(key, fire))
+        return key
+
+    def offer_timer(self, site: Optional[int], fire: Callable[[], None], delay_ms: float) -> None:
+        """Park a positive-delay deferred action (e.g. a retry backoff)."""
+        seq = self._timer_seq
+        self._timer_seq = seq + 1
+        self._timer_buffer.append((site if site is not None else -1, delay_ms, seq, fire))
+
+    def _flush_timers(self) -> None:
+        if not self._timer_buffer:
+            return
+        step = len(self.trace)
+        # Same-instant timers at one site can only fire in delay order in
+        # the timed simulation, so that order is structural (FIFO queue);
+        # the tie on equal delays breaks by creation order.
+        self._timer_buffer.sort(key=lambda t: (t[0], t[1], t[2]))
+        counts: Dict[int, int] = {}
+        for site, _delay, _seq, fire in self._timer_buffer:
+            n = counts.get(site, 0)
+            counts[site] = n + 1
+            key = ("tmr", site, step, n)
+            self._queues.setdefault(("tmr", site, step), deque()).append(_Pending(key, fire))
+        self._timer_buffer = []
+
+    # ------------------------------------------------------------------
+    # Drive side (called by the trial harness)
+    # ------------------------------------------------------------------
+
+    def enabled(self) -> List[EventKey]:
+        """Canonically sorted keys of every channel head."""
+        return sorted(queue[0].key for queue in self._queues.values() if queue)
+
+    def _pop(self, key: EventKey) -> _Pending:
+        for qkey, queue in self._queues.items():
+            if queue and queue[0].key == key:
+                pending = queue.popleft()
+                if not queue:
+                    del self._queues[qkey]
+                return pending
+        raise SimulationError(f"choice {key!r} is not an enabled channel head")
+
+    def drive(self, scheduler: Any, max_events: int = 10_000_000) -> None:
+        """Run the trial to quiescence under strategy-chosen event order.
+
+        Each iteration drains same-instant local work through the
+        scheduler, flushes newly created timers, presents the enabled set
+        to the strategy, and fires its choice one simulated millisecond
+        later (the tick keeps recorded timelines monotone; no protocol
+        logic reads wall-clock time).
+        """
+        while True:
+            scheduler.run_until_quiescent(max_events=max_events)
+            self._flush_timers()
+            enabled = self.enabled()
+            if not enabled:
+                return
+            if len(self.trace) >= self.max_steps:
+                raise SimulationError(
+                    f"exhaustive schedule exceeded max_steps={self.max_steps}; "
+                    "probable protocol livelock"
+                )
+            try:
+                key = self.strategy.choose(len(self.trace), enabled)
+            except PruneBranch:
+                self.pruned = True
+                return
+            pending = self._pop(key)
+            self.trace.append(key)
+            scheduler.advance_to(scheduler.now + 1.0)
+            pending.fire()

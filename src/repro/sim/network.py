@@ -225,6 +225,14 @@ class Network:
         #: the view of disconnection the paper's fail-stop presentation
         #: implies.
         self.partition_cuts_inflight: bool = True
+        #: Choice-point hook (see :mod:`repro.sim.choice`).  When set to a
+        #: :class:`~repro.sim.choice.ScheduleController`, cross-site
+        #: deliveries bypass latency sampling and park in per-channel FIFO
+        #: queues; *which* channel head fires next becomes an explicit
+        #: choice the controller's strategy makes.  Zero-latency loopback
+        #: self-sends keep the timed path (they are same-instant local
+        #: continuations, not schedule choices).
+        self.choice: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Registration / topology
@@ -285,24 +293,6 @@ class Network:
             self.stats.messages_dropped += units
             self.stats.messages_dropped_injected += units
             return
-        if src == dst:
-            # Local loopback delivers on the next scheduler step with zero
-            # latency; it still goes through the queue so handler re-entrancy
-            # is never required.
-            delivery_time = self.scheduler.now
-        else:
-            model = self._link_latency.get((src, dst), self.default_latency)
-            delivery_time = self.scheduler.now + model.sample(self._rng, src, dst)
-        if self.delay_hook is not None and src != dst:
-            delivery_time += max(0.0, self.delay_hook(src, dst, payload))
-        if self.fifo:
-            key = (src, dst)
-            floor = self._last_delivery.get(key, 0.0)
-            delivery_time = max(delivery_time, floor)
-            self._last_delivery[key] = delivery_time
-
-        self.stats.messages_in_flight += units
-
         def deliver() -> None:
             self.stats.messages_in_flight -= units
             if dst in self._failed:
@@ -330,6 +320,28 @@ class Network:
                 )
             self._handlers[dst](src, payload)
 
+        if self.choice is not None and src != dst:
+            self.stats.messages_in_flight += units
+            self.choice.offer_message(src, dst, deliver)
+            return
+
+        if src == dst:
+            # Local loopback delivers on the next scheduler step with zero
+            # latency; it still goes through the queue so handler re-entrancy
+            # is never required.
+            delivery_time = self.scheduler.now
+        else:
+            model = self._link_latency.get((src, dst), self.default_latency)
+            delivery_time = self.scheduler.now + model.sample(self._rng, src, dst)
+        if self.delay_hook is not None and src != dst:
+            delivery_time += max(0.0, self.delay_hook(src, dst, payload))
+        if self.fifo:
+            key = (src, dst)
+            floor = self._last_delivery.get(key, 0.0)
+            delivery_time = max(delivery_time, floor)
+            self._last_delivery[key] = delivery_time
+
+        self.stats.messages_in_flight += units
         self.scheduler.call_at(delivery_time, deliver, label=f"deliver {src}->{dst}")
 
     def broadcast(self, src: int, dsts: List[int], payload: Any) -> None:

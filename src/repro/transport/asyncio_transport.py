@@ -110,7 +110,7 @@ class AsyncioTransport(Transport):
                 pass
         self._tasks.clear()
 
-    def defer(self, action, delay_ms: float = 0.0) -> None:
+    def defer(self, action, delay_ms: float = 0.0, site=None) -> None:
         try:
             loop = asyncio.get_running_loop()
         except RuntimeError:

@@ -67,10 +67,15 @@ class Transport(ABC):
                 continue
             self.send(src, dst, payload)
 
-    def defer(self, action: Callable[[], None], delay_ms: float = 0.0) -> None:
+    def defer(
+        self, action: Callable[[], None], delay_ms: float = 0.0, site: Optional[int] = None
+    ) -> None:
         """Run ``action`` asynchronously after ``delay_ms`` (transaction retries).
 
-        The default executes immediately (zero-latency transports have no
+        ``site`` identifies the deferring site when known; the simulated
+        transport uses it to present positive-delay defers as schedule
+        choice points during exhaustive exploration (``repro mc``).  The
+        default executes immediately (zero-latency transports have no
         meaningful delay); scheduler-backed transports queue it so retries
         never recurse on the current call stack.
         """

@@ -49,7 +49,15 @@ class SimTransport(Transport):
             scheduler.run_until_quiescent(max_events=max_events)
         return scheduler.events_processed - before
 
-    def defer(self, action, delay_ms: float = 0.0) -> None:
+    def defer(self, action, delay_ms: float = 0.0, site=None) -> None:
+        # Under exhaustive exploration, positive-delay defers (retry
+        # backoffs) are timers whose order relative to in-flight messages
+        # is a genuine schedule choice; zero-delay defers are same-instant
+        # continuations and stay on the scheduler (see repro.sim.choice).
+        choice = self.network.choice
+        if choice is not None and delay_ms > 0.0:
+            choice.offer_timer(site, action, delay_ms)
+            return
         self.network.scheduler.call_later(delay_ms, action, label="deferred")
 
     # -- fault-injection passthroughs (used by the conformance explorer) --

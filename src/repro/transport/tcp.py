@@ -166,7 +166,7 @@ class TcpTransport(Transport):
         link.frames.append(frame)
         link.wakeup.set()
 
-    def defer(self, action, delay_ms: float = 0.0) -> None:
+    def defer(self, action, delay_ms: float = 0.0, site=None) -> None:
         try:
             loop = asyncio.get_running_loop()
         except RuntimeError:

@@ -16,6 +16,8 @@ local runs default to ``dev``.
 
 import os
 
+import pytest
+
 try:
     from hypothesis import settings
 except ImportError:  # pragma: no cover - hypothesis is optional locally
@@ -25,3 +27,19 @@ if settings is not None:
     settings.register_profile("ci", derandomize=True, deadline=None)
     settings.register_profile("dev", deadline=None)
     settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
+#: Per-test wall-clock defaults, enforced only where pytest-timeout is
+#: installed (CI; the plugin is deliberately not a local requirement).  A
+#: hung scheduler or a model-checking run that fails to converge should
+#: fail its own test, not stall the whole suite.
+DEFAULT_TIMEOUT_S = 120
+SLOW_TIMEOUT_S = 600
+
+
+def pytest_collection_modifyitems(config, items):
+    if not config.pluginmanager.hasplugin("timeout"):
+        return  # pytest-timeout absent (local run): markers are inert labels
+    for item in items:
+        if item.get_closest_marker("timeout") is None:
+            limit = SLOW_TIMEOUT_S if item.get_closest_marker("slow") else DEFAULT_TIMEOUT_S
+            item.add_marker(pytest.mark.timeout(limit))

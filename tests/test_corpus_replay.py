@@ -1,0 +1,52 @@
+"""Regression corpus: every checked-in violation artifact must replay
+byte-identically.
+
+``tests/corpus/`` holds known violations found by the randomized campaign
+explorer (``repro-explore/1``) and the bounded-exhaustive model checker
+(``repro-mc/1``), one per protocol-mutation canary.  Each test re-runs the
+artifact's embedded config (and, for MC artifacts, its exact event
+schedule) and requires the regenerated artifact to match the stored bytes.
+A mismatch means determinism broke — replay no longer reproduces what the
+explorer saw — or the protocol's behavior changed under a schedule that is
+pinned as evidence.  Regenerate deliberately with
+``scripts/make_corpus.py``.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.explore import replay_artifact, replay_mc_artifact
+from repro.explore.campaign import ARTIFACT_FORMAT
+from repro.explore.mc import MC_ARTIFACT_FORMAT
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+CORPUS_FILES = sorted(
+    name for name in os.listdir(CORPUS_DIR) if name.endswith(".json")
+)
+
+
+def test_corpus_is_present():
+    # Both explorers contribute one artifact per mutation canary; an empty
+    # corpus directory means the checked-in evidence went missing.
+    assert len(CORPUS_FILES) >= 6
+
+
+@pytest.mark.parametrize("name", CORPUS_FILES)
+def test_corpus_artifact_replays_byte_identically(name):
+    with open(os.path.join(CORPUS_DIR, name)) as fh:
+        artifact = json.load(fh)
+
+    fmt = artifact["format"]
+    if fmt == ARTIFACT_FORMAT:
+        regenerated, identical = replay_artifact(artifact)
+    elif fmt == MC_ARTIFACT_FORMAT:
+        regenerated, identical = replay_mc_artifact(artifact)
+    else:
+        pytest.fail(f"{name}: unknown artifact format {fmt!r}")
+
+    assert identical, f"{name}: replay diverged from checked-in artifact"
+    # The corpus pins *violations*: a replay that comes back clean means
+    # the artifact no longer demonstrates anything.
+    assert regenerated["violations"], f"{name}: replay produced no violations"

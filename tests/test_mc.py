@@ -1,0 +1,186 @@
+"""Bounded-exhaustive model checker (repro.explore.mc).
+
+Covers: deterministic enumeration (same config -> byte-identical schedule
+set and stats), POR soundness by full-vs-reduced cross-check, a clean
+verdict on the healthy protocol, each mutation canary caught at the
+smallest config exposing it, schedule-artifact replay byte-identity, and
+the bounding knobs (fault rejection, max_schedules truncation, fixed-
+schedule divergence errors).
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.explore.campaign import artifact_json
+from repro.explore.mc import (
+    CANARY_CONFIGS,
+    canary_config,
+    cross_check,
+    explore,
+    mc_artifact_for,
+    replay_mc_artifact,
+    run_schedule,
+    terminal_fingerprint,
+)
+from repro.explore.plan import FaultEvent, exhaustive_config
+
+
+def tiny(views=False, mutations=()):
+    return exhaustive_config(2, [(0, "rmw"), (1, "rmw")], views=views, mutations=mutations)
+
+
+# ----------------------------------------------------------------------
+# Determinism and enumeration
+# ----------------------------------------------------------------------
+
+
+def test_exploration_is_deterministic():
+    a = explore(tiny(), por=True, keep_schedules=True)
+    b = explore(tiny(), por=True, keep_schedules=True)
+    assert a.stats.to_dict() == b.stats.to_dict()
+    assert a.schedules == b.schedules
+    assert sorted(a.outcomes) == sorted(b.outcomes)
+
+
+def test_full_and_por_explore_same_terminal_states():
+    full = explore(tiny(), por=False)
+    red = explore(tiny(), por=True)
+    assert full.exhausted and red.exhausted
+    assert full.stats.schedules > red.stats.schedules  # reduction is real
+    assert set(full.outcomes) == set(red.outcomes)  # and lossless
+    assert full.violation_keys() == red.violation_keys()
+
+
+def test_every_schedule_is_distinct_and_replayable():
+    result = explore(tiny(), por=False, keep_schedules=True)
+    seen = {tuple(map(tuple, s)) for s in result.schedules}
+    assert len(seen) == result.stats.schedules
+    # Each enumerated schedule replays to a terminal state the DFS saw.
+    fingerprints = set(result.outcomes)
+    for schedule in result.schedules:
+        assert terminal_fingerprint(run_schedule(tiny(), schedule)) in fingerprints
+
+
+def test_healthy_protocol_is_clean_exhaustively():
+    result = explore(tiny(views=True), por=True)
+    assert result.exhausted
+    assert result.ok, [str(v) for vs in result.outcomes.values() for v in vs]
+
+
+def test_cross_check_proves_por_sound_on_tiny_config():
+    verdict = cross_check(tiny())
+    assert verdict["violations_match"]
+    assert verdict["outcomes_match"]
+    assert 0 < verdict["por_schedules"] <= verdict["full_schedules"]
+
+
+@pytest.mark.slow
+def test_cross_check_2s2t_with_views_meets_reduction_target():
+    # The canonical 2-site/2-transaction config (views attached, the
+    # default): POR must cover the same outcomes and violations while
+    # exploring at most 30% of the unreduced interleavings.  Measured:
+    # 4428 full vs 10 POR schedules.
+    verdict = cross_check(tiny(views=True))
+    assert verdict["violations_match"]
+    assert verdict["outcomes_match"]
+    assert verdict["ratio"] <= 0.30
+
+
+# ----------------------------------------------------------------------
+# Mutation canaries
+# ----------------------------------------------------------------------
+
+
+def _assert_caught(mutation):
+    spec = CANARY_CONFIGS[mutation]
+    result = explore(canary_config(mutation), por=True, stop_on_violation=True)
+    assert not result.ok, f"{mutation} not caught"
+    oracles = {key[0] for key in result.violation_keys()}
+    assert oracles <= spec["oracles"], f"{mutation} reported by unexpected oracles {oracles}"
+
+
+def test_mc_catches_skip_rl_check():
+    _assert_caught("skip_rl_check")
+
+
+@pytest.mark.slow
+def test_mc_catches_skip_nc_check():
+    # Needs 3 sites: with 2, one transaction is primary-local and Lamport
+    # receive-bumps put its VT above any delivered propagate, so no
+    # reachable schedule writes inside another txn's reserved interval.
+    _assert_caught("skip_nc_check")
+
+
+def test_mc_catches_views_pre_commit():
+    _assert_caught("views_pre_commit")
+
+
+def test_healthy_canary_configs_are_clean():
+    # The canary configs themselves must be violation-free without the
+    # mutation — otherwise "caught" would be vacuous.
+    for mutation, spec in CANARY_CONFIGS.items():
+        if spec["n_sites"] > 2:
+            continue  # 3-site healthy sweep is covered by the slow tests
+        healthy = exhaustive_config(spec["n_sites"], spec["txns"], views=spec["views"])
+        result = explore(healthy, por=True)
+        assert result.ok, f"healthy {mutation} config violates: {result.violating()}"
+
+
+# ----------------------------------------------------------------------
+# Artifacts
+# ----------------------------------------------------------------------
+
+
+def test_mc_artifact_replays_byte_identically():
+    result = explore(tiny(mutations=("skip_rl_check",)), por=True)
+    assert not result.ok
+    _fp, schedule, violations = result.violating()[0]
+    artifact = mc_artifact_for(tiny(mutations=("skip_rl_check",)), schedule, violations)
+    # Round-trip through JSON text, as the CLI does.
+    loaded = json.loads(artifact_json(artifact))
+    regenerated, identical = replay_mc_artifact(loaded)
+    assert identical
+    assert regenerated["violations"] == loaded["violations"]
+
+
+def test_mc_artifact_rejects_unknown_format():
+    with pytest.raises(ReproError):
+        replay_mc_artifact({"format": "bogus/9", "config": {}, "schedule": []})
+
+
+def test_run_schedule_rejects_diverging_schedule():
+    result = explore(tiny(), por=False, keep_schedules=True)
+    schedule = list(result.schedules[0])
+    schedule[0] = ("msg", 99, 98, 0)  # never enabled
+    with pytest.raises(ReproError):
+        run_schedule(tiny(), schedule)
+
+
+# ----------------------------------------------------------------------
+# Bounds
+# ----------------------------------------------------------------------
+
+
+def test_explore_rejects_faulty_configs():
+    config = tiny()
+    config.faults.append(FaultEvent(at_ms=10.0, kind="crash", args={"site": 1}))
+    with pytest.raises(ReproError):
+        explore(config)
+
+
+def test_max_schedules_truncates_and_reports_it():
+    result = explore(tiny(views=True), por=False, max_schedules=5)
+    assert not result.exhausted
+    assert result.stats.schedules == 5
+
+
+def test_stop_on_violation_short_circuits():
+    result = explore(
+        tiny(mutations=("skip_rl_check",)), por=False, stop_on_violation=True
+    )
+    assert not result.ok
+    assert not result.exhausted
+    full = explore(tiny(mutations=("skip_rl_check",)), por=False)
+    assert result.stats.runs <= full.stats.runs

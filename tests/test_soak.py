@@ -20,6 +20,7 @@ def value(obj):
     return obj.value_at(obj.current_value_vt())
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("seed", [7, 77])
 def test_wan_soak_with_midrun_failure(seed):
     session = Session.simulated(latency_ms=10.0, seed=seed)
