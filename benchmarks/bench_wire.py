@@ -154,13 +154,17 @@ def bench_codec(repeats: int, iterations: int = 2000) -> Dict[str, Any]:
     }
 
 
-def bench_sockets(quick: bool) -> Dict[str, Any]:
+def bench_sockets(quick: bool, prom_out: str = "") -> Dict[str, Any]:
     """Real-socket numbers: ping-pong latency, coalesced burst, two-process rate.
 
     Everything here crosses actual TCP sockets on localhost — the ping-pong
     and burst between two in-process :class:`TcpTransport` instances, the
     commit rate between two OS processes running the full join/append
     protocol (``examples/two_process_tcp.py --bench-out``).
+
+    The transports' own telemetry registries ride along: counters land in
+    the result under ``telemetry`` and, with ``prom_out``, both registries
+    are written as one Prometheus text snapshot.
     """
     import asyncio
     import socket
@@ -233,6 +237,14 @@ def bench_sockets(quick: bool) -> Dict[str, Any]:
             "writes": a.writes - writes0,
             "frames_coalesced": a.frames_coalesced - coalesced0,
         }
+        # The transport registry is process-wide (site=-1); tag each with
+        # its local site so the two transports' series stay distinct when
+        # rendered into one Prometheus snapshot.
+        snapshots = [
+            dict(a.metrics.snapshot(), site=0),
+            dict(b.metrics.snapshot(), site=1),
+        ]
+        flush = a.metrics.histograms["transport.write_flush_ms"]
         await a.stop()
         await b.stop()
         return {
@@ -242,9 +254,19 @@ def bench_sockets(quick: bool) -> Dict[str, Any]:
             "frame_p50_us": round(pct(50) / 2 * 1e6, 1),
             "frame_p99_us": round(pct(99) / 2 * 1e6, 1),
             "burst": burst,
+            "telemetry": {
+                "sender_counters": snapshots[0]["counters"],
+                "write_flush_mean_us": round(flush.mean * 1000.0, 1),
+            },
+            "_snapshots": snapshots,
         }
 
     pingpong = asyncio.run(transports_bench())
+    snapshots = pingpong.pop("_snapshots")
+    if prom_out:
+        from repro.obs.prom import write_prometheus
+
+        write_prometheus(prom_out, snapshots)
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
         bench_file = os.path.join(tmp, "two_process.json")
@@ -268,7 +290,9 @@ def bench_sockets(quick: bool) -> Dict[str, Any]:
     return {"pingpong": pingpong, "two_process": two_process}
 
 
-def run(quick: bool = False, repeats: int = 0, sockets: bool = True) -> Dict[str, Any]:
+def run(
+    quick: bool = False, repeats: int = 0, sockets: bool = True, prom_out: str = ""
+) -> Dict[str, Any]:
     cfg = QUICK if quick else FULL
     transactions, n_sites = cfg["transactions"], cfg["sites"]
     repeats = repeats or cfg["repeats"]
@@ -334,7 +358,7 @@ def run(quick: bool = False, repeats: int = 0, sockets: bool = True) -> Dict[str
         },
     }
     if sockets:
-        result["sockets"] = bench_sockets(quick)
+        result["sockets"] = bench_sockets(quick, prom_out=prom_out)
     return result
 
 
@@ -401,6 +425,13 @@ def main(argv=None) -> int:
         action="store_true",
         help="skip the real-socket benchmarks (ping-pong + two-process)",
     )
+    parser.add_argument(
+        "--prom-out",
+        default="",
+        metavar="FILE",
+        help="with sockets enabled, write both transports' telemetry "
+        "registries as a Prometheus text-exposition snapshot",
+    )
     args = parser.parse_args(argv)
 
     # The codec regression gate compares against the *committed*
@@ -414,7 +445,12 @@ def main(argv=None) -> int:
         except (ValueError, OSError):
             baseline_codec = None
 
-    results = run(quick=args.quick, repeats=args.repeats, sockets=not args.no_sockets)
+    results = run(
+        quick=args.quick,
+        repeats=args.repeats,
+        sockets=not args.no_sockets,
+        prom_out=args.prom_out,
+    )
     with open(args.out, "w") as fh:
         json.dump(results, fh, indent=2)
         fh.write("\n")
@@ -453,6 +489,8 @@ def main(argv=None) -> int:
         else:
             print(f"two-process bench failed: {two.get('error', 'unknown')}")
     print(f"wrote {args.out}")
+    if args.prom_out and "sockets" in results:
+        print(f"prometheus snapshot written to {args.prom_out}")
 
     if args.check:
         failures = check(results, args.min_ratio, baseline_codec)

@@ -38,12 +38,14 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import Session  # noqa: E402
+from repro.obs import FlightRecorder, event_to_dict, write_prometheus  # noqa: E402
 from repro.transport.tcp import TcpTransport  # noqa: E402
 from repro.vtime import VirtualTime  # noqa: E402
 from repro.wire import decode, encode  # noqa: E402
 
 APPENDS_PER_SITE = 5
 CHILD_DEADLINE_S = 60.0
+PROM_FLUSH_S = 0.5
 
 
 # ---------------------------------------------------------------------------
@@ -60,12 +62,34 @@ async def poll(predicate, deadline_s: float, what: str, interval_s: float = 0.02
 
 
 async def child_main(
-    site_id: int, ports: list, workdir: Path, appends: int = APPENDS_PER_SITE
+    site_id: int,
+    ports: list,
+    workdir: Path,
+    appends: int = APPENDS_PER_SITE,
+    trace_dir: Path = None,
 ) -> None:
     addrs = {i: ("127.0.0.1", port) for i, port in enumerate(ports)}
     transport = TcpTransport(addrs, local_sites={site_id}, fail_after_ms=30_000.0)
     session = Session(transport=transport, roster=set(addrs), batching=True)
     site = session.add_site(f"proc{site_id}", site_id=site_id)
+
+    # --trace-dir: record this process's full wall-clock timeline (session
+    # protocol events + transport send/deliver events share transport.bus),
+    # arm the postmortem flight recorder, and keep a live Prometheus
+    # snapshot refreshed while the run progresses.
+    prom_task = None
+    if trace_dir is not None:
+        transport.bus.enable()
+        transport.flight = FlightRecorder(str(trace_dir / f"flight{site_id}.jsonl"))
+        transport.flight.attach(transport.bus)
+        transport.flight.install_excepthook()
+        prom_path = str(trace_dir / f"metrics{site_id}.prom")
+        snapshot_fns = [transport.metrics.snapshot, site.metrics.snapshot]
+        from repro.obs.prom import flush_periodically
+
+        prom_task = asyncio.ensure_future(
+            flush_periodically(prom_path, snapshot_fns, interval_s=PROM_FLUSH_S)
+        )
     await transport.start()
 
     invite_file = workdir / "invitation.hex"
@@ -149,6 +173,21 @@ async def child_main(
         },
     }
     (workdir / f"digest{site_id}.json").write_text(json.dumps(out, sort_keys=True))
+
+    if trace_dir is not None:
+        lines = [
+            json.dumps(event_to_dict(e), sort_keys=True)
+            for e in transport.bus.events
+        ]
+        (trace_dir / f"trace{site_id}.jsonl").write_text(
+            "\n".join(lines) + ("\n" if lines else "")
+        )
+    if prom_task is not None:
+        prom_task.cancel()
+        try:
+            await prom_task
+        except asyncio.CancelledError:
+            pass
     await transport.stop()
 
 
@@ -163,8 +202,12 @@ def free_port() -> int:
         return sock.getsockname()[1]
 
 
-def parent_main(appends: int = APPENDS_PER_SITE, bench_out: str = "") -> int:
+def parent_main(
+    appends: int = APPENDS_PER_SITE, bench_out: str = "", trace_dir: str = ""
+) -> int:
     ports = [free_port(), free_port()]
+    if trace_dir:
+        Path(trace_dir).mkdir(parents=True, exist_ok=True)
     with tempfile.TemporaryDirectory(prefix="repro-tcp-") as tmp:
         workdir = Path(tmp)
         children = [
@@ -177,7 +220,8 @@ def parent_main(appends: int = APPENDS_PER_SITE, bench_out: str = "") -> int:
                     "--ports", ",".join(map(str, ports)),
                     "--workdir", str(workdir),
                     "--appends", str(appends),
-                ],
+                ]
+                + (["--trace-dir", trace_dir] if trace_dir else []),
                 env=os.environ.copy(),
             )
             for site_id in (0, 1)
@@ -230,6 +274,15 @@ def parent_main(appends: int = APPENDS_PER_SITE, bench_out: str = "") -> int:
                 "frames_sent": sum(r["wire"]["frames_sent"] for r in reports),
             }
             Path(bench_out).write_text(json.dumps(bench, sort_keys=True) + "\n")
+        if trace_dir:
+            traces = sorted(Path(trace_dir).glob("trace*.jsonl"))
+            print(
+                f"  per-process timelines in {trace_dir}: "
+                + ", ".join(t.name for t in traces)
+                + "  (merge with: repro trace --merge "
+                + " ".join(str(t) for t in traces)
+                + " --format jsonl --out merged.jsonl)"
+            )
         return 0
 
 
@@ -246,11 +299,30 @@ def main() -> int:
         metavar="FILE",
         help="write commits/sec for the timed append phase as JSON",
     )
+    parser.add_argument(
+        "--trace-dir",
+        default="",
+        metavar="DIR",
+        help="record per-process wall-clock timelines (trace{N}.jsonl), "
+        "flight-recorder postmortems, and live Prometheus snapshots "
+        "(metrics{N}.prom) into DIR; merge afterwards with "
+        "`repro trace --merge`",
+    )
     args = parser.parse_args()
     if args.role == "parent":
-        return parent_main(appends=args.appends, bench_out=args.bench_out)
+        return parent_main(
+            appends=args.appends, bench_out=args.bench_out, trace_dir=args.trace_dir
+        )
     ports = [int(p) for p in args.ports.split(",")]
-    asyncio.run(child_main(args.site, ports, Path(args.workdir), appends=args.appends))
+    asyncio.run(
+        child_main(
+            args.site,
+            ports,
+            Path(args.workdir),
+            appends=args.appends,
+            trace_dir=Path(args.trace_dir) if args.trace_dir else None,
+        )
+    )
     return 0
 
 

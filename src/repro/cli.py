@@ -407,8 +407,83 @@ def cmd_mc(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_trace_merge(args: argparse.Namespace) -> int:
+    """Fuse per-process JSONL timelines into one cross-process trace."""
+    from repro.obs import (
+        analysis_json,
+        analyze_timeline,
+        chrome_trace_json,
+        events_from_timeline,
+        format_critical_path_report,
+        load_timeline,
+        merge_timelines,
+    )
+
+    timelines = [load_timeline(path) for path in args.merge]
+    merged = merge_timelines(timelines)
+    if args.format == "chrome":
+        payload = chrome_trace_json(events_from_timeline(merged.events))
+    else:
+        payload = merged.to_jsonl()
+    with open(args.out, "w") as fh:
+        fh.write(payload)
+
+    analysis = analyze_timeline(merged.events) if args.analyze else None
+    if analysis is not None and args.analysis_out:
+        with open(args.analysis_out, "w") as fh:
+            fh.write(analysis_json(analysis))
+
+    unmatched = len(merged.unmatched_sends) + len(merged.unmatched_deliveries)
+    if args.json:
+        doc = {
+            "inputs": list(args.merge),
+            "out": args.out,
+            "format": args.format,
+            "events": len(merged.events),
+            "pairs": merged.pairs,
+            "unmatched_sends": merged.unmatched_sends,
+            "unmatched_deliveries": merged.unmatched_deliveries,
+            "offsets_ms": {str(k): v for k, v in merged.offsets_ms.items()},
+            "clamped": merged.clamped,
+            "disconnected": merged.disconnected,
+        }
+        if analysis is not None:
+            doc["analysis"] = analysis
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    elif not args.quiet:
+        print(
+            f"merged {len(timelines)} timelines: {len(merged.events)} events, "
+            f"{merged.pairs} message edges, {unmatched} unmatched, "
+            f"{merged.clamped} clamped"
+        )
+        offsets = "  ".join(f"p{p}={off:+.3f}ms" for p, off in merged.offsets_ms.items())
+        print(f"clock offsets vs p0: {offsets}")
+        if merged.disconnected:
+            print(f"warning: processes {merged.disconnected} share no message "
+                  "edges with p0 (offset assumed 0)")
+        print(f"{args.format} merged timeline written to {args.out}")
+        if analysis is not None:
+            print(format_critical_path_report(analysis["critical_path"]), end="")
+            if args.analysis_out:
+                print(f"full causal analysis written to {args.analysis_out}")
+    if unmatched and not args.allow_unmatched:
+        for msg_id in merged.unmatched_sends[:10]:
+            print(f"unmatched send: {msg_id}", file=sys.stderr)
+        for msg_id in merged.unmatched_deliveries[:10]:
+            print(f"unmatched delivery: {msg_id}", file=sys.stderr)
+        print(
+            f"trace --merge: {unmatched} unmatched message edges "
+            "(pass --allow-unmatched to tolerate in-flight shutdown loss)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """Run one observed trial; export its event timeline."""
+    if args.merge:
+        return _cmd_trace_merge(args)
     from repro.explore.plan import sample_config
     from repro.explore.trial import run_trial
     from repro.obs import (
@@ -747,6 +822,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="enable a protocol mutation canary; repeatable",
     )
     trace.add_argument("--no-faults", action="store_true", help="disable fault injection")
+    trace.add_argument(
+        "--merge",
+        nargs="+",
+        metavar="JSONL",
+        help="instead of running a trial, fuse per-process wall-clock JSONL "
+        "timelines (trace exports or flight dumps) into one cross-process "
+        "happens-before trace: send/deliver pairing, clock-skew alignment, "
+        "causal re-sequencing; exits 1 on unmatched message edges",
+    )
+    trace.add_argument(
+        "--allow-unmatched",
+        action="store_true",
+        help="with --merge, tolerate unmatched send/deliver pairs (messages "
+        "in flight at shutdown) instead of failing",
+    )
     trace.add_argument(
         "--format",
         choices=("chrome", "jsonl"),

@@ -26,8 +26,12 @@ from repro.obs.causal import (
     normalize_events,
     parse_vt,
 )
+from repro.obs.clock import Clock, SimClock, WallClock
 from repro.obs.events import EVENT_KINDS, EventBus, ProtocolEvent, event_to_dict
 from repro.obs.export import chrome_trace_json, to_chrome_trace, to_jsonl
+from repro.obs.flight import FlightRecorder
+from repro.obs.merge import MergedTimeline, load_timeline, merge_timelines
+from repro.obs.prom import prometheus_text, write_prometheus
 from repro.obs.health import (
     AbortRateSpike,
     HealthFinding,
@@ -54,6 +58,15 @@ __all__ = [
     "EventBus",
     "ProtocolEvent",
     "event_to_dict",
+    "Clock",
+    "SimClock",
+    "WallClock",
+    "FlightRecorder",
+    "MergedTimeline",
+    "load_timeline",
+    "merge_timelines",
+    "prometheus_text",
+    "write_prometheus",
     "to_jsonl",
     "to_chrome_trace",
     "chrome_trace_json",

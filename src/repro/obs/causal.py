@@ -158,7 +158,10 @@ class CausalGraph:
 
     def _build(self) -> None:
         last_at_site: Dict[int, int] = {}
-        sends_by_msg_id: Dict[int, int] = {}
+        # msg_id is keyed as a string: the simulator uses bare ints, the
+        # real transports "origin:seq" — str() unifies live and merged
+        # timelines without caring which plane produced them.
+        sends_by_msg_id: Dict[str, int] = {}
         for event in self.events:
             prev = last_at_site.get(event.site)
             if prev is not None:
@@ -168,9 +171,9 @@ class CausalGraph:
             if msg_id is None:
                 continue
             if event.kind == "message_sent":
-                sends_by_msg_id[int(msg_id)] = event.seq
+                sends_by_msg_id[str(msg_id)] = event.seq
             elif event.kind == "message_delivered":
-                send_seq = sends_by_msg_id.get(int(msg_id))
+                send_seq = sends_by_msg_id.get(str(msg_id))
                 if send_seq is not None:
                     self._add_edge(
                         send_seq,

@@ -1,0 +1,89 @@
+"""Pluggable clock sources for the observability stack.
+
+The simulator stamps every event with *simulated* transport time, which is
+what makes recorded timelines deterministic and byte-identical per seed.
+The real cross-process runtime (``repro.transport.tcp``) has no simulated
+time — its events happen at wall-clock moments in different OS processes
+whose clocks disagree.  This module names that difference instead of
+leaving it implicit in ``transport.now()`` implementations:
+
+* :class:`SimClock` — reads simulated milliseconds from a source callable
+  (a simulated transport's ``now`` or a scheduler).  Deterministic: two
+  runs of the same seed read the same times.
+* :class:`WallClock` — monotonic wall-clock milliseconds since the clock
+  was created (``time.monotonic`` based, immune to NTP steps).  Each
+  process has its own origin, so two processes' WallClock readings are
+  mutually skewed by an unknown offset — exactly what
+  :func:`repro.obs.merge.merge_timelines` estimates and removes when it
+  fuses per-process timelines into one happens-before trace.
+
+Both expose one method, :meth:`Clock.now_ms`, and both are safe to hand to
+the EventBus/metrics plumbing: nothing downstream assumes which mode it is
+in.  The deterministic contract is preserved by *construction* — simulated
+sessions keep using :class:`SimClock` semantics (the transport's simulated
+``now``), and only the real transports run on :class:`WallClock`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+
+class Clock:
+    """A monotone source of milliseconds.  Subclasses define the epoch."""
+
+    #: True when readings are simulated (deterministic per seed).
+    simulated: bool = False
+
+    def now_ms(self) -> float:
+        raise NotImplementedError
+
+    def __call__(self) -> float:  # convenience: clocks are also callables
+        return self.now_ms()
+
+
+class SimClock(Clock):
+    """Simulated milliseconds read from a source callable.
+
+    The source is typically a simulated transport's ``now`` method; the
+    clock adds nothing — it exists so code that needs "a clock" can hold
+    one object in either mode.
+    """
+
+    simulated = True
+
+    __slots__ = ("_source",)
+
+    def __init__(self, source: Callable[[], float]) -> None:
+        self._source = source
+
+    def now_ms(self) -> float:
+        return self._source()
+
+    def __repr__(self) -> str:
+        return f"SimClock({self._source!r})"
+
+
+class WallClock(Clock):
+    """Monotonic wall-clock milliseconds since this clock's creation.
+
+    Built on ``time.monotonic`` so readings never jump backwards (NTP
+    steps, suspend/resume).  ``wall_origin_unix_s`` records the UNIX time
+    at which the origin was taken — provenance for merged-trace reports,
+    never used for event timestamps (it is not monotonic).
+    """
+
+    simulated = False
+
+    __slots__ = ("_origin", "wall_origin_unix_s")
+
+    def __init__(self) -> None:
+        self._origin = time.monotonic()
+        self.wall_origin_unix_s = time.time()
+
+    def now_ms(self) -> float:
+        return (time.monotonic() - self._origin) * 1000.0
+
+    def __repr__(self) -> str:
+        return f"WallClock(origin_unix={self.wall_origin_unix_s:.3f})"

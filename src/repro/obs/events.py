@@ -9,10 +9,15 @@ every emission with ``if bus.active:`` so a disabled bus costs exactly one
 attribute load and one branch on the hot paths; no event object, kwargs
 dict, or payload formatting is ever built unless someone is listening.
 
-Events are stamped with *simulated* time (the transport clock), never the
-wall clock, so a recorded timeline is deterministic: the same seed always
-yields byte-identical exports, which is what lets the conformance explorer
-embed timelines in replayable violation artifacts.
+Events are stamped with the owning transport's clock (:mod:`repro.obs.clock`).
+In the simulator that is *simulated* time, never the wall clock, so a
+recorded timeline is deterministic: the same seed always yields
+byte-identical exports, which is what lets the conformance explorer embed
+timelines in replayable violation artifacts.  The real cross-process
+transports stamp monotonic wall-clock milliseconds instead
+(:class:`~repro.obs.clock.WallClock`); their per-process timelines are
+fused — send/deliver pairing plus clock-skew estimation — by
+:mod:`repro.obs.merge`.
 """
 
 from __future__ import annotations
@@ -49,6 +54,8 @@ EVENT_KINDS = frozenset(
         "message_sent",
         "message_delivered",
         "envelope_sent",
+        "peer_unreachable",
+        "peer_connected",
     }
 )
 
@@ -127,14 +134,36 @@ class EventBus:
     stacking bug this bus replaced).
     """
 
-    __slots__ = ("active", "recording", "events", "_subscribers", "_seq")
+    __slots__ = ("active", "recording", "_events", "_staged", "_subscribers", "_seq")
 
     def __init__(self) -> None:
         self.active = False
         self.recording = False
-        self.events: List[ProtocolEvent] = []
+        self._events: List[ProtocolEvent] = []
+        # Raw (seq, time_ms, site, kind, txn_vt, data) tuples staged by the
+        # recording-only fast lane of emit_event(); materialized into
+        # ProtocolEvents the first time anyone reads :attr:`events`.
+        self._staged: List[tuple] = []
         self._subscribers: List[Callable[[ProtocolEvent], None]] = []
         self._seq = 0
+
+    @property
+    def events(self) -> List[ProtocolEvent]:
+        """Recorded events, materializing any staged fast-lane tuples first."""
+        if self._staged:
+            self._materialize()
+        return self._events
+
+    def _materialize(self) -> None:
+        staged = self._staged
+        self._staged = []
+        append = self._events.append
+        for seq, time_ms, site, kind, txn_vt, data in staged:
+            event = object.__new__(ProtocolEvent)
+            event.__dict__.update(
+                seq=seq, time_ms=time_ms, site=site, kind=kind, txn_vt=txn_vt, data=data
+            )
+            append(event)
 
     # -- lifecycle -------------------------------------------------------
 
@@ -150,7 +179,8 @@ class EventBus:
 
     def clear(self) -> None:
         """Drop all recorded events (the sequence counter keeps running)."""
-        self.events.clear()
+        self._staged.clear()
+        self._events.clear()
 
     def subscribe(self, fn: Callable[[ProtocolEvent], None]) -> None:
         """Add a live consumer called synchronously on every event."""
@@ -167,6 +197,11 @@ class EventBus:
 
     def _refresh(self) -> None:
         self.active = self.recording or bool(self._subscribers)
+        # With a subscriber present, emissions construct events eagerly and
+        # append straight to _events; drain the fast lane first so recorded
+        # order matches emission order across the transition.
+        if self._staged:
+            self._materialize()
 
     # -- emission --------------------------------------------------------
 
@@ -185,21 +220,58 @@ class EventBus:
         e.g. view_notified's kind=update/commit.)"""
         if not self.active:
             return None
+        if self._staged:
+            self._materialize()
         seq = self._seq
         self._seq = seq + 1
-        event = ProtocolEvent(
+        event = object.__new__(ProtocolEvent)
+        event.__dict__.update(
             seq=seq, time_ms=time_ms, site=site, kind=event_kind, txn_vt=txn_vt, data=data
         )
         if self.recording:
-            self.events.append(event)
+            self._events.append(event)
         for fn in self._subscribers:
             fn(event)
         return event
 
+    def emit_event(
+        self,
+        event_kind: str,
+        site: int,
+        time_ms: float,
+        txn_vt: Optional[VirtualTime],
+        data: Dict[str, Any],
+    ) -> None:
+        """Hot-path emit: the caller hands over ``data`` (dict ownership
+        included — it must not be mutated afterwards) and gets nothing back.
+
+        With no live subscribers, the event is *staged* as a raw tuple and
+        only turned into a :class:`ProtocolEvent` when :attr:`events` is
+        next read — a tuple append is several times cheaper than frozen
+        dataclass construction, and on the real-socket path four emissions
+        ride every RTT.  With subscribers attached (MessageTrace, a flight
+        recorder), events are built eagerly as in :meth:`emit`."""
+        if not self.active:
+            return
+        seq = self._seq
+        self._seq = seq + 1
+        if not self._subscribers:
+            if self.recording:
+                self._staged.append((seq, time_ms, site, event_kind, txn_vt, data))
+            return
+        event = object.__new__(ProtocolEvent)
+        event.__dict__.update(
+            seq=seq, time_ms=time_ms, site=site, kind=event_kind, txn_vt=txn_vt, data=data
+        )
+        if self.recording:
+            self._events.append(event)
+        for fn in self._subscribers:
+            fn(event)
+
     # -- queries ---------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self._events) + len(self._staged)
 
     def filter(
         self,

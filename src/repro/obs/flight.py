@@ -1,0 +1,137 @@
+"""Per-process flight recorder: a bounded ring of recent protocol events.
+
+A long-running process cannot keep (or afford) its full event timeline,
+but the moments before a failure are exactly what a postmortem needs.  The
+:class:`FlightRecorder` subscribes to an :class:`~repro.obs.events.EventBus`
+and keeps only the most recent ``capacity`` events in a ring buffer; on
+fail-stop detection (``TcpTransport`` calls :meth:`dump` from its
+``_declare_failed``) or an unhandled crash (:meth:`install_excepthook`)
+it writes the ring as a postmortem JSONL file — first a header line with
+the dump reason and provenance, then one event per line, oldest first.
+
+Subscribing activates the bus (``bus.active`` becomes True), so a process
+with only a flight recorder attached pays recording cost without growing
+the unbounded ``bus.events`` buffer: the recorder is the *bounded*
+consumer for processes that cannot afford full recording.  A process
+already recording the full timeline can attach one too — the ring is
+independent of the recording buffer.
+
+Dumps are append-numbered (``.1``, ``.2``, ...) when the target path
+already exists, so a crash that follows a fail-stop does not overwrite the
+first postmortem.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from collections import deque
+from typing import Any, Deque, Dict, Optional
+
+from repro.obs.events import EventBus, ProtocolEvent, event_to_dict
+
+#: Default ring capacity: enough for several transactions' full lifecycles
+#: (~18 events per 3-site transaction) without holding a long run's tail.
+DEFAULT_CAPACITY = 512
+
+
+class FlightRecorder:
+    """Bounded event ring with postmortem JSONL dumps."""
+
+    def __init__(self, path: str, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("flight recorder capacity must be positive")
+        self.path = path
+        self.capacity = capacity
+        self.ring: Deque[ProtocolEvent] = deque(maxlen=capacity)
+        #: Total events seen (>= len(ring); the difference is what scrolled
+        #: off the ring and is gone forever — reported in the dump header).
+        self.events_seen = 0
+        self.dumps = 0
+        self._bus: Optional[EventBus] = None
+        self._prev_excepthook = None
+
+    # -- bus plumbing ----------------------------------------------------
+
+    def record(self, event: ProtocolEvent) -> None:
+        """Bus subscriber: retain the event (evicting the oldest)."""
+        self.events_seen += 1
+        self.ring.append(event)
+
+    def attach(self, bus: EventBus) -> "FlightRecorder":
+        """Subscribe to ``bus`` (activating it); returns self for chaining."""
+        self._bus = bus
+        bus.subscribe(self.record)
+        return self
+
+    def detach(self) -> None:
+        if self._bus is not None:
+            self._bus.unsubscribe(self.record)
+            self._bus = None
+
+    # -- postmortem ------------------------------------------------------
+
+    def dump(self, reason: str, extra: Optional[Dict[str, Any]] = None) -> str:
+        """Write the ring as postmortem JSONL; returns the path written.
+
+        The first line is a header object (``{"flight": ...}``) carrying
+        the reason, ring occupancy, and any ``extra`` provenance; every
+        following line is one event in bus order, oldest first.  Existing
+        files are never overwritten — subsequent dumps append ``.N``.
+        """
+        path = self.path
+        suffix = 0
+        import os
+
+        while os.path.exists(path):
+            suffix += 1
+            path = f"{self.path}.{suffix}"
+        header: Dict[str, Any] = {
+            "flight": "repro-flight/1",
+            "reason": reason,
+            "events": len(self.ring),
+            "events_seen": self.events_seen,
+            "capacity": self.capacity,
+        }
+        if extra:
+            header["extra"] = extra
+        lines = [json.dumps(header, sort_keys=True)]
+        lines.extend(
+            json.dumps(event_to_dict(e), sort_keys=True) for e in self.ring
+        )
+        with open(path, "w") as fh:
+            fh.write("\n".join(lines) + "\n")
+        self.dumps += 1
+        return path
+
+    # -- crash hook ------------------------------------------------------
+
+    def install_excepthook(self) -> None:
+        """Dump the ring on any unhandled exception, then re-raise normally.
+
+        Chains to the previously installed hook so stack traces still
+        print; idempotent (installing twice keeps one hook).
+        """
+        if self._prev_excepthook is not None:
+            return
+        self._prev_excepthook = sys.excepthook
+
+        def _hook(exc_type, exc, tb):
+            try:
+                self.dump(f"crash: unhandled {exc_type.__name__}: {exc}")
+            except Exception:
+                pass  # a failing dump must never mask the original crash
+            self._prev_excepthook(exc_type, exc, tb)
+
+        sys.excepthook = _hook
+
+    def uninstall_excepthook(self) -> None:
+        if self._prev_excepthook is not None:
+            sys.excepthook = self._prev_excepthook
+            self._prev_excepthook = None
+
+    def __repr__(self) -> str:
+        return (
+            f"FlightRecorder({self.path!r}, {len(self.ring)}/{self.capacity} "
+            f"events, {self.dumps} dumps)"
+        )

@@ -1,0 +1,251 @@
+"""Fuse per-process wall-clock timelines into one happens-before trace.
+
+Each process in the real message plane records its own JSONL timeline
+stamped by its own :class:`~repro.obs.clock.WallClock` — monotonic, but
+with an arbitrary per-process origin, so raw timestamps from different
+processes are incomparable.  What *is* comparable is causality: every
+``message_sent`` carries a globally unique ``msg_id`` (``origin:seq``)
+that its matching ``message_delivered`` repeats, giving one
+happens-before edge per delivered message.
+
+:func:`merge_timelines` fuses the timelines in three steps:
+
+1. **Pairing** — index sends and deliveries by ``msg_id``; unmatched ids
+   (messages in flight at shutdown, events that scrolled off a flight
+   ring) are reported, not guessed at.
+2. **Skew estimation** — for each process pair with cross edges, the
+   NTP-style minimum-delay estimate: with ``m_ij`` = the minimum raw
+   ``deliver − send`` delta for messages i→j, process j's clock offset
+   relative to i is ``(m_ij − m_ji) / 2`` when both directions exist
+   (symmetric-delay assumption; the estimate makes both minimum edges
+   non-negative because ``m_ij + m_ji`` is a sum of true delays), or
+   ``m_ij`` when only one direction exists (the fastest message becomes
+   zero-delay).  Offsets compose along a BFS tree rooted at process 0,
+   so chains of processes that never talk directly still align.
+3. **Re-sequencing** — a deterministic Kahn topological sort of the
+   happens-before DAG (program order within each process + message
+   edges), tie-broken by ``(adjusted time, process, original seq)``.
+   Final timestamps are the longest-path relaxation over the DAG, so
+   every edge is monotone even when skew estimation error would have
+   inverted a non-minimum edge; raised timestamps are counted in
+   ``clamped``.
+
+The merge is a pure function of its inputs — same timelines in, byte
+identical events out — so merged traces can live in CI artifacts and
+golden tests.
+"""
+
+from __future__ import annotations
+
+import json
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["MergedTimeline", "merge_timelines", "load_timeline"]
+
+
+@dataclass
+class MergedTimeline:
+    """The fused trace plus everything a CI gate needs to judge it."""
+
+    #: Events as stable dicts, re-sequenced; ``data`` gains ``proc`` (input
+    #: timeline index) and ``orig_seq`` (the event's per-process seq).
+    events: List[Dict[str, Any]]
+    #: Estimated clock offset per process (ms, subtracted from its stamps).
+    offsets_ms: Dict[int, float]
+    #: msg_ids sent but never delivered (in flight, dropped, or truncated).
+    unmatched_sends: List[str]
+    #: msg_ids delivered with no recorded send (flight-ring truncation).
+    unmatched_deliveries: List[str]
+    #: Count of matched send/deliver pairs (the message edges).
+    pairs: int
+    #: Events whose timestamp was raised by the longest-path relaxation.
+    clamped: int = 0
+    #: Processes unreachable from process 0 in the pair graph (offset 0).
+    disconnected: List[int] = field(default_factory=list)
+
+    def to_jsonl(self) -> str:
+        return "\n".join(json.dumps(e, sort_keys=True) for e in self.events) + (
+            "\n" if self.events else ""
+        )
+
+
+def load_timeline(path: str) -> List[Dict[str, Any]]:
+    """Read one per-process JSONL timeline (trace export or flight dump).
+
+    Non-event lines — flight-dump headers, blanks — are skipped; events
+    are returned in per-process ``seq`` order regardless of file order.
+    """
+    events: List[Dict[str, Any]] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            if isinstance(obj, dict) and "kind" in obj and "seq" in obj:
+                events.append(obj)
+    events.sort(key=lambda e: e["seq"])
+    return events
+
+
+def _estimate_offsets(
+    num_procs: int,
+    min_delta: Dict[Tuple[int, int], float],
+) -> Tuple[Dict[int, float], List[int]]:
+    """BFS the pair graph from process 0, composing pairwise offsets."""
+    neighbors: Dict[int, set] = {p: set() for p in range(num_procs)}
+    for (i, j) in min_delta:
+        neighbors[i].add(j)
+        neighbors[j].add(i)
+
+    offsets: Dict[int, float] = {0: 0.0} if num_procs else {}
+    frontier = [0] if num_procs else []
+    while frontier:
+        u = frontier.pop(0)
+        for v in sorted(neighbors[u]):
+            if v in offsets:
+                continue
+            m_uv = min_delta.get((u, v))
+            m_vu = min_delta.get((v, u))
+            if m_uv is not None and m_vu is not None:
+                offsets[v] = offsets[u] + (m_uv - m_vu) / 2.0
+            elif m_uv is not None:
+                offsets[v] = offsets[u] + m_uv
+            else:
+                offsets[v] = offsets[u] - m_vu  # type: ignore[operator]
+            frontier.append(v)
+    disconnected = [p for p in range(num_procs) if p not in offsets]
+    for p in disconnected:
+        offsets[p] = 0.0
+    return offsets, disconnected
+
+
+def merge_timelines(timelines: List[List[Dict[str, Any]]]) -> MergedTimeline:
+    """Fuse per-process event-dict timelines into one causal trace."""
+    num_procs = len(timelines)
+    # Node identity: (proc, position in its seq-ordered timeline).
+    ordered: List[List[Dict[str, Any]]] = [
+        sorted(tl, key=lambda e: e["seq"]) for tl in timelines
+    ]
+
+    sends: Dict[str, Tuple[int, int]] = {}
+    delivers: Dict[str, Tuple[int, int]] = {}
+    duplicate_sends: List[str] = []
+    duplicate_delivers: List[str] = []
+    for proc, tl in enumerate(ordered):
+        for idx, ev in enumerate(tl):
+            msg_id = ev.get("data", {}).get("msg_id")
+            if msg_id is None:
+                continue
+            msg_id = str(msg_id)
+            if ev["kind"] == "message_sent":
+                if msg_id in sends:
+                    duplicate_sends.append(msg_id)
+                else:
+                    sends[msg_id] = (proc, idx)
+            elif ev["kind"] == "message_delivered":
+                if msg_id in delivers:
+                    duplicate_delivers.append(msg_id)
+                else:
+                    delivers[msg_id] = (proc, idx)
+
+    matched = sorted(set(sends) & set(delivers))
+    unmatched_sends = sorted((set(sends) - set(delivers)) | set(duplicate_sends))
+    unmatched_deliveries = sorted(
+        (set(delivers) - set(sends)) | set(duplicate_delivers)
+    )
+
+    # Minimum raw deliver-send delta per cross-process direction.
+    min_delta: Dict[Tuple[int, int], float] = {}
+    for msg_id in matched:
+        sp, si = sends[msg_id]
+        dp, di = delivers[msg_id]
+        if sp == dp:
+            continue  # loopback: same clock, no skew information
+        delta = ordered[dp][di]["time_ms"] - ordered[sp][si]["time_ms"]
+        key = (sp, dp)
+        if key not in min_delta or delta < min_delta[key]:
+            min_delta[key] = delta
+
+    offsets, disconnected = _estimate_offsets(num_procs, min_delta)
+
+    # Happens-before DAG over nodes (proc, idx): program order + messages.
+    message_edges: List[Tuple[Tuple[int, int], Tuple[int, int]]] = [
+        (sends[m], delivers[m]) for m in matched
+    ]
+    succs: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+    indeg: Dict[Tuple[int, int], int] = {}
+    for proc, tl in enumerate(ordered):
+        for idx in range(len(tl)):
+            node = (proc, idx)
+            indeg.setdefault(node, 0)
+            if idx + 1 < len(tl):
+                succs.setdefault(node, []).append((proc, idx + 1))
+                indeg[(proc, idx + 1)] = indeg.get((proc, idx + 1), 0) + 1
+    for src, dst in message_edges:
+        succs.setdefault(src, []).append(dst)
+        indeg[dst] += 1
+
+    def adjusted(node: Tuple[int, int]) -> float:
+        proc, idx = node
+        return ordered[proc][idx]["time_ms"] - offsets[proc]
+
+    # Kahn with a heap: pop order is the merged order, deterministic in
+    # (skew-adjusted time, proc, original seq).  Longest-path relaxation
+    # rides along: final(node) = max(adjusted, final over predecessors),
+    # making every DAG edge monotone in the output timestamps.
+    heap: List[Tuple[float, int, int]] = []
+    for node, deg in indeg.items():
+        if deg == 0:
+            heapq.heappush(heap, (adjusted(node), node[0], node[1]))
+    final: Dict[Tuple[int, int], float] = {}
+    order: List[Tuple[int, int]] = []
+    clamped = 0
+    remaining = dict(indeg)
+    pred_max: Dict[Tuple[int, int], float] = {}
+    while heap:
+        _, proc, idx = heapq.heappop(heap)
+        node = (proc, idx)
+        t = max(adjusted(node), pred_max.get(node, float("-inf")))
+        if t > adjusted(node) + 1e-9:
+            clamped += 1
+        final[node] = t
+        order.append(node)
+        for nxt in succs.get(node, ()):
+            if pred_max.get(nxt, float("-inf")) < t:
+                pred_max[nxt] = t
+            remaining[nxt] -= 1
+            if remaining[nxt] == 0:
+                heapq.heappush(heap, (adjusted(nxt), nxt[0], nxt[1]))
+    # A cycle would mean corrupted input (msg_id collision looping back);
+    # surface it rather than silently dropping events.
+    if len(order) != len(indeg):
+        raise ValueError(
+            f"merged timeline is not a DAG: {len(indeg) - len(order)} events "
+            "unreachable (duplicate msg_ids?)"
+        )
+
+    events: List[Dict[str, Any]] = []
+    for seq, node in enumerate(order):
+        proc, idx = node
+        src = ordered[proc][idx]
+        data = dict(src.get("data", {}))
+        data["proc"] = proc
+        data["orig_seq"] = src["seq"]
+        out = dict(src)
+        out["seq"] = seq
+        out["time_ms"] = round(final[node], 6)
+        out["data"] = data
+        events.append(out)
+
+    return MergedTimeline(
+        events=events,
+        offsets_ms={p: round(offsets[p], 6) for p in sorted(offsets)},
+        unmatched_sends=unmatched_sends,
+        unmatched_deliveries=unmatched_deliveries,
+        pairs=len(matched),
+        clamped=clamped,
+        disconnected=disconnected,
+    )

@@ -10,10 +10,12 @@ outside the discrete-event simulator; benchmarks use
 from __future__ import annotations
 
 import asyncio
-import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import TransportError
+from repro.obs.clock import WallClock
+from repro.obs.events import EventBus
+from repro.obs.metrics import MetricsRegistry
 from repro.transport.base import DeliveryHandler, FailureHandler, Transport
 
 
@@ -26,10 +28,18 @@ class AsyncioTransport(Transport):
         self._queues: Dict[int, "asyncio.Queue[Tuple[int, Any]]"] = {}
         self._tasks: List["asyncio.Task"] = []
         self._started = False
-        self._start_time = time.monotonic()
+        #: Monotonic wall-clock source (repro.obs.clock).
+        self.clock = WallClock()
         self._failed: set = set()
         self._failure_handlers: List[FailureHandler] = []
         self._in_flight = 0
+        #: Shared with sessions built over this transport (Session reads
+        #: ``transport.bus``); starts idle, zero cost until observed.
+        self.bus = EventBus()
+        #: Transport-level telemetry: per-destination queue-depth gauges
+        #: plus message counters, uniform with TcpTransport's registry.
+        self.metrics = MetricsRegistry(site=-1)
+        self._msg_seq = 0
 
     def register(self, site: int, handler: DeliveryHandler) -> None:
         self._handlers[site] = handler
@@ -39,7 +49,7 @@ class AsyncioTransport(Transport):
         self._failure_handlers.append(handler)
 
     def now(self) -> float:
-        return (time.monotonic() - self._start_time) * 1000.0
+        return self.clock.now_ms()
 
     async def start(self) -> None:
         """Spawn the per-site consumer tasks; call once inside a running loop."""
@@ -51,13 +61,27 @@ class AsyncioTransport(Transport):
 
     async def _consume(self, site: int, queue: "asyncio.Queue[Tuple[int, Any]]") -> None:
         while True:
-            src, payload = await queue.get()
+            src, payload, msg_id = await queue.get()
             self._in_flight += 1
             try:
                 if self.delay_ms > 0:
                     await asyncio.sleep(self.delay_ms / 1000.0)
                 if site in self._failed or src in self._failed:
                     continue
+                self.metrics.inc("transport.messages_delivered")
+                self.metrics.gauge(f"transport.peer.{site}.queue_depth", queue.qsize())
+                if msg_id is not None and self.bus.active:
+                    self.bus.emit_event(
+                        "message_delivered",
+                        site,
+                        self.clock.now_ms(),
+                        getattr(payload, "txn_vt", None),
+                        {
+                            "src": src,
+                            "msg_type": type(payload).__name__,
+                            "msg_id": msg_id,
+                        },
+                    )
                 self._handlers[site](src, payload)
             finally:
                 self._in_flight -= 1
@@ -67,7 +91,24 @@ class AsyncioTransport(Transport):
             raise TransportError(f"destination site {dst} is not registered")
         if src in self._failed or dst in self._failed:
             return
-        self._queues[dst].put_nowait((src, payload))
+        msg_id = None
+        if self.bus.active:
+            self._msg_seq += 1
+            msg_id = f"{src}:{self._msg_seq}"
+            self.bus.emit_event(
+                "message_sent",
+                src,
+                self.clock.now_ms(),
+                getattr(payload, "txn_vt", None),
+                {
+                    "dst": dst,
+                    "msg_type": type(payload).__name__,
+                    "msg_id": msg_id,
+                },
+            )
+        self.metrics.inc("transport.messages_sent")
+        self.metrics.gauge(f"transport.peer.{dst}.queue_depth", self._queues[dst].qsize() + 1)
+        self._queues[dst].put_nowait((src, payload, msg_id))
 
     # ``quiesce``/``aquiesce``/``pending`` below implement the Transport
     # drain contract for an event-loop fabric.
@@ -126,5 +167,6 @@ class AsyncioTransport(Transport):
         if site in self._failed:
             return
         self._failed.add(site)
+        self.metrics.inc("transport.peers_failed")
         for handler in list(self._failure_handlers):
             handler(site)

@@ -41,13 +41,43 @@ from collections import deque
 from typing import Any, Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import TransportError, WireError
+from repro.obs.clock import WallClock
+from repro.obs.events import EventBus
+from repro.obs.metrics import MetricsRegistry
 from repro.transport.base import DeliveryHandler, FailureHandler, Transport
 from repro.wire.codec import (
     FRAME_HEADER_BYTES,
     MAX_FRAME_BYTES,
-    decode_frame_body,
+    TraceContext,
+    decode_frame_parts,
     encode_frame,
 )
+
+#: Bucket bounds (wall-clock ms) for transport latency histograms: dial
+#: RTTs and coalesced write flushes sit well under the simulator's
+#: 5 ms-floor latency buckets, so these start at 50 µs.
+RTT_BUCKETS_MS: Tuple[float, ...] = (
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0,
+)
+
+
+def _transport_counter(name: str) -> property:
+    """A registry-backed int attribute on the transport itself.
+
+    Like :func:`repro.obs.metrics.counter_property` but reading
+    ``self.metrics`` directly — a transport is not a site.  Keeps the
+    pre-registry attribute API (``transport.frames_sent``, ...) working
+    while `repro metrics` and the Prometheus exporter see every counter
+    uniformly.
+    """
+
+    def _get(self) -> int:
+        return self.metrics.value(name)
+
+    def _set(self, value: int) -> None:
+        self.metrics.set_counter(name, value)
+
+    return property(_get, _set, doc=f"Registry-backed counter {name!r}.")
 
 
 def maybe_install_uvloop() -> bool:
@@ -68,9 +98,10 @@ def maybe_install_uvloop() -> bool:
 class _PeerLink:
     """Outbound state for one remote site: frame queue + sender task."""
 
-    __slots__ = ("frames", "wakeup", "writer", "task", "writing", "unreachable")
+    __slots__ = ("frames", "wakeup", "writer", "task", "writing", "unreachable",
+                 "gauge_name", "ever_connected")
 
-    def __init__(self) -> None:
+    def __init__(self, dst: int) -> None:
         self.frames: Deque[bytes] = deque()
         self.wakeup = asyncio.Event()
         self.writer: Optional[asyncio.StreamWriter] = None
@@ -80,6 +111,11 @@ class _PeerLink:
         #: True after a failed dial, False again once connected; stop's
         #: flush phase does not wait for peers known to be down.
         self.unreachable = False
+        #: Precomputed metrics name for this peer's queue-depth gauge.
+        self.gauge_name = f"transport.peer.{dst}.queue_depth"
+        #: False until the first successful dial; distinguishes a reconnect
+        #: from the initial lazy connection in events and counters.
+        self.ever_connected = False
 
 
 class TcpTransport(Transport):
@@ -110,20 +146,55 @@ class TcpTransport(Transport):
         self._failed: Set[int] = set()
         self._links: Dict[int, _PeerLink] = {}
         self._servers: List["asyncio.base_events.Server"] = []
+        #: Accepted (inbound) connections; closed on stop() so peers see
+        #: the outage instead of writing into a stopped transport.
+        self._inbound: Set[asyncio.StreamWriter] = set()
         self._loop: Optional[asyncio.AbstractEventLoop] = None
-        self._start_time = time.monotonic()
+        #: Monotonic wall-clock source; ``now()`` readings and event
+        #: timestamps come from here (repro.obs.clock).
+        self.clock = WallClock()
         self._local_pending = 0
         self._dispatching = 0
         self._stopped = False
         self._closing = False
-        #: Frames successfully written to / read from peer sockets.
-        self.frames_sent = 0
-        self.frames_received = 0
-        #: Socket writes issued, and frames that shared a write with an
-        #: earlier frame (``frames_sent - writes``, kept as its own counter
-        #: so tests and benchmarks can read the coalescing rate directly).
-        self.writes = 0
-        self.frames_coalesced = 0
+        #: The protocol event bus.  Sessions built over this transport
+        #: share it (Session reads ``transport.bus``), so transport events
+        #: (message_sent/message_delivered, peer transitions) land on the
+        #: same timeline as the protocol lifecycle events.  Starts idle:
+        #: with no recorder and no subscribers every emission guard is one
+        #: attribute load and one branch.
+        self.bus = EventBus()
+        #: Transport-level metrics (site -1: not owned by any one site).
+        self.metrics = MetricsRegistry(site=-1)
+        self.metrics.histogram("transport.connect_rtt_ms", RTT_BUCKETS_MS)
+        self.metrics.histogram("transport.write_flush_ms", RTT_BUCKETS_MS)
+        #: Optional :class:`repro.obs.flight.FlightRecorder`; when set, a
+        #: postmortem ring-buffer dump is written the moment a peer is
+        #: declared failed.
+        self.flight = None
+        #: The site this process reports transport-level events under (the
+        #: lowest local site id): per-process program order in a merged
+        #: cross-process timeline must never interleave two processes.
+        self._obs_site = min(self.local_sites)
+        #: Per-process sequence for traced sends; with the origin site it
+        #: forms the cross-process ``msg_id`` (``TraceContext.msg_id``).
+        self._msg_seq = 0
+
+    #: Frames successfully written to / read from peer sockets, socket
+    #: writes issued, and frames that shared a write with an earlier frame
+    #: (``frames_sent - writes``).  Registry-backed since the telemetry
+    #: rework (`repro metrics` and the Prometheus exporter enumerate them);
+    #: the attribute API is unchanged.
+    frames_sent = _transport_counter("transport.frames_sent")
+    frames_received = _transport_counter("transport.frames_received")
+    writes = _transport_counter("transport.writes")
+    frames_coalesced = _transport_counter("transport.frames_coalesced")
+    #: Reconnect/backoff telemetry (also registry-backed).
+    dial_attempts = _transport_counter("transport.dial_attempts")
+    dial_failures = _transport_counter("transport.dial_failures")
+    reconnects = _transport_counter("transport.reconnects")
+    peer_unreachable_transitions = _transport_counter("transport.peer_unreachable")
+    peers_failed = _transport_counter("transport.peers_failed")
 
     # ------------------------------------------------------------------
     # Transport interface
@@ -140,27 +211,64 @@ class TcpTransport(Transport):
         self._failure_handlers.append(handler)
 
     def now(self) -> float:
-        return (time.monotonic() - self._start_time) * 1000.0
+        return self.clock.now_ms()
 
     def is_failed(self, site: int) -> bool:
         return site in self._failed
 
+    def _trace_for(self, src: int, dst: int, payload: Any) -> Optional[TraceContext]:
+        """Build the frame trace header and emit ``message_sent``.
+
+        Only called when the bus is active: untraced processes write
+        byte-identical v1 frames and pay nothing.
+        """
+        self._msg_seq += 1
+        seq = self._msg_seq
+        txn_vt = getattr(payload, "txn_vt", None)
+        # __dict__ construction skips the frozen-dataclass setattr walk;
+        # this header is built per frame on the send hot path.  The trace
+        # id is the bare "counter@site" of the transaction VT (shorter to
+        # build and to wire-encode than the VT repr), "" for control
+        # messages with no transaction.
+        trace = object.__new__(TraceContext)
+        fields = trace.__dict__
+        fields["origin"] = src
+        fields["trace_id"] = f"{txn_vt.counter}@{txn_vt.site}" if txn_vt is not None else ""
+        fields["parent_span"] = seq
+        # No "payload" ref in the data dict (unlike the simulator's sender):
+        # nothing subscribes for payloads on the real-socket path, exports
+        # skip the key anyway, and retaining every message would pin the
+        # payload objects in memory for the life of the recording.
+        self.bus.emit_event(
+            "message_sent",
+            src,
+            self.clock.now_ms(),
+            txn_vt,
+            {
+                "dst": dst,
+                "msg_type": type(payload).__name__,
+                "msg_id": f"{src}:{seq}",
+            },
+        )
+        return trace
+
     def send(self, src: int, dst: int, payload: Any) -> None:
         if self._stopped or self._closing or src in self._failed or dst in self._failed:
             return
+        trace = self._trace_for(src, dst, payload) if self.bus.active else None
         if dst in self.local_sites:
             # Local loopback still crosses the codec so every payload is
             # provably wire-expressible regardless of site placement.
-            frame = encode_frame(src, dst, payload)
+            frame = encode_frame(src, dst, payload, trace)
             self._local_pending += 1
             self._require_loop().call_soon(self._deliver_local, frame)
             return
         if dst not in self.site_addrs:
             raise TransportError(f"destination site {dst} has no address")
-        frame = encode_frame(src, dst, payload)
+        frame = encode_frame(src, dst, payload, trace)
         link = self._links.get(dst)
         if link is None:
-            link = _PeerLink()
+            link = _PeerLink(dst)
             self._links[dst] = link
             link.task = self._require_loop().create_task(self._run_peer(dst, link))
         link.frames.append(frame)
@@ -259,6 +367,12 @@ class TcpTransport(Transport):
             server.close()
             await server.wait_closed()
         self._servers.clear()
+        # server.close() only stops listening; sever accepted connections
+        # too so still-running peers observe the outage promptly.
+        for writer in list(self._inbound):
+            with contextlib.suppress(Exception):
+                writer.close()
+        self._inbound.clear()
         for link in self._links.values():
             if link.task is not None:
                 link.task.cancel()
@@ -284,6 +398,7 @@ class TcpTransport(Transport):
     async def _serve_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        self._inbound.add(writer)
         try:
             while True:
                 header = await reader.readexactly(FRAME_HEADER_BYTES)
@@ -291,27 +406,48 @@ class TcpTransport(Transport):
                 if length > MAX_FRAME_BYTES:
                     raise WireError(f"inbound frame of {length} bytes exceeds limit")
                 body = await reader.readexactly(length)
-                self.frames_received += 1
-                src, dst, payload = decode_frame_body(body)
-                self._dispatch(src, dst, payload)
+                self.metrics.inc("transport.frames_received")
+                src, dst, payload, trace = decode_frame_parts(body)
+                self._dispatch(src, dst, payload, trace)
         except asyncio.CancelledError:
             pass  # transport stopping / event loop shutting down
         except (asyncio.IncompleteReadError, ConnectionResetError, OSError):
             pass  # peer went away; its sender will reconnect if it returns
         finally:
+            self._inbound.discard(writer)
             with contextlib.suppress(Exception):
                 writer.close()
 
     def _deliver_local(self, frame: bytes) -> None:
         self._local_pending -= 1
         # memoryview: the decoder cursors over the frame without copying it
-        src, dst, payload = decode_frame_body(memoryview(frame)[FRAME_HEADER_BYTES:])
-        self._dispatch(src, dst, payload)
+        src, dst, payload, trace = decode_frame_parts(
+            memoryview(frame)[FRAME_HEADER_BYTES:]
+        )
+        self._dispatch(src, dst, payload, trace)
 
-    def _dispatch(self, src: int, dst: int, payload: Any) -> None:
+    def _dispatch(
+        self, src: int, dst: int, payload: Any, trace: Optional[TraceContext] = None
+    ) -> None:
         handler = self._handlers.get(dst)
         if handler is None or src in self._failed or dst in self._failed:
             return
+        if trace is not None and self.bus.active:
+            # Pairs with the sender process's message_sent via the trace
+            # header's msg_id — the cross-process happens-before edge the
+            # merged timeline (repro.obs.merge) reconstructs.
+            self.bus.emit_event(
+                "message_delivered",
+                dst,
+                self.clock.now_ms(),
+                getattr(payload, "txn_vt", None),
+                {
+                    "src": src,
+                    "msg_type": type(payload).__name__,
+                    # inline trace.msg_id: no property hop on the hot path
+                    "msg_id": f"{trace.origin}:{trace.parent_span}",
+                },
+            )
         self._dispatching += 1
         try:
             handler(src, payload)
@@ -343,9 +479,12 @@ class TcpTransport(Transport):
                 batch.append(frame)
                 size += len(frame)
             link.writing = len(batch)
+            metrics = self.metrics
+            metrics.gauge(link.gauge_name, len(frames))
             try:
                 writer = link.writer
                 assert writer is not None
+                flush_start = time.monotonic()
                 writer.write(b"".join(batch) if len(batch) > 1 else batch[0])
                 await writer.drain()
             except (ConnectionError, OSError):
@@ -360,30 +499,74 @@ class TcpTransport(Transport):
                 # transport and close() flushes them, so count the batch
                 # sent rather than silently dropping it from the books.
                 link.writing = 0
-                self.frames_sent += len(batch)
+                metrics.inc("transport.frames_sent", len(batch))
                 raise
             link.writing = 0
-            self.frames_sent += len(batch)
-            self.writes += 1
-            self.frames_coalesced += len(batch) - 1
+            metrics.inc("transport.frames_sent", len(batch))
+            metrics.inc("transport.writes")
+            metrics.inc("transport.frames_coalesced", len(batch) - 1)
+            metrics.observe(
+                "transport.write_flush_ms",
+                (time.monotonic() - flush_start) * 1000.0,
+                RTT_BUCKETS_MS,
+            )
 
     async def _connect(self, dst: int, link: _PeerLink, host: str, port: int) -> bool:
-        """Dial ``dst`` with exponential backoff; False once declared failed."""
+        """Dial ``dst`` with exponential backoff; False once declared failed.
+
+        Telemetry here is **edge-triggered**: the backoff loop retries many
+        times per outage, but ``peer_unreachable`` fires only on the
+        reachable→unreachable transition and ``peer_connected`` only when a
+        dial actually succeeds — exactly one event per transition, never
+        one per retry.
+        """
         backoff_ms = self.reconnect_base_ms
         down_since = time.monotonic()
         while not self._stopped:
             try:
+                self.metrics.inc("transport.dial_attempts")
+                dial_start = time.monotonic()
                 _, writer = await asyncio.open_connection(host, port)
-                link.writer = writer
-                link.unreachable = False
-                return True
             except (ConnectionError, OSError):
-                link.unreachable = True
+                self.metrics.inc("transport.dial_failures")
+                if not link.unreachable:
+                    link.unreachable = True
+                    self.metrics.inc("transport.peer_unreachable")
+                    if self.bus.active:
+                        self.bus.emit(
+                            "peer_unreachable",
+                            site=self._obs_site,
+                            time_ms=self.now(),
+                            peer=dst,
+                        )
                 if (time.monotonic() - down_since) * 1000.0 >= self.fail_after_ms:
                     self._declare_failed(dst)
                     return False
                 await asyncio.sleep(backoff_ms / 1000.0)
                 backoff_ms = min(backoff_ms * 2, self.reconnect_max_ms)
+                continue
+            link.writer = writer
+            was_down = link.unreachable or link.ever_connected
+            link.unreachable = False
+            self.metrics.observe(
+                "transport.connect_rtt_ms",
+                (time.monotonic() - dial_start) * 1000.0,
+                RTT_BUCKETS_MS,
+            )
+            if was_down:
+                # A re-dial after an outage or a broken connection — the
+                # initial lazy connect is not a "reconnect".
+                self.metrics.inc("transport.reconnects")
+            link.ever_connected = True
+            if self.bus.active:
+                self.bus.emit(
+                    "peer_connected",
+                    site=self._obs_site,
+                    time_ms=self.now(),
+                    peer=dst,
+                    reconnect=was_down,
+                )
+            return True
         return False
 
     def _close_writer(self, link: _PeerLink) -> None:
@@ -395,6 +578,7 @@ class TcpTransport(Transport):
         if site in self._failed:
             return
         self._failed.add(site)
+        self.metrics.inc("transport.peers_failed")
         link = self._links.get(site)
         if link is not None:
             link.frames.clear()
@@ -402,6 +586,10 @@ class TcpTransport(Transport):
             self._close_writer(link)
         for handler in list(self._failure_handlers):
             handler(site)
+        if self.flight is not None:
+            # Postmortem: the ring buffer of recent events, dumped the
+            # moment fail-stop detection fires (repro.obs.flight).
+            self.flight.dump(f"fail-stop: site {site} declared failed")
 
     # ------------------------------------------------------------------
 

@@ -11,12 +11,15 @@ outbox that coalesces a protocol turn's fan-out into
 
 from repro.wire.codec import (
     FRAME_HEADER_BYTES,
+    FRAME_VERSION_TRACED,
     MAX_FRAME_BYTES,
     MESSAGE_TYPES,
+    TraceContext,
     WIRE_STRUCTS,
     WIRE_VERSION,
     decode,
     decode_frame_body,
+    decode_frame_parts,
     encode,
     encode_frame,
     register_struct,
@@ -25,12 +28,15 @@ from repro.wire.batch import Outbox
 
 __all__ = [
     "FRAME_HEADER_BYTES",
+    "FRAME_VERSION_TRACED",
     "MAX_FRAME_BYTES",
     "MESSAGE_TYPES",
+    "TraceContext",
     "WIRE_STRUCTS",
     "WIRE_VERSION",
     "decode",
     "decode_frame_body",
+    "decode_frame_parts",
     "encode",
     "encode_frame",
     "register_struct",

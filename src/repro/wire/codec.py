@@ -92,6 +92,13 @@ from repro.vtime import VirtualTime
 #: decoders reject every version they do not implement.
 WIRE_VERSION = 1
 
+#: Frame-header version for *traced* frames: the body is the version byte
+#: followed by a ``(src, dst, payload, TraceContext)`` 4-tuple instead of
+#: the v1 routing triple.  Value encoding is unchanged — only the frame
+#: header grew — and decoders accept both versions, so a tracing-enabled
+#: process interoperates with an untraced one (docs/WIRE.md).
+FRAME_VERSION_TRACED = 2
+
 # ---------------------------------------------------------------------------
 # Primitive tags (0x00–0x1F reserved for the codec itself)
 # ---------------------------------------------------------------------------
@@ -1367,6 +1374,28 @@ def register_struct(tag: int, cls: type) -> None:
 
 #: The canonical tag assignments.  Order and values are part of the wire
 #: contract (docs/WIRE.md); append new structs, never renumber.
+@dataclasses.dataclass(frozen=True)
+class TraceContext:
+    """Trace context carried in a version-2 frame header.
+
+    ``origin`` is the sending site; ``trace_id`` is the txn-VT-derived
+    trace identifier (``counter@site`` form, empty when the payload
+    carries no transaction VT); ``parent_span`` is the sender-side message sequence
+    number — ``f"{origin}:{parent_span}"`` is the cross-process ``msg_id``
+    that pairs a ``message_sent`` event in one process's timeline with the
+    ``message_delivered`` event in another's (repro.obs.merge).
+    """
+
+    origin: int
+    trace_id: str
+    parent_span: int
+
+    @property
+    def msg_id(self) -> str:
+        """The globally unique send identifier this context names."""
+        return f"{self.origin}:{self.parent_span}"
+
+
 _REGISTRY: Tuple[Tuple[int, type], ...] = (
     (0x20, SlotId),
     (0x21, PathStep),
@@ -1394,10 +1423,15 @@ _REGISTRY: Tuple[Tuple[int, type], ...] = (
     (0x37, ReplicationGraph),
     (0x38, Invitation),
     (0x39, Envelope),
+    (0x3A, TraceContext),
 )
 
 for _tag, _cls in _REGISTRY:
     register_struct(_tag, _cls)
+
+#: The TraceContext packer, bound once — encode_frame appends a trace
+#: header per traced frame, so it skips the dispatch-dict lookup.
+_TRACE_ENCODER = _ENCODERS[TraceContext]
 
 #: Every registered wire struct, in tag order (test parametrization).
 WIRE_STRUCTS: Tuple[type, ...] = tuple(cls for _tag, cls in _REGISTRY)
@@ -1488,17 +1522,30 @@ FRAME_HEADER_BYTES = 4
 #: treated as stream corruption, not a legitimate payload.
 MAX_FRAME_BYTES = 16 * 1024 * 1024
 
-#: Shared prefix of every frame body: version byte + 3-tuple header.
+#: Shared prefix of every untraced frame body: version byte + 3-tuple header.
 _FRAME_PREFIX = _VERSION_PREFIX + _TUPLE_HDR[3]
 
+#: Prefix of a traced frame body: v2 version byte + 4-tuple header.
+_TRACED_FRAME_PREFIX = _BYTE[FRAME_VERSION_TRACED] + _TUPLE_HDR[4]
 
-def encode_frame(src: int, dst: int, payload: Any) -> bytes:
-    """One length-prefixed routed frame: header + encode((src, dst, payload)).
 
-    The length prefix, version byte, routing triple, and payload all land
-    in one parts list joined once — a single allocation per frame.
+def encode_frame(
+    src: int, dst: int, payload: Any, trace: Optional[TraceContext] = None
+) -> bytes:
+    """One length-prefixed routed frame.
+
+    Without ``trace`` (the default) this is the v1 body —
+    ``encode((src, dst, payload))`` — byte-identical to every frame ever
+    written before trace propagation existed.  With ``trace`` the body is
+    the v2 layout: version byte ``0x02`` followed by the
+    ``(src, dst, payload, trace)`` 4-tuple.  Either way the length prefix,
+    version byte, routing fields, and payload all land in one parts list
+    joined once — a single allocation per frame.
     """
-    parts: List[bytes] = [b"", _FRAME_PREFIX]
+    if trace is None:
+        parts: List[bytes] = [b"", _FRAME_PREFIX]
+    else:
+        parts = [b"", _TRACED_FRAME_PREFIX]
     _enc_int(parts, src)
     _enc_int(parts, dst)
     enc = _ENCODERS.get(payload.__class__)
@@ -1506,6 +1553,8 @@ def encode_frame(src: int, dst: int, payload: Any) -> bytes:
         _enc_fallback(parts, payload)
     else:
         enc(parts, payload)
+    if trace is not None:
+        _TRACE_ENCODER(parts, trace)
     body_len = sum(map(len, parts))
     if body_len > MAX_FRAME_BYTES:
         raise WireError(f"frame of {body_len} bytes exceeds MAX_FRAME_BYTES")
@@ -1513,17 +1562,59 @@ def encode_frame(src: int, dst: int, payload: Any) -> bytes:
     return b"".join(parts)
 
 
+def decode_frame_parts(body: Any) -> Tuple[int, int, Any, Optional[TraceContext]]:
+    """Parse a frame body into ``(src, dst, payload, trace)``.
+
+    Accepts both frame versions: a v1 body yields ``trace=None``; a v2
+    body yields its :class:`TraceContext`.  Like :func:`decode`, accepts
+    ``bytes`` or a zero-copy buffer view, and malformed input of any shape
+    raises :class:`WireError` only.
+    """
+    if not body:
+        raise WireError("empty frame body")
+    if body.__class__ is not bytes and body.__class__ is not memoryview:
+        body = memoryview(body)
+    if body[0] != FRAME_VERSION_TRACED:
+        # v1 (or junk — decode() rejects unknown versions with WireError).
+        triple = decode(body)
+        if (
+            not isinstance(triple, tuple)
+            or len(triple) != 3
+            or not isinstance(triple[0], int)
+            or not isinstance(triple[1], int)
+        ):
+            raise WireError("frame body is not a (src, dst, payload) triple")
+        return (triple[0], triple[1], triple[2], None)
+    try:
+        fn = _DECODERS[body[1]]
+        if fn is None:
+            raise WireError(f"unknown wire tag {body[1]:#x}")
+        value, pos = fn(body, 2)
+    except WireError:
+        raise
+    except Exception as exc:
+        raise WireError(f"malformed payload: {exc.__class__.__name__}: {exc}") from exc
+    if pos != len(body):
+        raise WireError(f"{len(body) - pos} trailing bytes after payload")
+    if (
+        not isinstance(value, tuple)
+        or len(value) != 4
+        or not isinstance(value[0], int)
+        or not isinstance(value[1], int)
+        or not isinstance(value[3], TraceContext)
+    ):
+        raise WireError(
+            "traced frame body is not a (src, dst, payload, TraceContext) 4-tuple"
+        )
+    return value  # type: ignore[return-value]
+
+
 def decode_frame_body(body: Any) -> Tuple[int, int, Any]:
     """Parse a frame body back into ``(src, dst, payload)``.
 
-    Like :func:`decode`, accepts ``bytes`` or a zero-copy buffer view.
+    Kept for callers that do not consume trace context — a v2 frame's
+    :class:`TraceContext` is validated and dropped.  See
+    :func:`decode_frame_parts` for the trace-preserving form.
     """
-    triple = decode(body)
-    if (
-        not isinstance(triple, tuple)
-        or len(triple) != 3
-        or not isinstance(triple[0], int)
-        or not isinstance(triple[1], int)
-    ):
-        raise WireError("frame body is not a (src, dst, payload) triple")
-    return triple  # type: ignore[return-value]
+    src, dst, payload, _trace = decode_frame_parts(body)
+    return (src, dst, payload)

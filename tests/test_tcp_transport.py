@@ -248,6 +248,145 @@ class TestTcpTransport:
         assert maybe_install_uvloop() in (True, False)
 
 
+class TestTransportTelemetry:
+    def test_peer_transitions_fire_exactly_once_per_outage(self, tmp_path):
+        """The backoff loop retries many times per outage; the transition
+        events must be edge-triggered — one ``peer_unreachable`` and one
+        ``peer_connected`` per outage, never one per dial attempt."""
+
+        async def main():
+            addrs = two_addrs()
+            a = TcpTransport(
+                addrs, local_sites={0}, reconnect_base_ms=5.0, fail_after_ms=60_000.0
+            )
+            a.bus.enable()
+            inbox = []
+            await a.start()
+
+            def counts():
+                return (
+                    len(a.bus.filter(kind="peer_unreachable")),
+                    len(a.bus.filter(kind="peer_connected")),
+                )
+
+            # Outage 1: peer not listening yet; several dials must fail.
+            a.send(0, 1, CommitMsg(VirtualTime(1, 0), 1))
+            await wait_for(
+                lambda: a.metrics.value("transport.dial_failures") >= 3,
+                what="several failed dial attempts",
+            )
+            assert counts() == (1, 0)
+
+            b = TcpTransport(addrs, local_sites={1})
+            b.register(1, lambda src, p: inbox.append(p))
+            await b.start()
+            await wait_for(lambda: len(inbox) == 1, what="delivery after outage 1")
+            assert counts() == (1, 1)
+
+            # Outage 2: the peer goes down again; a fresh transition pair.
+            # A lone write to a freshly-dead connection can land in the
+            # kernel buffer without error, so keep sending until the broken
+            # pipe surfaces and the re-dial fails.
+            await b.stop()
+            for attempt in range(500):
+                a.send(0, 1, CommitMsg(VirtualTime(2 + attempt, 0), 2))
+                if counts()[0] == 2:
+                    break
+                await asyncio.sleep(0.01)
+            assert counts()[0] == 2
+            b2 = TcpTransport(addrs, local_sites={1})
+            b2.register(1, lambda src, p: inbox.append(p))
+            await b2.start()
+            await wait_for(lambda: counts()[1] == 2, what="second reconnect")
+            assert counts() == (2, 2)
+            assert a.metrics.value("transport.peer_unreachable") == 2
+            assert a.metrics.value("transport.reconnects") >= 1
+            connected = a.bus.filter(kind="peer_connected")
+            assert all(e.data["peer"] == 1 for e in connected)
+
+            await a.stop()
+            await b2.stop()
+
+        asyncio.run(main())
+
+    def test_traced_events_pair_across_transports(self):
+        async def main():
+            addrs = two_addrs()
+            a = TcpTransport(addrs, local_sites={0})
+            b = TcpTransport(addrs, local_sites={1})
+            a.bus.enable()
+            b.bus.enable()
+            inbox = []
+            a.register(0, lambda src, p: None)
+            b.register(1, lambda src, p: inbox.append(p))
+            await a.start()
+            await b.start()
+            for i in range(5):
+                a.send(0, 1, CommitMsg(VirtualTime(i + 1, 0), i))
+            await wait_for(lambda: len(inbox) == 5, what="all deliveries")
+            sent = a.bus.filter(kind="message_sent")
+            delivered = b.bus.filter(kind="message_delivered")
+            assert [e.data["msg_id"] for e in sent] == [f"0:{i + 1}" for i in range(5)]
+            # Every delivery pairs with its send — the cross-process
+            # happens-before edges the merged timeline reconstructs.
+            assert [e.data["msg_id"] for e in delivered] == [
+                e.data["msg_id"] for e in sent
+            ]
+            assert all(e.data["msg_type"] == "CommitMsg" for e in delivered)
+            assert all(str(e.txn_vt) == f"VT({i + 1}@0)" for i, e in enumerate(sent))
+            await a.stop()
+            await b.stop()
+
+        asyncio.run(main())
+
+    def test_untraced_transports_emit_nothing(self):
+        async def main():
+            addrs = two_addrs()
+            a = TcpTransport(addrs, local_sites={0})
+            b = TcpTransport(addrs, local_sites={1})
+            inbox = []
+            b.register(1, lambda src, p: inbox.append(p))
+            await a.start()
+            await b.start()
+            a.send(0, 1, CommitMsg(VirtualTime(1, 0), 1))
+            await wait_for(lambda: inbox, what="delivery")
+            # Functional zero-overhead guard: no emission machinery entered.
+            assert a.bus._seq == 0 and b.bus._seq == 0
+            assert len(a.bus) == 0 and len(b.bus) == 0
+            await a.stop()
+            await b.stop()
+
+        asyncio.run(main())
+
+    def test_fail_stop_dumps_flight_recorder(self, tmp_path):
+        from repro.obs import FlightRecorder
+
+        async def main():
+            addrs = two_addrs()
+            a = TcpTransport(
+                addrs, local_sites={0}, reconnect_base_ms=5.0, fail_after_ms=100.0
+            )
+            a.flight = FlightRecorder(str(tmp_path / "flight0.jsonl")).attach(a.bus)
+            failed = []
+            a.add_failure_listener(failed.append)
+            await a.start()
+            a.send(0, 1, CommitMsg(VirtualTime(1, 0), 1))  # port never answers
+            await wait_for(lambda: failed, what="fail-stop declaration")
+            assert a.flight.dumps == 1
+            dump = (tmp_path / "flight0.jsonl").read_text().splitlines()
+            import json
+
+            header = json.loads(dump[0])
+            assert header["flight"] == "repro-flight/1"
+            assert "fail-stop: site 1" in header["reason"]
+            # The ring captured the transition events leading up to it.
+            kinds = {json.loads(line)["kind"] for line in dump[1:]}
+            assert "peer_unreachable" in kinds
+            await a.stop()
+
+        asyncio.run(main())
+
+
 class TestTwoProcessExample:
     def test_two_process_example_converges(self):
         """The CI smoke: two OS processes converge over real TCP."""

@@ -1,0 +1,222 @@
+"""Tests for cross-process trace merging (repro.obs.merge + CLI).
+
+The merge contract under test, straight from the tentpole acceptance
+criteria: every send pairs with its delivery (zero unmatched edges on a
+clean run), skew-aligned timestamps are monotone along every message
+edge, and merging the same inputs twice is byte-identical.
+"""
+
+import asyncio
+import json
+import socket
+from typing import Any, Dict, List
+
+import pytest
+
+from repro.core.messages import CommitMsg
+from repro.obs import load_timeline, merge_timelines
+from repro.obs.causal import CausalGraph, events_from_timeline
+from repro.obs.events import event_to_dict
+from repro.transport.tcp import TcpTransport
+from repro.vtime import VirtualTime
+
+
+def ev(seq: int, t: float, site: int, kind: str, **data: Any) -> Dict[str, Any]:
+    return {"seq": seq, "time_ms": t, "site": site, "kind": kind, "txn_vt": None, "data": data}
+
+
+def two_proc_timelines(skew_ms: float = 1000.0):
+    """Proc 1's clock runs ``skew_ms`` ahead; symmetric 2ms network delays.
+
+    True times: p0 sends m1 at 10, p1 delivers at 12; p1 sends m2 at 20,
+    p0 delivers at 22.  With symmetric delays the NTP-style estimator
+    recovers the skew exactly.
+    """
+    p0 = [
+        ev(0, 10.0, 0, "message_sent", dst=1, msg_id="0:1", msg_type="CommitMsg"),
+        ev(1, 22.0, 0, "message_delivered", src=1, msg_id="1:1", msg_type="CommitMsg"),
+    ]
+    p1 = [
+        ev(0, 12.0 + skew_ms, 1, "message_delivered", src=0, msg_id="0:1", msg_type="CommitMsg"),
+        ev(1, 20.0 + skew_ms, 1, "message_sent", dst=0, msg_id="1:1", msg_type="CommitMsg"),
+    ]
+    return [p0, p1]
+
+
+def edge_times(merged) -> Dict[str, Dict[str, float]]:
+    """msg_id -> {"sent": t, "delivered": t} over the merged timeline."""
+    out: Dict[str, Dict[str, float]] = {}
+    for event in merged.events:
+        if event["kind"] == "message_sent":
+            out.setdefault(event["data"]["msg_id"], {})["sent"] = event["time_ms"]
+        elif event["kind"] == "message_delivered":
+            out.setdefault(event["data"]["msg_id"], {})["delivered"] = event["time_ms"]
+    return out
+
+
+class TestSyntheticMerge:
+    def test_recovers_symmetric_clock_skew_exactly(self):
+        merged = merge_timelines(two_proc_timelines(skew_ms=1000.0))
+        assert merged.offsets_ms[0] == 0.0
+        assert abs(merged.offsets_ms[1]) == pytest.approx(1000.0)
+        # Adjusted times equal the true times.
+        times = edge_times(merged)
+        assert times["0:1"] == {"sent": 10.0, "delivered": 12.0}
+        assert times["1:1"] == {"sent": 20.0, "delivered": 22.0}
+
+    def test_zero_unmatched_and_full_pairing(self):
+        merged = merge_timelines(two_proc_timelines())
+        assert merged.pairs == 2
+        assert merged.unmatched_sends == []
+        assert merged.unmatched_deliveries == []
+        assert merged.disconnected == []
+
+    def test_message_edges_monotone_after_alignment(self):
+        for skew in (0.0, -737.25, 12345.5):
+            merged = merge_timelines(two_proc_timelines(skew_ms=skew))
+            for msg_id, times in edge_times(merged).items():
+                assert times["delivered"] >= times["sent"], (skew, msg_id)
+
+    def test_merge_is_byte_identical_across_reruns(self):
+        first = merge_timelines(two_proc_timelines()).to_jsonl()
+        second = merge_timelines(two_proc_timelines()).to_jsonl()
+        assert first == second
+
+    def test_unmatched_send_is_reported(self):
+        timelines = two_proc_timelines()
+        timelines[0].append(
+            ev(2, 30.0, 0, "message_sent", dst=1, msg_id="0:99", msg_type="CommitMsg")
+        )
+        merged = merge_timelines(timelines)
+        assert merged.unmatched_sends == ["0:99"]
+        assert merged.pairs == 2
+
+    def test_unmatched_delivery_is_reported(self):
+        timelines = two_proc_timelines()
+        timelines[1].append(
+            ev(2, 1030.0, 1, "message_delivered", src=0, msg_id="0:77", msg_type="CommitMsg")
+        )
+        merged = merge_timelines(timelines)
+        assert merged.unmatched_deliveries == ["0:77"]
+
+    def test_merged_timeline_feeds_causal_graph(self):
+        merged = merge_timelines(two_proc_timelines())
+        graph = CausalGraph(events_from_timeline(merged.events))
+        # Both message edges survive the round trip into the HB DAG.
+        assert sum(1 for e in graph.edges if e.kind == "message") == 2
+
+    def test_program_order_preserved_per_process(self):
+        merged = merge_timelines(two_proc_timelines(skew_ms=500.0))
+        for proc in (0, 1):
+            seqs = [e["data"]["orig_seq"] for e in merged.events if e["data"]["proc"] == proc]
+            assert seqs == sorted(seqs)
+
+
+class TestLoadTimeline:
+    def test_skips_non_event_lines(self, tmp_path):
+        path = tmp_path / "flight.jsonl"
+        lines = [
+            json.dumps({"flight": "repro-flight/1", "reason": "crash", "events": 1}),
+            "",
+            json.dumps(ev(1, 5.0, 0, "committed")),
+            json.dumps(ev(0, 1.0, 0, "txn_submitted")),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        events = load_timeline(str(path))
+        # Header and blank dropped; events back in seq order.
+        assert [e["seq"] for e in events] == [0, 1]
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class TestRealTransportMerge:
+    def run_traced_pair(self, appends: int = 10):
+        """Ping-pong over real sockets with both buses recording."""
+        addrs = {0: ("127.0.0.1", free_port()), 1: ("127.0.0.1", free_port())}
+
+        async def scenario():
+            a = TcpTransport(addrs, local_sites={0})
+            b = TcpTransport(addrs, local_sites={1})
+            a.bus.enable()
+            b.bus.enable()
+            done = asyncio.Event()
+            seen: List[Any] = []
+
+            def on_a(src, payload):
+                seen.append(payload)
+                if len(seen) >= appends:
+                    done.set()
+
+            a.register(0, on_a)
+            b.register(1, lambda src, payload: b.send(1, 0, payload))
+            await a.start()
+            await b.start()
+            for i in range(appends):
+                a.send(0, 1, CommitMsg(VirtualTime(i + 1, 0), i))
+            await asyncio.wait_for(done.wait(), timeout=10.0)
+            await a.aquiesce()
+            await b.aquiesce()
+            timelines = [
+                [event_to_dict(e) for e in a.bus.events],
+                [event_to_dict(e) for e in b.bus.events],
+            ]
+            await a.stop()
+            await b.stop()
+            return timelines
+
+        return asyncio.run(scenario())
+
+    def test_end_to_end_merge_has_no_unmatched_edges(self):
+        timelines = self.run_traced_pair()
+        merged = merge_timelines(timelines)
+        assert merged.unmatched_sends == []
+        assert merged.unmatched_deliveries == []
+        assert merged.pairs == 20  # 10 pings + 10 echoes
+        for msg_id, times in edge_times(merged).items():
+            assert times["delivered"] >= times["sent"], msg_id
+
+    def test_end_to_end_merge_deterministic_given_inputs(self):
+        timelines = self.run_traced_pair(appends=5)
+        assert merge_timelines(timelines).to_jsonl() == merge_timelines(timelines).to_jsonl()
+
+    def test_trace_ids_carry_txn_vt(self):
+        timelines = self.run_traced_pair(appends=3)
+        sent = [e for e in timelines[0] if e["kind"] == "message_sent"]
+        assert sent and all(e["txn_vt"] for e in sent)
+
+
+class TestMergeCli:
+    def write_timelines(self, tmp_path):
+        paths = []
+        for proc, timeline in enumerate(two_proc_timelines()):
+            path = tmp_path / f"trace{proc}.jsonl"
+            path.write_text("\n".join(json.dumps(e) for e in timeline) + "\n")
+            paths.append(str(path))
+        return paths
+
+    def test_merge_writes_jsonl_and_exits_zero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        paths = self.write_timelines(tmp_path)
+        out = tmp_path / "merged.jsonl"
+        rc = main(["trace", "--merge", *paths, "--format", "jsonl", "--out", str(out), "--quiet"])
+        assert rc == 0
+        lines = [json.loads(l) for l in out.read_text().splitlines()]
+        assert len(lines) == 4
+        assert {l["kind"] for l in lines} == {"message_sent", "message_delivered"}
+
+    def test_merge_exits_nonzero_on_unmatched(self, tmp_path, capsys):
+        from repro.cli import main
+
+        paths = self.write_timelines(tmp_path)
+        extra = ev(2, 30.0, 0, "message_sent", dst=1, msg_id="0:99", msg_type="CommitMsg")
+        with open(paths[0], "a") as fh:
+            fh.write(json.dumps(extra) + "\n")
+        out = tmp_path / "merged.jsonl"
+        args = ["trace", "--merge", *paths, "--format", "jsonl", "--out", str(out), "--quiet"]
+        assert main(args) == 1
+        assert main(args + ["--allow-unmatched"]) == 0

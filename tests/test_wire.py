@@ -48,8 +48,10 @@ from repro.wire import (
     MESSAGE_TYPES,
     WIRE_STRUCTS,
     WIRE_VERSION,
+    TraceContext,
     decode,
     decode_frame_body,
+    decode_frame_parts,
     encode,
     encode_frame,
     register_struct,
@@ -267,6 +269,7 @@ GOLDEN = [
         Envelope((CommitMsg(VirtualTime(5, 1), 12), AbortMsg(VirtualTime(6, 1), 13, "x"))),
         "01390702280b0a020318290b0c02031a050178",
     ),
+    (TraceContext(3, "5@1", 42), "013a030605033540310354"),
 ]
 
 
@@ -377,3 +380,61 @@ def test_frame_roundtrip():
 def test_frame_rejects_non_triple_body():
     with pytest.raises(WireError, match="triple"):
         decode_frame_body(encode("just a string"))
+
+
+# Golden frames: the v1 bytes predate trace propagation and must never
+# change (old processes' frames stay decodable); the v2 bytes pin the
+# traced layout (version byte 0x02 + (src, dst, payload, trace) 4-tuple).
+GOLDEN_FRAME_V1 = "0000000d0107030306030e280b0a020318"
+GOLDEN_FRAME_V2 = "000000170207040306030e280b0a0203183a030605033540310354"
+
+
+def test_golden_frame_bytes_both_versions():
+    msg = CommitMsg(VirtualTime(5, 1), 12)
+    trace = TraceContext(3, "5@1", 42)
+    assert encode_frame(3, 7, msg).hex() == GOLDEN_FRAME_V1
+    assert encode_frame(3, 7, msg, trace).hex() == GOLDEN_FRAME_V2
+
+
+def test_untraced_frame_is_byte_identical_to_pre_trace_format():
+    # encode_frame without a trace must produce exactly encode((src, dst,
+    # payload)) behind the length prefix — the v1 compatibility contract.
+    msg = CommitMsg(VirtualTime(5, 1), 12)
+    frame = encode_frame(3, 7, msg)
+    assert frame[4:] == encode((3, 7, msg))
+
+
+def test_decode_frame_parts_both_versions():
+    msg = CommitMsg(VirtualTime(5, 1), 12)
+    trace = TraceContext(3, "5@1", 42)
+    v1 = bytes.fromhex(GOLDEN_FRAME_V1)
+    v2 = bytes.fromhex(GOLDEN_FRAME_V2)
+    assert decode_frame_parts(v1[4:]) == (3, 7, msg, None)
+    assert decode_frame_parts(v2[4:]) == (3, 7, msg, trace)
+    # decode_frame_body drops (but still validates) the trace.
+    assert decode_frame_body(v2[4:]) == (3, 7, msg)
+
+
+def test_traced_frame_roundtrip_and_msg_id():
+    msg = CommitMsg(VirtualTime(5, 1), 12)
+    trace = TraceContext(origin=3, trace_id="5@1", parent_span=42)
+    frame = encode_frame(3, 7, msg, trace)
+    length = int.from_bytes(frame[:4], "big")
+    assert length == len(frame) - 4
+    src, dst, payload, got = decode_frame_parts(frame[4:])
+    assert (src, dst, payload) == (3, 7, msg)
+    assert got == trace
+    assert got.msg_id == "3:42"
+
+
+def test_traced_frame_rejects_malformed_4_tuple():
+    # A v2 body whose 4th element is not a TraceContext is corruption.
+    body = bytes([2]) + encode((3, 7, CommitMsg(VirtualTime(5, 1), 12), "oops"))[1:]
+    with pytest.raises(WireError, match="TraceContext"):
+        decode_frame_parts(body)
+
+
+def test_traced_frame_rejects_trailing_bytes():
+    v2 = bytes.fromhex(GOLDEN_FRAME_V2)
+    with pytest.raises(WireError, match="trailing"):
+        decode_frame_parts(v2[4:] + b"\x00")

@@ -51,6 +51,13 @@ from tests.test_wire import (
 
 invitations = st.builds(Invitation, st.integers(0, 64), uids, st.text(max_size=12))
 
+trace_contexts = st.builds(
+    codec.TraceContext,
+    st.integers(0, 64),
+    st.text(max_size=16),
+    st.integers(min_value=0, max_value=2**40),
+)
+
 STRUCT_STRATEGIES = dict(MESSAGE_STRATEGIES)
 STRUCT_STRATEGIES.update(
     {
@@ -64,6 +71,7 @@ STRUCT_STRATEGIES.update(
         GraphNode: graph_nodes,
         ReplicationGraph: graphs,
         Invitation: invitations,
+        codec.TraceContext: trace_contexts,
     }
 )
 
