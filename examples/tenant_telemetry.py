@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Per-tenant windowed telemetry over 100+ concurrent collaboration sets.
+
+Run with no arguments::
+
+    PYTHONPATH=src python examples/tenant_telemetry.py
+
+The paper's scalability argument (§5.1.3) is that commit cost is per
+*collaboration set*, not global — so this example checks the telemetry
+plane holds up the same way.  It simulates a fleet of collaboration sets
+(default 120 replicated counters, one per "document"), each touched by
+transactions from several sites, with the event bus recording and a
+:class:`~repro.obs.agg.TenantTelemetry` subscriber deriving per-tenant
+commit counts, commit latency sketches, and notify lag — bucketed into
+tumbling time windows by :class:`~repro.obs.agg.TelemetryAggregator`.
+
+To mirror the multi-process deployment (``repro top`` fusing per-process
+``agg*.json`` files), the run is split across **two** aggregators — one
+per half of the sites — and their JSON snapshots are fused with
+:func:`~repro.obs.agg.merge_agg_snapshots` at the end.  The example
+asserts every collaboration set survives the split/merge pipeline, then
+prints the busiest tenants with their windowed quantiles.
+
+Exit status 0 when all tenants are present in the merged rollup with
+consistent commit totals (used as a smoke check), 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import DInt, Session  # noqa: E402
+from repro.obs import (  # noqa: E402
+    TelemetryAggregator,
+    TenantTelemetry,
+    merge_agg_snapshots,
+)
+
+
+def run(tenants: int, txns_per_tenant: int, window_ms: float, as_json: bool) -> int:
+    session = Session.simulated(latency_ms=20.0)
+    session.observe()
+    sites = session.add_sites(3)
+
+    # Two aggregators stand in for two OS processes: telemetry for
+    # transactions originating at sites 0-1 lands in the first, site 2's
+    # in the second.  Both see the same bus; the split is by origin.
+    aggs = [
+        TelemetryAggregator(window_ms=window_ms, keep_windows=10_000, site=0),
+        TelemetryAggregator(window_ms=window_ms, keep_windows=10_000, site=1),
+    ]
+
+    # Internal object names look like "s0:doc017.assoc"; collapse every
+    # sub-object onto its document so one document == one tenant.
+    # Returning None defers attribution until an event carries an obj.
+    def tenant_of(event):
+        obj = event.data.get("obj")
+        if obj is None:
+            return None
+        doc = str(obj).split(":", 1)[-1].split(".", 1)[0]
+        return f"doc:{doc}"
+
+    telemetries = [
+        TenantTelemetry(aggs[0], tenant_of=tenant_of, max_txns=65536),
+        TenantTelemetry(aggs[1], tenant_of=tenant_of, max_txns=65536),
+    ]
+
+    # Route each event stream by transaction origin so the two aggregators
+    # hold disjoint shards, like two processes would.
+    def route(event):
+        if event.txn_vt is None:
+            return
+        target = 0 if event.txn_vt.site < 2 else 1
+        telemetries[target](event)
+
+    session.bus.subscribe(route)
+
+    objs_by_tenant = []
+    for t in range(tenants):
+        objs = session.replicate(DInt, f"doc{t:03d}", sites, initial=0)
+        objs_by_tenant.append(objs)
+    session.settle()
+
+    outcomes = []
+    for round_no in range(txns_per_tenant):
+        for t, objs in enumerate(objs_by_tenant):
+            site_idx = (t + round_no) % len(sites)
+            outcomes.append(
+                sites[site_idx].transact(
+                    lambda o=objs[site_idx], v=round_no: o.set(v + 1)
+                )
+            )
+        session.settle()
+    # Outcomes flip committed asynchronously (summary commit), so tally
+    # only after the network has fully drained.
+    committed = sum(1 for out in outcomes if out.committed)
+
+    snapshots = [agg.snapshot() for agg in aggs]
+    merged = merge_agg_snapshots(*snapshots)
+
+    # Every collaboration set must survive the shard/merge pipeline, and
+    # the merged commit total must equal the per-shard sum.
+    merged_tenants = sorted({t for w in merged["windows"] for t in w["tenants"]})
+    merged_commits = sum(
+        cell["counters"].get("commits", 0)
+        for w in merged["windows"]
+        for cell in w["tenants"].values()
+    )
+    shard_commits = sum(
+        cell["counters"].get("commits", 0)
+        for snap in snapshots
+        for w in snap["windows"]
+        for cell in w["tenants"].values()
+    )
+
+    per_tenant = {}
+    for window in merged["windows"]:
+        for tenant, cell in window["tenants"].items():
+            row = per_tenant.setdefault(tenant, {"commits": 0, "p50": 0.0, "p99": 0.0})
+            row["commits"] += cell["counters"].get("commits", 0)
+            q = cell.get("quantiles", {}).get("commit_latency_ms")
+            if q:
+                row["p50"], row["p99"] = q["p50"], q["p99"]
+
+    ok = (
+        len(merged_tenants) >= tenants
+        and merged_commits == shard_commits
+        and merged_commits > 0
+    )
+
+    if as_json:
+        print(
+            json.dumps(
+                {
+                    "tenants": len(merged_tenants),
+                    "windows": len(merged["windows"]),
+                    "window_ms": window_ms,
+                    "committed": committed,
+                    "merged_commits": merged_commits,
+                    "ok": ok,
+                },
+                indent=2,
+            )
+        )
+    else:
+        print(
+            f"{len(merged_tenants)} collaboration sets, "
+            f"{len(merged['windows'])} windows of {window_ms:.0f} ms, "
+            f"{merged_commits} commits merged from {len(aggs)} shards"
+        )
+        busiest = sorted(per_tenant.items(), key=lambda kv: -kv[1]["commits"])[:10]
+        print(f"\n{'tenant':<16} {'commits':>8} {'p50 ms':>9} {'p99 ms':>9}")
+        for tenant, row in busiest:
+            print(
+                f"{tenant:<16} {row['commits']:>8} {row['p50']:>9.2f} {row['p99']:>9.2f}"
+            )
+        print(f"... and {max(0, len(per_tenant) - 10)} more tenants")
+        print("OK" if ok else "MISMATCH: tenants or commit totals lost in merge")
+    return 0 if ok else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tenants", type=int, default=120,
+        help="concurrent collaboration sets (default 120; the point is >=100)",
+    )
+    parser.add_argument(
+        "--txns-per-tenant", type=int, default=3,
+        help="transactions per collaboration set (default 3)",
+    )
+    parser.add_argument(
+        "--window-ms", type=float, default=1000.0,
+        help="aggregation window width in simulated ms (default 1000)",
+    )
+    parser.add_argument("--json", action="store_true", help="machine-readable summary")
+    args = parser.parse_args(argv)
+    return run(args.tenants, args.txns_per_tenant, args.window_ms, args.json)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,7 +38,14 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import Session  # noqa: E402
-from repro.obs import FlightRecorder, event_to_dict, write_prometheus  # noqa: E402
+from repro.obs import (  # noqa: E402
+    FlightRecorder,
+    TelemetryAggregator,
+    TenantTelemetry,
+    TraceSampler,
+    event_to_dict,
+    write_prometheus,
+)
 from repro.transport.tcp import TcpTransport  # noqa: E402
 from repro.vtime import VirtualTime  # noqa: E402
 from repro.wire import decode, encode  # noqa: E402
@@ -67,22 +74,36 @@ async def child_main(
     workdir: Path,
     appends: int = APPENDS_PER_SITE,
     trace_dir: Path = None,
+    sample_rate: float = -1.0,
 ) -> None:
     addrs = {i: ("127.0.0.1", port) for i, port in enumerate(ports)}
-    transport = TcpTransport(addrs, local_sites={site_id}, fail_after_ms=30_000.0)
+    # --sample-rate: install a head-based trace sampler.  Both processes
+    # configure the same rate, and each transaction's decision is made
+    # once at its origin and rides the frame header, so the two processes
+    # record exactly the same subset of traces (complete span trees).
+    sampler = TraceSampler(sample_rate) if sample_rate >= 0.0 else None
+    transport = TcpTransport(
+        addrs, local_sites={site_id}, fail_after_ms=30_000.0, sampler=sampler
+    )
     session = Session(transport=transport, roster=set(addrs), batching=True)
     site = session.add_site(f"proc{site_id}", site_id=site_id)
 
     # --trace-dir: record this process's full wall-clock timeline (session
     # protocol events + transport send/deliver events share transport.bus),
-    # arm the postmortem flight recorder, and keep a live Prometheus
-    # snapshot refreshed while the run progresses.
+    # arm the postmortem flight recorder, keep a live Prometheus snapshot
+    # refreshed while the run progresses, and roll up per-tenant windowed
+    # telemetry (agg{N}.json) that `repro top` can tail.
     prom_task = None
+    telemetry = None
     if trace_dir is not None:
         transport.bus.enable()
         transport.flight = FlightRecorder(str(trace_dir / f"flight{site_id}.jsonl"))
         transport.flight.attach(transport.bus)
         transport.flight.install_excepthook()
+        telemetry = TenantTelemetry(
+            TelemetryAggregator(window_ms=1000.0, keep_windows=64, site=site_id)
+        )
+        transport.bus.subscribe(telemetry)
         prom_path = str(trace_dir / f"metrics{site_id}.prom")
         snapshot_fns = [transport.metrics.snapshot, site.metrics.snapshot]
         from repro.obs.prom import flush_periodically
@@ -170,6 +191,8 @@ async def child_main(
             "messages_batched": site.outbox.messages_batched,
             "frames_sent": transport.frames_sent,
             "frames_received": transport.frames_received,
+            "sends_sampled_out": transport.sends_sampled_out,
+            "deliveries_sampled_out": transport.deliveries_sampled_out,
         },
     }
     (workdir / f"digest{site_id}.json").write_text(json.dumps(out, sort_keys=True))
@@ -182,6 +205,8 @@ async def child_main(
         (trace_dir / f"trace{site_id}.jsonl").write_text(
             "\n".join(lines) + ("\n" if lines else "")
         )
+    if telemetry is not None:
+        (trace_dir / f"agg{site_id}.json").write_text(telemetry.agg.to_json())
     if prom_task is not None:
         prom_task.cancel()
         try:
@@ -203,7 +228,10 @@ def free_port() -> int:
 
 
 def parent_main(
-    appends: int = APPENDS_PER_SITE, bench_out: str = "", trace_dir: str = ""
+    appends: int = APPENDS_PER_SITE,
+    bench_out: str = "",
+    trace_dir: str = "",
+    sample_rate: float = -1.0,
 ) -> int:
     ports = [free_port(), free_port()]
     if trace_dir:
@@ -220,6 +248,7 @@ def parent_main(
                     "--ports", ",".join(map(str, ports)),
                     "--workdir", str(workdir),
                     "--appends", str(appends),
+                    "--sample-rate", str(sample_rate),
                 ]
                 + (["--trace-dir", trace_dir] if trace_dir else []),
                 env=os.environ.copy(),
@@ -256,11 +285,18 @@ def parent_main(
         )
         for report in reports:
             wire = report["wire"]
+            sampled = ""
+            if wire.get("sends_sampled_out") or wire.get("deliveries_sampled_out"):
+                sampled = (
+                    f", {wire['sends_sampled_out']} sends / "
+                    f"{wire['deliveries_sampled_out']} deliveries sampled out"
+                )
             print(
                 f"  site {report['site']}: {wire['messages_sent']} protocol messages in "
                 f"{wire['envelopes_sent']} frames "
                 f"({wire['messages_batched']} coalesced), "
                 f"{wire['frames_sent']} TCP frames out / {wire['frames_received']} in"
+                + sampled
             )
         if bench_out:
             # Both sites run their append loops concurrently: total commits
@@ -304,14 +340,28 @@ def main() -> int:
         default="",
         metavar="DIR",
         help="record per-process wall-clock timelines (trace{N}.jsonl), "
-        "flight-recorder postmortems, and live Prometheus snapshots "
-        "(metrics{N}.prom) into DIR; merge afterwards with "
-        "`repro trace --merge`",
+        "flight-recorder postmortems, live Prometheus snapshots "
+        "(metrics{N}.prom), and per-tenant windowed rollups (agg{N}.json) "
+        "into DIR; merge afterwards with `repro trace --merge`, watch "
+        "live with `repro top --dir DIR`",
+    )
+    parser.add_argument(
+        "--sample-rate",
+        type=float,
+        default=-1.0,
+        metavar="RATE",
+        help="head-based trace sampling rate in [0,1] (default: no sampler "
+        "— record every traced frame); the origin's per-transaction "
+        "decision rides the frame header so both processes record the "
+        "same subset",
     )
     args = parser.parse_args()
     if args.role == "parent":
         return parent_main(
-            appends=args.appends, bench_out=args.bench_out, trace_dir=args.trace_dir
+            appends=args.appends,
+            bench_out=args.bench_out,
+            trace_dir=args.trace_dir,
+            sample_rate=args.sample_rate,
         )
     ports = [int(p) for p in args.ports.split(",")]
     asyncio.run(
@@ -321,6 +371,7 @@ def main() -> int:
             Path(args.workdir),
             appends=args.appends,
             trace_dir=Path(args.trace_dir) if args.trace_dir else None,
+            sample_rate=args.sample_rate,
         )
     )
     return 0

@@ -446,6 +446,7 @@ def _cmd_trace_merge(args: argparse.Namespace) -> int:
             "offsets_ms": {str(k): v for k, v in merged.offsets_ms.items()},
             "clamped": merged.clamped,
             "disconnected": merged.disconnected,
+            "sampled_out": merged.sampled_out,
         }
         if analysis is not None:
             doc["analysis"] = analysis
@@ -454,7 +455,7 @@ def _cmd_trace_merge(args: argparse.Namespace) -> int:
         print(
             f"merged {len(timelines)} timelines: {len(merged.events)} events, "
             f"{merged.pairs} message edges, {unmatched} unmatched, "
-            f"{merged.clamped} clamped"
+            f"{len(merged.sampled_out)} sampled out, {merged.clamped} clamped"
         )
         offsets = "  ".join(f"p{p}={off:+.3f}ms" for p, off in merged.offsets_ms.items())
         print(f"clock offsets vs p0: {offsets}")
@@ -606,6 +607,7 @@ def cmd_health(args: argparse.Namespace) -> int:
         NotifyLagSLO,
         RepairStall,
         StragglerCascade,
+        burn_rules,
     )
 
     trial_reports = []
@@ -616,14 +618,15 @@ def cmd_health(args: argparse.Namespace) -> int:
         config = sample_config(
             args.seed, index, mutations=tuple(args.mutate), faults=not args.no_faults
         )
-        monitor = HealthMonitor(
-            [
-                AbortRateSpike(),
-                StragglerCascade(depth=args.straggler_depth),
-                NotifyLagSLO(slo_ms=args.notify_slo_ms),
-                RepairStall(),
-            ]
-        )
+        rules = [
+            AbortRateSpike(),
+            StragglerCascade(depth=args.straggler_depth),
+            NotifyLagSLO(slo_ms=args.notify_slo_ms),
+            RepairStall(),
+        ]
+        if args.burn_rate:
+            rules.extend(burn_rules(notify_slo_ms=args.notify_slo_ms))
+        monitor = HealthMonitor(rules)
         run_trial(config, subscribers=(monitor,))
         report = monitor.report()
         total_findings += len(report.findings)
@@ -662,6 +665,36 @@ def cmd_health(args: argparse.Namespace) -> int:
             for line in report.format_text().splitlines()[1:]:
                 print(line)
     return 0 if total_findings == 0 else 1
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live terminal dashboard tailing a telemetry directory."""
+    import dataclasses
+    import time
+
+    from repro.obs.top import read_dashboard, render_dashboard
+
+    if not os.path.isdir(args.dir):
+        print(f"top: no such directory: {args.dir}", file=sys.stderr)
+        return 1
+    if args.once:
+        state = read_dashboard(args.dir)
+        if args.json:
+            doc = dataclasses.asdict(state)
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            print(render_dashboard(state))
+        return 0
+    try:
+        while True:
+            state = read_dashboard(args.dir)
+            # Clear + home, then the frame: a flicker-free refresh on any
+            # ANSI terminal without a curses dependency.
+            sys.stdout.write("\x1b[2J\x1b[H" + render_dashboard(state) + "\n")
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def cmd_examples(_args: argparse.Namespace) -> int:
@@ -905,11 +938,47 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=3,
         help="straggler-cascade depth threshold (default 3)",
     )
+    health.add_argument(
+        "--burn-rate",
+        action="store_true",
+        help="also run the multi-window SLO burn-rate detectors "
+        "(notify-lag and abort-rate error-budget burn)",
+    )
     health.add_argument("--json", action="store_true", help="machine-readable reports")
     health.add_argument(
         "--quiet", action="store_true", help="only print trials with findings"
     )
     health.set_defaults(func=cmd_health)
+
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a telemetry directory "
+        "(.prom metric snapshots + agg*.json per-tenant rollups)",
+    )
+    top.add_argument(
+        "--dir",
+        default=".",
+        metavar="DIR",
+        help="directory the live processes write telemetry files into "
+        "(e.g. the --trace-dir of examples/two_process_tcp.py)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="print a single frame and exit (CI smoke / scripting)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="refresh interval in seconds (default 1.0)",
+    )
+    top.add_argument(
+        "--json",
+        action="store_true",
+        help="with --once, print the frame's data as JSON instead of text",
+    )
+    top.set_defaults(func=cmd_top)
 
     sub.add_parser("examples", help="list runnable example scripts").set_defaults(
         func=cmd_examples

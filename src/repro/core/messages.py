@@ -430,3 +430,22 @@ class Envelope:
 
     def __len__(self) -> int:
         return len(self.messages)
+
+    @property
+    def txn_vt(self):
+        """The leading inner message's transaction VT (or ``None``).
+
+        An envelope is one frame, and frame-level telemetry (trace ids,
+        head sampling, event attribution) keys off ``payload.txn_vt``.
+        Delegating to the first inner message gives the frame the identity
+        of the transaction that opened the batch — without it, every
+        envelope would fall into the control-plane bucket (empty trace
+        id, never sampled out), so a head sampler could not shed load on
+        the batched message plane at all.  Not a dataclass field: the
+        wire format is unchanged.
+        """
+        for msg in self.messages:
+            vt = getattr(msg, "txn_vt", None)
+            if vt is not None:
+                return vt
+        return None

@@ -26,30 +26,48 @@ from repro.obs.causal import (
     normalize_events,
     parse_vt,
 )
+from repro.obs.agg import (
+    TelemetryAggregator,
+    TenantTelemetry,
+    merge_agg_snapshots,
+)
 from repro.obs.clock import Clock, SimClock, WallClock
 from repro.obs.events import EVENT_KINDS, EventBus, ProtocolEvent, event_to_dict
 from repro.obs.export import chrome_trace_json, to_chrome_trace, to_jsonl
 from repro.obs.flight import FlightRecorder
 from repro.obs.merge import MergedTimeline, load_timeline, merge_timelines
-from repro.obs.prom import prometheus_text, write_prometheus
+from repro.obs.prom import parse_prometheus_text, prometheus_text, write_prometheus
+from repro.obs.sample import TraceSampler, sample_decision
+from repro.obs.sketch import (
+    DEFAULT_RELATIVE_ACCURACY,
+    QuantileSketch,
+    SketchSnapshot,
+    merge_sketches,
+)
 from repro.obs.health import (
+    AbortRateBurnRate,
     AbortRateSpike,
     HealthFinding,
     HealthMonitor,
     HealthReport,
     HealthRule,
+    MultiWindowBurnRate,
+    NotifyLagBurnRate,
     NotifyLagSLO,
     RepairStall,
     StragglerCascade,
+    burn_rules,
     default_rules,
     run_health,
 )
 from repro.obs.metrics import (
     COUNT_BUCKETS,
     LATENCY_BUCKETS_MS,
+    SUMMARY_QUANTILES,
     Histogram,
     MetricsRegistry,
     counter_property,
+    summary_dict,
 )
 from repro.obs.spans import TxnSpan, build_spans, span_summary
 
@@ -66,15 +84,27 @@ __all__ = [
     "load_timeline",
     "merge_timelines",
     "prometheus_text",
+    "parse_prometheus_text",
     "write_prometheus",
+    "TraceSampler",
+    "sample_decision",
+    "QuantileSketch",
+    "SketchSnapshot",
+    "merge_sketches",
+    "DEFAULT_RELATIVE_ACCURACY",
+    "TelemetryAggregator",
+    "TenantTelemetry",
+    "merge_agg_snapshots",
     "to_jsonl",
     "to_chrome_trace",
     "chrome_trace_json",
     "Histogram",
     "MetricsRegistry",
     "counter_property",
+    "summary_dict",
     "LATENCY_BUCKETS_MS",
     "COUNT_BUCKETS",
+    "SUMMARY_QUANTILES",
     "TxnSpan",
     "build_spans",
     "span_summary",
@@ -103,6 +133,10 @@ __all__ = [
     "StragglerCascade",
     "NotifyLagSLO",
     "RepairStall",
+    "MultiWindowBurnRate",
+    "NotifyLagBurnRate",
+    "AbortRateBurnRate",
     "default_rules",
+    "burn_rules",
     "run_health",
 ]

@@ -296,9 +296,176 @@ class RepairStall(HealthRule):
         return self._check_deadlines(now_ms + self.threshold_ms, -1)
 
 
+class MultiWindowBurnRate(HealthRule):
+    """SLO error-budget burn-rate alerting over two trailing windows.
+
+    The Google SRE-workbook construction: classify each relevant event
+    good/bad against an SLO, compute the *burn rate* — the bad fraction
+    divided by the error budget ``1 - objective`` (burn 1.0 = spending
+    the budget exactly as fast as the SLO allows) — and alert only when
+    **both** a fast and a slow window exceed ``burn_threshold``.  The
+    slow window keeps one bad burst from paging; the fast window makes
+    the alert reset quickly once the burn stops.  Like every rule here,
+    the verdict is a pure function of the event sequence, so live
+    subscription and offline replay produce byte-identical findings.
+
+    Subclasses implement :meth:`classify`, returning ``None`` for
+    irrelevant events, else ``True`` (bad) / ``False`` (good).
+    """
+
+    name = "burn_rate"
+    severity = "critical"
+
+    def __init__(
+        self,
+        objective: float = 0.95,
+        fast_ms: float = 500.0,
+        slow_ms: float = 2000.0,
+        burn_threshold: float = 4.0,
+        min_events: int = 6,
+    ) -> None:
+        if not 0.0 < objective < 1.0:
+            raise ValueError(f"objective must be in (0, 1), got {objective}")
+        if fast_ms >= slow_ms:
+            raise ValueError("fast window must be shorter than the slow window")
+        self.objective = objective
+        self.fast_ms = fast_ms
+        self.slow_ms = slow_ms
+        self.burn_threshold = burn_threshold
+        self.min_events = min_events
+        self._window: Deque[Tuple[float, bool]] = deque()  # (time, bad)
+        self._breached = False
+
+    def classify(self, event: ProtocolEvent) -> Optional[bool]:
+        raise NotImplementedError
+
+    def observe(self, event: ProtocolEvent) -> List[HealthFinding]:
+        bad = self.classify(event)
+        if bad is None:
+            return []
+        now = event.time_ms
+        self._window.append((now, bad))
+        cutoff = now - self.slow_ms
+        while self._window and self._window[0][0] < cutoff:
+            self._window.popleft()
+        budget = 1.0 - self.objective
+        slow_total = len(self._window)
+        slow_bad = sum(1 for _, b in self._window if b)
+        fast_cut = now - self.fast_ms
+        fast_total = fast_bad = 0
+        for t, b in self._window:
+            if t >= fast_cut:
+                fast_total += 1
+                fast_bad += b
+        if fast_total < self.min_events:
+            return []
+        fast_burn = (fast_bad / fast_total) / budget
+        slow_burn = (slow_bad / slow_total) / budget
+        if fast_burn >= self.burn_threshold and slow_burn >= self.burn_threshold:
+            if not self._breached:
+                self._breached = True
+                return [
+                    HealthFinding(
+                        rule=self.name,
+                        severity=self.severity,
+                        site=event.site,
+                        time_ms=event.time_ms,
+                        seq=event.seq,
+                        vt=str(event.txn_vt) if event.txn_vt is not None else None,
+                        message=(
+                            f"burn rate {fast_burn:.1f}x/{slow_burn:.1f}x "
+                            f"(fast {self.fast_ms:.0f} ms / slow {self.slow_ms:.0f} ms) "
+                            f"exceeds {self.burn_threshold:.1f}x of the "
+                            f"{self.objective:.0%} SLO budget"
+                        ),
+                        data={
+                            "fast_burn": round(fast_burn, 4),
+                            "slow_burn": round(slow_burn, 4),
+                            "fast_bad": fast_bad,
+                            "fast_total": fast_total,
+                            "slow_bad": slow_bad,
+                            "slow_total": slow_total,
+                            "objective": self.objective,
+                            "burn_threshold": self.burn_threshold,
+                        },
+                    )
+                ]
+        elif fast_burn < self.burn_threshold / 2:
+            self._breached = False  # burn stopped: re-arm the rising edge
+        return []
+
+
+class NotifyLagBurnRate(MultiWindowBurnRate):
+    """Error-budget burn on the notify-lag SLO: each pessimistic commit
+    notification is *bad* when it lagged the origin commit by more than
+    ``slo_ms``.  Complements :class:`NotifyLagSLO` (which flags every
+    individual violation): this rule fires only when violations consume
+    the ``objective`` error budget ``burn_threshold`` times too fast in
+    both windows — a sustained lag regression, not one slow replica."""
+
+    name = "notify_lag_burn_rate"
+
+    def __init__(self, slo_ms: float = 120.0, **kwargs: Any) -> None:
+        super().__init__(**kwargs)
+        self.slo_ms = slo_ms
+        self._commit_ms: Dict[Any, float] = {}
+
+    def classify(self, event: ProtocolEvent) -> Optional[bool]:
+        if event.kind == "committed" and _is_origin_resolution(event):
+            self._commit_ms.setdefault(event.txn_vt.key, event.time_ms)
+            return None
+        if (
+            event.kind != "view_notified"
+            or event.data.get("mode") != "pessimistic"
+            or event.txn_vt is None
+        ):
+            return None
+        committed_at = self._commit_ms.get(event.txn_vt.key)
+        if committed_at is None:
+            return None
+        return event.time_ms - committed_at > self.slo_ms
+
+
+class AbortRateBurnRate(MultiWindowBurnRate):
+    """Error-budget burn on the abort-rate SLO: each origin resolution is
+    *bad* when it aborted.  Where :class:`AbortRateSpike` pages on one
+    window crossing a raw fraction, this expresses the policy as an SLO
+    (``objective`` of transactions commit) and fires on sustained budget
+    burn across both windows."""
+
+    name = "abort_rate_burn_rate"
+
+    def __init__(self, objective: float = 0.90, burn_threshold: float = 3.0,
+                 min_events: int = 8, **kwargs: Any) -> None:
+        super().__init__(
+            objective=objective, burn_threshold=burn_threshold,
+            min_events=min_events, **kwargs,
+        )
+
+    def classify(self, event: ProtocolEvent) -> Optional[bool]:
+        if not _is_origin_resolution(event):
+            return None
+        return event.kind == "aborted"
+
+
 def default_rules() -> List[HealthRule]:
     """A fresh instance of every built-in detector, default thresholds."""
     return [AbortRateSpike(), StragglerCascade(), NotifyLagSLO(), RepairStall()]
+
+
+def burn_rules(
+    notify_slo_ms: float = 120.0,
+    abort_objective: float = 0.90,
+) -> List[HealthRule]:
+    """The SLO burn-rate detector pair (notify lag + abort rate).
+
+    Kept out of :func:`default_rules` so existing health reports stay
+    byte-stable; ``repro health --burn-rate`` and ``repro top`` opt in.
+    """
+    return [
+        NotifyLagBurnRate(slo_ms=notify_slo_ms),
+        AbortRateBurnRate(objective=abort_objective),
+    ]
 
 
 @dataclass

@@ -64,6 +64,11 @@ class MergedTimeline:
     clamped: int = 0
     #: Processes unreachable from process 0 in the pair graph (offset 0).
     disconnected: List[int] = field(default_factory=list)
+    #: msg_ids head-dropped by the trace sampler (``"sampled": False`` on
+    #: the send, recorded by TraceSampler(record_dropped=True)).  Expected
+    #: to have no delivery — sampling, not message loss — so they are
+    #: tallied here instead of in :attr:`unmatched_sends`.
+    sampled_out: List[str] = field(default_factory=list)
 
     def to_jsonl(self) -> str:
         return "\n".join(json.dumps(e, sort_keys=True) for e in self.events) + (
@@ -134,9 +139,11 @@ def merge_timelines(timelines: List[List[Dict[str, Any]]]) -> MergedTimeline:
     delivers: Dict[str, Tuple[int, int]] = {}
     duplicate_sends: List[str] = []
     duplicate_delivers: List[str] = []
+    sampled_out_ids: set = set()
     for proc, tl in enumerate(ordered):
         for idx, ev in enumerate(tl):
-            msg_id = ev.get("data", {}).get("msg_id")
+            data = ev.get("data", {})
+            msg_id = data.get("msg_id")
             if msg_id is None:
                 continue
             msg_id = str(msg_id)
@@ -145,6 +152,10 @@ def merge_timelines(timelines: List[List[Dict[str, Any]]]) -> MergedTimeline:
                     duplicate_sends.append(msg_id)
                 else:
                     sends[msg_id] = (proc, idx)
+                    # A head-dropped trace: the origin recorded the send as
+                    # a marker but no site records the delivery by design.
+                    if data.get("sampled") is False:
+                        sampled_out_ids.add(msg_id)
             elif ev["kind"] == "message_delivered":
                 if msg_id in delivers:
                     duplicate_delivers.append(msg_id)
@@ -152,10 +163,13 @@ def merge_timelines(timelines: List[List[Dict[str, Any]]]) -> MergedTimeline:
                     delivers[msg_id] = (proc, idx)
 
     matched = sorted(set(sends) & set(delivers))
-    unmatched_sends = sorted((set(sends) - set(delivers)) | set(duplicate_sends))
+    unmatched_sends = sorted(
+        (set(sends) - set(delivers) - sampled_out_ids) | set(duplicate_sends)
+    )
     unmatched_deliveries = sorted(
         (set(delivers) - set(sends)) | set(duplicate_delivers)
     )
+    sampled_out = sorted(sampled_out_ids - set(delivers))
 
     # Minimum raw deliver-send delta per cross-process direction.
     min_delta: Dict[Tuple[int, int], float] = {}
@@ -248,4 +262,5 @@ def merge_timelines(timelines: List[List[Dict[str, Any]]]) -> MergedTimeline:
         pairs=len(matched),
         clamped=clamped,
         disconnected=disconnected,
+        sampled_out=sampled_out,
     )

@@ -16,7 +16,13 @@ byte-stable across runs and platforms.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # import cycle: sketch -> wire -> batch -> metrics
+    from repro.obs.sketch import QuantileSketch
+
+#: Quantiles a summary exports (Prometheus ``quantile`` label values).
+SUMMARY_QUANTILES: Tuple[float, ...] = (0.5, 0.9, 0.99)
 
 #: Default bucket upper bounds (simulated milliseconds) for latency
 #: histograms.  Chosen to straddle the simulator's common latency models
@@ -91,13 +97,14 @@ class MetricsRegistry:
     :meth:`histogram` (re-declaring with the same bounds is a no-op).
     """
 
-    __slots__ = ("site", "counters", "gauges", "histograms")
+    __slots__ = ("site", "counters", "gauges", "histograms", "summaries")
 
     def __init__(self, site: int = -1) -> None:
         self.site = site
         self.counters: Dict[str, int] = {}
         self.gauges: Dict[str, float] = {}
         self.histograms: Dict[str, Histogram] = {}
+        self.summaries: Dict[str, "QuantileSketch"] = {}
 
     # -- counters --------------------------------------------------------
 
@@ -130,22 +137,72 @@ class MetricsRegistry:
                 bounds: Sequence[float] = LATENCY_BUCKETS_MS) -> None:
         self.histogram(name, bounds).observe(value)
 
+    # -- summaries (sketch-backed quantiles) -----------------------------
+
+    def summary(
+        self, name: str, relative_accuracy: Optional[float] = None
+    ) -> "QuantileSketch":
+        """Get-or-create the quantile sketch behind summary ``name``.
+
+        Unlike :meth:`histogram`, a summary has no fixed bounds: the
+        sketch guarantees every exported quantile is within
+        ``relative_accuracy`` (default
+        :data:`repro.obs.sketch.DEFAULT_RELATIVE_ACCURACY`) of the true
+        value regardless of scale.
+        """
+        sketch = self.summaries.get(name)
+        if sketch is None:
+            # Deferred import: sketch pulls the wire codec, which pulls
+            # this module back in through repro.wire.batch.
+            from repro.obs.sketch import DEFAULT_RELATIVE_ACCURACY, QuantileSketch
+
+            if relative_accuracy is None:
+                relative_accuracy = DEFAULT_RELATIVE_ACCURACY
+            sketch = self.summaries[name] = QuantileSketch(relative_accuracy)
+        return sketch
+
+    def observe_summary(self, name: str, value: float) -> None:
+        self.summary(name).observe(value)
+
     # -- export ----------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Any]:
-        """Deterministic full dump: keys sorted, histograms expanded."""
-        return {
+        """Deterministic full dump: keys sorted, histograms expanded.
+
+        The ``summaries`` key appears only when a summary exists, so
+        snapshots from registries that never used one keep their
+        pre-sketch shape byte-for-byte.
+        """
+        snap = {
             "site": self.site,
             "counters": {k: self.counters[k] for k in sorted(self.counters)},
             "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
             "histograms": {k: self.histograms[k].to_dict() for k in sorted(self.histograms)},
         }
+        if self.summaries:
+            snap["summaries"] = {
+                k: summary_dict(self.summaries[k]) for k in sorted(self.summaries)
+            }
+        return snap
 
     def __repr__(self) -> str:
         return (
             f"MetricsRegistry(site={self.site}, {len(self.counters)} counters, "
             f"{len(self.histograms)} histograms)"
         )
+
+
+def summary_dict(sketch: "QuantileSketch") -> Dict[str, Any]:
+    """The prom.py-consumable rendering of one summary sketch.
+
+    Quantile keys are strings (``"0.5"``) because they become Prometheus
+    ``quantile`` label values verbatim.
+    """
+    return {
+        "quantiles": {str(q): round(sketch.quantile(q), 6) for q in SUMMARY_QUANTILES},
+        "sum": round(sketch.sum, 6),
+        "count": sketch.total,
+    }
 
 
 def counter_property(name: str, doc: Optional[str] = None) -> property:

@@ -17,15 +17,23 @@ Rendering rules:
 - histograms expand to cumulative ``_bucket{le="..."}`` series plus
   ``+Inf``, ``_sum`` and ``_count``, exactly the shape Prometheus
   histogram_quantile() expects;
+- sketch-backed summaries (``snapshot()["summaries"]``, derived from
+  :class:`repro.obs.sketch.QuantileSketch`) render as the Prometheus
+  summary type: ``quantile``-labeled gauges plus ``_sum``/``_count``;
 - a registry's ``site`` becomes a ``site`` label when >= 0 (the transport
   registry uses site -1 = process-wide, rendered without the label);
 - output is deterministic: metrics sorted by (name, labels), one
   ``# TYPE`` line per family.
+
+:func:`parse_prometheus_text` is the read side — a minimal 0.0.4 parser
+used by the text-format conformance test (render → parse → compare) and
+by ``repro top`` to tail the ``.prom`` files live processes refresh.
 """
 
 from __future__ import annotations
 
 import os
+import re
 import tempfile
 from typing import Any, Dict, Iterable, List, Tuple
 
@@ -104,6 +112,19 @@ def prometheus_text(snapshots: Iterable[Dict[str, Any]]) -> str:
                 f"{family}_sum{slbl} {_fmt_value(hist['sum'])}")
             add(family, "histogram", f"{slbl}|999999b",
                 f"{family}_count{slbl} {hist['total']}")
+        for name, summ in snap.get("summaries", {}).items():
+            family = sanitize_name(name)
+            slbl = _labels(site_labels)
+            # Quantile series stay in increasing-q order via the index key,
+            # mirroring the bucket ordering above.
+            for i, q in enumerate(sorted(summ["quantiles"], key=float)):
+                lbl = _labels(site_labels + [("quantile", q)])
+                add(family, "summary", f"{slbl}|{i:06d}",
+                    f"{family}{lbl} {_fmt_value(summ['quantiles'][q])}")
+            add(family, "summary", f"{slbl}|999999a",
+                f"{family}_sum{slbl} {_fmt_value(summ['sum'])}")
+            add(family, "summary", f"{slbl}|999999b",
+                f"{family}_count{slbl} {summ['count']}")
 
     lines: List[str] = []
     for family in sorted(families):
@@ -129,6 +150,48 @@ def write_prometheus(path: str, snapshots: Iterable[Dict[str, Any]]) -> str:
             pass
         raise
     return path
+
+
+_LABEL_RE = re.compile(r'([a-zA-Z_:][a-zA-Z0-9_:]*)="([^"]*)"')
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$"
+)
+
+
+def parse_prometheus_text(
+    text: str,
+) -> Tuple[Dict[str, str], List[Tuple[str, Dict[str, str], float]]]:
+    """Parse exposition text back into ``(types, samples)``.
+
+    ``types`` maps family name -> metric type (from ``# TYPE`` lines);
+    ``samples`` is ``(metric_name, labels, value)`` in file order.  The
+    grammar covered is exactly what :func:`prometheus_text` emits (plus
+    ``+Inf``/``NaN`` values); an unparseable sample line raises
+    ``ValueError`` so the conformance test catches format drift.
+    """
+    types: Dict[str, str] = {}
+    samples: List[Tuple[str, Dict[str, str], float]] = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            if line.startswith("# TYPE "):
+                rest = line[len("# TYPE "):]
+                family, _, mtype = rest.partition(" ")
+                types[family] = mtype.strip()
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable sample on line {lineno}: {line!r}")
+        name, label_body, raw_value = match.groups()
+        labels = dict(_LABEL_RE.findall(label_body)) if label_body else {}
+        try:
+            value = float(raw_value)
+        except ValueError:
+            raise ValueError(f"bad sample value on line {lineno}: {raw_value!r}")
+        samples.append((name, labels, value))
+    return types, samples
 
 
 async def flush_periodically(path: str, snapshot_fns, interval_s: float = 1.0) -> None:

@@ -44,6 +44,7 @@ from repro.errors import TransportError, WireError
 from repro.obs.clock import WallClock
 from repro.obs.events import EventBus
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.sample import TraceSampler
 from repro.transport.base import DeliveryHandler, FailureHandler, Transport
 from repro.wire.codec import (
     FRAME_HEADER_BYTES,
@@ -129,6 +130,7 @@ class TcpTransport(Transport):
         reconnect_max_ms: float = 1000.0,
         fail_after_ms: float = 10_000.0,
         coalesce_max_bytes: int = 64 * 1024,
+        sampler: Optional[TraceSampler] = None,
     ) -> None:
         self.site_addrs = dict(site_addrs)
         self.local_sites: Set[int] = set(local_sites)
@@ -179,6 +181,12 @@ class TcpTransport(Transport):
         #: Per-process sequence for traced sends; with the origin site it
         #: forms the cross-process ``msg_id`` (``TraceContext.msg_id``).
         self._msg_seq = 0
+        #: Optional head-based trace sampler (repro.obs.sample).  None
+        #: keeps the pre-sampling behavior: every traced frame is
+        #: recorded.  With a sampler, the *origin* transport decides per
+        #: trace id; the decision rides the frame's TraceContext so every
+        #: receiving process records or skips the same transaction.
+        self.sampler = sampler
 
     #: Frames successfully written to / read from peer sockets, socket
     #: writes issued, and frames that shared a write with an earlier frame
@@ -195,6 +203,11 @@ class TcpTransport(Transport):
     reconnects = _transport_counter("transport.reconnects")
     peer_unreachable_transitions = _transport_counter("transport.peer_unreachable")
     peers_failed = _transport_counter("transport.peers_failed")
+    #: Trace-sampling tallies: sends whose trace the local sampler head-
+    #: dropped, and deliveries skipped because the *origin's* in-band
+    #: decision was drop (the only per-frame cost of a sampled-out trace).
+    sends_sampled_out = _transport_counter("transport.sends_sampled_out")
+    deliveries_sampled_out = _transport_counter("transport.deliveries_sampled_out")
 
     # ------------------------------------------------------------------
     # Transport interface
@@ -230,11 +243,35 @@ class TcpTransport(Transport):
         # id is the bare "counter@site" of the transaction VT (shorter to
         # build and to wire-encode than the VT repr), "" for control
         # messages with no transaction.
+        trace_id = f"{txn_vt.counter}@{txn_vt.site}" if txn_vt is not None else ""
         trace = object.__new__(TraceContext)
         fields = trace.__dict__
         fields["origin"] = src
-        fields["trace_id"] = f"{txn_vt.counter}@{txn_vt.site}" if txn_vt is not None else ""
+        fields["trace_id"] = trace_id
         fields["parent_span"] = seq
+        sampler = self.sampler
+        if sampler is not None and not sampler.sample(trace_id):
+            # Head-dropped at the origin: the decision still rides the
+            # frame so downstream processes skip their deliveries too.
+            # No event is built (the bounded-cost contract bench_obs
+            # gates) unless record_dropped marks the send for debugging.
+            fields["sampled"] = False
+            self.metrics.inc("transport.sends_sampled_out")
+            if sampler.record_dropped:
+                self.bus.emit_event(
+                    "message_sent",
+                    src,
+                    self.clock.now_ms(),
+                    txn_vt,
+                    {
+                        "dst": dst,
+                        "msg_type": type(payload).__name__,
+                        "msg_id": f"{src}:{seq}",
+                        "sampled": False,
+                    },
+                )
+            return trace
+        fields["sampled"] = True
         # No "payload" ref in the data dict (unlike the simulator's sender):
         # nothing subscribes for payloads on the real-socket path, exports
         # skip the key anyway, and retaining every message would pin the
@@ -432,7 +469,12 @@ class TcpTransport(Transport):
         handler = self._handlers.get(dst)
         if handler is None or src in self._failed or dst in self._failed:
             return
-        if trace is not None and self.bus.active:
+        if trace is not None and self.bus.active and not trace.sampled:
+            # The origin head-dropped this trace: honor its in-band
+            # decision so a sampled run records complete span trees for
+            # exactly the sampled transactions, nothing partial.
+            self.metrics.inc("transport.deliveries_sampled_out")
+        elif trace is not None and self.bus.active:
             # Pairs with the sender process's message_sent via the trace
             # header's msg_id — the cross-process happens-before edge the
             # merged timeline (repro.obs.merge) reconstructs.

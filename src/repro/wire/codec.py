@@ -1384,11 +1384,18 @@ class TraceContext:
     number — ``f"{origin}:{parent_span}"`` is the cross-process ``msg_id``
     that pairs a ``message_sent`` event in one process's timeline with the
     ``message_delivered`` event in another's (repro.obs.merge).
+
+    ``sampled`` carries the origin's head-based sampling decision in-band
+    (repro.obs.sample): every site on the transaction's path records or
+    skips the same trace, so partial span trees cannot occur.  Untraced
+    (version-1) frames carry no TraceContext and are byte-identical to
+    the pre-sampling format.
     """
 
     origin: int
     trace_id: str
     parent_span: int
+    sampled: bool = True
 
     @property
     def msg_id(self) -> str:

@@ -16,11 +16,15 @@ from repro.explore.trial import run_trial
 from repro.obs import run_health
 from repro.obs.events import ProtocolEvent
 from repro.obs.health import (
+    AbortRateBurnRate,
     AbortRateSpike,
     HealthMonitor,
+    NotifyLagBurnRate,
     NotifyLagSLO,
     RepairStall,
     StragglerCascade,
+    burn_rules,
+    default_rules,
 )
 from repro.vtime import VirtualTime
 
@@ -173,6 +177,129 @@ class TestRepairStall:
         findings = rule.finish(100.0)
         assert len(findings) == 1
         assert findings[0].data["failed_site"] == 1
+
+
+class TestBurnRateRules:
+    def _resolution(self, seq, time_ms, counter, aborted):
+        vt = VirtualTime(counter, 0)
+        kind = "aborted" if aborted else "committed"
+        return make_event(seq, time_ms, 0, kind, vt)
+
+    def test_sustained_abort_burn_fires_once(self):
+        rule = AbortRateBurnRate()
+        # 50% aborts sustained: burn 5.0x of the 10% budget in both windows.
+        events = [
+            self._resolution(i, 50.0 * i, i, aborted=(i % 2 == 0)) for i in range(40)
+        ]
+        findings = feed(rule, events)
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.rule == "abort_rate_burn_rate"
+        assert finding.severity == "critical"
+        assert finding.data["fast_burn"] >= 3.0
+        assert finding.data["slow_burn"] >= 3.0
+        assert finding.data["objective"] == 0.90
+
+    def test_short_burst_is_absorbed_by_the_slow_window(self):
+        rule = AbortRateBurnRate()
+        healthy = [self._resolution(i, 50.0 * i, i, aborted=False) for i in range(39)]
+        burst = [
+            self._resolution(40 + i, 1910.0 + 10.0 * i, 40 + i, aborted=True)
+            for i in range(8)
+        ]
+        # Fast window burns hot, but the slow window says the budget is
+        # fine overall — no page for one transient burst.
+        assert feed(rule, healthy + burst) == []
+
+    def test_rearms_after_burn_stops(self):
+        rule = AbortRateBurnRate()
+        spike1 = [self._resolution(i, 50.0 * i, i, aborted=True) for i in range(10)]
+        recovery = [
+            self._resolution(20 + i, 1000.0 + 50.0 * i, 20 + i, aborted=False)
+            for i in range(19)
+        ]
+        spike2 = [
+            self._resolution(50 + i, 3000.0 + 50.0 * i, 50 + i, aborted=True)
+            for i in range(10)
+        ]
+        findings = feed(rule, spike1 + recovery + spike2)
+        assert len(findings) == 2
+
+    def test_min_events_guards_small_samples(self):
+        rule = AbortRateBurnRate()  # min_events=8
+        events = [self._resolution(i, 50.0 * i, i, aborted=True) for i in range(7)]
+        assert feed(rule, events) == []
+
+    def test_replica_resolutions_ignored(self):
+        rule = AbortRateBurnRate()
+        events = [
+            make_event(i, 50.0 * i, 1, "aborted", VirtualTime(i, 0)) for i in range(20)
+        ]
+        assert feed(rule, events) == []
+
+    def _notify_pair(self, seq, counter, commit_ms, lag_ms):
+        vt = VirtualTime(counter, 0)
+        return [
+            make_event(seq, commit_ms, 0, "committed", vt, ops=1),
+            make_event(seq + 1, commit_ms + lag_ms, 1, "view_notified", vt,
+                       mode="pessimistic", kind="commit", changed=1),
+        ]
+
+    def test_sustained_notify_lag_burn_fires(self):
+        rule = NotifyLagBurnRate(slo_ms=120.0)
+        events = []
+        for i in range(10):
+            events.extend(self._notify_pair(2 * i, i, 100.0 * i, lag_ms=200.0))
+        findings = feed(rule, events)
+        assert len(findings) == 1
+        assert findings[0].rule == "notify_lag_burn_rate"
+
+    def test_within_slo_notifications_never_fire(self):
+        rule = NotifyLagBurnRate(slo_ms=120.0)
+        events = []
+        for i in range(10):
+            events.extend(self._notify_pair(2 * i, i, 100.0 * i, lag_ms=50.0))
+        assert feed(rule, events) == []
+
+    def test_notification_without_recorded_commit_is_ignored(self):
+        rule = NotifyLagBurnRate(slo_ms=120.0)
+        vt = VirtualTime(1, 0)
+        event = make_event(0, 500.0, 1, "view_notified", vt,
+                           mode="pessimistic", kind="commit", changed=1)
+        assert rule.observe(event) == []
+
+    def test_burn_rules_factory_and_default_rules_unchanged(self):
+        rules = burn_rules(notify_slo_ms=99.0, abort_objective=0.8)
+        assert [type(r) for r in rules] == [NotifyLagBurnRate, AbortRateBurnRate]
+        assert rules[0].slo_ms == 99.0
+        assert rules[1].objective == 0.8
+        # Burn rules are opt-in: default reports stay byte-stable.
+        assert [type(r).__name__ for r in default_rules()] == [
+            "AbortRateSpike", "StragglerCascade", "NotifyLagSLO", "RepairStall",
+        ]
+
+    def test_live_equals_replay_with_burn_rules(self):
+        events = [
+            self._resolution(i, 50.0 * i, i, aborted=(i % 2 == 0)) for i in range(40)
+        ]
+        live = HealthMonitor(burn_rules())
+        for event in events:
+            live(event)
+        offline = run_health(events, rules=burn_rules())
+        assert live.report().to_json() == offline.to_json()
+        assert offline.by_rule().get("abort_rate_burn_rate") == 1
+
+    def test_health_cli_burn_rate_flag_is_deterministic(self, capsys):
+        from repro.cli import main
+
+        outputs = []
+        for _run in range(2):
+            code = main(["health", "--seed", "0", "--trials", "1", "--json",
+                         "--burn-rate"])
+            assert code in (0, 1)
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+        json.loads(outputs[0])  # well-formed report
 
 
 class TestHealthMonitorDeterminism:

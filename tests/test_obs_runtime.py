@@ -228,3 +228,103 @@ class TestPrometheusExport:
 
     def test_empty_snapshot_renders_empty(self):
         assert prometheus_text([MetricsRegistry(site=0).snapshot()]) == ""
+
+    def test_summary_renders_quantile_labeled_gauges(self):
+        reg = MetricsRegistry(site=2)
+        for v in range(1, 101):
+            reg.observe_summary("engine.commit_latency_ms", float(v))
+        text = prometheus_text([reg.snapshot()])
+        assert "# TYPE repro_engine_commit_latency_ms summary" in text
+        lines = [l for l in text.splitlines() if not l.startswith("#")]
+        quantile_lines = [l for l in lines if 'quantile="' in l]
+        # Quantile series in increasing-q order, then _sum and _count.
+        qs = [l.split('quantile="')[1].split('"')[0] for l in quantile_lines]
+        assert qs == sorted(qs, key=float)
+        assert 'repro_engine_commit_latency_ms_count{site="2"} 100' in text
+        assert 'repro_engine_commit_latency_ms_sum{site="2"} 5050' in text
+
+
+class TestPromConformance:
+    """Render -> parse_prometheus_text -> compare (text-format round trip)."""
+
+    def build_text(self):
+        a = MetricsRegistry(site=0)
+        a.inc("engine.commits", 3)
+        a.gauge("outbox.depth", 2)
+        for v in (0.5, 3.0, 250.0):
+            a.observe("transport.rtt_ms", v)
+        for v in range(1, 51):
+            a.observe_summary("engine.commit_latency_ms", float(v))
+        b = MetricsRegistry(site=-1)
+        b.inc("transport.frames_sent", 7)
+        return prometheus_text([a.snapshot(), b.snapshot()]), a, b
+
+    def test_every_line_parses(self):
+        from repro.obs.prom import parse_prometheus_text
+
+        text, _a, _b = self.build_text()
+        types, samples = parse_prometheus_text(text)
+        sample_lines = [
+            l for l in text.splitlines() if l.strip() and not l.startswith("#")
+        ]
+        assert len(samples) == len(sample_lines)
+        assert types["repro_engine_commits_total"] == "counter"
+        assert types["repro_outbox_depth"] == "gauge"
+        assert types["repro_transport_rtt_ms"] == "histogram"
+        assert types["repro_engine_commit_latency_ms"] == "summary"
+
+    def test_values_round_trip(self):
+        from repro.obs.prom import parse_prometheus_text
+
+        text, a, _b = self.build_text()
+        _types, samples = parse_prometheus_text(text)
+        by_key = {(n, tuple(sorted(l.items()))): v for n, l, v in samples}
+        assert by_key[("repro_engine_commits_total", (("site", "0"),))] == 3.0
+        assert by_key[("repro_transport_frames_sent_total", ())] == 7.0
+        assert by_key[("repro_outbox_depth", (("site", "0"),))] == 2.0
+        # Histogram: +Inf bucket and _count both equal the observation count.
+        assert by_key[
+            ("repro_transport_rtt_ms_bucket", (("le", "+Inf"), ("site", "0")))
+        ] == 3.0
+        assert by_key[("repro_transport_rtt_ms_count", (("site", "0"),))] == 3.0
+        # Summary: parsed quantile values match the live sketch's answers.
+        summ = a.snapshot()["summaries"]["engine.commit_latency_ms"]
+        for q, value in summ["quantiles"].items():
+            key = ("repro_engine_commit_latency_ms", (("quantile", q), ("site", "0")))
+            assert by_key[key] == pytest.approx(value)
+        assert by_key[
+            ("repro_engine_commit_latency_ms_count", (("site", "0"),))
+        ] == summ["count"]
+
+    def test_histogram_cumulative_counts_survive_parse(self):
+        from repro.obs.prom import parse_prometheus_text
+
+        text, _a, _b = self.build_text()
+        _types, samples = parse_prometheus_text(text)
+        buckets = [
+            (l["le"], v)
+            for n, l, v in samples
+            if n == "repro_transport_rtt_ms_bucket"
+        ]
+        counts = [v for _le, v in buckets]
+        assert counts == sorted(counts)  # cumulative, never decreasing
+        assert buckets[-1][0] == "+Inf"
+
+    def test_unparseable_line_raises(self):
+        from repro.obs.prom import parse_prometheus_text
+
+        with pytest.raises(ValueError):
+            parse_prometheus_text("this is { not a metric\n")
+        with pytest.raises(ValueError):
+            parse_prometheus_text("repro_ok_total notanumber\n")
+
+    def test_file_round_trip(self, tmp_path):
+        from repro.obs.prom import parse_prometheus_text
+
+        text, a, b = self.build_text()
+        path = tmp_path / "metrics.prom"
+        write_prometheus(str(path), [a.snapshot(), b.snapshot()])
+        types, samples = parse_prometheus_text(path.read_text())
+        _t2, samples2 = parse_prometheus_text(text)
+        assert samples == samples2
+        assert "repro_engine_commit_latency_ms" in types

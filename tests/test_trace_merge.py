@@ -12,6 +12,8 @@ import socket
 from typing import Any, Dict, List
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.messages import CommitMsg
 from repro.obs import load_timeline, merge_timelines
@@ -110,6 +112,140 @@ class TestSyntheticMerge:
         for proc in (0, 1):
             seqs = [e["data"]["orig_seq"] for e in merged.events if e["data"]["proc"] == proc]
             assert seqs == sorted(seqs)
+
+
+delay_lists = st.lists(
+    st.floats(min_value=0.1, max_value=50.0, allow_nan=False), min_size=1, max_size=8
+)
+
+
+class TestAsymmetricDelayBias:
+    """Pin the documented skew-estimator bias bound.
+
+    The NTP-style estimate assumes the *fastest* message in each
+    direction saw the same delay.  When the fastest forward delay is
+    ``f`` and the fastest reverse delay is ``r``, the estimate is off by
+    exactly ``(f - r) / 2`` — i.e. the error is bounded by half the
+    delay asymmetry, never by the skew magnitude, and symmetric minimum
+    delays recover the skew exactly no matter how asymmetric the rest of
+    the traffic is.
+    """
+
+    def timelines(self, skew_ms, fwd_delays, rev_delays):
+        """p1's clock ahead by ``skew_ms``; explicit per-message delays."""
+        p0, p1 = [], []
+        seq0 = seq1 = 0
+        for i, d in enumerate(fwd_delays):
+            t = 10.0 + 100.0 * i
+            p0.append(ev(seq0, t, 0, "message_sent", dst=1, msg_id=f"0:{i+1}", msg_type="CommitMsg"))
+            seq0 += 1
+            p1.append(ev(seq1, t + d + skew_ms, 1, "message_delivered", src=0, msg_id=f"0:{i+1}", msg_type="CommitMsg"))
+            seq1 += 1
+        for j, d in enumerate(rev_delays):
+            t = 15.0 + 100.0 * j
+            p1.append(ev(seq1, t + skew_ms, 1, "message_sent", dst=0, msg_id=f"1:{j+1}", msg_type="CommitMsg"))
+            seq1 += 1
+            p0.append(ev(seq0, t + d, 0, "message_delivered", src=1, msg_id=f"1:{j+1}", msg_type="CommitMsg"))
+            seq0 += 1
+        return [p0, p1]
+
+    @settings(max_examples=100)
+    @given(
+        st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+        delay_lists,
+        delay_lists,
+    )
+    def test_offset_error_is_half_the_minimum_delay_asymmetry(
+        self, skew_ms, fwd_delays, rev_delays
+    ):
+        merged = merge_timelines(self.timelines(skew_ms, fwd_delays, rev_delays))
+        bias = merged.offsets_ms[1] - skew_ms
+        expected_bias = (min(fwd_delays) - min(rev_delays)) / 2.0
+        assert bias == pytest.approx(expected_bias, abs=1e-5)
+        # The documented bound: error <= asymmetry/2 <= half the fastest RTT.
+        assert abs(bias) <= abs(min(fwd_delays) - min(rev_delays)) / 2.0 + 1e-5
+        assert abs(bias) <= (min(fwd_delays) + min(rev_delays)) / 2.0 + 1e-5
+
+    @settings(max_examples=50)
+    @given(
+        st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+        st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+        delay_lists,
+        delay_lists,
+    )
+    def test_symmetric_minimum_delays_recover_skew_exactly(
+        self, skew_ms, min_delay, fwd_extra, rev_extra
+    ):
+        # Slower messages in either direction never perturb the estimate:
+        # only the per-direction minimum matters.
+        fwd = [min_delay] + [min_delay + d for d in fwd_extra]
+        rev = [min_delay] + [min_delay + d for d in rev_extra]
+        merged = merge_timelines(self.timelines(skew_ms, fwd, rev))
+        assert merged.offsets_ms[1] == pytest.approx(skew_ms, abs=1e-5)
+
+    def test_one_directional_traffic_absorbs_delay_into_offset(self):
+        # With no reverse edges the fastest forward message is assumed
+        # zero-delay: the offset absorbs its true delay (documented
+        # degradation, still keeps every edge monotone).
+        merged = merge_timelines(self.timelines(100.0, [4.0, 9.0], []))
+        assert merged.offsets_ms[1] == pytest.approx(104.0)
+        for times in edge_times(merged).values():
+            assert times["delivered"] >= times["sent"]
+
+
+class TestSampledOutMerge:
+    def sampled_marker(self, seq, t, msg_id):
+        return ev(
+            seq, t, 0, "message_sent",
+            dst=1, msg_id=msg_id, msg_type="CommitMsg", sampled=False,
+        )
+
+    def test_sampled_markers_not_counted_unmatched(self):
+        timelines = two_proc_timelines()
+        timelines[0].append(self.sampled_marker(2, 30.0, "0:50"))
+        merged = merge_timelines(timelines)
+        assert merged.unmatched_sends == []
+        assert merged.sampled_out == ["0:50"]
+        assert merged.pairs == 2
+
+    def test_sampled_marker_with_delivery_is_an_ordinary_edge(self):
+        # If a delivery *does* exist (e.g. mixed record_dropped configs),
+        # the pair is matched and not tallied as sampled out.
+        timelines = two_proc_timelines()
+        timelines[0].append(self.sampled_marker(2, 30.0, "0:50"))
+        timelines[1].append(
+            ev(2, 1033.0, 1, "message_delivered", src=0, msg_id="0:50", msg_type="CommitMsg")
+        )
+        merged = merge_timelines(timelines)
+        assert merged.sampled_out == []
+        assert merged.pairs == 3
+
+    def test_real_send_loss_still_reported_alongside_markers(self):
+        timelines = two_proc_timelines()
+        timelines[0].append(self.sampled_marker(2, 30.0, "0:50"))
+        timelines[0].append(
+            ev(3, 31.0, 0, "message_sent", dst=1, msg_id="0:51", msg_type="CommitMsg")
+        )
+        merged = merge_timelines(timelines)
+        assert merged.unmatched_sends == ["0:51"]
+        assert merged.sampled_out == ["0:50"]
+
+    def test_cli_exits_zero_with_sampled_out_markers(self, tmp_path, capsys):
+        from repro.cli import main
+
+        paths = []
+        timelines = two_proc_timelines()
+        timelines[0].append(self.sampled_marker(2, 30.0, "0:50"))
+        for proc, timeline in enumerate(timelines):
+            path = tmp_path / f"trace{proc}.jsonl"
+            path.write_text("\n".join(json.dumps(e) for e in timeline) + "\n")
+            paths.append(str(path))
+        out = tmp_path / "merged.jsonl"
+        rc = main(["trace", "--merge", *paths, "--format", "jsonl", "--out", str(out), "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["sampled_out"] == ["0:50"]
+        assert doc["unmatched_sends"] == []
 
 
 class TestLoadTimeline:

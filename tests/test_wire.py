@@ -269,7 +269,11 @@ GOLDEN = [
         Envelope((CommitMsg(VirtualTime(5, 1), 12), AbortMsg(VirtualTime(6, 1), 13, "x"))),
         "01390702280b0a020318290b0c02031a050178",
     ),
-    (TraceContext(3, "5@1", 42), "013a030605033540310354"),
+    # Trace headers: the sampled flag (head-based sampling decision) is
+    # the last field, so pre-sampling captures differ only in the one
+    # trailing bool byte.
+    (TraceContext(3, "5@1", 42), "013a03060503354031035401"),
+    (TraceContext(3, "5@1", 42, False), "013a03060503354031035402"),
 ]
 
 
@@ -384,9 +388,14 @@ def test_frame_rejects_non_triple_body():
 
 # Golden frames: the v1 bytes predate trace propagation and must never
 # change (old processes' frames stay decodable); the v2 bytes pin the
-# traced layout (version byte 0x02 + (src, dst, payload, trace) 4-tuple).
+# traced layout (version byte 0x02 + (src, dst, payload, trace) 4-tuple)
+# including the trailing sampled flag (True=0x01 here; the head-dropped
+# variant pins the False byte).
 GOLDEN_FRAME_V1 = "0000000d0107030306030e280b0a020318"
-GOLDEN_FRAME_V2 = "000000170207040306030e280b0a0203183a030605033540310354"
+GOLDEN_FRAME_V2 = "000000180207040306030e280b0a0203183a03060503354031035401"
+GOLDEN_FRAME_V2_DROPPED = (
+    "000000180207040306030e280b0a0203183a03060503354031035402"
+)
 
 
 def test_golden_frame_bytes_both_versions():
@@ -394,6 +403,18 @@ def test_golden_frame_bytes_both_versions():
     trace = TraceContext(3, "5@1", 42)
     assert encode_frame(3, 7, msg).hex() == GOLDEN_FRAME_V1
     assert encode_frame(3, 7, msg, trace).hex() == GOLDEN_FRAME_V2
+    dropped = TraceContext(3, "5@1", 42, sampled=False)
+    assert encode_frame(3, 7, msg, dropped).hex() == GOLDEN_FRAME_V2_DROPPED
+
+
+def test_sampled_out_trace_rides_the_frame():
+    # The origin's head-drop decision must survive the wire so every
+    # receiving process skips the same trace (repro.obs.sample).
+    msg = CommitMsg(VirtualTime(5, 1), 12)
+    frame = bytes.fromhex(GOLDEN_FRAME_V2_DROPPED)
+    _, _, _, trace = decode_frame_parts(frame[4:])
+    assert trace == TraceContext(3, "5@1", 42, sampled=False)
+    assert trace.sampled is False
 
 
 def test_untraced_frame_is_byte_identical_to_pre_trace_format():

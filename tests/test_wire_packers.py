@@ -56,6 +56,7 @@ trace_contexts = st.builds(
     st.integers(0, 64),
     st.text(max_size=16),
     st.integers(min_value=0, max_value=2**40),
+    st.booleans(),
 )
 
 STRUCT_STRATEGIES = dict(MESSAGE_STRATEGIES)
