@@ -46,12 +46,17 @@ from repro.errors import (
     RetryLimitExceeded,
     TransactionAborted,
 )
+from repro.host import Placement, SessionHost
+from repro.transport.base import TenantTransport
 from repro.vtime import LamportClock, VirtualTime
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Session",
+    "SessionHost",
+    "TenantTransport",
+    "Placement",
     "SiteRuntime",
     "DInt",
     "DFloat",

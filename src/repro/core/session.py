@@ -131,15 +131,20 @@ class Session:
 
     @property
     def scheduler(self) -> Optional[Scheduler]:
-        if isinstance(self.transport, SimTransport):
-            return self.transport.network.scheduler
-        return None
+        """The transport's deterministic scheduler, or None.
+
+        Delegates to the transport capability protocol
+        (:meth:`repro.transport.base.Transport.scheduler`) instead of the
+        old ``isinstance(transport, SimTransport)`` sniffing, so wrapper
+        transports (e.g. :class:`~repro.transport.base.TenantTransport`)
+        surface the capability transparently.
+        """
+        return self.transport.scheduler()
 
     @property
     def network(self) -> Optional[Network]:
-        if isinstance(self.transport, SimTransport):
-            return self.transport.network
-        return None
+        """The transport's simulated network capability, or None."""
+        return self.transport.network()
 
     def add_site(
         self,
@@ -242,7 +247,8 @@ class Session:
                 raise ReproError(f"cannot replicate objects of kind {kind!r}")
             warnings.warn(
                 f"Session.replicate({kind!r}, ...) is deprecated; "
-                f"pass the class (Session.replicate({cls.__name__}, ...))",
+                f"pass the class (Session.replicate({cls.__name__}, ...)). "
+                "String kinds will be removed on 2026-12-31.",
                 DeprecationWarning,
                 stacklevel=2,
             )
@@ -285,14 +291,33 @@ class Session:
         return self.bus
 
     def metrics_snapshot(self) -> List[Dict[str, Any]]:
-        """Deterministic per-site metrics registry dumps, in site order."""
-        return [site.metrics.snapshot() for site in self.sites]
+        """Deterministic per-site metrics registry dumps, in site order.
+
+        When the transport owns its own registry (the site −1 registry of
+        the TCP/asyncio transports: frame counters, dial telemetry), its
+        snapshot is appended after the sites so host-level wire metrics
+        are not silently dropped from rollups.
+        """
+        snaps = [site.metrics.snapshot() for site in self.sites]
+        transport_metrics = getattr(self.transport, "metrics", None)
+        if transport_metrics is not None:
+            snaps.append(transport_metrics.snapshot())
+        return snaps
 
     def counters(self) -> Dict[str, int]:
-        """Aggregated protocol counters across all sites."""
+        """Aggregated protocol counters across all sites.
+
+        Includes the transport-level (site −1) registry's counters when
+        the transport has one, namespaced under their own ``transport.*``
+        keys, so wire-plane totals ride along with the protocol counters.
+        """
         totals: Dict[str, int] = {}
         for site in self.sites:
             for key, value in site.counters().items():
+                totals[key] = totals.get(key, 0) + value
+        transport_metrics = getattr(self.transport, "metrics", None)
+        if transport_metrics is not None:
+            for key, value in transport_metrics.counters.items():
                 totals[key] = totals.get(key, 0) + value
         return totals
 

@@ -242,9 +242,20 @@ class Network:
         """Attach ``site``'s message handler; replaces any previous handler."""
         self._handlers[site] = handler
 
+    def unregister(self, site: int) -> None:
+        """Detach ``site``'s handler (tenant eviction); in-flight drops are counted."""
+        self._handlers.pop(site, None)
+
     def add_failure_listener(self, handler: FailureHandler) -> None:
         """Register a callback invoked (once per surviving site's view) on failures."""
         self._failure_handlers.append(handler)
+
+    def remove_failure_listener(self, handler: FailureHandler) -> None:
+        """Unsubscribe a failure listener previously added (no-op if absent)."""
+        try:
+            self._failure_handlers.remove(handler)
+        except ValueError:
+            pass
 
     def set_link_latency(self, src: int, dst: int, model: LatencyModel) -> None:
         """Override the latency model for the ordered pair ``(src, dst)``."""
@@ -304,6 +315,12 @@ class Network:
             if self._is_partitioned(src, dst) and self.partition_cuts_inflight:
                 self.stats.messages_dropped += units
                 return
+            handler = self._handlers.get(dst)
+            if handler is None:
+                # Destination evicted while the message was in flight
+                # (SessionHost tenant eviction): drop, never raise.
+                self.stats.messages_dropped += units
+                return
             self.stats.messages_delivered += units
             if self.bus.active:
                 # Paired with the message_sent event via msg_id: together
@@ -318,7 +335,7 @@ class Network:
                     msg_type=type(payload).__name__,
                     msg_id=msg_id,
                 )
-            self._handlers[dst](src, payload)
+            handler(src, payload)
 
         if self.choice is not None and src != dst:
             self.stats.messages_in_flight += units

@@ -16,10 +16,26 @@ Three interchangeable implementations:
   fail-stop detection; lets sites in separate OS processes collaborate.
 """
 
-from repro.transport.base import Transport
+from repro.transport.base import (
+    TENANT_STRIDE,
+    TenantTransport,
+    Transport,
+    pack_site,
+    unpack_site,
+)
 from repro.transport.memory import MemoryTransport
 from repro.transport.simnet import SimTransport
 from repro.transport.asyncio_transport import AsyncioTransport
 from repro.transport.tcp import TcpTransport
 
-__all__ = ["Transport", "MemoryTransport", "SimTransport", "AsyncioTransport", "TcpTransport"]
+__all__ = [
+    "Transport",
+    "TenantTransport",
+    "TENANT_STRIDE",
+    "pack_site",
+    "unpack_site",
+    "MemoryTransport",
+    "SimTransport",
+    "AsyncioTransport",
+    "TcpTransport",
+]

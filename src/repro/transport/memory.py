@@ -33,8 +33,18 @@ class MemoryTransport(Transport):
     def register(self, site: int, handler: DeliveryHandler) -> None:
         self._handlers[site] = handler
 
+    def unregister(self, site: int) -> None:
+        """Detach ``site``'s handler; queued messages to it are dropped on drain."""
+        self._handlers.pop(site, None)
+
     def add_failure_listener(self, handler: FailureHandler) -> None:
         self._failure_handlers.append(handler)
+
+    def remove_failure_listener(self, handler: FailureHandler) -> None:
+        try:
+            self._failure_handlers.remove(handler)
+        except ValueError:
+            pass
 
     def now(self) -> float:
         return self._clock_ms
@@ -74,7 +84,12 @@ class MemoryTransport(Transport):
                 src, dst, payload = self._queue.popleft()
                 if src in self._failed or dst in self._failed:
                     continue
-                self._handlers[dst](src, payload)
+                handler = self._handlers.get(dst)
+                if handler is None:
+                    # Destination evicted after the send was accepted
+                    # (SessionHost tenant eviction): drop, never raise.
+                    continue
+                handler(src, payload)
                 delivered += 1
         finally:
             self._draining = False

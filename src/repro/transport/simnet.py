@@ -14,34 +14,55 @@ class SimTransport(Transport):
     This is the transport used by all benchmarks: latency, jitter, and
     failures are controlled by the wrapped network, and time is the
     scheduler's simulated clock.
+
+    Multi-tenant hosting works through the packed-namespace defaults of
+    :class:`~repro.transport.base.Transport`: a ``(tenant, site)`` pair
+    becomes one flat simulated site, so fault injection, partitions, and
+    exhaustive exploration all apply per tenant without special cases.
     """
 
     def __init__(self, network: Network) -> None:
-        self.network = network
+        self._network = network
+
+    # -- capability protocol ---------------------------------------------
+
+    def scheduler(self):
+        """The deterministic discrete-event scheduler (virtual time)."""
+        return self._network.scheduler
+
+    def network(self) -> Network:
+        """The simulated fabric itself (fault injection, latency models)."""
+        return self._network
 
     @property
     def bus(self):
         """The network's protocol event bus (shared by session and sites)."""
-        return self.network.bus
+        return self._network.bus
 
     def register(self, site: int, handler: DeliveryHandler) -> None:
-        self.network.register(site, handler)
+        self._network.register(site, handler)
+
+    def unregister(self, site: int) -> None:
+        self._network.unregister(site)
 
     def add_failure_listener(self, handler: FailureHandler) -> None:
-        self.network.add_failure_listener(handler)
+        self._network.add_failure_listener(handler)
+
+    def remove_failure_listener(self, handler: FailureHandler) -> None:
+        self._network.remove_failure_listener(handler)
 
     def send(self, src: int, dst: int, payload: Any) -> None:
-        self.network.send(src, dst, payload)
+        self._network.send(src, dst, payload)
 
     def now(self) -> float:
-        return self.network.scheduler.now
+        return self._network.scheduler.now
 
     def pending(self) -> int:
-        return self.network.scheduler.pending()
+        return self._network.scheduler.pending()
 
     def quiesce(self, max_events=None) -> int:
         """Run the discrete-event scheduler until no events remain."""
-        scheduler = self.network.scheduler
+        scheduler = self._network.scheduler
         before = scheduler.events_processed
         if max_events is None:
             scheduler.run_until_quiescent()
@@ -54,28 +75,28 @@ class SimTransport(Transport):
         # backoffs) are timers whose order relative to in-flight messages
         # is a genuine schedule choice; zero-delay defers are same-instant
         # continuations and stay on the scheduler (see repro.sim.choice).
-        choice = self.network.choice
+        choice = self._network.choice
         if choice is not None and delay_ms > 0.0:
             choice.offer_timer(site, action, delay_ms)
             return
-        self.network.scheduler.call_later(delay_ms, action, label="deferred")
+        self._network.scheduler.call_later(delay_ms, action, label="deferred")
 
     # -- fault-injection passthroughs (used by the conformance explorer) --
 
     def fail_site(self, site: int, notify_after_ms: float = 0.0) -> None:
-        self.network.fail_site(site, notify_after_ms)
+        self._network.fail_site(site, notify_after_ms)
 
     def is_failed(self, site: int) -> bool:
-        return self.network.is_failed(site)
+        return self._network.is_failed(site)
 
     def inject_drop(self, dst: int, count: int = 1, src=None):
-        return self.network.inject_drop(dst, count=count, src=src)
+        return self._network.inject_drop(dst, count=count, src=src)
 
     def partition(self, group_a, group_b) -> None:
-        self.network.partition(group_a, group_b)
+        self._network.partition(group_a, group_b)
 
     def heal_partition(self) -> None:
-        self.network.heal_partition()
+        self._network.heal_partition()
 
     def set_link_latency(self, src: int, dst: int, model) -> None:
-        self.network.set_link_latency(src, dst, model)
+        self._network.set_link_latency(src, dst, model)

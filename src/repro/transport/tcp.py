@@ -45,14 +45,27 @@ from repro.obs.clock import WallClock
 from repro.obs.events import EventBus
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.sample import TraceSampler
-from repro.transport.base import DeliveryHandler, FailureHandler, Transport
+from repro.transport.base import (
+    DeliveryHandler,
+    FailureHandler,
+    Transport,
+    pack_site,
+    unpack_site,
+)
 from repro.wire.codec import (
     FRAME_HEADER_BYTES,
     MAX_FRAME_BYTES,
     TraceContext,
-    decode_frame_parts,
+    decode_frame,
     encode_frame,
 )
+
+#: A TCP endpoint: (host, port).
+Addr = Tuple[str, int]
+
+#: A routing key: (tenant, site).  Tenant 0 is the classic unscoped
+#: namespace used by single-collaboration processes.
+SiteKey = Tuple[int, int]
 
 #: Bucket bounds (wall-clock ms) for transport latency histograms: dial
 #: RTTs and coalesced write flushes sit well under the simulator's
@@ -97,13 +110,21 @@ def maybe_install_uvloop() -> bool:
 
 
 class _PeerLink:
-    """Outbound state for one remote site: frame queue + sender task."""
+    """Outbound state for one remote *address*: frame queue + sender task.
+
+    Keyed by TCP endpoint, not site id, since the multi-tenant rework:
+    every site (of every tenant) placed at that address shares this one
+    connection, which is what makes a thousand small collaborations cost
+    one socket pair per process pair instead of one per site.  Queue
+    entries carry their ``(tenant, site)`` destination key so a single
+    failed site's frames can still be dropped selectively.
+    """
 
     __slots__ = ("frames", "wakeup", "writer", "task", "writing", "unreachable",
-                 "gauge_name", "ever_connected")
+                 "gauge_name", "ever_connected", "dead")
 
-    def __init__(self, dst: int) -> None:
-        self.frames: Deque[bytes] = deque()
+    def __init__(self, label: Any) -> None:
+        self.frames: Deque[Tuple[SiteKey, bytes]] = deque()
         self.wakeup = asyncio.Event()
         self.writer: Optional[asyncio.StreamWriter] = None
         self.task: Optional["asyncio.Task"] = None
@@ -113,10 +134,12 @@ class _PeerLink:
         #: flush phase does not wait for peers known to be down.
         self.unreachable = False
         #: Precomputed metrics name for this peer's queue-depth gauge.
-        self.gauge_name = f"transport.peer.{dst}.queue_depth"
+        self.gauge_name = f"transport.peer.{label}.queue_depth"
         #: False until the first successful dial; distinguishes a reconnect
         #: from the initial lazy connection in events and counters.
         self.ever_connected = False
+        #: Set when the address is declared failed; the sender task exits.
+        self.dead = False
 
 
 class TcpTransport(Transport):
@@ -131,22 +154,35 @@ class TcpTransport(Transport):
         fail_after_ms: float = 10_000.0,
         coalesce_max_bytes: int = 64 * 1024,
         sampler: Optional[TraceSampler] = None,
+        placement: Optional[Any] = None,
     ) -> None:
         self.site_addrs = dict(site_addrs)
         self.local_sites: Set[int] = set(local_sites)
         for site in self.local_sites:
             if site not in self.site_addrs:
                 raise TransportError(f"local site {site} has no address")
+        #: Optional tenant placement (duck-typed; see repro.host.Placement):
+        #: ``addr_of(tenant, site)`` and ``sites_at(tenant, addr)``.  When
+        #: absent, every tenant's site *i* is co-located with tenant-0 site
+        #: *i* — the symmetric SessionHost topology.
+        self.placement = placement
+        #: Addresses this process listens on (loopback short-circuit).
+        self._local_addrs: Set[Addr] = {self.site_addrs[s] for s in self.local_sites}
         self.reconnect_base_ms = reconnect_base_ms
         self.reconnect_max_ms = reconnect_max_ms
         self.fail_after_ms = fail_after_ms
         #: High-water mark for one coalesced write: a sender wakeup batches
         #: queued frames until the buffered write would exceed this.
         self.coalesce_max_bytes = coalesce_max_bytes
-        self._handlers: Dict[int, DeliveryHandler] = {}
+        self._handlers: Dict[SiteKey, DeliveryHandler] = {}
         self._failure_handlers: List[FailureHandler] = []
-        self._failed: Set[int] = set()
-        self._links: Dict[int, _PeerLink] = {}
+        #: Per-tenant failure listeners (tenant id > 0 → handlers that see
+        #: tenant-local site ids).  Cross-tenant isolation: a notice for
+        #: tenant A's site never reaches tenant B's listeners.
+        self._scoped_failure_handlers: Dict[int, List[FailureHandler]] = {}
+        self._failed: Set[SiteKey] = set()
+        self._failed_addrs: Set[Addr] = set()
+        self._links: Dict[Addr, _PeerLink] = {}
         self._servers: List["asyncio.base_events.Server"] = []
         #: Accepted (inbound) connections; closed on stop() so peers see
         #: the outage instead of writing into a stopped transport.
@@ -208,6 +244,10 @@ class TcpTransport(Transport):
     #: decision was drop (the only per-frame cost of a sampled-out trace).
     sends_sampled_out = _transport_counter("transport.sends_sampled_out")
     deliveries_sampled_out = _transport_counter("transport.deliveries_sampled_out")
+    #: Inbound frames whose (tenant, site) destination has no registered
+    #: handler — e.g. delivered after tenant eviction.  Dropped, never
+    #: raised: eviction must not crash the shared connection.
+    frames_dropped_unrouted = _transport_counter("transport.frames_dropped_unrouted")
 
     # ------------------------------------------------------------------
     # Transport interface
@@ -218,16 +258,95 @@ class TcpTransport(Transport):
             raise TransportError(
                 f"site {site} is not local to this process (local: {sorted(self.local_sites)})"
             )
-        self._handlers[site] = handler
+        self._handlers[(0, site)] = handler
+
+    def register_scoped(self, tenant: int, site: int, handler: DeliveryHandler) -> None:
+        if tenant == 0:
+            self.register(site, handler)
+            return
+        addr = self._addr_for(tenant, site)
+        if addr not in self._local_addrs:
+            raise TransportError(
+                f"site {site} of tenant {tenant} is not local to this process"
+            )
+        # Frames carry tenant-local src ids, so the handler needs no
+        # unpacking wrapper (unlike the packed-namespace default).
+        self._handlers[(tenant, site)] = handler
+
+    def unregister(self, site: int) -> None:
+        self._handlers.pop((0, site), None)
+
+    def unregister_scoped(self, tenant: int, site: int) -> None:
+        self._handlers.pop((tenant, site), None)
 
     def add_failure_listener(self, handler: FailureHandler) -> None:
         self._failure_handlers.append(handler)
+
+    def add_failure_listener_scoped(
+        self, tenant: int, handler: FailureHandler
+    ) -> FailureHandler:
+        if tenant == 0:
+            self._failure_handlers.append(handler)
+        else:
+            self._scoped_failure_handlers.setdefault(tenant, []).append(handler)
+        return handler
+
+    def remove_failure_listener(self, handler: FailureHandler) -> None:
+        try:
+            self._failure_handlers.remove(handler)
+            return
+        except ValueError:
+            pass
+        for listeners in self._scoped_failure_handlers.values():
+            try:
+                listeners.remove(handler)
+                return
+            except ValueError:
+                continue
 
     def now(self) -> float:
         return self.clock.now_ms()
 
     def is_failed(self, site: int) -> bool:
-        return site in self._failed
+        return self.is_failed_scoped(0, site)
+
+    def is_failed_scoped(self, tenant: int, site: int) -> bool:
+        if (tenant, site) in self._failed:
+            return True
+        if not self._failed_addrs:
+            return False
+        return self._addr_for(tenant, site) in self._failed_addrs
+
+    def _addr_for(self, tenant: int, site: int) -> Optional[Addr]:
+        """Resolve a (tenant, site) routing key to its TCP endpoint.
+
+        Tenant-scoped keys consult the placement first; without one (or
+        when it abstains) each tenant's site *i* shares tenant-0 site
+        *i*'s process — the symmetric SessionHost layout.
+        """
+        if tenant != 0 and self.placement is not None:
+            addr = self.placement.addr_of(tenant, site)
+            if addr is not None:
+                return addr
+        return self.site_addrs.get(site)
+
+    def _sites_at(self, tenant: int, addr: Addr) -> List[int]:
+        """Every site of ``tenant`` placed at ``addr`` (failure fan-out)."""
+        if tenant != 0 and self.placement is not None:
+            return sorted(self.placement.sites_at(tenant, addr))
+        return sorted(s for s, a in self.site_addrs.items() if a == addr)
+
+    def _peer_label(self, addr: Addr) -> Any:
+        """Human-facing identity of a peer address for events and gauges.
+
+        The classic one-site-per-address topology keeps its site-id labels
+        (``transport.peer.1.queue_depth``); shared addresses fall back to
+        ``host:port``.
+        """
+        sites = [s for s, a in self.site_addrs.items() if a == addr]
+        if len(sites) == 1:
+            return sites[0]
+        return f"{addr[0]}:{addr[1]}"
 
     def _trace_for(self, src: int, dst: int, payload: Any) -> Optional[TraceContext]:
         """Build the frame trace header and emit ``message_sent``.
@@ -290,25 +409,45 @@ class TcpTransport(Transport):
         return trace
 
     def send(self, src: int, dst: int, payload: Any) -> None:
-        if self._stopped or self._closing or src in self._failed or dst in self._failed:
+        self.send_scoped(0, src, dst, payload)
+
+    def send_scoped(self, tenant: int, src: int, dst: int, payload: Any) -> None:
+        if (
+            self._stopped
+            or self._closing
+            or (tenant, src) in self._failed
+            or (tenant, dst) in self._failed
+        ):
             return
-        trace = self._trace_for(src, dst, payload) if self.bus.active else None
-        if dst in self.local_sites:
+        addr = self._addr_for(tenant, dst)
+        if addr is None:
+            raise TransportError(f"destination site {dst} has no address")
+        if addr in self._failed_addrs:
+            return
+        if self.bus.active:
+            # Events and trace ids use packed site ids so a merged timeline
+            # never conflates two tenants' site 0 (tenant 0 is unchanged).
+            trace = self._trace_for(
+                pack_site(tenant, src), pack_site(tenant, dst), payload
+            )
+        else:
+            trace = None
+        if (tenant == 0 and dst in self.local_sites) or (
+            tenant != 0 and addr in self._local_addrs
+        ):
             # Local loopback still crosses the codec so every payload is
             # provably wire-expressible regardless of site placement.
-            frame = encode_frame(src, dst, payload, trace)
+            frame = encode_frame(src, dst, payload, trace, tenant=tenant)
             self._local_pending += 1
             self._require_loop().call_soon(self._deliver_local, frame)
             return
-        if dst not in self.site_addrs:
-            raise TransportError(f"destination site {dst} has no address")
-        frame = encode_frame(src, dst, payload, trace)
-        link = self._links.get(dst)
+        frame = encode_frame(src, dst, payload, trace, tenant=tenant)
+        link = self._links.get(addr)
         if link is None:
-            link = _PeerLink(dst)
-            self._links[dst] = link
-            link.task = self._require_loop().create_task(self._run_peer(dst, link))
-        link.frames.append(frame)
+            link = _PeerLink(self._peer_label(addr))
+            self._links[addr] = link
+            link.task = self._require_loop().create_task(self._run_peer(addr, link))
+        link.frames.append(((tenant, dst), frame))
         link.wakeup.set()
 
     def defer(self, action, delay_ms: float = 0.0, site=None) -> None:
@@ -392,9 +531,10 @@ class TcpTransport(Transport):
 
             def unflushed() -> bool:
                 return any(
-                    (link.frames or link.writing) and not link.unreachable
-                    for dst, link in self._links.items()
-                    if dst not in self._failed
+                    (link.frames or link.writing)
+                    and not link.unreachable
+                    and not link.dead
+                    for link in self._links.values()
                 )
 
             while unflushed() and loop.time() < deadline:
@@ -425,8 +565,14 @@ class TcpTransport(Transport):
         self._links.clear()
 
     def fail_site(self, site: int) -> None:
-        """Administratively declare ``site`` failed (tests / orchestration)."""
-        self._declare_failed(site)
+        """Administratively declare ``site`` failed (tests / orchestration).
+
+        Accepts either a classic flat site id or a packed ``(tenant,
+        site)`` id (as produced by :func:`repro.transport.base.pack_site`,
+        the form :class:`~repro.transport.base.TenantTransport` sends).
+        """
+        tenant, local = unpack_site(site)
+        self._fail_pair(tenant, local)
 
     # ------------------------------------------------------------------
     # Inbound path
@@ -444,8 +590,8 @@ class TcpTransport(Transport):
                     raise WireError(f"inbound frame of {length} bytes exceeds limit")
                 body = await reader.readexactly(length)
                 self.metrics.inc("transport.frames_received")
-                src, dst, payload, trace = decode_frame_parts(body)
-                self._dispatch(src, dst, payload, trace)
+                tenant, src, dst, payload, trace = decode_frame(body)
+                self._dispatch(tenant, src, dst, payload, trace)
         except asyncio.CancelledError:
             pass  # transport stopping / event loop shutting down
         except (asyncio.IncompleteReadError, ConnectionResetError, OSError):
@@ -458,16 +604,26 @@ class TcpTransport(Transport):
     def _deliver_local(self, frame: bytes) -> None:
         self._local_pending -= 1
         # memoryview: the decoder cursors over the frame without copying it
-        src, dst, payload, trace = decode_frame_parts(
+        tenant, src, dst, payload, trace = decode_frame(
             memoryview(frame)[FRAME_HEADER_BYTES:]
         )
-        self._dispatch(src, dst, payload, trace)
+        self._dispatch(tenant, src, dst, payload, trace)
 
     def _dispatch(
-        self, src: int, dst: int, payload: Any, trace: Optional[TraceContext] = None
+        self,
+        tenant: int,
+        src: int,
+        dst: int,
+        payload: Any,
+        trace: Optional[TraceContext] = None,
     ) -> None:
-        handler = self._handlers.get(dst)
-        if handler is None or src in self._failed or dst in self._failed:
+        handler = self._handlers.get((tenant, dst))
+        if handler is None:
+            # Evicted (or never-hosted) destination: the shared connection
+            # must survive stray frames, so drop and count.
+            self.metrics.inc("transport.frames_dropped_unrouted")
+            return
+        if (tenant, src) in self._failed or (tenant, dst) in self._failed:
             return
         if trace is not None and self.bus.active and not trace.sampled:
             # The origin head-dropped this trace: honor its in-band
@@ -480,7 +636,7 @@ class TcpTransport(Transport):
             # merged timeline (repro.obs.merge) reconstructs.
             self.bus.emit_event(
                 "message_delivered",
-                dst,
+                pack_site(tenant, dst),
                 self.clock.now_ms(),
                 getattr(payload, "txn_vt", None),
                 {
@@ -500,26 +656,33 @@ class TcpTransport(Transport):
     # Outbound path
     # ------------------------------------------------------------------
 
-    async def _run_peer(self, dst: int, link: _PeerLink) -> None:
-        host, port = self.site_addrs[dst]
+    async def _run_peer(self, addr: Addr, link: _PeerLink) -> None:
+        host, port = addr
         frames = link.frames
-        while not self._stopped and dst not in self._failed:
+        while not self._stopped and not link.dead:
             if not frames:
                 if self._closing:
                     return  # queue drained and no new sends can arrive
                 link.wakeup.clear()
                 await link.wakeup.wait()
                 continue
-            if link.writer is None and not await self._connect(dst, link, host, port):
+            if link.writer is None and not await self._connect(addr, link, host, port):
                 return  # peer declared failed
             # Coalesce: drain the queue into one buffered write, bounded by
             # the high-water mark so a burst cannot buffer without limit.
-            batch = [frames.popleft()]
-            size = len(batch[0])
+            # Frames whose destination site failed after queuing are
+            # skipped (the shared link still serves the address's other
+            # sites and tenants).
+            batch: List[Tuple[SiteKey, bytes]] = []
+            size = 0
             while frames and size < self.coalesce_max_bytes:
-                frame = frames.popleft()
-                batch.append(frame)
+                key, frame = frames.popleft()
+                if key in self._failed:
+                    continue
+                batch.append((key, frame))
                 size += len(frame)
+            if not batch:
+                continue
             link.writing = len(batch)
             metrics = self.metrics
             metrics.gauge(link.gauge_name, len(frames))
@@ -527,7 +690,10 @@ class TcpTransport(Transport):
                 writer = link.writer
                 assert writer is not None
                 flush_start = time.monotonic()
-                writer.write(b"".join(batch) if len(batch) > 1 else batch[0])
+                if len(batch) > 1:
+                    writer.write(b"".join(frame for _key, frame in batch))
+                else:
+                    writer.write(batch[0][1])
                 await writer.drain()
             except (ConnectionError, OSError):
                 # Requeue the whole batch in order; the next iteration
@@ -553,8 +719,8 @@ class TcpTransport(Transport):
                 RTT_BUCKETS_MS,
             )
 
-    async def _connect(self, dst: int, link: _PeerLink, host: str, port: int) -> bool:
-        """Dial ``dst`` with exponential backoff; False once declared failed.
+    async def _connect(self, addr: Addr, link: _PeerLink, host: str, port: int) -> bool:
+        """Dial ``addr`` with exponential backoff; False once declared failed.
 
         Telemetry here is **edge-triggered**: the backoff loop retries many
         times per outage, but ``peer_unreachable`` fires only on the
@@ -579,10 +745,10 @@ class TcpTransport(Transport):
                             "peer_unreachable",
                             site=self._obs_site,
                             time_ms=self.now(),
-                            peer=dst,
+                            peer=self._peer_label(addr),
                         )
                 if (time.monotonic() - down_since) * 1000.0 >= self.fail_after_ms:
-                    self._declare_failed(dst)
+                    self._fail_addr(addr)
                     return False
                 await asyncio.sleep(backoff_ms / 1000.0)
                 backoff_ms = min(backoff_ms * 2, self.reconnect_max_ms)
@@ -605,7 +771,7 @@ class TcpTransport(Transport):
                     "peer_connected",
                     site=self._obs_site,
                     time_ms=self.now(),
-                    peer=dst,
+                    peer=self._peer_label(addr),
                     reconnect=was_down,
                 )
             return True
@@ -616,22 +782,60 @@ class TcpTransport(Transport):
             link.writer.close()
             link.writer = None
 
-    def _declare_failed(self, site: int) -> None:
-        if site in self._failed:
+    def _fail_addr(self, addr: Addr) -> None:
+        """Declare every site placed at ``addr`` failed (fail-stop detection).
+
+        The whole process behind the address is gone, so the notice fans
+        out per tenant: tenant-0 listeners get the classic flat site ids;
+        each tenant with scoped listeners gets its own local site ids and
+        nothing else.
+        """
+        if addr in self._failed_addrs:
             return
-        self._failed.add(site)
-        self.metrics.inc("transport.peers_failed")
-        link = self._links.get(site)
+        self._failed_addrs.add(addr)
+        link = self._links.get(addr)
         if link is not None:
+            link.dead = True
             link.frames.clear()
             link.wakeup.set()  # let the sender loop observe the failure and exit
             self._close_writer(link)
-        for handler in list(self._failure_handlers):
-            handler(site)
+        for site in self._sites_at(0, addr):
+            self._fail_pair(0, site)
+        for tenant in sorted(self._scoped_failure_handlers):
+            if tenant == 0:
+                continue
+            for site in self._sites_at(tenant, addr):
+                self._fail_pair(tenant, site)
+
+    def _fail_pair(self, tenant: int, site: int) -> None:
+        """Declare one (tenant, site) failed; notify that tenant only."""
+        key = (tenant, site)
+        if key in self._failed:
+            return
+        self._failed.add(key)
+        self.metrics.inc("transport.peers_failed")
+        addr = self._addr_for(tenant, site)
+        link = self._links.get(addr) if addr is not None else None
+        if link is not None and not link.dead and link.frames:
+            # Drop only this destination's queued frames; the shared link
+            # keeps serving the address's other sites and tenants.  Mutate
+            # in place — the sender task holds a reference to the deque.
+            kept = [entry for entry in link.frames if entry[0] != key]
+            if len(kept) != len(link.frames):
+                link.frames.clear()
+                link.frames.extend(kept)
+            link.wakeup.set()
+        if tenant == 0:
+            for handler in list(self._failure_handlers):
+                handler(site)
+        else:
+            for handler in list(self._scoped_failure_handlers.get(tenant, ())):
+                handler(site)
         if self.flight is not None:
             # Postmortem: the ring buffer of recent events, dumped the
             # moment fail-stop detection fires (repro.obs.flight).
-            self.flight.dump(f"fail-stop: site {site} declared failed")
+            label = site if tenant == 0 else f"{tenant}:{site}"
+            self.flight.dump(f"fail-stop: site {label} declared failed")
 
     # ------------------------------------------------------------------
 

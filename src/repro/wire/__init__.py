@@ -11,6 +11,7 @@ outbox that coalesces a protocol turn's fan-out into
 
 from repro.wire.codec import (
     FRAME_HEADER_BYTES,
+    FRAME_VERSION_TENANT,
     FRAME_VERSION_TRACED,
     MAX_FRAME_BYTES,
     MESSAGE_TYPES,
@@ -18,6 +19,7 @@ from repro.wire.codec import (
     WIRE_STRUCTS,
     WIRE_VERSION,
     decode,
+    decode_frame,
     decode_frame_body,
     decode_frame_parts,
     encode,
@@ -28,6 +30,7 @@ from repro.wire.batch import Outbox
 
 __all__ = [
     "FRAME_HEADER_BYTES",
+    "FRAME_VERSION_TENANT",
     "FRAME_VERSION_TRACED",
     "MAX_FRAME_BYTES",
     "MESSAGE_TYPES",
@@ -35,6 +38,7 @@ __all__ = [
     "WIRE_STRUCTS",
     "WIRE_VERSION",
     "decode",
+    "decode_frame",
     "decode_frame_body",
     "decode_frame_parts",
     "encode",

@@ -99,6 +99,13 @@ WIRE_VERSION = 1
 #: process interoperates with an untraced one (docs/WIRE.md).
 FRAME_VERSION_TRACED = 2
 
+#: Frame-header version for *tenant-scoped* frames: the body is the version
+#: byte followed by a ``(tenant, src, dst, payload, trace-or-None)`` 5-tuple.
+#: Tenant 0 is the unscoped namespace and is never encoded with this version
+#: — tenant-0 frames stay byte-identical to v1/v2 — so a multi-tenant
+#: SessionHost interoperates with every pre-tenant process (docs/WIRE.md).
+FRAME_VERSION_TENANT = 3
+
 # ---------------------------------------------------------------------------
 # Primitive tags (0x00–0x1F reserved for the codec itself)
 # ---------------------------------------------------------------------------
@@ -1535,9 +1542,16 @@ _FRAME_PREFIX = _VERSION_PREFIX + _TUPLE_HDR[3]
 #: Prefix of a traced frame body: v2 version byte + 4-tuple header.
 _TRACED_FRAME_PREFIX = _BYTE[FRAME_VERSION_TRACED] + _TUPLE_HDR[4]
 
+#: Prefix of a tenant-scoped frame body: v3 version byte + 5-tuple header.
+_TENANT_FRAME_PREFIX = _BYTE[FRAME_VERSION_TENANT] + _TUPLE_HDR[5]
+
 
 def encode_frame(
-    src: int, dst: int, payload: Any, trace: Optional[TraceContext] = None
+    src: int,
+    dst: int,
+    payload: Any,
+    trace: Optional[TraceContext] = None,
+    tenant: int = 0,
 ) -> bytes:
     """One length-prefixed routed frame.
 
@@ -1545,12 +1559,18 @@ def encode_frame(
     ``encode((src, dst, payload))`` — byte-identical to every frame ever
     written before trace propagation existed.  With ``trace`` the body is
     the v2 layout: version byte ``0x02`` followed by the
-    ``(src, dst, payload, trace)`` 4-tuple.  Either way the length prefix,
-    version byte, routing fields, and payload all land in one parts list
-    joined once — a single allocation per frame.
+    ``(src, dst, payload, trace)`` 4-tuple.  A non-zero ``tenant`` selects
+    the v3 layout — version byte ``0x03`` followed by the
+    ``(tenant, src, dst, payload, trace-or-None)`` 5-tuple — while tenant 0
+    (the unscoped namespace) always emits the v1/v2 bytes unchanged.
+    Either way the length prefix, version byte, routing fields, and payload
+    all land in one parts list joined once — a single allocation per frame.
     """
-    if trace is None:
-        parts: List[bytes] = [b"", _FRAME_PREFIX]
+    if tenant:
+        parts: List[bytes] = [b"", _TENANT_FRAME_PREFIX]
+        _enc_int(parts, tenant)
+    elif trace is None:
+        parts = [b"", _FRAME_PREFIX]
     else:
         parts = [b"", _TRACED_FRAME_PREFIX]
     _enc_int(parts, src)
@@ -1560,7 +1580,12 @@ def encode_frame(
         _enc_fallback(parts, payload)
     else:
         enc(parts, payload)
-    if trace is not None:
+    if tenant:
+        if trace is None:
+            parts.append(_B_NONE)
+        else:
+            _TRACE_ENCODER(parts, trace)
+    elif trace is not None:
         _TRACE_ENCODER(parts, trace)
     body_len = sum(map(len, parts))
     if body_len > MAX_FRAME_BYTES:
@@ -1569,19 +1594,21 @@ def encode_frame(
     return b"".join(parts)
 
 
-def decode_frame_parts(body: Any) -> Tuple[int, int, Any, Optional[TraceContext]]:
-    """Parse a frame body into ``(src, dst, payload, trace)``.
+def decode_frame(body: Any) -> Tuple[int, int, int, Any, Optional[TraceContext]]:
+    """Parse a frame body into ``(tenant, src, dst, payload, trace)``.
 
-    Accepts both frame versions: a v1 body yields ``trace=None``; a v2
-    body yields its :class:`TraceContext`.  Like :func:`decode`, accepts
-    ``bytes`` or a zero-copy buffer view, and malformed input of any shape
-    raises :class:`WireError` only.
+    Accepts all three frame versions: v1/v2 bodies yield ``tenant=0``
+    (and ``trace=None`` for v1); a v3 body yields its tenant id and its
+    trace (or None).  Like :func:`decode`, accepts ``bytes`` or a
+    zero-copy buffer view, and malformed input of any shape raises
+    :class:`WireError` only.
     """
     if not body:
         raise WireError("empty frame body")
     if body.__class__ is not bytes and body.__class__ is not memoryview:
         body = memoryview(body)
-    if body[0] != FRAME_VERSION_TRACED:
+    version = body[0]
+    if version != FRAME_VERSION_TRACED and version != FRAME_VERSION_TENANT:
         # v1 (or junk — decode() rejects unknown versions with WireError).
         triple = decode(body)
         if (
@@ -1591,7 +1618,7 @@ def decode_frame_parts(body: Any) -> Tuple[int, int, Any, Optional[TraceContext]
             or not isinstance(triple[1], int)
         ):
             raise WireError("frame body is not a (src, dst, payload) triple")
-        return (triple[0], triple[1], triple[2], None)
+        return (0, triple[0], triple[1], triple[2], None)
     try:
         fn = _DECODERS[body[1]]
         if fn is None:
@@ -1603,17 +1630,45 @@ def decode_frame_parts(body: Any) -> Tuple[int, int, Any, Optional[TraceContext]
         raise WireError(f"malformed payload: {exc.__class__.__name__}: {exc}") from exc
     if pos != len(body):
         raise WireError(f"{len(body) - pos} trailing bytes after payload")
+    if version == FRAME_VERSION_TRACED:
+        if (
+            not isinstance(value, tuple)
+            or len(value) != 4
+            or not isinstance(value[0], int)
+            or not isinstance(value[1], int)
+            or not isinstance(value[3], TraceContext)
+        ):
+            raise WireError(
+                "traced frame body is not a (src, dst, payload, TraceContext) 4-tuple"
+            )
+        return (0, value[0], value[1], value[2], value[3])
     if (
         not isinstance(value, tuple)
-        or len(value) != 4
+        or len(value) != 5
         or not isinstance(value[0], int)
         or not isinstance(value[1], int)
-        or not isinstance(value[3], TraceContext)
+        or not isinstance(value[2], int)
+        or not (value[4] is None or isinstance(value[4], TraceContext))
     ):
         raise WireError(
-            "traced frame body is not a (src, dst, payload, TraceContext) 4-tuple"
+            "tenant frame body is not a (tenant, src, dst, payload, trace) 5-tuple"
         )
+    if value[0] == 0:
+        # Tenant 0 is the unscoped namespace: canonical frames encode it
+        # as v1/v2, so a v3 frame claiming tenant 0 is corruption.
+        raise WireError("tenant frame carries reserved tenant id 0")
     return value  # type: ignore[return-value]
+
+
+def decode_frame_parts(body: Any) -> Tuple[int, int, Any, Optional[TraceContext]]:
+    """Parse a frame body into ``(src, dst, payload, trace)``.
+
+    The tenant-blind form: v1/v2 bodies parse as before, and a v3 body's
+    tenant id is validated then dropped.  Callers that route by tenant use
+    :func:`decode_frame`.
+    """
+    _tenant, src, dst, payload, trace = decode_frame(body)
+    return (src, dst, payload, trace)
 
 
 def decode_frame_body(body: Any) -> Tuple[int, int, Any]:

@@ -6,7 +6,7 @@ from repro import Session
 from repro.core.repgraph import GraphNode
 from repro.errors import ReproError
 from repro.transport import MemoryTransport, SimTransport
-from repro import DInt, DList, DMap
+from repro import DFloat, DInt, DList, DMap, DString
 
 
 class TestConstruction:
@@ -64,9 +64,9 @@ class TestReplicateHelper:
     @pytest.mark.parametrize(
         "kind,initial,expected",
         [
-            ("int", 7, 7),
-            ("float", 2.5, 2.5),
-            ("string", "hi", "hi"),
+            (DInt, 7, 7),
+            (DFloat, 2.5, 2.5),
+            (DString, "hi", "hi"),
         ],
     )
     def test_scalar_kinds(self, kind, initial, expected):
@@ -74,6 +74,15 @@ class TestReplicateHelper:
         sites = session.add_sites(2)
         objs = session.replicate(kind, "obj", sites, initial=initial)
         assert [o.get() for o in objs] == [expected, expected]
+
+    def test_string_kind_emits_deprecation_warning(self):
+        # The legacy string spelling still works but is on a removal
+        # schedule; the warning names the replacement class and the date.
+        session = Session.simulated(latency_ms=10.0)
+        sites = session.add_sites(2)
+        with pytest.warns(DeprecationWarning, match=r"removed on 2026-12-31"):
+            objs = session.replicate("int", "obj", sites, initial=3)
+        assert [o.get() for o in objs] == [3, 3]
 
     def test_composite_kinds(self):
         session = Session.simulated(latency_ms=10.0)

@@ -45,11 +45,13 @@ from repro.core.repgraph import GraphNode, ReplicationGraph
 from repro.errors import WireError
 from repro.vtime import VT_ZERO, VirtualTime
 from repro.wire import (
+    FRAME_VERSION_TENANT,
     MESSAGE_TYPES,
     WIRE_STRUCTS,
     WIRE_VERSION,
     TraceContext,
     decode,
+    decode_frame,
     decode_frame_body,
     decode_frame_parts,
     encode,
@@ -459,3 +461,56 @@ def test_traced_frame_rejects_trailing_bytes():
     v2 = bytes.fromhex(GOLDEN_FRAME_V2)
     with pytest.raises(WireError, match="trailing"):
         decode_frame_parts(v2[4:] + b"\x00")
+
+
+# Tenant-scoped (v3) frames: version byte 0x03 + (tenant, src, dst,
+# payload, trace-or-None) 5-tuple.  Tenant 0 must keep emitting the
+# v1/v2 bytes unchanged — the SessionHost interop contract.
+
+
+def test_tenant_zero_is_byte_identical_to_v1_and_v2():
+    msg = CommitMsg(VirtualTime(5, 1), 12)
+    trace = TraceContext(3, "5@1", 42)
+    assert encode_frame(3, 7, msg, tenant=0) == encode_frame(3, 7, msg)
+    assert encode_frame(3, 7, msg, trace, tenant=0) == encode_frame(3, 7, msg, trace)
+    assert encode_frame(3, 7, msg, tenant=0).hex() == GOLDEN_FRAME_V1
+
+
+def test_tenant_frame_roundtrip_with_and_without_trace():
+    msg = CommitMsg(VirtualTime(5, 1), 12)
+    trace = TraceContext(3, "5@1", 42)
+    plain = encode_frame(3, 7, msg, tenant=9)
+    assert plain[4] == FRAME_VERSION_TENANT
+    assert int.from_bytes(plain[:4], "big") == len(plain) - 4
+    assert decode_frame(plain[4:]) == (9, 3, 7, msg, None)
+    traced = encode_frame(3, 7, msg, trace, tenant=9)
+    assert decode_frame(traced[4:]) == (9, 3, 7, msg, trace)
+
+
+def test_decode_frame_accepts_all_versions():
+    msg = CommitMsg(VirtualTime(5, 1), 12)
+    trace = TraceContext(3, "5@1", 42)
+    v1 = bytes.fromhex(GOLDEN_FRAME_V1)
+    v2 = bytes.fromhex(GOLDEN_FRAME_V2)
+    assert decode_frame(v1[4:]) == (0, 3, 7, msg, None)
+    assert decode_frame(v2[4:]) == (0, 3, 7, msg, trace)
+    # The tenant-blind decoders validate then drop a v3 tenant id.
+    v3 = encode_frame(3, 7, msg, trace, tenant=123)
+    assert decode_frame_parts(v3[4:]) == (3, 7, msg, trace)
+    assert decode_frame_body(v3[4:]) == (3, 7, msg)
+
+
+def test_tenant_frame_rejects_reserved_tenant_zero():
+    # Canonical tenant-0 frames are v1/v2; a v3 body claiming tenant 0 is
+    # corruption, not an alternate spelling.
+    msg = CommitMsg(VirtualTime(5, 1), 12)
+    body = bytes([FRAME_VERSION_TENANT]) + encode((0, 3, 7, msg, None))[1:]
+    with pytest.raises(WireError, match="reserved tenant"):
+        decode_frame(body)
+
+
+def test_tenant_frame_rejects_malformed_5_tuple():
+    msg = CommitMsg(VirtualTime(5, 1), 12)
+    body = bytes([FRAME_VERSION_TENANT]) + encode((9, 3, 7, msg, "oops"))[1:]
+    with pytest.raises(WireError, match="5-tuple"):
+        decode_frame(body)
